@@ -1,0 +1,81 @@
+// Ablation of the CUDA-core baselines' short-circuit machinery (paper
+// Sec. 2.6): GDS-Join reorders dataset coordinates by decreasing variance
+// so distance loops abort early.  This bench quantifies the dims processed
+// per candidate with and without the reordering, across datasets — and
+// contrasts it with FaSTED, which deliberately forgoes short-circuiting
+// (Sec. 4.1.2: a 128x128 tile would need *every* pair to short-circuit).
+
+#include <cstdio>
+
+#include "baselines/gds_join.hpp"
+#include "bench_util.hpp"
+#include "data/calibrate.hpp"
+#include "data/generators.hpp"
+#include "common/rng.hpp"
+#include "data/registry.hpp"
+
+using namespace fasted;
+
+int main() {
+  bench::header("Ablation — short-circuiting & coordinate reordering",
+                "extends Sec. 2.6 / Sec. 4.1.2 (GDS-Join machinery)");
+
+  std::printf("%-12s %6s %22s %22s %14s\n", "Dataset", "d",
+              "dims/candidate (reord)", "dims/candidate (plain)",
+              "kernel ratio");
+  for (const auto& info : data::real_world_datasets()) {
+    // Smaller surrogates: this is a per-candidate statistic, not a timing.
+    MatrixF32 points = [&] {
+      auto full = data::make_surrogate(info, 42);
+      MatrixF32 small(1500, info.d);
+      for (std::size_t i = 0; i < small.rows(); ++i) {
+        for (std::size_t k = 0; k < info.d; ++k) {
+          small.at(i, k) = full.at(i, k);
+        }
+      }
+      return small;
+    }();
+    const float eps = data::calibrate_epsilon(points, 64.0).eps;
+
+    baselines::GdsOptions with;
+    baselines::GdsOptions without;
+    without.reorder_coordinates = false;
+    const auto a = baselines::gds_self_join(points, eps, with);
+    const auto b = baselines::gds_self_join(points, eps, without);
+    const double da =
+        a.stats.dims_processed / static_cast<double>(a.stats.candidates);
+    const double db =
+        b.stats.dims_processed / static_cast<double>(b.stats.candidates);
+    std::printf("%-12s %6zu %22.1f %22.1f %14.2f\n", info.name.c_str(),
+                info.d, da, db, b.timing.kernel_s / a.timing.kernel_s);
+  }
+
+  // Skewed-variance synthetic: a few dominant coordinates buried at the
+  // tail of the natural order — the case reordering exists for.
+  {
+    MatrixF32 points = data::uniform(1500, 128, 7, 0.0f, 0.05f);
+    Rng rng(9);
+    for (std::size_t i = 0; i < points.rows(); ++i) {
+      for (std::size_t k = 120; k < 128; ++k) {
+        points.at(i, k) = rng.next_float();  // 20x the spread, last dims
+      }
+    }
+    const float eps = data::calibrate_epsilon(points, 64.0).eps;
+    baselines::GdsOptions with;
+    baselines::GdsOptions without;
+    without.reorder_coordinates = false;
+    const auto a = baselines::gds_self_join(points, eps, with);
+    const auto b = baselines::gds_self_join(points, eps, without);
+    std::printf("%-12s %6d %22.1f %22.1f %14.2f\n", "SkewedSynth", 128,
+                a.stats.dims_processed / static_cast<double>(a.stats.candidates),
+                b.stats.dims_processed / static_cast<double>(b.stats.candidates),
+                b.timing.kernel_s / a.timing.kernel_s);
+  }
+
+  bench::note("reordering should reduce dims/candidate (earlier aborts) and "
+              "thus the modeled kernel time; the effect is strongest when "
+              "coordinate variances are skewed. FaSTED computes all dims of "
+              "all pairs regardless — its win comes from throughput, not "
+              "work avoidance.");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation beyond the paper: tile-geometry sweep and a cross-GPU what-if.
+//
+// Table 2 fixes the 128x128x64 block tile / 64x64x16 warp tile; this bench
+// sweeps alternative geometries (same 4-warp blocks) to show why the paper's
+// choice wins — smaller tiles starve Box #1's reuse requirements, bigger
+// ones blow the two-block shared-memory budget — and runs the paper
+// configuration on an H100-class device spec, where the higher tensor-core
+// peak re-tightens the same reuse constraints.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/check.hpp"
+#include "core/perf_model.hpp"
+
+using namespace fasted;
+
+namespace {
+
+struct Shape {
+  const char* name;
+  int bm, bn, bk, wm, wn;
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation — tile geometry & device generality",
+                "extends Table 2 / Sec. 3 (Synth |D|=1e5, d=4096)");
+
+  const Shape shapes[] = {
+      {"paper 128x128x64 / 64x64", 128, 128, 64, 64, 64},
+      {"small  64x64x64 / 32x32", 64, 64, 64, 32, 32},
+      {"narrow 128x64x64 / 64x32", 128, 64, 64, 64, 32},
+      {"tall   64x128x64 / 32x64", 64, 128, 64, 32, 64},
+      {"huge  256x256x64 / 128x128", 256, 256, 64, 128, 128},
+  };
+
+  std::printf("%-30s %14s %12s %14s\n", "Geometry", "TFLOPS", "TC busy %",
+              "DRAM GB");
+  for (const auto& s : shapes) {
+    FastedConfig cfg = FastedConfig::paper_defaults();
+    cfg.block_tile_m = s.bm;
+    cfg.block_tile_n = s.bn;
+    cfg.block_tile_k = s.bk;
+    cfg.warp_tile_m = s.wm;
+    cfg.warp_tile_n = s.wn;
+    try {
+      cfg.validate();
+    } catch (const CheckError&) {
+      std::printf("%-30s %14s\n", s.name,
+                  "exceeds smem with 2 resident blocks");
+      continue;
+    }
+    const auto est = estimate_fasted_kernel(cfg, 100000, 4096);
+    std::printf("%-30s %14.1f %12.0f %14.1f\n", s.name, est.derived_tflops,
+                100.0 * est.tc_utilization, est.counters.dram_bytes / 1e9);
+  }
+
+  std::printf("\n--- device generality (paper geometry) ---\n");
+  std::printf("%-30s %14s %10s %12s\n", "Device", "TFLOPS", "clock",
+              "of peak %");
+  for (const auto& [name, spec] :
+       {std::pair<const char*, sim::DeviceSpec>{"A100 PCIe 250W",
+                                                sim::DeviceSpec::a100_pcie()},
+        {"A100 SXM 400W", sim::DeviceSpec::a100_sxm()},
+        {"H100 SXM 700W", sim::DeviceSpec::h100_sxm()}}) {
+    FastedConfig cfg = FastedConfig::paper_defaults();
+    cfg.device = spec;
+    const auto est = estimate_fasted_kernel(cfg, 100000, 4096);
+    std::printf("%-30s %14.1f %9.2fG %12.0f\n", name, est.derived_tflops,
+                est.clock_ghz,
+                100.0 * est.derived_tflops / spec.device_fp16_tflops());
+  }
+  bench::note("H100: 4x the FP16-32 peak but only ~2.2x the DRAM bandwidth "
+              "and a deeper power budget — the same Box #1 reuse analysis "
+              "applies, with the smem-port and issue ceilings binding "
+              "sooner relative to peak.");
+  return 0;
+}

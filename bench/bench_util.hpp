@@ -1,0 +1,32 @@
+// Shared helpers for the experiment harnesses: fixed-width table printing
+// and paper-vs-measured row formatting.  Each bench binary regenerates one
+// table or figure from the paper and prints the paper's reported values
+// next to the reproduction's.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace fasted::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+// Ratio formatted as "paper=X measured=Y (Z%)".
+inline void paper_vs_measured(const char* label, double paper,
+                              double measured) {
+  const double pct = paper != 0 ? 100.0 * (measured - paper) / paper : 0.0;
+  std::printf("  %-38s paper=%10.4g   measured=%10.4g   (%+5.1f%%)\n", label,
+              paper, measured, pct);
+}
+
+}  // namespace fasted::bench

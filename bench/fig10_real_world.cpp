@@ -1,0 +1,122 @@
+// Figure 10: end-to-end response times of FaSTED vs the index-supported
+// SOTA (MiSTIC, GDS-Join, TED-Join-Index) on the four real-world datasets
+// at selectivities S in {64, 128, 256}.
+//
+// This harness runs on the scaled surrogates (DESIGN.md Sec. 6): epsilon is
+// re-calibrated per dataset to the paper's selectivity targets, each
+// algorithm computes the real result set functionally, and response times
+// come from the shared A100 model.  Absolute numbers differ from the paper
+// (|D| is scaled down ~1000x); the comparison *shape* — FaSTED fastest
+// everywhere, speedup growing with selectivity, TED-Join-Index slowest and
+// OOM for d >= 512 — is the reproduction target.
+
+#include <cstdio>
+
+#include "baselines/gds_join.hpp"
+#include "baselines/mistic_join.hpp"
+#include "baselines/ted_join.hpp"
+#include "bench_util.hpp"
+#include "core/fasted.hpp"
+#include "data/calibrate.hpp"
+#include "data/registry.hpp"
+
+using namespace fasted;
+
+namespace {
+
+// Paper Fig. 10 speedups of FaSTED over (MiSTIC, GDS-Join, TED-Join-Index)
+// at S = {64, 128, 256}; -1 where the paper has no bar (OOM / not shown).
+struct PaperSpeedups {
+  double mistic[3];
+  double gds[3];
+  double ted[3];
+};
+constexpr PaperSpeedups kPaper[4] = {
+    {{2.5, 2.8, 3.2}, {3.9, 4.8, 6.0}, {9.5, 11, 14}},      // Sift10M
+    {{2.5, 3.7, 5.3}, {2.5, 3.1, 3.9}, {33, 41, 51}},       // Tiny5M
+    {{33, 56, 49}, {16, 30, 24}, {-1, -1, -1}},             // Cifar60K
+    {{14, 18, 24}, {18, 23, 28}, {-1, -1, -1}},             // Gist1M
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 10 — real-world comparison vs SOTA",
+                "Curless & Gowanlock, ICPP'25, Fig. 10 (scaled surrogates)");
+
+  const auto& datasets = data::real_world_datasets();
+  FastedEngine fasted;
+
+  std::printf("Table 4 (surrogate scale):\n");
+  std::printf("%-10s %12s %12s %6s\n", "Dataset", "|D| paper", "|D| ours", "d");
+  for (const auto& info : datasets) {
+    std::printf("%-10s %12zu %12zu %6zu\n", info.name.c_str(), info.paper_n,
+                info.surrogate_n, info.d);
+  }
+
+  for (std::size_t ds = 0; ds < datasets.size(); ++ds) {
+    const auto& info = datasets[ds];
+    const auto points = data::make_surrogate(info, 42);
+    std::printf("\n--- %s (d=%zu, |D|=%zu surrogate) ---\n",
+                info.name.c_str(), info.d, info.surrogate_n);
+    std::printf("%-6s %-9s %12s %12s %12s %16s %26s %22s\n", "S", "eps",
+                "FaSTED s", "MiSTIC s", "GDS-Join s", "TED-Join-Index s",
+                "speedups (MiS/GDS/TED)", "compute-only (MiS/GDS)");
+
+    for (int level = 0; level < 3; ++level) {
+      const double target = data::kSelectivityLevels[level];
+      const auto cal = data::calibrate_epsilon(points, target);
+
+      const auto fa = fasted.self_join(points, cal.eps);
+      const auto gds = baselines::gds_self_join(points, cal.eps);
+      baselines::MisticOptions mo;
+      mo.index.candidates_per_level = 12;  // scaled-down incremental search
+      const auto mis = baselines::mistic_self_join(points, cal.eps, mo);
+      baselines::TedOptions topt;
+      topt.mode = baselines::TedMode::kIndex;
+      const auto ted = baselines::ted_self_join(points, cal.eps, topt);
+
+      const double fa_t = fa.timing.total_s();
+      char tedbuf[32];
+      if (ted.out_of_shared_memory) {
+        std::snprintf(tedbuf, sizeof tedbuf, "OOM");
+      } else {
+        std::snprintf(tedbuf, sizeof tedbuf, "%.4f", ted.timing.total_s());
+      }
+      std::printf("%-6.0f %-9.4g %12.4f %12.4f %12.4f %16s ", target, cal.eps,
+                  fa_t, mis.timing.total_s(), gds.timing.total_s(), tedbuf);
+      std::printf("%6.1fx/%5.1fx/", mis.timing.total_s() / fa_t,
+                  gds.timing.total_s() / fa_t);
+      if (ted.out_of_shared_memory) {
+        std::printf("  OOM");
+      } else {
+        std::printf("%5.1fx", ted.timing.total_s() / fa_t);
+      }
+      std::printf("   paper: %.1f/%.1f/", kPaper[ds].mistic[level],
+                  kPaper[ds].gds[level]);
+      if (kPaper[ds].ted[level] < 0) {
+        std::printf("OOM");
+      } else {
+        std::printf("%.1f", kPaper[ds].ted[level]);
+      }
+      // Compute-only speedup: kernel + index build, excluding the result
+      // transfer/store legs that are identical across algorithms and
+      // dominate at surrogate scale (at paper scale kernels dominate, and
+      // this ratio is what grows with selectivity — Sec. 4.5 obs. 1).
+      const double fa_c = fa.perf.kernel_seconds + fa.timing.precompute_s;
+      std::printf("   %6.1fx/%5.1fx\n",
+                  (mis.timing.kernel_s + mis.timing.index_build_s) / fa_c,
+                  (gds.timing.kernel_s + gds.timing.index_build_s) / fa_c);
+    }
+  }
+
+  bench::note(
+      "shape targets: FaSTED < all baselines everywhere; TED-Join-Index "
+      "slowest and OOM for Cifar60K/Gist1M (d >= 512); the *compute-only* "
+      "speedup grows with S (Sec. 4.5 obs. 1). End-to-end speedups shrink "
+      "with S at surrogate scale because the result-transfer legs — "
+      "identical for all algorithms — dominate at small |D|; at the "
+      "paper's |D| the kernels dominate and the end-to-end ratio shows the "
+      "same growth as our compute-only column.");
+  return 0;
+}

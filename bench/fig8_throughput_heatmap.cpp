@@ -1,0 +1,61 @@
+// Figure 8: FaSTED derived TFLOPS as a function of dataset size |D| (rows)
+// and dimensionality d (columns) on the Synth class.  Paper maximum:
+// 154 TFLOPS, reached from roughly |D|>=46416, d>=2048.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/perf_model.hpp"
+#include "data/registry.hpp"
+
+using namespace fasted;
+
+namespace {
+
+// Paper Fig. 8 cell values (TFLOPS), rows |D| = 1e3..1e6, cols d = 64..4096.
+constexpr int kPaper[10][7] = {
+    {0, 1, 2, 3, 7, 10, 11},           // 1000
+    {2, 4, 8, 12, 20, 23, 28},         // 2154
+    {7, 13, 22, 39, 51, 60, 72},       // 4642
+    {12, 20, 40, 62, 91, 113, 126},    // 10000
+    {13, 25, 46, 76, 117, 139, 148},   // 21544
+    {15, 26, 47, 83, 132, 150, 150},   // 46416
+    {17, 30, 55, 91, 132, 148, 154},   // 100000
+    {18, 31, 57, 94, 133, 148, 154},   // 215443
+    {16, 29, 51, 89, 131, 149, 154},   // 464159
+    {17, 31, 57, 92, 130, 148, 153},   // 1000000
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 8 — TFLOPS heatmap over |D| x d (Synth)",
+                "Curless & Gowanlock, ICPP'25, Fig. 8");
+
+  const auto sizes = data::synth_sizes();
+  const auto dims = data::synth_dimensions();
+  const FastedConfig cfg = FastedConfig::paper_defaults();
+
+  std::printf("model TFLOPS (paper TFLOPS)\n%10s", "|D| \\ d");
+  for (auto d : dims) std::printf("  %11zu", d);
+  std::printf("\n");
+
+  double max_tflops = 0;
+  for (std::size_t r = 0; r < sizes.size(); ++r) {
+    std::printf("%10zu", sizes[r]);
+    for (std::size_t c = 0; c < dims.size(); ++c) {
+      const auto est = estimate_fasted_kernel(cfg, sizes[r], dims[c]);
+      max_tflops = std::max(max_tflops, est.derived_tflops);
+      std::printf("  %5.0f (%3d)", est.derived_tflops, kPaper[r][c]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nmax modeled throughput: %.0f TFLOPS (paper: 154)\n",
+              max_tflops);
+  const auto sat = estimate_fasted_kernel(cfg, 46416, 2048);
+  std::printf("saturation cell |D|=46416, d=2048: %.0f TFLOPS (paper: 150)\n",
+              sat.derived_tflops);
+  return 0;
+}

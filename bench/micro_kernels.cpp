@@ -1,0 +1,94 @@
+// Micro-benchmarks (google-benchmark) of the host-side primitives: FP16
+// conversion, RZ accumulation, the emulated MMA, staging + ldmatrix, and
+// the functional self-join fast path.  These measure the *simulator's* CPU
+// cost, not modeled GPU time — useful when sizing functional experiments.
+
+#include <benchmark/benchmark.h>
+
+#include "common/fp16.hpp"
+#include "common/rounding.hpp"
+#include "core/block_tile.hpp"
+#include "core/fasted.hpp"
+#include "data/generators.hpp"
+#include "sim/tensor_core.hpp"
+
+using namespace fasted;
+
+static void BM_Fp16Encode(benchmark::State& state) {
+  float x = 1.2345f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fp16::encode_rn(x));
+    x += 0.001f;
+  }
+}
+BENCHMARK(BM_Fp16Encode);
+
+static void BM_Fp16Decode(benchmark::State& state) {
+  std::uint16_t bits = 0x3c01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fp16::decode(bits));
+    bits = static_cast<std::uint16_t>(bits + 1);
+  }
+}
+BENCHMARK(BM_Fp16Decode);
+
+static void BM_AddRz(benchmark::State& state) {
+  float acc = 0.0f;
+  float v = 1.00001f;
+  for (auto _ : state) {
+    acc = add_rz(acc, v);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_AddRz);
+
+static void BM_MmaM16N8K16(benchmark::State& state) {
+  Fp16 a[256], b[128];
+  float c[128] = {};
+  for (int i = 0; i < 256; ++i) a[i] = Fp16(0.01f * static_cast<float>(i));
+  for (int i = 0; i < 128; ++i) b[i] = Fp16(0.02f * static_cast<float>(i));
+  for (auto _ : state) {
+    sim::mma_m16n8k16(a, b, c, c);
+    benchmark::DoNotOptimize(c[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_MmaM16N8K16);
+
+static void BM_BlockTileEmulated(benchmark::State& state) {
+  const auto data = to_fp16(data::uniform(256, 128, 1));
+  BlockTileEngine engine(FastedConfig::paper_defaults());
+  for (auto _ : state) {
+    engine.compute(data, 0, 128);
+    benchmark::DoNotOptimize(engine.acc(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128 * 128 * 2);
+}
+BENCHMARK(BM_BlockTileEmulated);
+
+static void BM_SelfJoinFastPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = data::uniform(n, 64, 3);
+  FastedEngine engine;
+  JoinOptions opts;
+  opts.build_result = false;
+  for (auto _ : state) {
+    const auto out = engine.self_join(data, 0.5f, opts);
+    benchmark::DoNotOptimize(out.pair_count);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n * 64);
+}
+BENCHMARK(BM_SelfJoinFastPath)->Arg(256)->Arg(512)->Arg(1024);
+
+static void BM_PerfModel(benchmark::State& state) {
+  const FastedConfig cfg = FastedConfig::paper_defaults();
+  std::size_t d = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_fasted_kernel(cfg, 100000, d));
+    d = d == 4096 ? 64 : d * 2;
+  }
+}
+BENCHMARK(BM_PerfModel);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Table 6: Nsight-Compute-style profiler metrics for the two brute-force
+// tensor-core algorithms (FaSTED FP16-32, TED-Join-Brute FP64) on Synth
+// |D|=1e5 at d in {128, 256, 4096}.
+
+#include <cstdio>
+
+#include "baselines/ted_join.hpp"
+#include "bench_util.hpp"
+#include "core/perf_model.hpp"
+#include "sim/counters.hpp"
+
+using namespace fasted;
+
+namespace {
+
+struct PaperRow {
+  std::size_t d;
+  double dram, smem, conflicts, l2hit, tc16, clock;  // FaSTED columns
+};
+
+// Paper Table 6, FaSTED columns.
+constexpr PaperRow kFastedPaper[] = {
+    {128, 1.98, 6.49, 0.00, 89.8, 10.1, 1.37},
+    {256, 3.54, 10.5, 0.00, 89.6, 17.8, 1.40},
+    {4096, 16.0, 36.1, 0.00, 84.4, 64.0, 1.12},
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Table 6 — profiler metrics (Synth |D|=1e5)",
+                "Curless & Gowanlock, ICPP'25, Table 6");
+  const std::size_t n = 100000;
+
+  std::printf("--- FaSTED (FP16-32) ---\n");
+  std::printf("%-8s | %-22s | %-22s | %-22s | %-22s | %-22s | %-20s\n", "d",
+              "DRAM %", "SMEM %", "Bank conflicts %", "L2 hit %",
+              "TC pipe FP16-32 %", "Clock GHz");
+  for (const auto& row : kFastedPaper) {
+    const auto est =
+        estimate_fasted_kernel(FastedConfig::paper_defaults(), n, row.d);
+    const auto rep =
+        sim::ProfileReport::from_counters(est.counters,
+                                          FastedConfig{}.device);
+    std::printf(
+        "%-8zu | paper %5.2f ours %5.2f | paper %5.1f ours %5.1f | "
+        "paper %5.2f ours %5.2f | paper %5.1f ours %5.1f | "
+        "paper %5.1f ours %5.1f | paper %4.2f ours %4.2f\n",
+        row.d, row.dram, rep.dram_throughput_pct, row.smem,
+        rep.smem_throughput_pct, row.conflicts, rep.bank_conflict_pct,
+        row.l2hit, rep.l2_hit_rate_pct, row.tc16, rep.tc_pipe_fp16_pct,
+        row.clock, rep.clock_ghz);
+  }
+
+  std::printf("\n--- TED-Join-Brute (FP64) ---\n");
+  std::printf("%-8s %-18s %-18s %-18s %-12s\n", "d", "TC pipe FP64 %",
+              "Bank conflicts %", "Derived TFLOPS", "Status");
+  struct TedPaperRow {
+    std::size_t d;
+    double tc64, conflicts;  // paper values (OOM rows are absent)
+  };
+  constexpr TedPaperRow ted_paper[] = {{128, 5.75, 92.3}, {256, 1.99, 75.0}};
+  baselines::TedOptions topt;
+  for (const auto& row : ted_paper) {
+    const auto perf = baselines::ted_estimate_kernel(n, row.d, topt);
+    std::printf(
+        "%-8zu paper %5.2f ours %5.2f   paper %5.1f ours %5.1f   %10.2f   ok\n",
+        row.d, row.tc64, 100.0 * perf.tc_utilization, row.conflicts,
+        perf.bank_conflict_pct, perf.derived_tflops);
+  }
+  const auto oom = baselines::ted_estimate_kernel(n, 4096, topt);
+  std::printf("%-8d %-18s %-18s %-18s %s\n", 4096, "paper OOM", "paper OOM",
+              "-", oom.blocks_per_sm == 0 ? "OOM (reproduced)" : "UNEXPECTED");
+
+  bench::note(
+      "FaSTED DRAM%/L2-hit deviations at low d are expected: the analytic "
+      "reuse model omits result-buffer and norm-vector traffic that Nsight "
+      "counts (see EXPERIMENTS.md).");
+  return 0;
+}

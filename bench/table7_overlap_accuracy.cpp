@@ -1,0 +1,65 @@
+// Table 7: overlap accuracy (Eq. 3) of FaSTED's FP16-32 result sets against
+// the FP64 GDS-Join ground truth, across the real-world surrogates and the
+// three selectivity levels.  Paper floor: 0.99946 (Cifar60K, S=256);
+// Sift10M hits 1.0 (and OOMs at S=256 on the paper's 40 GB GPU).
+
+#include <cstdio>
+
+#include "baselines/gds_join.hpp"
+#include "bench_util.hpp"
+#include "core/fasted.hpp"
+#include "data/calibrate.hpp"
+#include "data/registry.hpp"
+#include "metrics/accuracy.hpp"
+
+using namespace fasted;
+
+namespace {
+
+// Paper Table 7 (-1 = OOM cell).
+constexpr double kPaper[3][4] = {
+    {1.0, 0.99998, 0.99971, 0.99999},
+    {1.0, 0.99997, 0.99955, 0.99998},
+    {-1.0, 0.99996, 0.99946, 0.99997},
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Table 7 — overlap accuracy vs FP64 ground truth",
+                "Curless & Gowanlock, ICPP'25, Table 7 (Eq. 3)");
+
+  const auto& datasets = data::real_world_datasets();
+  FastedEngine fasted;
+
+  std::printf("%-8s", "S");
+  for (const auto& info : datasets) std::printf(" %26s", info.name.c_str());
+  std::printf("\n");
+
+  double min_acc = 1.0;
+  for (int level = 0; level < 3; ++level) {
+    std::printf("%-8.0f", data::kSelectivityLevels[level]);
+    for (std::size_t ds = 0; ds < datasets.size(); ++ds) {
+      const auto points = data::make_surrogate(datasets[ds], 42);
+      const auto cal =
+          data::calibrate_epsilon(points, data::kSelectivityLevels[level]);
+      const auto fa = fasted.self_join(points, cal.eps);
+      baselines::GdsOptions gt;
+      gt.precision = baselines::GdsPrecision::kF64;
+      const auto gd = baselines::gds_self_join(points, cal.eps, gt);
+      const double acc = metrics::overlap_accuracy(fa.result, gd.result);
+      min_acc = std::min(min_acc, acc);
+      if (kPaper[level][ds] < 0) {
+        std::printf("   %8.5f (paper:  OOM)", acc);
+      } else {
+        std::printf("   %8.5f (paper:%.5f)", acc, kPaper[level][ds]);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nminimum accuracy: %.5f (paper minimum: 0.99946)\n", min_acc);
+  bench::note("paper's Sift10M S=256 OOM is a 40 GB result-buffer limit, not "
+              "an accuracy effect; the surrogate fits and is reported.");
+  return 0;
+}

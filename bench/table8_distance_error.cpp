@@ -1,0 +1,60 @@
+// Table 8: distance error (FaSTED minus FP64 ground truth) over pairs in
+// both result sets, at the smallest selectivity S=64, for all real-world
+// surrogates.  Paper: |mean| <= 2.6e-6 (no bias), stddev 9.4e-6..2.4e-4.
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/gds_join.hpp"
+#include "bench_util.hpp"
+#include "core/fasted.hpp"
+#include "data/calibrate.hpp"
+#include "data/registry.hpp"
+#include "metrics/accuracy.hpp"
+
+using namespace fasted;
+
+namespace {
+
+struct PaperErr {
+  double mean, stddev;
+};
+constexpr PaperErr kPaper[4] = {
+    {2.6e-6, 2.4e-4},    // Sift10M (integer-valued coords, larger scale)
+    {-1.5e-7, 9.4e-6},   // Tiny5M
+    {-5.2e-7, 3.4e-5},   // Cifar60K
+    {-1.6e-6, 3.7e-5},   // Gist1M
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Table 8 — distance error vs FP64 ground truth (S=64)",
+                "Curless & Gowanlock, ICPP'25, Table 8");
+
+  const auto& datasets = data::real_world_datasets();
+  FastedEngine fasted;
+
+  std::printf("%-10s %14s %14s %14s %14s %10s\n", "Dataset", "mean",
+              "paper mean", "stddev", "paper std", "pairs");
+  for (std::size_t ds = 0; ds < datasets.size(); ++ds) {
+    const auto points = data::make_surrogate(datasets[ds], 42);
+    const auto cal = data::calibrate_epsilon(points, 64.0);
+    const auto fa = fasted.self_join(points, cal.eps);
+    baselines::GdsOptions gt;
+    gt.precision = baselines::GdsPrecision::kF64;
+    const auto gd = baselines::gds_self_join(points, cal.eps, gt);
+    const auto err = metrics::distance_error(points, fa.result, gd.result);
+    std::printf("%-10s %14.3g %14.3g %14.3g %14.3g %10llu\n",
+                datasets[ds].name.c_str(), err.mean, kPaper[ds].mean,
+                err.stddev, kPaper[ds].stddev,
+                static_cast<unsigned long long>(err.samples));
+  }
+
+  bench::note("claim under test: no measurable bias (|mean| << stddev) and "
+              "errors orders of magnitude below the search radii. The "
+              "Sift-like surrogate uses integer coordinates up to 255, so "
+              "its absolute errors are larger, matching the paper's "
+              "pattern.");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Command-line driver: generate or load a dataset, run any of the four
+// algorithms, and report result statistics plus modeled A100 timings.
+//
+//   fasted_cli --dataset tiny --n 2000 --selectivity 64 --algo fasted
+//   fasted_cli --load points.bin --eps 0.25 --algo gds --save-result r.bin
+//   fasted_cli --dataset uniform --n 5000 --d 64 --eps 0.4 --algo all
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "baselines/gds_join.hpp"
+#include "baselines/mistic_join.hpp"
+#include "baselines/ted_join.hpp"
+#include "core/fasted.hpp"
+#include "core/io.hpp"
+#include "data/calibrate.hpp"
+#include "data/generators.hpp"
+#include "data/registry.hpp"
+
+using namespace fasted;
+
+namespace {
+
+struct Args {
+  std::string dataset = "uniform";  // uniform|sift|tiny|cifar|gist
+  std::string load_path;
+  std::string save_result;
+  std::string algo = "fasted";      // fasted|gds|mistic|ted|all
+  std::size_t n = 2000;
+  std::size_t d = 64;
+  std::uint64_t seed = 42;
+  std::optional<float> eps;
+  double selectivity = 64.0;
+};
+
+void usage() {
+  std::printf(
+      "usage: fasted_cli [options]\n"
+      "  --dataset NAME   uniform|sift|tiny|cifar|gist (default uniform)\n"
+      "  --load FILE      load a matrix saved with io::save_matrix\n"
+      "  --n N            points to generate (default 2000)\n"
+      "  --d D            dims for the uniform generator (default 64)\n"
+      "  --seed S         generator seed (default 42)\n"
+      "  --eps X          search radius; omit to calibrate\n"
+      "  --selectivity S  calibration target when --eps absent (default 64)\n"
+      "  --algo A         fasted|gds|mistic|ted|all (default fasted)\n"
+      "  --save-result F  save the FaSTED result set\n");
+}
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--help" || flag == "-h") return false;
+    if (flag == "--dataset" && (v = next())) {
+      args.dataset = v;
+    } else if (flag == "--load" && (v = next())) {
+      args.load_path = v;
+    } else if (flag == "--save-result" && (v = next())) {
+      args.save_result = v;
+    } else if (flag == "--algo" && (v = next())) {
+      args.algo = v;
+    } else if (flag == "--n" && (v = next())) {
+      args.n = std::stoull(v);
+    } else if (flag == "--d" && (v = next())) {
+      args.d = std::stoull(v);
+    } else if (flag == "--seed" && (v = next())) {
+      args.seed = std::stoull(v);
+    } else if (flag == "--eps" && (v = next())) {
+      args.eps = std::stof(v);
+    } else if (flag == "--selectivity" && (v = next())) {
+      args.selectivity = std::stod(v);
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+MatrixF32 make_data(const Args& args) {
+  if (!args.load_path.empty()) return io::load_matrix(args.load_path);
+  if (args.dataset == "uniform") {
+    return data::uniform(args.n, args.d, args.seed);
+  }
+  if (args.dataset == "sift") return data::sift_like(args.n, args.seed);
+  if (args.dataset == "tiny") return data::tiny_like(args.n, args.seed);
+  if (args.dataset == "cifar") return data::cifar_like(args.n, args.seed);
+  if (args.dataset == "gist") return data::gist_like(args.n, args.seed);
+  std::fprintf(stderr, "unknown dataset %s, using uniform\n",
+               args.dataset.c_str());
+  return data::uniform(args.n, args.d, args.seed);
+}
+
+void report(const char* name, std::uint64_t pairs, double selectivity,
+            double modeled_s, double host_s) {
+  std::printf("%-10s pairs=%-12llu selectivity=%-8.1f modeled A100=%.4f s   "
+              "host=%.3f s\n",
+              name, static_cast<unsigned long long>(pairs), selectivity,
+              modeled_s, host_s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) {
+    usage();
+    return 1;
+  }
+
+  const MatrixF32 points = make_data(args);
+  std::printf("dataset: %zu points x %zu dims\n", points.rows(),
+              points.dims());
+
+  float eps;
+  if (args.eps) {
+    eps = *args.eps;
+  } else {
+    const auto cal = data::calibrate_epsilon(points, args.selectivity);
+    eps = cal.eps;
+    std::printf("calibrated eps=%.5g for selectivity %.0f\n", eps,
+                args.selectivity);
+  }
+
+  const bool all = args.algo == "all";
+  if (all || args.algo == "fasted") {
+    FastedEngine engine;
+    const auto out = engine.self_join(points, eps);
+    report("FaSTED", out.pair_count, out.result.selectivity(),
+           out.timing.total_s(), out.host_seconds);
+    std::printf("           kernel %.1f TFLOPS at %.2f GHz\n",
+                out.perf.derived_tflops, out.perf.clock_ghz);
+    if (!args.save_result.empty()) {
+      io::save_result(out.result, args.save_result);
+      std::printf("result saved to %s\n", args.save_result.c_str());
+    }
+  }
+  if (all || args.algo == "gds") {
+    const auto out = baselines::gds_self_join(points, eps);
+    report("GDS-Join", out.pair_count, out.result.selectivity(),
+           out.timing.total_s(), out.host_seconds);
+  }
+  if (all || args.algo == "mistic") {
+    const auto out = baselines::mistic_self_join(points, eps);
+    report("MiSTIC", out.pair_count, out.result.selectivity(),
+           out.timing.total_s(), out.host_seconds);
+  }
+  if (all || args.algo == "ted") {
+    const auto out = baselines::ted_self_join(points, eps);
+    if (out.out_of_shared_memory) {
+      std::printf("%-10s OOM: d=%zu exceeds the WMMA shared-memory staging\n",
+                  "TED-Join", points.dims());
+    } else {
+      report("TED-Join", out.pair_count, out.result.selectivity(),
+             out.timing.total_s(), out.host_seconds);
+    }
+  }
+  return 0;
+}

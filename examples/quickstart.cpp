@@ -1,0 +1,53 @@
+// Quickstart: run a mixed-precision distance-similarity self-join on a
+// small synthetic dataset and inspect results, accuracy and modeled A100
+// performance.
+//
+//   build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/fasted.hpp"
+#include "data/calibrate.hpp"
+#include "data/generators.hpp"
+
+int main() {
+  using namespace fasted;
+
+  // 1. Make (or load) a row-major FP32 dataset: 2000 points, 64 dims.
+  const MatrixF32 points = data::uniform(2000, 64, /*seed=*/7);
+
+  // 2. Pick a search radius.  Here: calibrate eps so each point finds ~32
+  //    neighbors on average (the paper's "selectivity" knob).
+  const auto cal = data::calibrate_epsilon(points, /*target_selectivity=*/32);
+  std::printf("calibrated eps = %.4f (achieved selectivity ~%.0f)\n", cal.eps,
+              cal.achieved_selectivity);
+
+  // 3. Run FaSTED with the paper's configuration (Table 2).
+  FastedEngine engine;  // FastedConfig::paper_defaults()
+  const JoinOutput out = engine.self_join(points, cal.eps);
+
+  // 4. Use the result: CSR neighbor lists, one row per point.
+  std::printf("pairs found: %llu (selectivity %.1f)\n",
+              static_cast<unsigned long long>(out.pair_count),
+              out.result.selectivity());
+  std::printf("point 0 has %zu neighbors; first few:", out.result.degree(0));
+  const auto n0 = out.result.neighbors_of(0);
+  for (std::size_t i = 0; i < n0.size() && i < 5; ++i) {
+    std::printf(" %u", n0[i]);
+  }
+  std::printf("\n");
+
+  // 5. Modeled A100 performance of this workload.
+  std::printf("\nmodeled A100 (PCIe, 250 W):\n");
+  std::printf("  kernel        %.3f ms at %.1f TFLOPS (clock %.2f GHz)\n",
+              out.perf.kernel_seconds * 1e3, out.perf.derived_tflops,
+              out.perf.clock_ghz);
+  std::printf("  end-to-end    %.3f ms (H2D %.3f + norms %.3f + kernel %.3f "
+              "+ D2H %.3f + host %.3f)\n",
+              out.timing.total_s() * 1e3, out.timing.host_to_device_s * 1e3,
+              out.timing.precompute_s * 1e3, out.timing.kernel_s * 1e3,
+              out.timing.device_to_host_s * 1e3,
+              out.timing.host_store_s * 1e3);
+  std::printf("  host (this machine, functional) %.3f s\n", out.host_seconds);
+  return 0;
+}

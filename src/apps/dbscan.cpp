@@ -1,0 +1,54 @@
+#include "apps/dbscan.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fasted::apps {
+
+DbscanResult dbscan_from_join(const SelfJoinResult& join,
+                              std::size_t min_pts) {
+  const std::size_t n = join.num_points();
+  DbscanResult result;
+  result.labels.assign(n, kNoise);
+
+  std::vector<char> core(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    core[i] = join.degree(i) >= min_pts;
+    if (core[i]) ++result.core_points;
+  }
+
+  // BFS over core points; border points are absorbed but not expanded.
+  std::vector<std::uint32_t> stack;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (!core[seed] || result.labels[seed] != kNoise) continue;
+    const std::int32_t cluster = result.cluster_count++;
+    result.labels[seed] = cluster;
+    stack.assign(1, static_cast<std::uint32_t>(seed));
+    while (!stack.empty()) {
+      const std::uint32_t p = stack.back();
+      stack.pop_back();
+      if (!core[p]) continue;  // border: claimed but not expanded
+      for (std::uint32_t q : join.neighbors_of(p)) {
+        if (result.labels[q] != kNoise) continue;
+        result.labels[q] = cluster;
+        if (core[q]) stack.push_back(q);
+        // Border points keep the first cluster that reaches them.
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.labels[i] == kNoise) ++result.noise_points;
+  }
+  return result;
+}
+
+DbscanResult dbscan(const FastedEngine& engine, const MatrixF32& data,
+                    float eps, std::size_t min_pts) {
+  FASTED_CHECK_MSG(min_pts >= 1, "min_pts must be positive");
+  const JoinOutput join = engine.self_join(data, eps);
+  return dbscan_from_join(join.result, min_pts);
+}
+
+}  // namespace fasted::apps

@@ -1,0 +1,41 @@
+// DBSCAN density-based clustering on top of the FaSTED self-join — the
+// clustering application the paper's introduction motivates (and the use
+// case of Ji & Wang's tensor-core DBSCAN, Sec. 2.4).
+//
+// The expensive step of DBSCAN is exactly the eps-neighborhood computation
+// for every point; FaSTED delivers all neighborhoods in one self-join, and
+// the remaining cluster expansion is a linear-time union-find / BFS over
+// the neighbor lists.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/fasted.hpp"
+
+namespace fasted::apps {
+
+constexpr std::int32_t kNoise = -1;
+
+struct DbscanResult {
+  std::vector<std::int32_t> labels;  // cluster id per point, kNoise for noise
+  std::int32_t cluster_count = 0;
+  std::size_t core_points = 0;
+  std::size_t noise_points = 0;
+};
+
+// Classic DBSCAN semantics: a point is a core point if its eps-ball holds at
+// least `min_pts` points (including itself); clusters are the connected
+// components of core points under eps-reachability; border points join an
+// arbitrary adjacent core cluster; the rest are noise.
+DbscanResult dbscan(const FastedEngine& engine, const MatrixF32& data,
+                    float eps, std::size_t min_pts);
+
+// Same, reusing an existing self-join result (e.g. to sweep min_pts without
+// recomputing distances).
+DbscanResult dbscan_from_join(const SelfJoinResult& join,
+                              std::size_t min_pts);
+
+}  // namespace fasted::apps

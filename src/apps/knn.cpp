@@ -1,0 +1,72 @@
+#include "apps/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "data/calibrate.hpp"
+
+namespace fasted::apps {
+
+KnnResult knn_all(const FastedEngine& engine, const MatrixF32& data,
+                  std::size_t k, const KnnOptions& options) {
+  const std::size_t n = data.rows();
+  FASTED_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < |D|");
+
+  KnnResult result;
+  result.k = k;
+  result.ids.assign(n * k, 0);
+  result.distances.assign(n * k, 0.0f);
+
+  // Quantize + precompute norms once; every adaptive round reuses them.
+  const PreparedDataset prepared(data);
+
+  // Round 1..max: self-join with a growing radius until few points are
+  // short of k neighbors.
+  double target = options.initial_growth * static_cast<double>(k);
+  float eps = data::calibrate_epsilon(data, target).eps;
+  JoinOutput join;
+  std::size_t deficient = n;
+  for (result.rounds = 1; result.rounds <= options.max_rounds;
+       ++result.rounds) {
+    join = engine.self_join(prepared, eps);
+    deficient = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (join.result.degree(i) < k + 1) ++deficient;  // +1 for self
+    }
+    if (deficient <= n / 20) break;
+    eps *= static_cast<float>(options.radius_growth);
+  }
+
+  // Rank candidates per point; brute-force the stragglers.
+  parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::pair<float, std::uint32_t>> ranked;
+    for (std::size_t i = lo; i < hi; ++i) {
+      ranked.clear();
+      if (join.result.degree(i) >= k + 1) {
+        for (std::uint32_t j : join.result.neighbors_of(i)) {
+          if (j == i) continue;
+          ranked.emplace_back(prepared.pair_dist2(i, j), j);
+        }
+      } else {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          ranked.emplace_back(prepared.pair_dist2(i, j),
+                              static_cast<std::uint32_t>(j));
+        }
+      }
+      std::partial_sort(ranked.begin(),
+                        ranked.begin() + static_cast<std::ptrdiff_t>(k),
+                        ranked.end());
+      for (std::size_t r = 0; r < k; ++r) {
+        result.ids[i * k + r] = ranked[r].second;
+        result.distances[i * k + r] =
+            std::sqrt(std::max(0.0f, ranked[r].first));
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace fasted::apps

@@ -1,0 +1,49 @@
+// k-nearest-neighbor search built on the FaSTED self-join — one of the
+// downstream applications motivating the paper (Sec. 1; Samet 2008).
+//
+// Strategy: a range self-join with an adaptive radius.  Start from an eps
+// calibrated so the mean neighborhood holds ~k * growth candidates, then
+// enlarge eps for the points that came up short until every point has at
+// least k neighbors (or the radius covers the data diameter).  Distances
+// are the FP16-32 pipeline distances, so results are exactly what a GPU
+// FaSTED-based kNN would return.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/fasted.hpp"
+
+namespace fasted::apps {
+
+struct KnnResult {
+  // Row-major n x k neighbor ids (self excluded), sorted by distance
+  // ascending, ties by id.
+  std::vector<std::uint32_t> ids;
+  std::vector<float> distances;  // matching FP16-32 pipeline distances
+  std::size_t k = 0;
+
+  std::uint32_t id(std::size_t point, std::size_t rank) const {
+    return ids[point * k + rank];
+  }
+  float distance(std::size_t point, std::size_t rank) const {
+    return distances[point * k + rank];
+  }
+  // Number of join rounds the adaptive radius needed.
+  int rounds = 0;
+};
+
+struct KnnOptions {
+  double initial_growth = 3.0;  // initial selectivity target = growth * k
+  double radius_growth = 1.6;   // eps multiplier between rounds
+  int max_rounds = 8;
+};
+
+// Exact k-NN (w.r.t. the FP16-32 pipeline distance) for every point of the
+// dataset.  k must be < |D|.
+KnnResult knn_all(const FastedEngine& engine, const MatrixF32& data,
+                  std::size_t k, const KnnOptions& options = {});
+
+}  // namespace fasted::apps

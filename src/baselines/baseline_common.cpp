@@ -1,0 +1,97 @@
+#include "baselines/baseline_common.hpp"
+
+#include <algorithm>
+
+namespace fasted::baselines {
+
+namespace {
+constexpr double kEtaBase = 0.35;
+constexpr double kHostStoreRate = 8.0e9;  // bytes/s, host memcpy of results
+}  // namespace
+
+double cuda_core_kernel_seconds(const sim::DeviceSpec& dev,
+                                const CudaCoreStats& stats) {
+  const double flops = 3.0 * stats.dims_processed +
+                       10.0 * static_cast<double>(stats.candidates);
+  const double eta = kEtaBase * std::max(0.05, stats.warp_efficiency);
+  const double peak = dev.device_fp32_cuda_tflops() * 1e12;
+  return flops / (peak * eta) + dev.kernel_launch_overhead_s;
+}
+
+double h2d_seconds(const sim::DeviceSpec& dev, double bytes) {
+  return bytes / (dev.pcie_bandwidth_gbs * 1e9) + dev.kernel_launch_overhead_s;
+}
+
+double d2h_seconds(const sim::DeviceSpec& dev, double bytes) {
+  return bytes / (dev.pcie_bandwidth_gbs * 1e9);
+}
+
+double host_store_seconds(double bytes) { return bytes / kHostStoreRate; }
+
+double warp_balance_sorted(std::vector<std::uint64_t> work) {
+  if (work.empty()) return 1.0;
+  std::sort(work.begin(), work.end(), std::greater<>());
+  double balance_sum = 0;
+  std::size_t warps = 0;
+  for (std::size_t base = 0; base < work.size(); base += 32) {
+    const std::size_t end = std::min(base + 32, work.size());
+    std::uint64_t max_w = 0;
+    std::uint64_t sum_w = 0;
+    for (std::size_t i = base; i < end; ++i) {
+      max_w = std::max(max_w, work[i]);
+      sum_w += work[i];
+    }
+    const double lanes = static_cast<double>(end - base);
+    if (max_w > 0) {
+      balance_sum += (static_cast<double>(sum_w) / lanes) /
+                     static_cast<double>(max_w);
+    } else {
+      balance_sum += 1.0;
+    }
+    ++warps;
+  }
+  return warps ? balance_sum / static_cast<double>(warps) : 1.0;
+}
+
+float dist2_short_circuit_f32(const float* a, const float* b, std::size_t d,
+                              float eps2, std::size_t& dims_used) {
+  float acc = 0.0f;
+  std::size_t k = 0;
+  // Check every 8 dims: per-element checks would defeat vectorization on
+  // the real GPU too (GDS-Join checks in chunks).
+  while (k < d) {
+    const std::size_t stop = std::min(k + 8, d);
+    for (; k < stop; ++k) {
+      const float diff = a[k] - b[k];
+      acc += diff * diff;
+    }
+    if (acc > eps2) {
+      dims_used = k;
+      return acc;
+    }
+  }
+  dims_used = d;
+  return acc;
+}
+
+double dist2_short_circuit_f64(const double* a, const double* b,
+                               std::size_t d, double eps2,
+                               std::size_t& dims_used) {
+  double acc = 0.0;
+  std::size_t k = 0;
+  while (k < d) {
+    const std::size_t stop = std::min(k + 8, d);
+    for (; k < stop; ++k) {
+      const double diff = a[k] - b[k];
+      acc += diff * diff;
+    }
+    if (acc > eps2) {
+      dims_used = k;
+      return acc;
+    }
+  }
+  dims_used = d;
+  return acc;
+}
+
+}  // namespace fasted::baselines

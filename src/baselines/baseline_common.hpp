@@ -1,0 +1,72 @@
+// Shared pieces of the baseline implementations: response-time structure,
+// the CUDA-core kernel timing model, and short-circuited distance kernels.
+//
+// All baselines are *functional* (they compute real result sets on the host)
+// and *modeled* (their GPU response time comes from the same A100 spec the
+// FaSTED model uses, driven by counters measured during the functional run:
+// candidates examined, dimensions processed before short-circuiting, and
+// intra-warp load balance).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "sim/device_spec.hpp"
+
+namespace fasted::baselines {
+
+struct ResponseTime {
+  double index_build_s = 0;
+  double host_to_device_s = 0;
+  double kernel_s = 0;
+  double device_to_host_s = 0;
+  double host_store_s = 0;
+  double total_s() const {
+    return index_build_s + host_to_device_s + kernel_s + device_to_host_s +
+           host_store_s;
+  }
+};
+
+struct CudaCoreStats {
+  std::uint64_t queries = 0;
+  std::uint64_t candidates = 0;       // distance evaluations started
+  double dims_processed = 0;          // dims accumulated before abort
+  double warp_efficiency = 1.0;       // mean/max work within 32-lane warps
+  double mean_candidates_per_query = 0;
+};
+
+// Timing of an index-supported CUDA-core distance kernel.
+//
+//   flops   = 3 * dims_processed  (subtract, multiply, accumulate)
+//   eta     = eta_base * warp_efficiency
+//
+// eta_base = 0.35 reflects the memory-bound nature of gather-style distance
+// kernels on the A100 (they stream candidate points from L2/DRAM);
+// short-circuit divergence and tail imbalance enter through
+// warp_efficiency, which the functional run measures.
+double cuda_core_kernel_seconds(const sim::DeviceSpec& dev,
+                                const CudaCoreStats& stats);
+
+// PCIe and result-materialization legs shared by every algorithm.
+double h2d_seconds(const sim::DeviceSpec& dev, double bytes);
+double d2h_seconds(const sim::DeviceSpec& dev, double bytes);
+double host_store_seconds(double bytes);
+
+// Intra-warp balance of per-query workloads after sorting by descending
+// workload (GDS-Join processes warps largest-first; MiSTIC inherits the
+// better balance the paper credits it with).  Returns mean(work)/max(work)
+// averaged over 32-lane groups.
+double warp_balance_sorted(std::vector<std::uint64_t> work_per_query);
+
+// FP32 short-circuited squared distance: accumulates (a[k]-b[k])^2 until the
+// running sum exceeds eps2 (then returns early).  `dims_used` reports how
+// many dimensions were accumulated.
+float dist2_short_circuit_f32(const float* a, const float* b, std::size_t d,
+                              float eps2, std::size_t& dims_used);
+double dist2_short_circuit_f64(const double* a, const double* b,
+                               std::size_t d, double eps2,
+                               std::size_t& dims_used);
+
+}  // namespace fasted::baselines

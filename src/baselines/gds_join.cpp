@@ -1,0 +1,141 @@
+#include "baselines/gds_join.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "index/grid_index.hpp"
+
+namespace fasted::baselines {
+
+namespace {
+
+// Coordinate permutation by decreasing variance (short-circuit sooner).
+std::vector<std::size_t> variance_order(const MatrixF32& data) {
+  const std::size_t d = data.dims();
+  std::vector<double> mean(d, 0.0), m2(d, 0.0);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const float* p = data.row(i);
+    for (std::size_t k = 0; k < d; ++k) {
+      mean[k] += p[k];
+      m2[k] += static_cast<double>(p[k]) * p[k];
+    }
+  }
+  const auto n = static_cast<double>(data.rows());
+  std::vector<std::size_t> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> var(d);
+  for (std::size_t k = 0; k < d; ++k) {
+    var[k] = m2[k] / n - (mean[k] / n) * (mean[k] / n);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return var[a] > var[b]; });
+  return order;
+}
+
+template <typename T>
+Matrix<T> permuted(const MatrixF32& data,
+                   const std::vector<std::size_t>& order) {
+  Matrix<T> out(data.rows(), data.dims());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const float* src = data.row(i);
+    T* dst = out.row(i);
+    for (std::size_t k = 0; k < data.dims(); ++k) {
+      dst[k] = static_cast<T>(src[order[k]]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GdsOutput gds_self_join(const MatrixF32& data, float eps,
+                        const GdsOptions& options) {
+  FASTED_CHECK_MSG(data.rows() > 0, "empty dataset");
+  Timer timer;
+  const std::size_t n = data.rows();
+  const std::size_t d = data.dims();
+
+  // Index construction (the grid keys off the *original* coordinates;
+  // reordering only changes the distance-loop evaluation order).
+  index::GridIndex grid(data, eps, options.indexed_dims);
+
+  std::vector<std::size_t> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  if (options.reorder_coordinates) order = variance_order(data);
+
+  const bool f64 = options.precision == GdsPrecision::kF64;
+  MatrixF32 data32 = f64 ? MatrixF32{} : permuted<float>(data, order);
+  MatrixF64 data64 = f64 ? permuted<double>(data, order) : MatrixF64{};
+
+  const float eps2_f = eps * eps;
+  const double eps2_d = static_cast<double>(eps) * eps;
+
+  std::vector<std::vector<std::uint32_t>> rows(n);
+  std::vector<std::uint64_t> work(n, 0);
+  std::atomic<std::uint64_t> candidates{0};
+  std::atomic<std::uint64_t> dims_processed{0};
+
+  parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::uint32_t> cand;
+    std::uint64_t local_cand = 0;
+    std::uint64_t local_dims = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      cand.clear();
+      grid.candidates_of(i, cand);
+      auto& row = rows[i];
+      for (std::uint32_t j : cand) {
+        ++local_cand;
+        std::size_t used = 0;
+        bool within;
+        if (f64) {
+          within = dist2_short_circuit_f64(data64.row(i), data64.row(j), d,
+                                           eps2_d, used) <= eps2_d;
+        } else {
+          within = dist2_short_circuit_f32(data32.row(i), data32.row(j), d,
+                                           eps2_f, used) <= eps2_f;
+        }
+        local_dims += used;
+        if (within) row.push_back(j);
+      }
+      std::sort(row.begin(), row.end());
+      work[i] = cand.size();
+    }
+    candidates.fetch_add(local_cand, std::memory_order_relaxed);
+    dims_processed.fetch_add(local_dims, std::memory_order_relaxed);
+  });
+
+  GdsOutput out;
+  out.stats.queries = n;
+  out.stats.candidates = candidates.load();
+  out.stats.dims_processed = static_cast<double>(dims_processed.load());
+  out.stats.mean_candidates_per_query =
+      static_cast<double>(out.stats.candidates) / static_cast<double>(n);
+  out.stats.warp_efficiency = warp_balance_sorted(work);
+  out.result = SelfJoinResult::from_rows(std::move(rows));
+  out.pair_count = out.result.pair_count();
+  out.host_seconds = timer.seconds();
+
+  // Modeled A100 response time.
+  const sim::DeviceSpec& dev = options.device;
+  out.timing.host_to_device_s =
+      h2d_seconds(dev, static_cast<double>(n) * d * (f64 ? 8.0 : 4.0));
+  out.timing.index_build_s =
+      grid.build_flop_estimate() / (dev.device_fp32_cuda_tflops() * 1e12 * 0.1) +
+      2 * dev.kernel_launch_overhead_s;
+  out.timing.kernel_s = cuda_core_kernel_seconds(dev, out.stats) *
+                        (f64 ? 2.0 : 1.0);  // FP64 CUDA rate is half
+  const double result_bytes = static_cast<double>(out.pair_count) * 8.0;
+  const double batches = std::max(
+      1.0, std::ceil(result_bytes / static_cast<double>(options.batch_size)));
+  out.timing.device_to_host_s =
+      d2h_seconds(dev, result_bytes) + batches * dev.kernel_launch_overhead_s;
+  out.timing.host_store_s = host_store_seconds(result_bytes);
+  return out;
+}
+
+}  // namespace fasted::baselines

@@ -1,0 +1,44 @@
+// GDS-Join [Gowanlock & Karsin 2019; Gowanlock, Gallet, Donnelly 2023]:
+// CUDA-core, grid-indexed distance-similarity self-join with
+// short-circuiting.  The paper runs it in FP32 as a performance baseline and
+// in FP64 as the accuracy ground truth.
+//
+// Optimizations implemented per the GDS-Join papers:
+//  * grid index over a dimension prefix, cell width eps;
+//  * coordinate reordering by decreasing variance so distance loops abort
+//    ("short circuit") as early as possible;
+//  * workload sorting so warps have low intra-warp imbalance (enters the
+//    timing model through the measured warp efficiency).
+
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline_common.hpp"
+#include "common/matrix.hpp"
+#include "core/result.hpp"
+
+namespace fasted::baselines {
+
+enum class GdsPrecision { kF32, kF64 };
+
+struct GdsOptions {
+  GdsPrecision precision = GdsPrecision::kF32;
+  int indexed_dims = 0;            // 0 = min(6, d)
+  bool reorder_coordinates = true; // variance-descending short-circuit order
+  std::uint64_t batch_size = 2'000'000'000;  // result batching (paper: 2e9)
+  sim::DeviceSpec device = sim::DeviceSpec::a100_pcie();
+};
+
+struct GdsOutput {
+  SelfJoinResult result;
+  std::uint64_t pair_count = 0;
+  CudaCoreStats stats;
+  ResponseTime timing;
+  double host_seconds = 0;
+};
+
+GdsOutput gds_self_join(const MatrixF32& data, float eps,
+                        const GdsOptions& options = {});
+
+}  // namespace fasted::baselines

@@ -1,0 +1,72 @@
+// TED-Join [Gallet & Gowanlock 2022]: the prior state-of-the-art tensor-core
+// Euclidean-distance algorithm.  FP64 via the WMMA API (m8n8k4 DMMA tiles),
+// in brute-force or grid-index-supported mode.
+//
+// Characteristics reproduced from the paper(s):
+//  * FP64 numerics via the same expanded form (s_i - 2<p_i,p_j> + s_j);
+//  * WMMA's rigid load/store patterns cause heavy shared-memory bank
+//    conflicts (>= 75%, paper Table 6) — throughput declines with d;
+//  * shared memory footprint grows with d: compilation fails for d > 128 at
+//    the default carve-out; the authors' modified build (L1 reconfigured as
+//    shared memory) reaches d <= 384; beyond that it is OOM ("out of shared
+//    memory", Table 6) — reproduced as a structured error;
+//  * index mode prunes with the grid but computes 8x8 point tiles, padding
+//    candidate groups to multiples of 8.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "baselines/baseline_common.hpp"
+#include "common/matrix.hpp"
+#include "core/result.hpp"
+
+namespace fasted::baselines {
+
+enum class TedMode { kBrute, kIndex };
+
+struct TedOptions {
+  TedMode mode = TedMode::kBrute;
+  bool enlarge_shared_memory = true;  // the paper's modification (L1 carve-out)
+  int indexed_dims = 0;               // index mode, 0 = min(6, d)
+  sim::DeviceSpec device = sim::DeviceSpec::a100_pcie();
+};
+
+struct TedPerf {
+  double kernel_seconds = 0;
+  double derived_tflops = 0;
+  double tc_utilization = 0;       // FP64 tensor pipe
+  double bank_conflict_pct = 0;
+  double smem_bytes_per_block = 0;
+  int blocks_per_sm = 0;
+};
+
+struct TedOutput {
+  bool out_of_shared_memory = false;  // d too large for the WMMA staging
+  SelfJoinResult result;
+  std::uint64_t pair_count = 0;
+  std::uint64_t tile_mmas = 0;        // 8x8x4 DMMA count (includes padding)
+  TedPerf perf;
+  ResponseTime timing;
+  double host_seconds = 0;
+};
+
+// Shared-memory footprint of the TED-Join block staging at dimensionality d
+// (bytes).  Derived from the paper's observed limits: works at d=128 with
+// the default 96 KB carve-out, needs the 164 KB carve-out for d in
+// (128, 384], and is OOM beyond.
+std::size_t ted_smem_bytes(std::size_t d);
+
+// Occupancy and model inputs; exposed for tests and for Fig. 9.
+int ted_blocks_per_sm(std::size_t d, const TedOptions& options);
+double ted_utilization(std::size_t d, const TedOptions& options);
+
+TedOutput ted_self_join(const MatrixF32& data, float eps,
+                        const TedOptions& options = {});
+
+// Performance-model-only entry point (Fig. 9 / Table 6 grids).
+TedPerf ted_estimate_kernel(std::size_t n, std::size_t d,
+                            const TedOptions& options);
+
+}  // namespace fasted::baselines

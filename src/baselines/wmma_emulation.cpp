@@ -1,0 +1,59 @@
+#include "baselines/wmma_emulation.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace fasted::baselines {
+
+WmmaStagedTile::WmmaStagedTile(const MatrixF64& data, std::size_t first_point,
+                               int k_depth)
+    : k_depth_(k_depth),
+      values_(static_cast<std::size_t>(8) * k_depth, 0.0) {
+  FASTED_CHECK(k_depth > 0 && k_depth % 4 == 0);
+  for (int r = 0; r < 8; ++r) {
+    const std::size_t p = first_point + static_cast<std::size_t>(r);
+    if (p >= data.rows()) continue;
+    for (int k = 0; k < k_depth && k < static_cast<int>(data.stride()); ++k) {
+      values_[static_cast<std::size_t>(r) * k_depth_ + k] =
+          data.row(p)[static_cast<std::size_t>(k)];
+    }
+  }
+}
+
+std::vector<double> wmma_load_a_m8n8k4(const WmmaStagedTile& tile, int k4,
+                                       sim::SharedMemoryModel& smem) {
+  FASTED_CHECK(4 * k4 + 4 <= tile.k_depth());
+  std::vector<double> frag(32);
+  // One warp-wide transaction: lane t reads element (row t % 8, k t / 8).
+  std::array<std::uint32_t, 32> addrs{};
+  for (int t = 0; t < 32; ++t) {
+    const int row = t % 8;
+    const int k = 4 * k4 + t / 8;
+    addrs[static_cast<std::size_t>(t)] = tile.address(row, k);
+    frag[static_cast<std::size_t>(row) * 4 + static_cast<std::size_t>(t / 8)] =
+        tile.at(row, k);
+  }
+  smem.access(std::span<const std::uint32_t>(addrs), sizeof(double));
+  return frag;
+}
+
+double wmma_conflict_rate(std::size_t d) {
+  // Synthetic 8-point staging; values are irrelevant to the addressing.
+  MatrixF64 data(8, d);
+  Rng rng(1);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t k = 0; k < d; ++k) {
+      data.at(i, k) = rng.next_double();
+    }
+  }
+  WmmaStagedTile tile(data, 0, static_cast<int>(data.stride()));
+  sim::SharedMemoryModel smem;
+  for (int k4 = 0; k4 * 4 < static_cast<int>(data.stride()); ++k4) {
+    wmma_load_a_m8n8k4(tile, k4, smem);
+  }
+  return smem.stats().conflict_rate();
+}
+
+}  // namespace fasted::baselines

@@ -1,0 +1,58 @@
+// Emulation of the FP64 WMMA (m8n8k4) fragment loads TED-Join is built on.
+//
+// The WMMA API fixes the shared-memory access pattern: fragments load from
+// a row-major staging with a dataset-dimension stride, and the API exposes
+// no control over addressing (paper Sec. 2.3: "does not specify the
+// register layout, and yields less control over memory addressing").  For
+// the FP64 A fragment, lanes t and t+4 read the same k column of adjacent
+// point rows; with a row stride that is a multiple of 128 B (any d
+// divisible by 16 doubles), those lanes collide in the same banks — the
+// structural source of TED-Join's >= 75% conflict rates (paper Table 6).
+//
+// FaSTED's escape is exactly what this module cannot do: swizzle the
+// destination addresses (core/swizzle.hpp).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "sim/shared_memory.hpp"
+
+namespace fasted::baselines {
+
+// Row-major FP64 staging of 8 points x `k_depth` dims (TED-Join stages a
+// tile of points per block; we model one A-side tile).
+class WmmaStagedTile {
+ public:
+  WmmaStagedTile(const MatrixF64& data, std::size_t first_point, int k_depth);
+
+  int k_depth() const { return k_depth_; }
+  double at(int row, int k) const {
+    return values_[static_cast<std::size_t>(row) * k_depth_ + k];
+  }
+  // Byte address of element (row, k) in the staging.
+  std::uint32_t address(int row, int k) const {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::size_t>(row) * k_depth_ + k) * sizeof(double));
+  }
+
+ private:
+  int k_depth_;
+  std::vector<double> values_;
+};
+
+// Loads the 8x4 FP64 A fragment for k-slice `k4` (dims [4*k4, 4*k4+4)),
+// issuing the WMMA access pattern against the bank model: 32 lanes, one
+// double each, lane t -> (row t%8, k 4*k4 + t/8).  Returns the fragment in
+// row-major order.
+std::vector<double> wmma_load_a_m8n8k4(const WmmaStagedTile& tile, int k4,
+                                       sim::SharedMemoryModel& smem);
+
+// Conflict rate (replays / bank cycles) of a full d-deep A-fragment load
+// sequence at dimensionality d — the structural version of Table 6's
+// "Bank Conflicts" row for TED-Join.
+double wmma_conflict_rate(std::size_t d);
+
+}  // namespace fasted::baselines

@@ -1,0 +1,35 @@
+// Lightweight runtime checks.  FASTED_CHECK is always on (these guard API
+// misuse, not hot loops); failures throw so tests can assert on them.
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fasted {
+
+class CheckError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FASTED_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace fasted
+
+#define FASTED_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) ::fasted::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FASTED_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) ::fasted::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,138 @@
+#include "common/fp16.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <ostream>
+
+namespace fasted {
+namespace {
+
+constexpr std::uint32_t kF32SignMask = 0x80000000u;
+constexpr int kF32ExpBias = 127;
+constexpr int kF16ExpBias = 15;
+
+std::uint32_t float_bits(float f) { return std::bit_cast<std::uint32_t>(f); }
+float bits_float(std::uint32_t b) { return std::bit_cast<float>(b); }
+
+}  // namespace
+
+float Fp16::decode(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t frac = h & 0x03ffu;
+
+  if (exp == 0) {
+    if (frac == 0) return bits_float(sign);  // +-0
+    // Subnormal: value = frac * 2^-24.  Normalize into an FP32.
+    int e = -1;
+    std::uint32_t f = frac;
+    while ((f & 0x0400u) == 0) {
+      f <<= 1;
+      ++e;
+    }
+    f &= 0x03ffu;  // drop the implicit bit
+    const std::uint32_t exp32 =
+        static_cast<std::uint32_t>(kF32ExpBias - kF16ExpBias - e);
+    return bits_float(sign | (exp32 << 23) | (f << 13));
+  }
+  if (exp == 0x1fu) {
+    // Inf / NaN.
+    return bits_float(sign | 0x7f800000u | (frac << 13));
+  }
+  const std::uint32_t exp32 = exp + (kF32ExpBias - kF16ExpBias);
+  return bits_float(sign | (exp32 << 23) | (frac << 13));
+}
+
+namespace {
+
+// Shared FP32 -> FP16 conversion skeleton.  `round_up` decides whether the
+// discarded bits round the magnitude up (RN ties-to-even) or never (RZ).
+template <typename RoundPolicy>
+std::uint16_t encode_impl(float value, RoundPolicy round_up) {
+  const std::uint32_t b = float_bits(value);
+  const std::uint16_t sign = static_cast<std::uint16_t>((b & kF32SignMask) >> 16);
+  const std::uint32_t abs = b & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {
+    // Inf or NaN.
+    if (abs > 0x7f800000u) return static_cast<std::uint16_t>(sign | 0x7e00u);  // qNaN
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+
+  const int exp32 = static_cast<int>(abs >> 23) - kF32ExpBias;
+  std::uint32_t frac32 = abs & 0x007fffffu;
+
+  if (exp32 > 15) {
+    // Overflows FP16 range.  RN -> inf; RZ -> max finite.
+    if (round_up(0u, 0u, /*overflow=*/true))
+      return static_cast<std::uint16_t>(sign | 0x7c00u);
+    return static_cast<std::uint16_t>(sign | 0x7bffu);
+  }
+
+  std::uint32_t mant;  // target significand including implicit bit
+  int shift;
+  if (exp32 >= -14) {
+    // Normal range for FP16: keep 10 fraction bits (+ implicit bit).
+    mant = frac32 | 0x00800000u;
+    shift = 13;
+    std::uint32_t kept = mant >> shift;
+    const std::uint32_t dropped = mant & ((1u << shift) - 1);
+    if (round_up(kept, dropped << (32 - shift), false)) ++kept;
+    std::uint32_t exp16 = static_cast<std::uint32_t>(exp32 + kF16ExpBias);
+    if (kept & 0x0800u) {
+      // Rounding carried out of the significand.
+      kept >>= 1;
+      ++exp16;
+      if (exp16 >= 0x1f) return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+    return static_cast<std::uint16_t>(sign | (exp16 << 10) |
+                                      (kept & 0x03ffu));
+  }
+
+  // Subnormal (or underflow to zero): value = significand * 2^(exp32-23),
+  // target unit is 2^-24.
+  shift = 13 + (-14 - exp32);
+  mant = frac32 | 0x00800000u;
+  if (shift >= 32) {
+    // Entire significand is below the rounding point; only stickiness is
+    // left, which can never round a zero `kept` up past RN's halfway mark.
+    return sign;
+  }
+  std::uint32_t kept = mant >> shift;
+  const std::uint32_t rem = mant & ((1u << shift) - 1);
+  std::uint32_t dropped = rem << (32 - shift);
+  if (rem != 0 && dropped == 0) dropped = 1;  // preserve stickiness
+  if (round_up(kept, dropped, false)) ++kept;
+  if (kept > 0x03ffu) {
+    // Rounded up into the smallest normal.
+    return static_cast<std::uint16_t>(sign | (1u << 10));
+  }
+  return static_cast<std::uint16_t>(sign | kept);
+}
+
+}  // namespace
+
+std::uint16_t Fp16::encode_rn(float value) {
+  // RN ties-to-even: round up when dropped > half, or dropped == half and
+  // kept is odd.  `dropped` is left-aligned in 32 bits.
+  return encode_impl(value, [](std::uint32_t kept, std::uint32_t dropped,
+                               bool overflow) {
+    if (overflow) return true;
+    if (dropped > 0x80000000u) return true;
+    if (dropped == 0x80000000u) return (kept & 1u) != 0;
+    return false;
+  });
+}
+
+std::uint16_t Fp16::encode_rz(float value) {
+  return encode_impl(value, [](std::uint32_t, std::uint32_t, bool) {
+    return false;  // never round the magnitude up
+  });
+}
+
+std::ostream& operator<<(std::ostream& os, Fp16 h) {
+  return os << h.to_float();
+}
+
+}  // namespace fasted

@@ -1,0 +1,85 @@
+// IEEE 754 binary16 ("half", FP16) implemented in software.
+//
+// FaSTED stores point coordinates in FP16 and multiplies them on tensor
+// cores; the accumulator is FP32.  This type provides bit-exact storage and
+// the two conversion roundings that matter for the reproduction:
+//   * round-to-nearest-even (RN) — how host code converts FP32 -> FP16 when
+//     preparing the dataset, and
+//   * round-toward-zero (RZ) — available for experiments on conversion
+//     sensitivity (the paper's future-work scaling study).
+//
+// A product of two binary16 values is exactly representable in binary32
+// (11-bit significands -> <= 22 significant bits, exponent range fits), so
+// `mul_exact` returns a float with no rounding at all.  This is the property
+// the simulated tensor core relies on.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace fasted {
+
+class Fp16 {
+ public:
+  constexpr Fp16() = default;
+
+  // Converts with round-to-nearest-even (the default IEEE conversion).
+  explicit Fp16(float value) : bits_(encode_rn(value)) {}
+
+  static constexpr Fp16 from_bits(std::uint16_t bits) {
+    Fp16 h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  // FP32 -> FP16 with round-toward-zero (truncation).
+  static Fp16 from_float_rz(float value) { return from_bits(encode_rz(value)); }
+
+  constexpr std::uint16_t bits() const { return bits_; }
+
+  float to_float() const { return decode(bits_); }
+  explicit operator float() const { return to_float(); }
+
+  // Exact product of two FP16 values, returned as FP32 (no rounding occurs).
+  static float mul_exact(Fp16 a, Fp16 b) { return a.to_float() * b.to_float(); }
+
+  bool is_nan() const {
+    return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x03ffu) != 0;
+  }
+  bool is_inf() const { return (bits_ & 0x7fffu) == 0x7c00u; }
+  bool is_zero() const { return (bits_ & 0x7fffu) == 0; }
+  bool signbit() const { return (bits_ & 0x8000u) != 0; }
+
+  // Total equality on bits except that +0 == -0 and NaN != NaN,
+  // matching IEEE semantics.
+  friend bool operator==(Fp16 a, Fp16 b) {
+    if (a.is_nan() || b.is_nan()) return false;
+    if (a.is_zero() && b.is_zero()) return true;
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(Fp16 a, Fp16 b) { return !(a == b); }
+  friend bool operator<(Fp16 a, Fp16 b) { return a.to_float() < b.to_float(); }
+
+  static constexpr float max_value() { return 65504.0f; }
+  static constexpr float min_normal() { return 6.103515625e-05f; }  // 2^-14
+  static constexpr float min_subnormal() { return 5.9604644775390625e-08f; }  // 2^-24
+
+  // Decode/encode are exposed for tests and for the vectorized fast paths
+  // that keep raw uint16_t arrays.
+  static float decode(std::uint16_t bits);
+  static std::uint16_t encode_rn(float value);
+  static std::uint16_t encode_rz(float value);
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Fp16 h);
+
+// Round-trips a float through FP16 (RN) — the quantization the dataset
+// conversion applies before any tensor-core work.
+inline float quantize_fp16(float value) { return Fp16(value).to_float(); }
+
+}  // namespace fasted

@@ -1,0 +1,35 @@
+#include "common/matrix.hpp"
+
+namespace fasted {
+
+MatrixF16 to_fp16(const MatrixF32& m) {
+  MatrixF16 out(m.rows(), m.dims());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* src = m.row(i);
+    Fp16* dst = out.row(i);
+    for (std::size_t k = 0; k < m.dims(); ++k) dst[k] = Fp16(src[k]);
+  }
+  return out;
+}
+
+MatrixF32 to_fp32(const MatrixF16& m) {
+  MatrixF32 out(m.rows(), m.dims());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const Fp16* src = m.row(i);
+    float* dst = out.row(i);
+    for (std::size_t k = 0; k < m.dims(); ++k) dst[k] = src[k].to_float();
+  }
+  return out;
+}
+
+MatrixF64 to_fp64(const MatrixF32& m) {
+  MatrixF64 out(m.rows(), m.dims());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* src = m.row(i);
+    double* dst = out.row(i);
+    for (std::size_t k = 0; k < m.dims(); ++k) dst[k] = src[k];
+  }
+  return out;
+}
+
+}  // namespace fasted

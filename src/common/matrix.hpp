@@ -1,0 +1,84 @@
+// Row-major point matrices with 128-byte row alignment.
+//
+// FaSTED stores the dataset "in global memory in row-major order with each
+// point having 128 B alignment" (paper Sec. 3.3.8).  We mirror that: the row
+// stride is the dimensionality rounded up so each row starts on a 128 B
+// boundary, and the padding dimensions are zero (padding with zeros does not
+// change Euclidean distances).
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/fp16.hpp"
+
+namespace fasted {
+
+constexpr std::size_t kRowAlignmentBytes = 128;
+
+// Rounds `dims` up so that dims * sizeof(T) is a multiple of 128 bytes.
+template <typename T>
+constexpr std::size_t padded_dims(std::size_t dims) {
+  const std::size_t per_row = kRowAlignmentBytes / sizeof(T);
+  return (dims + per_row - 1) / per_row * per_row;
+}
+
+// Owning, aligned, row-major matrix.  T is float, double, or Fp16.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t dims)
+      : rows_(rows), dims_(dims), stride_(padded_dims<T>(dims)),
+        data_(rows * stride_, T{}) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t dims() const { return dims_; }
+  std::size_t stride() const { return stride_; }  // in elements
+
+  T* row(std::size_t i) {
+    assert(i < rows_);
+    return data_.data() + i * stride_;
+  }
+  const T* row(std::size_t i) const {
+    assert(i < rows_);
+    return data_.data() + i * stride_;
+  }
+
+  T& at(std::size_t i, std::size_t k) {
+    assert(k < stride_);
+    return row(i)[k];
+  }
+  T at(std::size_t i, std::size_t k) const {
+    assert(k < stride_);
+    return row(i)[k];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::size_t size_bytes() const { return data_.size() * sizeof(T); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t dims_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixF32 = Matrix<float>;
+using MatrixF64 = Matrix<double>;
+using MatrixF16 = Matrix<Fp16>;
+
+// FP32 -> FP16 dataset conversion (round-to-nearest-even), keeping layout.
+MatrixF16 to_fp16(const MatrixF32& m);
+// FP16 -> FP32 (exact).
+MatrixF32 to_fp32(const MatrixF16& m);
+// FP32 -> FP64 (exact) — used to build the FP64 ground-truth inputs.
+MatrixF64 to_fp64(const MatrixF32& m);
+
+}  // namespace fasted

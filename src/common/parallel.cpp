@@ -1,0 +1,108 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+
+namespace fasted {
+
+// A simple fork-join pool: each parallel_for publishes one job, workers grab
+// chunk indices from an atomic counter, and the caller participates too.
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::function<void(std::size_t, std::size_t)> body;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  std::atomic<std::size_t> next_chunk{0};
+  std::size_t pending = 0;    // chunks not yet completed
+  std::uint64_t epoch = 0;    // bumped per job so workers notice new work
+  bool stop = false;
+
+  void run_chunks() {
+    for (;;) {
+      const std::size_t i = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (i >= chunks.size()) return;
+      body(chunks[i].first, chunks[i].second);
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--pending == 0) cv_done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  std::size_t n = threads ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  workers_.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lock(impl_->mutex);
+          impl_->cv_work.wait(lock, [&] {
+            return impl_->stop || impl_->epoch != seen;
+          });
+          if (impl_->stop) return;
+          seen = impl_->epoch;
+        }
+        impl_->run_chunks();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : workers_) w.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t nthreads = size();
+  if (nthreads == 1 || n == 1) {
+    body(begin, end);
+    return;
+  }
+  // Over-decompose 4x for load balance; chunks are grabbed dynamically.
+  const std::size_t nchunks = std::min(n, nthreads * 4);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->body = body;
+    impl_->chunks.clear();
+    const std::size_t step = (n + nchunks - 1) / nchunks;
+    for (std::size_t s = begin; s < end; s += step) {
+      impl_->chunks.emplace_back(s, std::min(s + step, end));
+    }
+    impl_->next_chunk.store(0, std::memory_order_relaxed);
+    impl_->pending = impl_->chunks.size();
+    ++impl_->epoch;
+  }
+  impl_->cv_work.notify_all();
+  impl_->run_chunks();
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->cv_done.wait(lock, [&] { return impl_->pending == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool::global().parallel_for(begin, end, body);
+}
+
+}  // namespace fasted

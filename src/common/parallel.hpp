@@ -1,0 +1,46 @@
+// Minimal blocking parallel-for over a persistent thread pool.
+//
+// The functional kernels (self-joins, fragment emulation) are embarrassingly
+// parallel over tile rows; this utility chunks an index range across a fixed
+// set of worker threads.  On a single-core host it degrades to a serial loop
+// with no thread churn.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace fasted {
+
+class ThreadPool {
+ public:
+  // `threads == 0` picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }
+
+  // Runs body(begin..end) partitioned into `size()` contiguous chunks and
+  // blocks until all chunks finish.  body receives [chunk_begin, chunk_end).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  // Global pool shared by the library (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::vector<std::thread> workers_;
+};
+
+// Convenience wrapper over the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace fasted

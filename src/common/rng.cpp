@@ -1,0 +1,25 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace fasted {
+
+double Rng::normal() {
+  if (have_cached_) {
+    have_cached_ = false;
+    return cached_;
+  }
+  // Box-Muller on (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_ = r * std::sin(theta);
+  have_cached_ = true;
+  return r * std::cos(theta);
+}
+
+}  // namespace fasted

@@ -1,0 +1,78 @@
+// Deterministic, seedable random number generation (splitmix64 +
+// xoshiro256++).  Every workload generator in the repository derives its
+// stream from an explicit seed so experiments are exactly reproducible.
+
+#pragma once
+
+#include <cstdint>
+
+namespace fasted {
+
+// splitmix64: used to expand a single seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedfa57edull) {
+    std::uint64_t sm = seed;
+    for (auto& si : s_) si = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+  float next_float() { return static_cast<float>(next_double()); }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free approximation is fine here;
+    // the bias is < 2^-53 for the n we use, but use rejection for exactness.
+    if (n == 0) return 0;
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  // Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  // Forks a statistically independent stream (for per-thread generation).
+  Rng fork() { return Rng(next_u64() ^ 0xda3e39cb94b95bdbull); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+
+  friend class RngTestPeer;
+};
+
+}  // namespace fasted

@@ -1,0 +1,24 @@
+// Wall-clock timer for host-side measurements (index construction, CPU
+// functional kernels).  Simulated GPU time comes from sim::PerfModel, not
+// from this timer.
+
+#pragma once
+
+#include <chrono>
+
+namespace fasted {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fasted

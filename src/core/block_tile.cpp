@@ -1,0 +1,67 @@
+#include "core/block_tile.hpp"
+
+#include "common/check.hpp"
+
+namespace fasted {
+
+BlockTileEngine::BlockTileEngine(const FastedConfig& config)
+    : config_(config) {
+  config_.validate();
+  const int wm = config_.warp_tile_m;
+  const int wn = config_.warp_tile_n;
+  const int rows = config_.block_tile_m / wm;
+  const int cols = config_.block_tile_n / wn;
+  warps_.reserve(static_cast<std::size_t>(rows * cols));
+  for (int i = 0; i < rows * cols; ++i) warps_.emplace_back(wm, wn);
+}
+
+void BlockTileEngine::compute(const MatrixF16& data, std::size_t row0,
+                              std::size_t col0) {
+  compute(data, data, row0, col0);
+}
+
+void BlockTileEngine::compute(const MatrixF16& p_data, const MatrixF16& q_data,
+                              std::size_t row0, std::size_t col0) {
+  FASTED_CHECK_MSG(p_data.stride() == q_data.stride(),
+                   "P and Q dimensionality must match");
+  for (auto& w : warps_) w.reset();
+
+  sim::SharedMemoryModel smem;
+  const int k_depth = config_.block_tile_k;
+  const auto padded = static_cast<int>(p_data.stride());
+  const int k_iters = (padded + k_depth - 1) / k_depth;
+
+  const int warp_cols = config_.block_tile_n / config_.warp_tile_n;
+
+  for (int it = 0; it < k_iters; ++it) {
+    StagedBlockFragment pbf(config_.block_tile_m, k_depth, config_.opt_swizzle,
+                            config_.opt_smem_alignment);
+    StagedBlockFragment qbf(config_.block_tile_n, k_depth, config_.opt_swizzle,
+                            config_.opt_smem_alignment);
+    pbf.stage(p_data, row0, it * k_depth, smem);
+    qbf.stage(q_data, col0, it * k_depth, smem);
+    stats_.async_copy_bytes += static_cast<std::uint64_t>(
+        (config_.block_tile_m + config_.block_tile_n) * k_depth * 2);
+
+    for (std::size_t w = 0; w < warps_.size(); ++w) {
+      const int wr = static_cast<int>(w) / warp_cols;
+      const int wc = static_cast<int>(w) % warp_cols;
+      warps_[w].accumulate(pbf, qbf, wr * config_.warp_tile_m,
+                           wc * config_.warp_tile_n, smem, &stats_.mma_count,
+                           &stats_.ldmatrix_count);
+    }
+  }
+  stats_.smem.merge(smem.stats());
+}
+
+float BlockTileEngine::acc(int r, int c) const {
+  const int wm = config_.warp_tile_m;
+  const int wn = config_.warp_tile_n;
+  const int warp_cols = config_.block_tile_n / wn;
+  const int wr = r / wm;
+  const int wc = c / wn;
+  const auto& warp = warps_[static_cast<std::size_t>(wr * warp_cols + wc)];
+  return warp.acc(r % wm, c % wn);
+}
+
+}  // namespace fasted

@@ -1,0 +1,58 @@
+// Block tile (paper Sec. 3.3.2, Fig. 3): a 128x128 patch of the distance
+// matrix computed by one thread block of 4 warps.  Per 64-dim k-iteration
+// the block stages two block fragments (P_bf, Q_bf, 16 KB each) into shared
+// memory and each warp accumulates its 64x64 quadrant.
+//
+// This is the *emulated* data path: it runs the real staging (with swizzle
+// and bank accounting) and the real fragment MMA math.  It exists to
+// validate the production fast path bit-for-bit and to let tests observe
+// structural properties (conflict-freedom, transaction counts).  The fast
+// path (core/fasted.cpp) computes identical numerics directly.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/config.hpp"
+#include "core/warp_tile.hpp"
+#include "sim/shared_memory.hpp"
+
+namespace fasted {
+
+struct BlockTileStats {
+  std::uint64_t mma_count = 0;
+  std::uint64_t ldmatrix_count = 0;
+  std::uint64_t async_copy_bytes = 0;
+  sim::SmemStats smem;  // staging stores + ldmatrix loads combined
+};
+
+class BlockTileEngine {
+ public:
+  explicit BlockTileEngine(const FastedConfig& config);
+
+  // Computes the inner-product accumulators for the block tile whose P rows
+  // start at `row0` and Q rows at `col0`, over all (padded) dims of `data`.
+  // Result is block_tile_m x block_tile_n FP32 inner products
+  // (sum_k p_i,k * q_j,k with tensor-core numerics).
+  void compute(const MatrixF16& data, std::size_t row0, std::size_t col0);
+
+  // General A x B form: P rows come from `p_data`, Q rows from `q_data`
+  // (both must share the padded dimensionality).
+  void compute(const MatrixF16& p_data, const MatrixF16& q_data,
+               std::size_t row0, std::size_t col0);
+
+  float acc(int r, int c) const;
+  const BlockTileStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = BlockTileStats{}; }
+
+  const FastedConfig& config() const { return config_; }
+
+ private:
+  FastedConfig config_;
+  std::vector<WarpTile> warps_;
+  BlockTileStats stats_;
+};
+
+}  // namespace fasted

@@ -1,0 +1,450 @@
+#include "core/fasted.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "common/rounding.hpp"
+#include "common/timer.hpp"
+#include "core/block_tile.hpp"
+#include "core/sums.hpp"
+#include "core/work_queue.hpp"
+
+namespace fasted {
+
+float fasted_pair_dist2(const float* pi, const float* pj, std::size_t dims,
+                        float si, float sj) {
+  float acc = 0.0f;
+  for (std::size_t k = 0; k < dims; ++k) {
+    // pi/pj hold FP16-exact values, so the float product is exact; the
+    // accumulation rounds toward zero like the tensor core.
+    acc = add_rz(acc, pi[k] * pj[k]);
+  }
+  return epilogue_dist2(acc, si, sj);
+}
+
+FastedEngine::FastedEngine(FastedConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+PreparedDataset::PreparedDataset(const MatrixF32& data)
+    : fp16_(to_fp16(data)),
+      dequant_(to_fp32(fp16_)),
+      norms_(squared_norms_fp16_rz(fp16_)) {}
+
+float PreparedDataset::pair_dist2(std::size_t i, std::size_t j) const {
+  return fasted_pair_dist2(dequant_.row(i), dequant_.row(j),
+                           dequant_.stride(), norms_[i], norms_[j]);
+}
+
+namespace {
+
+// Fast functional path: upper triangle (+ diagonal) with mirroring; the RZ
+// accumulation is symmetric in (i, j), so dist(i,j) == dist(j,i) exactly.
+JoinOutput run_fast(const MatrixF32& quantized, const std::vector<float>& s,
+                    float eps2, bool build_result) {
+  const std::size_t n = quantized.rows();
+  const std::size_t dims = quantized.stride();
+
+  std::vector<std::vector<std::uint32_t>> above(n);  // j > i neighbors
+  std::vector<std::uint64_t> below_count(n, 0);      // mirrored degree
+  std::atomic<std::uint64_t> pairs{0};
+
+  parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    std::uint64_t local_pairs = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* pi = quantized.row(i);
+      auto& row = above[i];
+      const auto emit = [&](std::size_t j, float d2) {
+        if (d2 <= eps2) {
+          ++local_pairs;
+          if (build_result) row.push_back(static_cast<std::uint32_t>(j));
+        }
+      };
+      // Two independent RZ chains per iteration: the sequential
+      // add_rz dependency is the bottleneck, and pairs are independent.
+      std::size_t j = i + 1;
+      for (; j + 1 < n; j += 2) {
+        const float* pj0 = quantized.row(j);
+        const float* pj1 = quantized.row(j + 1);
+        float acc0 = 0.0f;
+        float acc1 = 0.0f;
+        for (std::size_t k = 0; k < dims; ++k) {
+          acc0 = add_rz(acc0, pi[k] * pj0[k]);
+          acc1 = add_rz(acc1, pi[k] * pj1[k]);
+        }
+        emit(j, epilogue_dist2(acc0, s[i], s[j]));
+        emit(j + 1, epilogue_dist2(acc1, s[i], s[j + 1]));
+      }
+      for (; j < n; ++j) {
+        emit(j, fasted_pair_dist2(pi, quantized.row(j), dims, s[i], s[j]));
+      }
+      ++local_pairs;  // self pair
+    }
+    pairs.fetch_add(local_pairs, std::memory_order_relaxed);
+  });
+
+  JoinOutput out;
+  out.pair_count = 2 * pairs.load() - n;  // mirrored pairs + n self pairs
+
+  if (build_result) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::uint32_t j : above[i]) ++below_count[j];
+    }
+    std::vector<std::vector<std::uint32_t>> rows(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rows[i].reserve(below_count[i] + above[i].size() + 1);
+    }
+    // Ascending neighbor ids: j < i first, then self, then j > i.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::uint32_t j : above[i]) {
+        rows[j].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      rows[i].push_back(static_cast<std::uint32_t>(i));
+      rows[i].insert(rows[i].end(), above[i].begin(), above[i].end());
+      above[i].clear();
+      above[i].shrink_to_fit();
+    }
+    out.result = SelfJoinResult::from_rows(std::move(rows));
+    FASTED_CHECK(out.result.pair_count() == out.pair_count);
+  }
+  return out;
+}
+
+// Emulated path: drains the block-tile work queue through the full staged
+// data path.  Intended for validation at small scales.
+JoinOutput run_emulated(const FastedConfig& cfg, const MatrixF16& data16,
+                        const std::vector<float>& s, float eps2,
+                        bool build_result) {
+  const std::size_t n = data16.rows();
+  const auto bm = static_cast<std::size_t>(cfg.block_tile_m);
+  const std::size_t tiles_per_side = (n + bm - 1) / bm;
+  WorkQueue queue(cfg.dispatch_policy(), tiles_per_side, cfg.dispatch_square);
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> found;
+  std::mutex found_mutex;
+  std::atomic<std::uint64_t> pairs{0};
+
+  parallel_for(0, queue.size(), [&](std::size_t lo, std::size_t hi) {
+    BlockTileEngine engine(cfg);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> local;
+    std::uint64_t local_pairs = 0;
+    for (std::size_t t = lo; t < hi; ++t) {
+      const auto [tr, tc] = queue.order()[t];
+      const std::size_t r0 = tr * bm;
+      const std::size_t c0 = tc * bm;
+      engine.compute(data16, r0, c0);
+      for (int r = 0; r < cfg.block_tile_m; ++r) {
+        const std::size_t i = r0 + static_cast<std::size_t>(r);
+        if (i >= n) break;
+        for (int c = 0; c < cfg.block_tile_n; ++c) {
+          const std::size_t j = c0 + static_cast<std::size_t>(c);
+          if (j >= n) break;
+          const float d2 = epilogue_dist2(engine.acc(r, c), s[i], s[j]);
+          if (d2 <= eps2) {
+            ++local_pairs;
+            if (build_result) {
+              local.emplace_back(static_cast<std::uint32_t>(i),
+                                 static_cast<std::uint32_t>(j));
+            }
+          }
+        }
+      }
+    }
+    pairs.fetch_add(local_pairs, std::memory_order_relaxed);
+    if (build_result) {
+      std::lock_guard<std::mutex> lock(found_mutex);
+      found.insert(found.end(), local.begin(), local.end());
+    }
+  });
+
+  JoinOutput out;
+  out.pair_count = pairs.load();
+  if (build_result) {
+    std::vector<std::vector<std::uint32_t>> rows(n);
+    std::sort(found.begin(), found.end());
+    for (const auto& [i, j] : found) rows[i].push_back(j);
+    out.result = SelfJoinResult::from_rows(std::move(rows));
+  }
+  return out;
+}
+
+// General A x B join: per-query rows, no symmetry to exploit.
+JoinOutput run_fast_join(const MatrixF32& queries, const MatrixF32& corpus,
+                         const std::vector<float>& sq,
+                         const std::vector<float>& sc, float eps2,
+                         bool build_result) {
+  const std::size_t nq = queries.rows();
+  const std::size_t nc = corpus.rows();
+  const std::size_t dims = queries.stride();
+
+  std::vector<std::vector<std::uint32_t>> rows(nq);
+  std::atomic<std::uint64_t> pairs{0};
+  parallel_for(0, nq, [&](std::size_t lo, std::size_t hi) {
+    std::uint64_t local_pairs = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* pi = queries.row(i);
+      auto& row = rows[i];
+      const auto emit = [&](std::size_t j, float d2) {
+        if (d2 <= eps2) {
+          ++local_pairs;
+          if (build_result) row.push_back(static_cast<std::uint32_t>(j));
+        }
+      };
+      std::size_t j = 0;
+      for (; j + 1 < nc; j += 2) {
+        const float* pj0 = corpus.row(j);
+        const float* pj1 = corpus.row(j + 1);
+        float acc0 = 0.0f;
+        float acc1 = 0.0f;
+        for (std::size_t k = 0; k < dims; ++k) {
+          acc0 = add_rz(acc0, pi[k] * pj0[k]);
+          acc1 = add_rz(acc1, pi[k] * pj1[k]);
+        }
+        emit(j, epilogue_dist2(acc0, sq[i], sc[j]));
+        emit(j + 1, epilogue_dist2(acc1, sq[i], sc[j + 1]));
+      }
+      for (; j < nc; ++j) {
+        emit(j, fasted_pair_dist2(pi, corpus.row(j), dims, sq[i], sc[j]));
+      }
+    }
+    pairs.fetch_add(local_pairs, std::memory_order_relaxed);
+  });
+
+  JoinOutput out;
+  out.pair_count = pairs.load();
+  if (build_result) out.result = SelfJoinResult::from_rows(std::move(rows));
+  return out;
+}
+
+JoinOutput run_emulated_join(const FastedConfig& cfg, const MatrixF16& q16,
+                             const MatrixF16& c16,
+                             const std::vector<float>& sq,
+                             const std::vector<float>& sc, float eps2,
+                             bool build_result) {
+  const std::size_t nq = q16.rows();
+  const std::size_t nc = c16.rows();
+  const auto bm = static_cast<std::size_t>(cfg.block_tile_m);
+  const auto bn = static_cast<std::size_t>(cfg.block_tile_n);
+  const std::size_t tr = (nq + bm - 1) / bm;
+  const std::size_t tc = (nc + bn - 1) / bn;
+
+  std::vector<std::vector<std::uint32_t>> rows(nq);
+  std::mutex rows_mutex;
+  std::atomic<std::uint64_t> pairs{0};
+
+  parallel_for(0, tr * tc, [&](std::size_t lo, std::size_t hi) {
+    BlockTileEngine engine(cfg);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> local;
+    std::uint64_t local_pairs = 0;
+    for (std::size_t t = lo; t < hi; ++t) {
+      const std::size_t r0 = (t / tc) * bm;
+      const std::size_t c0 = (t % tc) * bn;
+      engine.compute(q16, c16, r0, c0);
+      for (int r = 0; r < cfg.block_tile_m; ++r) {
+        const std::size_t i = r0 + static_cast<std::size_t>(r);
+        if (i >= nq) break;
+        for (int c = 0; c < cfg.block_tile_n; ++c) {
+          const std::size_t j = c0 + static_cast<std::size_t>(c);
+          if (j >= nc) break;
+          const float d2 = epilogue_dist2(engine.acc(r, c), sq[i], sc[j]);
+          if (d2 <= eps2) {
+            ++local_pairs;
+            if (build_result) {
+              local.emplace_back(static_cast<std::uint32_t>(i),
+                                 static_cast<std::uint32_t>(j));
+            }
+          }
+        }
+      }
+    }
+    pairs.fetch_add(local_pairs, std::memory_order_relaxed);
+    if (build_result) {
+      std::lock_guard<std::mutex> lock(rows_mutex);
+      for (const auto& [i, j] : local) rows[i].push_back(j);
+    }
+  });
+
+  JoinOutput out;
+  out.pair_count = pairs.load();
+  if (build_result) {
+    for (auto& row : rows) std::sort(row.begin(), row.end());
+    out.result = SelfJoinResult::from_rows(std::move(rows));
+  }
+  return out;
+}
+
+}  // namespace
+
+JoinOutput FastedEngine::join(const MatrixF32& queries,
+                              const MatrixF32& corpus, float eps,
+                              const JoinOptions& options) const {
+  FASTED_CHECK_MSG(queries.rows() > 0 && corpus.rows() > 0, "empty input");
+  FASTED_CHECK_MSG(queries.dims() == corpus.dims(),
+                   "query/corpus dimensionality mismatch");
+  FASTED_CHECK_MSG(eps >= 0, "negative search radius");
+  Timer timer;
+
+  const MatrixF16 q16 = to_fp16(queries);
+  const MatrixF16 c16 = to_fp16(corpus);
+  const std::vector<float> sq = squared_norms_fp16_rz(q16);
+  const std::vector<float> sc = squared_norms_fp16_rz(c16);
+  const float eps2 = eps * eps;
+
+  JoinOutput out;
+  if (options.path == ExecutionPath::kFast) {
+    out = run_fast_join(to_fp32(q16), to_fp32(c16), sq, sc, eps2,
+                        options.build_result);
+  } else {
+    out = run_emulated_join(config_, q16, c16, sq, sc, eps2,
+                            options.build_result);
+  }
+  out.host_seconds = timer.seconds();
+  out.perf = estimate_join(queries.rows(), corpus.rows(), queries.dims());
+  out.timing = model_response_time(queries.rows() + corpus.rows(),
+                                   queries.dims(), out.pair_count);
+  out.timing.kernel_s = out.perf.kernel_seconds;
+  return out;
+}
+
+JoinOutput FastedEngine::self_join(const MatrixF32& data, float eps,
+                                   const JoinOptions& options) const {
+  FASTED_CHECK_MSG(data.rows() > 0, "empty dataset");
+  // Quantize to FP16 (the host->device representation) and precompute the
+  // squared norms with tensor-core rounding.
+  return self_join(PreparedDataset(data), eps, options);
+}
+
+JoinOutput FastedEngine::self_join(const PreparedDataset& prepared, float eps,
+                                   const JoinOptions& options) const {
+  FASTED_CHECK_MSG(prepared.rows() > 0, "empty dataset");
+  FASTED_CHECK_MSG(eps >= 0, "negative search radius");
+  Timer timer;
+  const float eps2 = eps * eps;
+
+  JoinOutput out;
+  if (options.path == ExecutionPath::kFast) {
+    out = run_fast(prepared.values(), prepared.norms(), eps2,
+                   options.build_result);
+  } else {
+    out = run_emulated(config_, prepared.quantized(), prepared.norms(), eps2,
+                       options.build_result);
+  }
+  out.host_seconds = timer.seconds();
+  out.perf = estimate(prepared.rows(), prepared.dims());
+  out.timing =
+      model_response_time(prepared.rows(), prepared.dims(), out.pair_count);
+  return out;
+}
+
+JoinOutput FastedEngine::batched_self_join(const MatrixF32& data, float eps,
+                                           std::size_t batch_rows,
+                                           const JoinOptions& options) const {
+  FASTED_CHECK_MSG(data.rows() > 0, "empty dataset");
+  FASTED_CHECK_MSG(batch_rows > 0, "batch size must be positive");
+  Timer timer;
+  const PreparedDataset prepared(data);
+  const std::size_t n = prepared.rows();
+  const float eps2 = eps * eps;
+
+  JoinOutput out;
+  std::vector<std::vector<std::uint32_t>> rows;
+  if (options.build_result) rows.resize(n);
+
+  double kernel_s = 0;
+  double d2h_s = 0;
+  for (std::size_t q0 = 0; q0 < n; q0 += batch_rows) {
+    const std::size_t q1 = std::min(q0 + batch_rows, n);
+    // Functional strip: queries [q0, q1) against the full corpus.
+    std::atomic<std::uint64_t> pairs{0};
+    std::vector<std::vector<std::uint32_t>> strip(q1 - q0);
+    parallel_for(q0, q1, [&](std::size_t lo, std::size_t hi) {
+      std::uint64_t local = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        auto& row = strip[i - q0];
+        for (std::size_t j = 0; j < n; ++j) {
+          if (prepared.pair_dist2(i, j) <= eps2) {
+            ++local;
+            if (options.build_result) {
+              row.push_back(static_cast<std::uint32_t>(j));
+            }
+          }
+        }
+      }
+      pairs.fetch_add(local, std::memory_order_relaxed);
+    });
+    out.pair_count += pairs.load();
+    if (options.build_result) {
+      for (std::size_t i = q0; i < q1; ++i) {
+        rows[i] = std::move(strip[i - q0]);
+      }
+    }
+    // Modeled per-batch legs: one rectangular kernel + its result transfer.
+    const auto perf =
+        estimate_fasted_join_kernel(config_, q1 - q0, n, prepared.dims());
+    kernel_s += perf.kernel_seconds;
+    d2h_s += static_cast<double>(pairs.load()) * 8.0 /
+                 (config_.device.pcie_bandwidth_gbs * 1e9) +
+             config_.device.kernel_launch_overhead_s;
+  }
+
+  if (options.build_result) {
+    out.result = SelfJoinResult::from_rows(std::move(rows));
+  }
+  out.host_seconds = timer.seconds();
+  out.perf = estimate(n, prepared.dims());
+  out.timing = model_response_time(n, prepared.dims(), out.pair_count);
+  out.timing.kernel_s = kernel_s;
+  out.timing.device_to_host_s = d2h_s;
+  return out;
+}
+
+PerfEstimate FastedEngine::estimate(std::size_t n, std::size_t d) const {
+  return estimate_fasted_kernel(config_, n, d);
+}
+
+PerfEstimate FastedEngine::estimate_join(std::size_t queries,
+                                         std::size_t corpus,
+                                         std::size_t d) const {
+  return estimate_fasted_join_kernel(config_, queries, corpus, d);
+}
+
+FastedEngine::DeviceMemoryReport FastedEngine::device_memory_report(
+    std::size_t n, std::size_t d, std::uint64_t result_pairs) const {
+  DeviceMemoryReport rep;
+  const double data_bytes =
+      static_cast<double>(n) * static_cast<double>(padded_dims<Fp16>(d)) * 2;
+  const double norm_bytes = static_cast<double>(n) * 4;
+  // Result buffer: pair ids (2 x u32) plus the FP32 distance.
+  const double result_bytes = static_cast<double>(result_pairs) * 12.0;
+  rep.bytes_required = data_bytes + norm_bytes + result_bytes;
+  rep.bytes_usable =
+      config_.device.global_memory_bytes * config_.device.usable_memory_fraction;
+  rep.fits = rep.bytes_required <= rep.bytes_usable;
+  return rep;
+}
+
+TimingBreakdown FastedEngine::model_response_time(
+    std::size_t n, std::size_t d, std::uint64_t result_pairs) const {
+  const sim::DeviceSpec& dev = config_.device;
+  TimingBreakdown t;
+  const double data_bytes = static_cast<double>(n) * padded_dims<Fp16>(d) * 2;
+  t.host_to_device_s =
+      data_bytes / (dev.pcie_bandwidth_gbs * 1e9) + dev.kernel_launch_overhead_s;
+  // Squared-norm kernel: 2*n*d FLOP on CUDA cores at a memory-bound ~30%.
+  t.precompute_s = 2.0 * static_cast<double>(n) * static_cast<double>(d) /
+                       (dev.device_fp32_cuda_tflops() * 1e12 * 0.30) +
+                   dev.kernel_launch_overhead_s;
+  t.kernel_s = estimate(n, d).kernel_seconds;
+  const double result_bytes = static_cast<double>(result_pairs) * 8.0;
+  t.device_to_host_s = result_bytes / (dev.pcie_bandwidth_gbs * 1e9);
+  t.host_store_s = result_bytes / (8.0 * 1e9);  // host-side memcpy rate
+  return t;
+}
+
+}  // namespace fasted

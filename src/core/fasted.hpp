@@ -1,0 +1,154 @@
+// FaSTED public API: mixed-precision (FP16 multiply / FP32 accumulate)
+// Euclidean-distance self-join.
+//
+// Usage:
+//
+//   fasted::FastedEngine engine;                       // paper configuration
+//   auto out = engine.self_join(points, /*eps=*/0.5f);
+//   out.result.neighbors_of(i);                        // ids within eps of i
+//   out.timing.total_s();                              // modeled A100 time
+//
+// Functional results are computed on the host with numerics bit-identical to
+// the simulated tensor core (FP16 exact products, FP32 round-toward-zero
+// accumulation, expanded-form distance of Eq. 1); GPU response times come
+// from the performance model (core/perf_model.hpp).  The emulated execution
+// path additionally runs the full staged data path (swizzle, ldmatrix
+// phases, MMA fragments) and is tested for bit-equality with the fast path.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/config.hpp"
+#include "core/perf_model.hpp"
+#include "core/result.hpp"
+
+namespace fasted {
+
+struct TimingBreakdown {
+  double host_to_device_s = 0;   // point data over PCIe
+  double precompute_s = 0;       // squared-norm kernel (Step 1)
+  double kernel_s = 0;           // distance kernel (modeled)
+  double device_to_host_s = 0;   // result pairs over PCIe
+  double host_store_s = 0;       // materializing results in host memory
+  double total_s() const {
+    return host_to_device_s + precompute_s + kernel_s + device_to_host_s +
+           host_store_s;
+  }
+};
+
+enum class ExecutionPath {
+  kFast,      // vectorizable host loop with tensor-core numerics
+  kEmulated   // full fragment/ldmatrix/swizzle data-path emulation
+};
+
+struct JoinOptions {
+  ExecutionPath path = ExecutionPath::kFast;
+  bool build_result = true;  // false: count pairs only
+};
+
+struct JoinOutput {
+  SelfJoinResult result;
+  std::uint64_t pair_count = 0;
+  PerfEstimate perf;        // modeled distance kernel
+  TimingBreakdown timing;   // modeled end-to-end response time
+  double host_seconds = 0;  // wall time of the functional computation
+};
+
+// The epilogue combine (paper Step 3): dist^2 = -2*a + s_i + s_j in FP32.
+inline float epilogue_dist2(float a, float si, float sj) {
+  return std::fma(-2.0f, a, si + sj);
+}
+
+// A dataset prepared for the FaSTED pipeline: FP16 quantization and the
+// squared-norm precompute (Step 1) done once, reusable across any number of
+// radius queries (eps sweeps, adaptive kNN rounds, batched joins).
+class PreparedDataset {
+ public:
+  explicit PreparedDataset(const MatrixF32& data);
+
+  std::size_t rows() const { return dequant_.rows(); }
+  std::size_t dims() const { return dequant_.dims(); }
+
+  // FP16-exact coordinate values (decoded to FP32 for the fast path).
+  const MatrixF32& values() const { return dequant_; }
+  const MatrixF16& quantized() const { return fp16_; }
+  const std::vector<float>& norms() const { return norms_; }
+
+  // The FP16-32 pipeline squared distance between two prepared points.
+  float pair_dist2(std::size_t i, std::size_t j) const;
+
+ private:
+  MatrixF16 fp16_;
+  MatrixF32 dequant_;
+  std::vector<float> norms_;
+};
+
+class FastedEngine {
+ public:
+  explicit FastedEngine(FastedConfig config = FastedConfig::paper_defaults());
+
+  // All-pairs distance similarity self-join: pairs with dist <= eps.
+  JoinOutput self_join(const MatrixF32& data, float eps,
+                       const JoinOptions& options = {}) const;
+
+  // Same, on a prepared dataset (skips quantization + norm precompute;
+  // modeled timing excludes the one-off preparation legs accordingly).
+  JoinOutput self_join(const PreparedDataset& prepared, float eps,
+                       const JoinOptions& options = {}) const;
+
+  // Self-join processed in horizontal strips of `batch_rows` queries so the
+  // device-resident result buffer stays bounded (the analog of GDS-Join's
+  // result batching; FaSTED itself OOMs at Sift10M S=256 without it).
+  // Functionally identical to self_join; the modeled timing adds per-batch
+  // kernel launches and transfers.
+  JoinOutput batched_self_join(const MatrixF32& data, float eps,
+                               std::size_t batch_rows,
+                               const JoinOptions& options = {}) const;
+
+  // General range join: for every query row, the corpus rows within eps.
+  // The result set has one row per query (no self pairs unless a query
+  // coincides with a corpus point).  Both matrices must share `dims()`.
+  JoinOutput join(const MatrixF32& queries, const MatrixF32& corpus,
+                  float eps, const JoinOptions& options = {}) const;
+
+  // Performance model only (no functional work): the derived-TFLOPS
+  // experiments (Figs. 8-9, Tables 5-6) call this.
+  PerfEstimate estimate(std::size_t n, std::size_t d) const;
+  PerfEstimate estimate_join(std::size_t queries, std::size_t corpus,
+                             std::size_t d) const;
+
+  // Modeled end-to-end response time for a brute-force join returning
+  // `result_pairs` pairs (used when the functional run is elsewhere).
+  TimingBreakdown model_response_time(std::size_t n, std::size_t d,
+                                      std::uint64_t result_pairs) const;
+
+  // Device-memory feasibility on the modeled GPU: FP16 point data, squared
+  // norms, and the on-device result buffer (ids + distance per pair) must
+  // fit in the usable fraction of global memory.  Reproduces the paper's
+  // Sift10M S=256 out-of-memory cell (Table 7).
+  struct DeviceMemoryReport {
+    double bytes_required = 0;
+    double bytes_usable = 0;
+    bool fits = true;
+  };
+  DeviceMemoryReport device_memory_report(std::size_t n, std::size_t d,
+                                          std::uint64_t result_pairs) const;
+
+  const FastedConfig& config() const { return config_; }
+
+ private:
+  FastedConfig config_;
+};
+
+// FP16-32 expanded-form squared distance between two quantized points given
+// their precomputed squared norms — the exact value FaSTED's pipeline
+// produces for the pair.  `dims` must cover the padded row (padding is
+// zero and does not perturb the RZ accumulation).
+float fasted_pair_dist2(const float* pi, const float* pj, std::size_t dims,
+                        float si, float sj);
+
+}  // namespace fasted

@@ -1,0 +1,26 @@
+// Binary serialization for datasets and join results.
+//
+// Format (little-endian, as written by the host):
+//   magic u32 | version u32 | rows u64 | dims u64 | payload
+// Matrix payload is rows x dims FP32 (padding is not stored).  Result
+// payload is the CSR offsets (u64) followed by neighbor ids (u32).
+//
+// This is how the bench harnesses can persist calibrated workloads and how
+// downstream users load real datasets (e.g. converted SIFT/GIST files).
+
+#pragma once
+
+#include <string>
+
+#include "common/matrix.hpp"
+#include "core/result.hpp"
+
+namespace fasted::io {
+
+void save_matrix(const MatrixF32& m, const std::string& path);
+MatrixF32 load_matrix(const std::string& path);
+
+void save_result(const SelfJoinResult& r, const std::string& path);
+SelfJoinResult load_result(const std::string& path);
+
+}  // namespace fasted::io

@@ -1,0 +1,68 @@
+#include "core/ldmatrix.hpp"
+
+#include <cstring>
+
+namespace fasted {
+
+Fragment16x16 ldmatrix_x4(const StagedBlockFragment& src, int first_row,
+                          int k_slice, sim::SharedMemoryModel& smem) {
+  Fragment16x16 frag;
+  const int chunk0 = k_slice * 2;  // 16 dims = 2 chunks of 8
+
+  // Four phases (Fig. 7a): {rows 0-7, rows 8-15} x {chunk0, chunk0+1}.
+  // Each phase: 8 threads read one 16 B chunk each -> one transaction.
+  const bool misaligned = src.chunk_address(0, 0) % 128 != 0;
+  std::array<std::uint32_t, 8> addrs{};
+  for (int phase = 0; phase < 4; ++phase) {
+    const int row_base = (phase % 2 == 0) ? 0 : 8;
+    const int chunk = chunk0 + phase / 2;
+    for (int t = 0; t < 8; ++t) {
+      const int r = first_row + row_base + t;
+      addrs[static_cast<std::size_t>(t)] = src.chunk_address(r, chunk);
+      const Fp16* data = src.chunk(r, chunk);
+      for (int e = 0; e < kChunkDims; ++e) {
+        frag.at(row_base + t, (phase / 2) * 8 + e) = data[e];
+      }
+    }
+    smem.access(std::span<const std::uint32_t>(addrs), kChunkBytes);
+    if (misaligned) {
+      // A 128 B phase that is not 128 B-aligned spans two bank rows and is
+      // split into two transactions by the hardware: one extra cycle.
+      smem.access(std::span<const std::uint32_t>(addrs.data(), 4),
+                  kChunkBytes);
+    }
+  }
+  return frag;
+}
+
+Coord mma_a_coord(int lane, int reg, int h) {
+  const int g = lane / 4;   // group: rows
+  const int l = lane % 4;   // pair columns
+  const int row = g + (reg % 2) * 8;
+  const int col = l * 2 + h + (reg / 2) * 8;
+  return {row, col};
+}
+
+Coord mma_b_coord(int lane, int reg, int h) {
+  const int g = lane / 4;
+  const int l = lane % 4;
+  const int k = l * 2 + h + reg * 8;
+  const int n = g;
+  return {k, n};
+}
+
+Coord mma_acc_coord(int lane, int reg) {
+  const int g = lane / 4;
+  const int l = lane % 4;
+  const int row = g + (reg / 2) * 8;
+  const int col = l * 2 + reg % 2;
+  return {row, col};
+}
+
+LdDest ldmatrix_dest(int row_in_phase, int elem) {
+  // m8n8 distribution: the 8x8 FP16 submatrix row `row_in_phase` is spread
+  // across lanes 4*row .. 4*row+3, two consecutive values per lane.
+  return {row_in_phase * 4 + elem / 2, elem % 2};
+}
+
+}  // namespace fasted

@@ -1,0 +1,69 @@
+// Emulation of the `ldmatrix.sync.aligned.x4.m8n8.shared.b16` instruction
+// (paper Listing 1, Fig. 7) and the PTX register layouts of the
+// m16n8k16 MMA fragments.
+//
+// Functionally a fragment is just a 16x16 FP16 tile; the per-thread register
+// mapping matters only for fidelity (tested in tests/core/ldmatrix_test.cpp)
+// and for the bank-conflict accounting: each ldmatrix.x4 issues 4 phases of
+// 8 threads x 16 B, and each phase is one shared-memory transaction whose
+// cost the bank model measures.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/fp16.hpp"
+#include "core/smem_tile.hpp"
+#include "sim/shared_memory.hpp"
+
+namespace fasted {
+
+// A 16x16 FP16 fragment in matrix form.  For the A ("points") operand rows
+// are points and columns are dims; for the B ("query points") operand rows
+// are query points (the transposed load gives the MMA its k-major view).
+struct Fragment16x16 {
+  std::array<Fp16, 256> m{};
+  Fp16 at(int r, int c) const { return m[static_cast<std::size_t>(r) * 16 + c]; }
+  Fp16& at(int r, int c) { return m[static_cast<std::size_t>(r) * 16 + c]; }
+  const Fp16* row(int r) const { return m.data() + static_cast<std::size_t>(r) * 16; }
+};
+
+// Loads a 16x16 fragment: staged rows [first_row, first_row+16) and dims
+// [16*k_slice, 16*k_slice+16), issuing the 4 ldmatrix phases against the
+// bank model.  Misaligned fragments (3.3.9 disabled) split each 128 B phase
+// across two rows of banks, costing an extra cycle per phase.
+Fragment16x16 ldmatrix_x4(const StagedBlockFragment& src, int first_row,
+                          int k_slice, sim::SharedMemoryModel& smem);
+
+// --- PTX register-layout mapping (for emulation-fidelity tests) ---
+//
+// Within a warp, lane L = 4*g + l (group g = L/4, l = L%4).
+
+struct Coord {
+  int row;
+  int col;
+  bool operator==(const Coord&) const = default;
+};
+
+// A operand (m16n8k16): lane holds regs a0..a3, each packing two FP16.
+// Returns the (row, col) in the 16x16 A tile of register `reg`, half `h`.
+Coord mma_a_coord(int lane, int reg, int h);
+
+// B operand (16x8, k-major): lane holds b0..b1, two FP16 each.
+// Returns (k, n).
+Coord mma_b_coord(int lane, int reg, int h);
+
+// Accumulator (16x8 FP32): lane holds c0..c3.
+Coord mma_acc_coord(int lane, int reg);
+
+// ldmatrix distribution: the 16 B chunk read by `src_thread` in phase `phase`
+// lands in register `phase` of lanes [src_thread_row*4, +4), 2 halves each.
+// Returns the lane and half that receive element `elem` (0..7) of the chunk.
+struct LdDest {
+  int lane;
+  int half;  // index within the 2-FP16 register payload
+};
+LdDest ldmatrix_dest(int row_in_phase, int elem);
+
+}  // namespace fasted

@@ -1,0 +1,249 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "sim/power.hpp"
+#include "sim/tensor_core.hpp"
+
+namespace fasted {
+
+const FastedModelConstants& fasted_model_constants() {
+  static const FastedModelConstants k{};
+  return k;
+}
+
+namespace {
+
+struct IterCosts {
+  double mma_issue = 0;   // TC-pipe demand per k-iteration per block
+  double smem_port = 0;   // shared-memory port demand per k-iteration
+  double chain = 0;       // dependency-serialized path per k-iteration
+  double exposure = 0;    // copy/sync cycles not hidden by the pipeline
+  double l2_bytes = 0;    // global bytes requested per k-iteration
+};
+
+// Composes the per-k-iteration costs for one block under `cfg`.
+IterCosts iteration_costs(const FastedConfig& cfg,
+                          const FastedModelConstants& k) {
+  IterCosts c;
+  const double bm = cfg.block_tile_m;
+  const double bn = cfg.block_tile_n;
+  const double bk = cfg.block_tile_k;
+  const int warps = cfg.warps_per_block;
+  const int slices = cfg.block_tile_k / 16;
+  const int R = cfg.residency();
+
+  // MMA issue: (bm/16)*(bn/8)*(bk/16) MMAs, 8 TC-cycles each over 4 TCs.
+  const double mmas = (bm / 16) * (bn / 8) * (bk / 16);
+  c.mma_issue = mmas * sim::MmaTiming::fp16_m16n8k16_cycles_per_tc /
+                cfg.device.tensor_cores_per_sm / k.tc_issue_efficiency;
+
+  // Conflict factors for the shared-memory phases.
+  double load_cf = 1.0;
+  double store_cf = 1.0;
+  if (!cfg.opt_swizzle) load_cf = k.no_swizzle_conflict_factor;
+  if (!cfg.opt_smem_alignment) {
+    load_cf = std::max(load_cf, k.misaligned_conflict_factor);
+    store_cf = k.misaligned_store_factor;
+  }
+
+  const double copy_bytes = (bm + bn) * bk * 2;  // FP16 staged per iteration
+  const double store_phases = copy_bytes / 128.0;
+
+  if (cfg.opt_warp_tile) {
+    // 64x64 warp tile: per warp per k-slice, (wm/16 + wn/16) ldmatrix.x4 of
+    // 4 phases; fragments are register-reused across the slice's MMAs.
+    const double wm = cfg.warp_tile_m;
+    const double wn = cfg.warp_tile_n;
+    const double ldm_per_warp_slice = wm / 16 + wn / 16;
+    const double phases =
+        warps * slices * ldm_per_warp_slice * 4.0 * load_cf;
+    c.smem_port = phases + store_phases * store_cf;
+    // Single k-slice in registers: each slice starts with its loads.
+    c.chain = slices * (ldm_per_warp_slice * 4.0 * load_cf +
+                        k.ldmatrix_latency) +
+              k.sync_bubble_cycles / R;
+  } else {
+    // 3.3.7 disabled: every MMA reloads A (4 phases) and B (2 phases); the
+    // per-MMA dependency chain (queued phases -> ldmatrix latency x2 -> MMA)
+    // dominates and the smem port saturates.
+    const double phases_per_mma = 6.0 * load_cf;
+    const int active_warps = warps * R;
+    c.smem_port = mmas * phases_per_mma + store_phases * store_cf;
+    const double per_mma_chain = phases_per_mma * active_warps +
+                                 2 * k.ldmatrix_latency + k.mma_latency;
+    c.chain = (mmas / warps) * per_mma_chain + k.sync_bubble_cycles / R;
+  }
+
+  // Copy / pipeline exposure.
+  const double l2_rate = cfg.device.l2_bytes_per_sm_cycle();
+  if (!cfg.opt_block_tile) {
+    // 3.3.2 disabled: no staging; each warp pulls its fragments straight
+    // from L2 with regular loads (cp.async requires the shared staging
+    // buffer).  Sharing between warp pairs is lost, so L2 traffic doubles
+    // and each k-slice serializes a global latency + transfer.
+    c.l2_bytes = 2.0 * copy_bytes;
+    const double per_slice_bytes = c.l2_bytes / slices;
+    // Loads feed registers directly, so each slice serializes latency,
+    // transfer, and its MMAs (nothing double-buffers them).
+    c.chain += slices * (k.global_latency + per_slice_bytes / l2_rate +
+                         (mmas / warps / slices) * 8.0 /
+                             k.tc_issue_efficiency);
+    c.smem_port = 0;  // nothing staged
+    if (R == 1) c.exposure += k.sync_bubble_cycles;
+    return c;
+  }
+
+  c.l2_bytes = copy_bytes;
+  const double copy_cycles = copy_bytes / l2_rate;
+  if (!cfg.opt_memcpy_async) {
+    // Synchronous element copies: global -> L1 -> registers -> smem, fully
+    // exposed (cannot be pipelined; paper footnote 9).
+    c.exposure = copy_bytes / k.sync_copy_bytes_per_cycle;
+  } else if (cfg.effective_pipeline_stages() < 2) {
+    // Single-stage async: the copy is issued up front but the block waits
+    // for it each iteration (no lookahead).
+    c.exposure = copy_cycles + k.global_latency;
+  } else {
+    // Two-stage pipeline: next iteration's fragments are in flight during
+    // this iteration's MMAs; only the residual beyond one iteration of lead
+    // time is exposed (zero in the paper configuration).
+    c.exposure = 0;
+  }
+  if (R == 1) c.exposure += k.sync_bubble_cycles;
+  return c;
+}
+
+}  // namespace
+
+PerfEstimate estimate_fasted_kernel(const FastedConfig& cfg, std::size_t n,
+                                    std::size_t d) {
+  return estimate_fasted_join_kernel(cfg, n, n, d);
+}
+
+PerfEstimate estimate_fasted_join_kernel(const FastedConfig& cfg,
+                                         std::size_t nq, std::size_t nc,
+                                         std::size_t d) {
+  FASTED_CHECK_MSG(nq > 0 && nc > 0 && d > 0, "empty workload");
+  const FastedModelConstants& k = fasted_model_constants();
+  const sim::DeviceSpec& dev = cfg.device;
+
+  const auto tiles_rows =
+      (nq + static_cast<std::size_t>(cfg.block_tile_m) - 1) /
+      static_cast<std::size_t>(cfg.block_tile_m);
+  const auto tiles_cols =
+      (nc + static_cast<std::size_t>(cfg.block_tile_n) - 1) /
+      static_cast<std::size_t>(cfg.block_tile_n);
+  const double tiles =
+      static_cast<double>(tiles_rows) * static_cast<double>(tiles_cols);
+  // Equivalent square grid for the L2 reuse estimate (exact when nq == nc).
+  const auto tiles_per_side = static_cast<std::size_t>(
+      std::max(1.0, std::round(std::sqrt(tiles))));
+  const std::size_t d_pad =
+      (d + static_cast<std::size_t>(cfg.block_tile_k) - 1) /
+      static_cast<std::size_t>(cfg.block_tile_k) *
+      static_cast<std::size_t>(cfg.block_tile_k);
+  const int k_iters = static_cast<int>(d_pad) / cfg.block_tile_k;
+  const int R = cfg.residency();
+
+  const IterCosts it = iteration_costs(cfg, k);
+
+  // Epilogue: one distance combine + filter per output element.
+  const double outputs =
+      static_cast<double>(cfg.block_tile_m) * cfg.block_tile_n;
+  const double epilogue =
+      outputs * k.epilogue_instr_per_output / k.issue_rate_per_cycle;
+
+  // Per-tile critical path and SM period (R tiles per period).
+  const double iter_busy = std::max({it.mma_issue, it.smem_port, it.chain});
+  const double crit =
+      k.prologue_cycles + k_iters * (iter_busy + it.exposure) + epilogue;
+  const double t_period = std::max(
+      {R * k_iters * it.mma_issue, R * k_iters * it.smem_port, crit});
+
+  // Device makespan in periods (wave quantization).
+  const double concurrent = static_cast<double>(dev.sm_count) * R;
+  const double periods = std::ceil(tiles / concurrent);
+  const double kernel_cycles = periods * t_period;
+
+  // True tensor-pipe busy cycles (for utilization/power), not scaled by
+  // the issue-efficiency calibration.
+  const double mmas_per_tile =
+      (static_cast<double>(cfg.block_tile_m) / 16) *
+      (static_cast<double>(cfg.block_tile_n) / 8) * (d_pad / 16.0);
+  const double tc_busy_per_sm =
+      tiles * mmas_per_tile * sim::MmaTiming::fp16_m16n8k16_cycles_per_tc /
+      dev.tensor_cores_per_sm / dev.sm_count;
+
+  // Global-memory traffic via the fragment-reuse model.
+  const double fragment_bytes =
+      static_cast<double>(cfg.block_tile_m) * static_cast<double>(d_pad) * 2.0;
+  sim::FragmentReuseModel reuse(dev.l2_capacity_bytes, dev.l2_line_bytes);
+  sim::ReuseEstimate re = reuse.estimate(cfg.dispatch_policy(), tiles_per_side,
+                                         fragment_bytes, cfg.dispatch_square);
+  if (!cfg.opt_block_tile) {
+    re.l2_read_bytes *= 2.0;  // lost warp sharing
+    re.dram_bytes = std::min(re.dram_bytes * 2.0, re.l2_read_bytes);
+  }
+
+  const double dram_seconds =
+      re.dram_bytes / (dev.dram_bandwidth_gbs * 1e9 * dev.dram_efficiency);
+  const double l2_seconds = re.l2_read_bytes / (dev.l2_bandwidth_gbs * 1e9);
+  const double fixed_s = k.fixed_overhead_s + k_iters * k.per_k_iter_overhead_s;
+
+  // Fixed point of (clock, utilization, time).
+  sim::PowerModel power(dev);
+  double clock = dev.base_clock_ghz;
+  double seconds = 0;
+  double util = 0;
+  for (int pass = 0; pass < 6; ++pass) {
+    const double compute_s = kernel_cycles / (clock * 1e9);
+    seconds = std::max({compute_s, dram_seconds, l2_seconds}) + fixed_s;
+    util = tc_busy_per_sm / (seconds * clock * 1e9);
+    util = std::min(util, 1.0);
+    const double dram_util =
+        re.dram_bytes / seconds / (dev.dram_bandwidth_gbs * 1e9);
+    clock = power.sustained_clock_ghz(util, dram_util);
+  }
+
+  PerfEstimate est;
+  est.kernel_seconds = seconds;
+  const double real_flops =
+      2.0 * static_cast<double>(nq) * static_cast<double>(nc) *
+      static_cast<double>(d);
+  est.derived_tflops = real_flops / seconds / 1e12;
+  est.tc_utilization = util;
+  est.clock_ghz = clock;
+  est.dram_seconds = dram_seconds;
+  est.l2_seconds = l2_seconds;
+  est.l2_hit_rate = re.hit_rate;
+
+  sim::KernelCounters& c = est.counters;
+  c.tc_fp16_flops = tiles * mmas_per_tile * sim::MmaTiming::fp16_m16n8k16_flops;
+  c.mma_count = static_cast<std::uint64_t>(tiles * mmas_per_tile);
+  c.block_tiles = static_cast<std::uint64_t>(tiles);
+  c.smem_load_bytes = tiles * k_iters *
+                      (cfg.opt_block_tile ? 64.0 * 1024.0 : 0.0);
+  c.smem_store_bytes = tiles * k_iters * (cfg.opt_block_tile ? 32768.0 : 0.0);
+  // Conflict replays: phases beyond the conflict-free count.
+  const double ideal_phases = c.smem_load_bytes / 128.0;
+  double load_cf = 1.0;
+  if (!cfg.opt_swizzle) load_cf = k.no_swizzle_conflict_factor;
+  if (!cfg.opt_smem_alignment)
+    load_cf = std::max(load_cf, k.misaligned_conflict_factor);
+  c.smem_load_cycles = ideal_phases * load_cf;
+  c.smem_store_cycles = c.smem_store_bytes / 128.0 *
+                        (cfg.opt_smem_alignment ? 1.0
+                                                : k.misaligned_store_factor);
+  c.l2_read_bytes = re.l2_read_bytes;
+  c.dram_bytes = re.dram_bytes;
+  c.tc_busy_cycles = tc_busy_per_sm * dev.sm_count;
+  c.total_cycles = seconds * clock * 1e9 * dev.sm_count;
+  c.achieved_clock_ghz = clock;
+  c.kernel_seconds = seconds;
+  return est;
+}
+
+}  // namespace fasted

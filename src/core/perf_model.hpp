@@ -1,0 +1,97 @@
+// FaSTED analytic performance model.
+//
+// Executes no arithmetic: composes per-block-tile cycle costs from the
+// structural models (tile shapes, bank-conflict factors, L2 fragment reuse,
+// power/clock) into a kernel time and Nsight-style counters.  This is the
+// engine behind the Fig. 8 heatmap, Fig. 9 scaling, Table 5 leave-one-out
+// and Table 6 profiles.
+//
+// ## Cycle accounting (per 128x128x64 block-tile k-iteration, per block)
+//
+//   mma issue     512 MMAs x 8 TC-cycles / 4 TCs / eps_tc.  eps_tc = 0.62 is
+//                 the HMMA issue efficiency: operand-collector and
+//                 register-bank contention keep the measured tensor-pipe
+//                 ceiling at ~62-64% (paper Table 6: 64% busy while derived
+//                 throughput is 49% of peak *at the throttled clock*).
+//   ldmatrix      128 ldmatrix.x4 x 4 phases x conflict factor (1.0 swizzled;
+//                 see Sec. 3.3.8 notes in perf_model.cpp for the fallbacks).
+//   stores        32 KB staged / 128 B per cycle.
+//   chains        per-k-slice dependency serialization: with a single
+//                 k-slice in registers (Sec. 3.3.7) a warp must ldmatrix
+//                 before its MMAs each slice; without the warp tile each MMA
+//                 reloads its fragments and the chain dominates.
+//   exposure      copy cycles not hidden by the cuda::pipeline (Secs.
+//                 3.3.4-3.3.5), sync bubbles shrunk by SM residency (3.3.6).
+//   epilogue      16384 outputs x ~10 CUDA-core instructions / 4 IPC
+//                 (dist^2 combine, eps compare, ballot, compacted writes).
+//
+// SM steady state with R resident blocks completes R tiles per
+//   T_period = max(R * mma_issue, R * smem_port, critical_path)
+// and the device runs ceil(tiles / (SMs * R)) periods, bounded below by
+// device-wide DRAM and L2 service times.  The sustained clock solves the
+// 250 W power budget (sim/power.hpp); utilization and clock are iterated to
+// a fixed point.
+
+#pragma once
+
+#include <cstddef>
+
+#include "core/config.hpp"
+#include "sim/counters.hpp"
+#include "sim/l2_model.hpp"
+
+namespace fasted {
+
+struct PerfEstimate {
+  double kernel_seconds = 0;
+  double derived_tflops = 0;
+  double tc_utilization = 0;      // tensor-pipe busy fraction
+  double clock_ghz = 0;
+  double dram_seconds = 0;        // device-wide DRAM service time
+  double l2_seconds = 0;
+  double l2_hit_rate = 0;
+  sim::KernelCounters counters;   // Table 6 inputs
+};
+
+// Models one brute-force FaSTED kernel over `n` points of dimensionality
+// `d` (padded internally to the 64-dim k-iteration granularity).
+PerfEstimate estimate_fasted_kernel(const FastedConfig& config, std::size_t n,
+                                    std::size_t d);
+
+// Rectangular variant: `nq` query rows x `nc` corpus columns of block
+// tiles.  The L2 reuse estimate uses the equivalent square grid (geometric
+// mean side), which is exact for the self-join case.
+PerfEstimate estimate_fasted_join_kernel(const FastedConfig& config,
+                                         std::size_t nq, std::size_t nc,
+                                         std::size_t d);
+
+// Model constants, exposed for tests and for the ablation benches.
+struct FastedModelConstants {
+  double tc_issue_efficiency = 0.62;   // eps_tc, see header comment
+  double epilogue_instr_per_output = 10.0;
+  double issue_rate_per_cycle = 4.0;   // 4 schedulers x 1 instr
+  double prologue_cycles = 300.0;
+  // Per-k-iteration barrier/pipeline-commit bubble; a co-resident block
+  // (3.3.6) fills it, a lone block eats it whole.
+  double sync_bubble_cycles = 375.0;
+  double ldmatrix_latency = 29.0;
+  double mma_latency = 17.0;
+  double global_latency = 430.0;       // DRAM->SM, loaded system
+  double l2_latency = 220.0;
+  // Conflict factor of the padded fallback layout used when the XOR swizzle
+  // (3.3.8) is disabled; a naive row-major layout would be 8-way (Fig. 6).
+  double no_swizzle_conflict_factor = 4.0;
+  double misaligned_conflict_factor = 4.0;  // 3.3.9 off defeats the swizzle
+  double misaligned_store_factor = 2.0;     // split 128 B store phases
+  // Synchronous copies (3.3.4 off): global->L1->registers->smem, fully
+  // exposed; effective bytes per cycle per SM.
+  double sync_copy_bytes_per_cycle = 3.0;
+  // Fixed kernel overheads: launch/queue setup plus per-k-iteration work
+  // distribution (dominates the Fig. 8 bottom rows).
+  double fixed_overhead_s = 10e-6;
+  double per_k_iter_overhead_s = 10e-6;
+};
+
+const FastedModelConstants& fasted_model_constants();
+
+}  // namespace fasted

@@ -1,0 +1,22 @@
+#include "core/result.hpp"
+
+namespace fasted {
+
+SelfJoinResult SelfJoinResult::from_rows(
+    std::vector<std::vector<std::uint32_t>> rows) {
+  SelfJoinResult r(rows.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    total += rows[i].size();
+    r.offsets_[i + 1] = total;
+  }
+  r.neighbors_.reserve(total);
+  for (auto& row : rows) {
+    r.neighbors_.insert(r.neighbors_.end(), row.begin(), row.end());
+    row.clear();
+    row.shrink_to_fit();
+  }
+  return r;
+}
+
+}  // namespace fasted

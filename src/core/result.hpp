@@ -1,0 +1,58 @@
+// Self-join result set: for each point, the ids of all points within the
+// search radius (including the point itself, matching the paper's
+// selectivity definition S = (|R| - |D|) / |D|).
+//
+// Stored as CSR (offsets + flattened neighbor ids), built per-row in
+// parallel and merged.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fasted {
+
+class SelfJoinResult {
+ public:
+  SelfJoinResult() = default;
+  explicit SelfJoinResult(std::size_t n) : offsets_(n + 1, 0) {}
+
+  // Builder: per-row neighbor lists are appended row by row (rows must be
+  // finalized in order; use from_rows for parallel construction).
+  static SelfJoinResult from_rows(std::vector<std::vector<std::uint32_t>> rows);
+
+  std::size_t num_points() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::uint64_t pair_count() const { return neighbors_.size(); }
+
+  std::span<const std::uint32_t> neighbors_of(std::size_t i) const {
+    return {neighbors_.data() + offsets_[i],
+            neighbors_.data() + offsets_[i + 1]};
+  }
+  std::size_t degree(std::size_t i) const {
+    return offsets_[i + 1] - offsets_[i];
+  }
+
+  // Paper Sec. 4.1.3: S = (|R| - |D|) / |D| with |R| counting self-pairs.
+  double selectivity() const {
+    const auto n = num_points();
+    return n == 0 ? 0.0
+                  : (static_cast<double>(pair_count()) - static_cast<double>(n)) /
+                        static_cast<double>(n);
+  }
+
+  // Bytes a GPU implementation would ship back to the host (pairs of ids).
+  std::uint64_t result_bytes() const { return pair_count() * 8; }
+
+  const std::vector<std::uint64_t>& offsets() const { return offsets_; }
+  const std::vector<std::uint32_t>& neighbors() const { return neighbors_; }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint32_t> neighbors_;
+};
+
+}  // namespace fasted

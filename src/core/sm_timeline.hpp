@@ -1,0 +1,44 @@
+// Discrete-event timeline of one SM running FaSTED block tiles.
+//
+// The analytic model (core/perf_model.cpp) composes per-iteration costs
+// with max() algebra; this simulator executes the same schedule event by
+// event — R resident blocks, per-iteration copy arrivals, ldmatrix port
+// occupancy, MMA pipe occupancy, barriers, epilogue — and reports the
+// cycles an SM needs per completed tile.  Tests cross-check the two (the
+// simulation is ground truth for the algebra's simplifications).
+//
+// Resources on one SM:
+//   * tensor pipe:   `tc_throughput` cycles of work per k-iteration/block,
+//     shared by all resident blocks (served FIFO, preemptible per slice);
+//   * smem port:     1 phase/cycle, shared;
+//   * copy engine:   per-SM share of L2 bandwidth, `stages` iterations of
+//     lookahead per block.
+//
+// The model is deliberately at slice granularity (a warp's k-slice = its
+// ldmatrix phases followed by its MMA burst), which is the granularity the
+// paper's design arguments use.
+
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace fasted::sim {
+
+struct TimelineResult {
+  double cycles_per_tile_pair = 0;  // SM cycles to retire R tiles
+  double tc_busy_fraction = 0;      // tensor-pipe occupancy
+  double smem_busy_fraction = 0;
+  double copy_busy_fraction = 0;
+  std::vector<double> iteration_starts;  // block 0's iteration start times
+};
+
+// Simulates `tiles_per_block` consecutive block tiles per resident block on
+// one SM at dimensionality `d` (>= one k-iteration) and returns steady-state
+// per-tile costs measured over the last tile.
+TimelineResult simulate_sm_timeline(const fasted::FastedConfig& config,
+                                    std::size_t d,
+                                    int tiles_per_block = 4);
+
+}  // namespace fasted::sim

@@ -1,0 +1,69 @@
+#include "core/smem_tile.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace fasted {
+
+StagedBlockFragment::StagedBlockFragment(int rows, int k_depth, bool swizzled,
+                                         bool aligned)
+    : rows_(rows),
+      k_depth_(k_depth),
+      chunks_per_row_(k_depth / kChunkDims),
+      swizzled_(swizzled),
+      base_offset_(aligned ? 0u : 16u),
+      storage_(static_cast<std::size_t>(rows) * k_depth) {
+  FASTED_CHECK(k_depth % kChunkDims == 0);
+  // The swizzle assumes exactly 8 chunk columns (64 staged dims); wider
+  // stagings would need a wider XOR pattern.
+  FASTED_CHECK(chunks_per_row_ <= kChunksPerRow);
+}
+
+void StagedBlockFragment::stage(const MatrixF16& data, std::size_t first_point,
+                                int k_offset,
+                                sim::SharedMemoryModel& smem) {
+  // Fig. 5: groups of 8 threads copy one *point* — each thread takes one
+  // 16 B chunk of that point's 64-dim k-slice — so a store phase touches
+  // all 8 chunk columns of a single row and is conflict-free in both the
+  // swizzled and row-major layouts (the paper notes swizzling is not needed
+  // for conflict-free stores, only for the ldmatrix loads).
+  std::array<std::uint32_t, 8> addrs{};
+  for (int r = 0; r < rows_; ++r) {
+    const std::size_t point = first_point + static_cast<std::size_t>(r);
+    for (int c = 0; c < chunks_per_row_; ++c) {
+      addrs[static_cast<std::size_t>(c)] = chunk_address(r, c);
+      Fp16* dst = storage_.data() +
+                  (chunk_address(r, c) - base_offset_) / sizeof(Fp16);
+      for (int k = 0; k < kChunkDims; ++k) {
+        const std::size_t dim = static_cast<std::size_t>(k_offset) +
+                                static_cast<std::size_t>(c) * kChunkDims + k;
+        Fp16 v{};
+        if (point < data.rows() && dim < data.stride()) {
+          v = data.row(point)[dim];
+        }
+        dst[k] = v;
+      }
+    }
+    smem.access(std::span<const std::uint32_t>(
+                    addrs.data(), static_cast<std::size_t>(chunks_per_row_)),
+                kChunkBytes);
+  }
+}
+
+const Fp16* StagedBlockFragment::chunk(int point_row, int chunk_index) const {
+  const std::uint32_t off = chunk_address(point_row, chunk_index) - base_offset_;
+  return storage_.data() + off / sizeof(Fp16);
+}
+
+std::uint32_t StagedBlockFragment::chunk_address(int point_row,
+                                                 int chunk_index) const {
+  const auto r = static_cast<std::uint32_t>(point_row);
+  const auto c = static_cast<std::uint32_t>(chunk_index);
+  const std::uint32_t off =
+      swizzled_ ? swizzled_offset_bytes(r, c) : identity_offset_bytes(r, c);
+  return base_offset_ + off;
+}
+
+}  // namespace fasted

@@ -1,0 +1,59 @@
+// Emulated shared-memory staging of block fragments (paper Sec. 3.3.2,
+// 3.3.8, Figs. 5-6).
+//
+// A block fragment is a d=64 k-slice of 128 points (16 KB of FP16) copied
+// from global memory into shared memory by groups of 8 threads, 16 B chunks
+// each.  The destination chunk column is XOR-swizzled (core/swizzle.hpp)
+// when the optimization is on.  Staging records store-side bank-conflict
+// statistics in a sim::SharedMemoryModel; `ldmatrix` reads record the
+// load side.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fp16.hpp"
+#include "common/matrix.hpp"
+#include "core/swizzle.hpp"
+#include "sim/shared_memory.hpp"
+
+namespace fasted {
+
+class StagedBlockFragment {
+ public:
+  // `rows`: staged points (block_tile_m or _n, 128); `k_depth`: staged dims
+  // (block_tile_k, 64).  `swizzled` selects Eq. 2 vs identity layout.
+  // `aligned` models the 3.3.9 __align__(128) specifier: when false, the
+  // allocation starts at a 16 B-odd offset, which shifts bank columns and
+  // defeats part of the swizzle.
+  StagedBlockFragment(int rows, int k_depth, bool swizzled, bool aligned = true);
+
+  int rows() const { return rows_; }
+  int k_depth() const { return k_depth_; }
+  bool swizzled() const { return swizzled_; }
+
+  // Copies `rows` points starting at `first_point`, dims
+  // [k_offset, k_offset + k_depth) from the dataset.  Points or dims past
+  // the end are zero-filled (zero padding preserves distances).
+  // Records one store transaction per 8-thread chunk group into `smem`.
+  void stage(const MatrixF16& data, std::size_t first_point, int k_offset,
+             sim::SharedMemoryModel& smem);
+
+  // Unswizzled read of one 16 B chunk (8 FP16 dims) of a staged point.
+  const Fp16* chunk(int point_row, int chunk_index) const;
+
+  // Byte address of a chunk as the hardware would see it (including the
+  // misalignment offset); used by the ldmatrix emulation for bank stats.
+  std::uint32_t chunk_address(int point_row, int chunk_index) const;
+
+ private:
+  int rows_;
+  int k_depth_;
+  int chunks_per_row_;
+  bool swizzled_;
+  std::uint32_t base_offset_;  // 0 if aligned, 16 otherwise
+  std::vector<Fp16> storage_;  // rows_ x chunks_per_row_ chunks, swizzled
+};
+
+}  // namespace fasted

@@ -1,0 +1,50 @@
+#include "core/sums.hpp"
+
+#include "common/fp16.hpp"
+#include "common/parallel.hpp"
+#include "common/rounding.hpp"
+
+namespace fasted {
+
+std::vector<float> squared_norms_fp16_rz(const MatrixF16& data) {
+  std::vector<float> s(data.rows());
+  parallel_for(0, data.rows(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Fp16* p = data.row(i);
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < data.dims(); ++k) {
+        acc = add_rz(acc, Fp16::mul_exact(p[k], p[k]));
+      }
+      s[i] = acc;
+    }
+  });
+  return s;
+}
+
+std::vector<float> squared_norms_fp32(const MatrixF32& data) {
+  std::vector<float> s(data.rows());
+  parallel_for(0, data.rows(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* p = data.row(i);
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < data.dims(); ++k) acc += p[k] * p[k];
+      s[i] = acc;
+    }
+  });
+  return s;
+}
+
+std::vector<double> squared_norms_fp64(const MatrixF64& data) {
+  std::vector<double> s(data.rows());
+  parallel_for(0, data.rows(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double* p = data.row(i);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < data.dims(); ++k) acc += p[k] * p[k];
+      s[i] = acc;
+    }
+  });
+  return s;
+}
+
+}  // namespace fasted

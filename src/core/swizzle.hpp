@@ -1,0 +1,55 @@
+// XOR address swizzling for the shared-memory block fragments
+// (paper Sec. 3.3.8, Eq. 2 and Figs. 5-7).
+//
+// Point data lives in shared memory as rows of d=8 FP16 "chunks" (16 B, one
+// per `ldmatrix` thread transaction).  The destination chunk column for
+// chunk `s` of point `i` (0-based within the staged fragment) is
+//
+//     column = s XOR (i mod 8)                                   (Eq. 2)
+//
+// so that each `ldmatrix` phase — 8 consecutive points requesting the same
+// logical chunk — touches 8 *distinct* chunk columns, i.e. all 32 banks,
+// with zero conflicts.  Without the swizzle the 8 requests land in the same
+// column: an 8-way conflict per phase (paper Fig. 6 caption).
+
+#pragma once
+
+#include <cstdint>
+
+namespace fasted {
+
+constexpr int kChunkDims = 8;          // FP16 values per chunk
+constexpr int kChunkBytes = 16;        // 8 x 2 B, one ldmatrix thread read
+constexpr int kChunksPerRow = 8;       // block_tile_k=64 dims -> 8 chunks
+
+// Swizzled chunk column for logical chunk `s` of staged point row `i`.
+constexpr std::uint32_t swizzle_column(std::uint32_t point_row,
+                                       std::uint32_t chunk) {
+  return chunk ^ (point_row % kChunksPerRow);
+}
+
+// Identity layout used when the optimization is disabled.
+constexpr std::uint32_t identity_column(std::uint32_t /*point_row*/,
+                                        std::uint32_t chunk) {
+  return chunk;
+}
+
+// Byte offset of a (point_row, chunk) cell inside a staged block fragment,
+// given the layout function.  A fragment row is kChunksPerRow chunks wide.
+template <typename ColumnFn>
+constexpr std::uint32_t chunk_offset_bytes(std::uint32_t point_row,
+                                           std::uint32_t chunk,
+                                           ColumnFn column) {
+  return (point_row * kChunksPerRow + column(point_row, chunk)) * kChunkBytes;
+}
+
+inline std::uint32_t swizzled_offset_bytes(std::uint32_t point_row,
+                                           std::uint32_t chunk) {
+  return chunk_offset_bytes(point_row, chunk, swizzle_column);
+}
+inline std::uint32_t identity_offset_bytes(std::uint32_t point_row,
+                                           std::uint32_t chunk) {
+  return chunk_offset_bytes(point_row, chunk, identity_column);
+}
+
+}  // namespace fasted

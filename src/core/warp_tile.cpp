@@ -1,0 +1,72 @@
+#include "core/warp_tile.hpp"
+
+#include "common/check.hpp"
+#include "sim/tensor_core.hpp"
+
+namespace fasted {
+
+WarpTile::WarpTile(int m, int n)
+    : m_(m), n_(n), acc_(static_cast<std::size_t>(m) * n, 0.0f) {
+  FASTED_CHECK(m % 16 == 0);
+  FASTED_CHECK(n % 8 == 0);
+}
+
+void WarpTile::reset() { std::fill(acc_.begin(), acc_.end(), 0.0f); }
+
+void WarpTile::accumulate(const StagedBlockFragment& p,
+                          const StagedBlockFragment& q, int row0, int col0,
+                          sim::SharedMemoryModel& smem,
+                          std::uint64_t* mma_count,
+                          std::uint64_t* ldmatrix_count) {
+  const int k_slices = p.k_depth() / 16;
+  const int pm = m_ / 16;                  // P fragments per k-slice
+  const int qn16 = (n_ + 15) / 16;         // 16-wide Q loads per k-slice
+
+  std::vector<Fragment16x16> pf(static_cast<std::size_t>(pm));
+  std::vector<Fragment16x16> qf(static_cast<std::size_t>(qn16));
+
+  for (int ks = 0; ks < k_slices; ++ks) {
+    // Load this k-slice's fragments (one slice in registers at a time).
+    for (int i = 0; i < pm; ++i) {
+      pf[static_cast<std::size_t>(i)] =
+          ldmatrix_x4(p, row0 + 16 * i, ks, smem);
+      if (ldmatrix_count) ++*ldmatrix_count;
+    }
+    for (int j = 0; j < qn16; ++j) {
+      qf[static_cast<std::size_t>(j)] =
+          ldmatrix_x4(q, col0 + 16 * j, ks, smem);
+      if (ldmatrix_count) ++*ldmatrix_count;
+    }
+
+    // 32 MMAs per 64x64 slice: each P fragment against each 8-wide half of
+    // each Q fragment.
+    for (int i = 0; i < pm; ++i) {
+      for (int j = 0; j < n_ / 8; ++j) {
+        const Fragment16x16& qfrag = qf[static_cast<std::size_t>(j / 2)];
+        const int qhalf = j % 2;
+        // Build the 16x8 k-major B view: B[n][k] = q point (8*j+n), dim k.
+        Fp16 b[8 * 16];
+        for (int nn = 0; nn < 8; ++nn) {
+          for (int kk = 0; kk < 16; ++kk) {
+            b[nn * 16 + kk] = qfrag.at(qhalf * 8 + nn, kk);
+          }
+        }
+        float* c = acc_.data() + (static_cast<std::size_t>(i) * 16 * n_ + 8 * j);
+        // Gather the 16x8 accumulator view (stride n_), run the MMA,
+        // scatter back.
+        float cin[16 * 8];
+        for (int r = 0; r < 16; ++r)
+          for (int cc = 0; cc < 8; ++cc)
+            cin[r * 8 + cc] = c[static_cast<std::size_t>(r) * n_ + cc];
+        sim::mma_m16n8k16(pf[static_cast<std::size_t>(i)].m.data(), b, cin,
+                          cin);
+        for (int r = 0; r < 16; ++r)
+          for (int cc = 0; cc < 8; ++cc)
+            c[static_cast<std::size_t>(r) * n_ + cc] = cin[r * 8 + cc];
+        if (mma_count) ++*mma_count;
+      }
+    }
+  }
+}
+
+}  // namespace fasted

@@ -1,0 +1,51 @@
+// Warp tile (paper Sec. 3.3.7, Fig. 2): a 64x64 patch of the distance
+// matrix computed by one warp.  Per 16-dim k-slice the warp loads 4 P
+// fragments and 4 Q fragments (8 ldmatrix.x4 total) and issues 32
+// m16n8k16 MMAs, reusing each P fragment 8x and each Q fragment 4x from
+// registers — the reuse Box #1 requires.
+//
+// Only a single k-slice of fragments lives in "registers" at a time
+// (reducing register pressure, Sec. 3.3.7), so loads and MMAs of successive
+// slices serialize — the performance model charges that exposure.
+
+#pragma once
+
+#include <vector>
+
+#include "core/ldmatrix.hpp"
+#include "core/smem_tile.hpp"
+#include "sim/shared_memory.hpp"
+
+namespace fasted {
+
+class WarpTile {
+ public:
+  // `m`,`n`: warp-tile extents (64x64 in the paper config; 16x8 models the
+  // disabled optimization).  Accumulators are FP32, zero-initialized.
+  WarpTile(int m, int n);
+
+  int m() const { return m_; }
+  int n() const { return n_; }
+
+  // Accumulates one staged k-slice pair: P rows [row0, row0+m) x Q rows
+  // [col0, col0+n) over the staged k-depth, in k-slice order.
+  // Emits ldmatrix transactions into `smem` and MMA math per
+  // sim::mma_m16n8k16.
+  void accumulate(const StagedBlockFragment& p, const StagedBlockFragment& q,
+                  int row0, int col0, sim::SharedMemoryModel& smem,
+                  std::uint64_t* mma_count, std::uint64_t* ldmatrix_count);
+
+  // Accumulator access: inner product accumulated for (local row, local col).
+  float acc(int r, int c) const {
+    return acc_[static_cast<std::size_t>(r) * n_ + c];
+  }
+
+  void reset();
+
+ private:
+  int m_;
+  int n_;
+  std::vector<float> acc_;
+};
+
+}  // namespace fasted

@@ -1,0 +1,40 @@
+// Block-tile work queue (paper Sec. 3.3.1, Fig. 4): orders block tiles into
+// small squares so concurrently executing blocks read overlapping point
+// fragments, maximizing L2 spatial locality.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/l2_model.hpp"
+
+namespace fasted {
+
+class WorkQueue {
+ public:
+  WorkQueue(sim::DispatchPolicy policy, std::size_t tiles_per_side, int square)
+      : order_(sim::dispatch_order(policy, tiles_per_side, square)) {}
+
+  std::size_t size() const { return order_.size(); }
+
+  // Thread-safe pop; returns false when the queue is drained.
+  bool pop(std::pair<std::uint32_t, std::uint32_t>& tile) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= order_.size()) return false;
+    tile = order_[i];
+    return true;
+  }
+
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& order() const {
+    return order_;
+  }
+
+ private:
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order_;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace fasted

@@ -1,0 +1,33 @@
+// Selectivity calibration (paper Sec. 4.1.3).
+//
+// The paper standardizes experiments by choosing, per dataset, the search
+// radius eps whose self-join selectivity S = (|R| - |D|) / |D| hits target
+// values {64, 128, 256}.  This module estimates eps from a sample: the mean
+// neighbor count at radius eps equals |D| times the fraction of pairwise
+// distances <= eps, so eps is the S/(|D|-1) quantile of the pairwise
+// distance distribution.  A sample of `sample_points` query rows against
+// the full dataset estimates that quantile; an optional exact refinement
+// verifies the achieved selectivity.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+
+namespace fasted::data {
+
+struct CalibrationResult {
+  float eps = 0;
+  double achieved_selectivity = 0;  // estimated from the sample
+};
+
+CalibrationResult calibrate_epsilon(const MatrixF32& data,
+                                    double target_selectivity,
+                                    std::uint64_t seed = 0x5e1ec7ull,
+                                    std::size_t sample_points = 256);
+
+// Exact selectivity at eps (O(n^2 d); use on small datasets / tests).
+double exact_selectivity(const MatrixF32& data, float eps);
+
+}  // namespace fasted::data

@@ -1,0 +1,122 @@
+#include "data/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace fasted::data {
+
+MatrixF32 uniform(std::size_t n, std::size_t d, std::uint64_t seed, float lo,
+                  float hi) {
+  FASTED_CHECK(n > 0 && d > 0);
+  MatrixF32 m(n, d);
+  parallel_for(0, n, [&](std::size_t b, std::size_t e) {
+    Rng rng(seed ^ (0x9e3779b97f4a7c15ull * (b + 1)));
+    for (std::size_t i = b; i < e; ++i) {
+      float* row = m.row(i);
+      for (std::size_t k = 0; k < d; ++k) {
+        row[k] = lo + (hi - lo) * rng.next_float();
+      }
+    }
+  });
+  return m;
+}
+
+MatrixF32 gaussian_mixture(std::size_t n, std::size_t d, std::uint64_t seed,
+                           const ClusterSpec& spec) {
+  FASTED_CHECK(n > 0 && d > 0 && spec.clusters > 0);
+  // Shared cluster centers.
+  Rng center_rng(seed);
+  std::vector<float> centers(spec.clusters * d);
+  for (auto& c : centers) {
+    c = static_cast<float>(spec.center_spread * center_rng.next_double());
+  }
+
+  MatrixF32 m(n, d);
+  parallel_for(0, n, [&](std::size_t b, std::size_t e) {
+    Rng rng(seed ^ (0xda3e39cb94b95bdbull * (b + 1)));
+    for (std::size_t i = b; i < e; ++i) {
+      float* row = m.row(i);
+      if (rng.next_double() < spec.noise_fraction) {
+        for (std::size_t k = 0; k < d; ++k) {
+          row[k] = static_cast<float>(spec.center_spread * rng.next_double());
+        }
+        continue;
+      }
+      const std::size_t c = rng.next_below(spec.clusters);
+      const float* center = centers.data() + c * d;
+      for (std::size_t k = 0; k < d; ++k) {
+        const double v = center[k] + spec.cluster_std * rng.normal();
+        row[k] = static_cast<float>(std::clamp(v, 0.0, spec.center_spread));
+      }
+    }
+  });
+  return m;
+}
+
+MatrixF32 sift_like(std::size_t n, std::uint64_t seed) {
+  ClusterSpec spec;
+  spec.clusters = 256;
+  spec.center_spread = 1.0;
+  spec.cluster_std = 0.18;
+  spec.noise_fraction = 0.02;
+  MatrixF32 m = gaussian_mixture(n, 128, seed, spec);
+  // SIFT histograms: skewed toward small bins, integer-valued, <= 255.
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = m.row(i);
+    for (std::size_t k = 0; k < 128; ++k) {
+      const double v = 255.0 * row[k] * row[k];  // squash toward zero
+      row[k] = std::round(static_cast<float>(std::min(v, 255.0)));
+    }
+  }
+  return m;
+}
+
+MatrixF32 tiny_like(std::size_t n, std::uint64_t seed) {
+  ClusterSpec spec;
+  spec.clusters = 128;
+  spec.cluster_std = 0.08;
+  spec.noise_fraction = 0.03;
+  MatrixF32 m = gaussian_mixture(n, 384, seed, spec);
+  normalize_rows(m);
+  return m;
+}
+
+MatrixF32 cifar_like(std::size_t n, std::uint64_t seed) {
+  ClusterSpec spec;
+  spec.clusters = 100;  // CIFAR has coarse class structure
+  spec.cluster_std = 0.15;
+  spec.noise_fraction = 0.05;
+  MatrixF32 m = gaussian_mixture(n, 512, seed, spec);
+  normalize_rows(m);
+  return m;
+}
+
+MatrixF32 gist_like(std::size_t n, std::uint64_t seed) {
+  ClusterSpec spec;
+  spec.clusters = 192;
+  spec.cluster_std = 0.10;
+  spec.noise_fraction = 0.04;
+  MatrixF32 m = gaussian_mixture(n, 960, seed, spec);
+  normalize_rows(m);
+  return m;
+}
+
+void normalize_rows(MatrixF32& m) {
+  parallel_for(0, m.rows(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      float* row = m.row(i);
+      double norm2 = 0;
+      for (std::size_t k = 0; k < m.dims(); ++k) {
+        norm2 += static_cast<double>(row[k]) * row[k];
+      }
+      if (norm2 <= 0) continue;
+      const float inv = static_cast<float>(1.0 / std::sqrt(norm2));
+      for (std::size_t k = 0; k < m.dims(); ++k) row[k] *= inv;
+    }
+  });
+}
+
+}  // namespace fasted::data

@@ -1,0 +1,56 @@
+// Workload generators.
+//
+// The paper evaluates on (a) a Synth class of uniform datasets for
+// throughput experiments — brute-force performance is distribution-
+// independent, so uniform data suffices — and (b) four real-world
+// high-dimensional datasets (Sift10M, Tiny5M, Cifar60K, Gist1M).  Those
+// datasets are not redistributable here, so `data/registry.hpp` builds
+// scaled-down surrogates from the generators below with matched
+// dimensionality, value ranges and cluster structure; index-based baselines
+// see realistic density variation and the selectivity calibration
+// (data/calibrate.hpp) pins the workloads to the paper's S values.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace fasted::data {
+
+// Uniform in [lo, hi)^d — the paper's Synth class.
+MatrixF32 uniform(std::size_t n, std::size_t d, std::uint64_t seed,
+                  float lo = 0.0f, float hi = 1.0f);
+
+struct ClusterSpec {
+  std::size_t clusters = 64;
+  // Cluster centers uniform in [0, 1]^d before the output transform.
+  double center_spread = 1.0;
+  double cluster_std = 0.05;     // per-dimension Gaussian std around center
+  double noise_fraction = 0.05;  // points drawn uniformly instead
+};
+
+// Gaussian-mixture point cloud in [0,1]^d (clipped), the base for the
+// real-world surrogates.
+MatrixF32 gaussian_mixture(std::size_t n, std::size_t d, std::uint64_t seed,
+                           const ClusterSpec& spec);
+
+// SIFT-like: d=128 integer histogram descriptors in [0, 255] (clipped,
+// rounded), heavy mass at small values like real SIFT.
+MatrixF32 sift_like(std::size_t n, std::uint64_t seed);
+
+// Tiny-like: d=384 GIST-style features, unit-norm dominated, small spread
+// (the paper's eps values are ~0.18-0.23).
+MatrixF32 tiny_like(std::size_t n, std::uint64_t seed);
+
+// Cifar-like: d=512 GIST features with moderate spread (eps ~0.63-0.69).
+MatrixF32 cifar_like(std::size_t n, std::uint64_t seed);
+
+// Gist-like: d=960 descriptors (eps ~0.47-0.59).
+MatrixF32 gist_like(std::size_t n, std::uint64_t seed);
+
+// L2-normalizes every row in place (zero rows are left untouched).
+void normalize_rows(MatrixF32& m);
+
+}  // namespace fasted::data

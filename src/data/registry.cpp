@@ -1,0 +1,45 @@
+#include "data/registry.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "data/generators.hpp"
+
+namespace fasted::data {
+
+const std::vector<DatasetInfo>& real_world_datasets() {
+  // Surrogate sizes keep the functional self-joins tractable on one CPU
+  // core while preserving dimensionality and the paper's selectivity
+  // targets; see DESIGN.md Sec. 6.
+  static const std::vector<DatasetInfo> k = {
+      {"Sift10M", 10'000'000, 6000, 128, {122.5, 136.5, 152.5}},
+      {"Tiny5M", 5'000'000, 4000, 384, {0.1831, 0.2045, 0.2275}},
+      {"Cifar60K", 60'000, 4000, 512, {0.6289, 0.6591, 0.6914}},
+      {"Gist1M", 1'000'000, 3000, 960, {0.4736, 0.5292, 0.5937}},
+  };
+  return k;
+}
+
+MatrixF32 make_surrogate(const DatasetInfo& info, std::uint64_t seed) {
+  if (info.name == "Sift10M") return sift_like(info.surrogate_n, seed);
+  if (info.name == "Tiny5M") return tiny_like(info.surrogate_n, seed);
+  if (info.name == "Cifar60K") return cifar_like(info.surrogate_n, seed);
+  if (info.name == "Gist1M") return gist_like(info.surrogate_n, seed);
+  FASTED_CHECK_MSG(false, "unknown dataset: " + info.name);
+  return MatrixF32{};
+}
+
+std::vector<std::size_t> synth_sizes() {
+  std::vector<std::size_t> sizes;
+  for (int n = 0; n <= 9; ++n) {
+    sizes.push_back(
+        static_cast<std::size_t>(std::llround(std::pow(10.0, 3.0 + n / 3.0))));
+  }
+  return sizes;  // 1000, 2154, 4642, ..., 1000000
+}
+
+std::vector<std::size_t> synth_dimensions() {
+  return {64, 128, 256, 512, 1024, 2048, 4096};
+}
+
+}  // namespace fasted::data

@@ -1,0 +1,36 @@
+// Dataset registry: the paper's Table 4 datasets mapped to scaled surrogates
+// plus the Synth grid of Sec. 4.2.  Every experiment binary pulls its
+// workloads from here so the scaling decisions live in one place.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace fasted::data {
+
+struct DatasetInfo {
+  std::string name;          // e.g. "Sift10M" (paper name)
+  std::size_t paper_n;       // |D| in the paper
+  std::size_t surrogate_n;   // |D| we generate (scaled for one CPU core)
+  std::size_t d;
+  // Paper's eps per selectivity level {S=64, S=128, S=256} (Table 4),
+  // reported for reference; surrogates re-calibrate eps to the same S.
+  double paper_eps[3];
+};
+
+inline constexpr double kSelectivityLevels[3] = {64, 128, 256};
+
+// Table 4's real-world datasets.
+const std::vector<DatasetInfo>& real_world_datasets();
+
+// Generates the surrogate for a Table 4 dataset by name.
+MatrixF32 make_surrogate(const DatasetInfo& info, std::uint64_t seed = 42);
+
+// The Synth grid of Fig. 8: |D| in 10^(3 + i/3), d = 2^j.
+std::vector<std::size_t> synth_sizes();        // 10 sizes, 1e3 .. 1e6
+std::vector<std::size_t> synth_dimensions();   // 64 .. 4096
+
+}  // namespace fasted::data

@@ -1,0 +1,65 @@
+#include "data/scaling.hpp"
+
+#include <cmath>
+
+#include "common/fp16.hpp"
+#include "common/parallel.hpp"
+
+namespace fasted::data {
+
+float max_abs_value(const MatrixF32& m) {
+  float max_abs = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.row(i);
+    for (std::size_t k = 0; k < m.dims(); ++k) {
+      max_abs = std::max(max_abs, std::fabs(row[k]));
+    }
+  }
+  return max_abs;
+}
+
+double fp16_relative_rms_error(const MatrixF32& m) {
+  double sum = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.row(i);
+    for (std::size_t k = 0; k < m.dims(); ++k) {
+      if (row[k] == 0.0f) continue;
+      const double rel =
+          (static_cast<double>(quantize_fp16(row[k])) - row[k]) / row[k];
+      sum += rel * rel;
+      ++count;
+    }
+  }
+  return count ? std::sqrt(sum / static_cast<double>(count)) : 0.0;
+}
+
+double choose_pow2_scale(float max_abs, int target_exponent) {
+  if (max_abs <= 0) return 1.0;
+  // scale = 2^(target - ceil(log2(max_abs))) puts max_abs in
+  // [2^(target-1), 2^target).
+  const int e = static_cast<int>(
+      std::ceil(std::log2(static_cast<double>(max_abs))));
+  return std::ldexp(1.0, target_exponent - e);
+}
+
+ScalingReport scale_to_fp16_range(MatrixF32& m, int target_exponent) {
+  ScalingReport rep;
+  rep.max_abs_before = max_abs_value(m);
+  rep.rms_quant_error_before = fp16_relative_rms_error(m);
+  rep.scale = choose_pow2_scale(rep.max_abs_before, target_exponent);
+  if (rep.scale != 1.0) {
+    const auto s = static_cast<float>(rep.scale);
+    parallel_for(0, m.rows(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        float* row = m.row(i);
+        for (std::size_t k = 0; k < m.dims(); ++k) row[k] *= s;
+      }
+    });
+  }
+  rep.max_abs_after = max_abs_value(m);
+  rep.rms_quant_error_after = fp16_relative_rms_error(m);
+  return rep;
+}
+
+}  // namespace fasted::data

@@ -1,0 +1,49 @@
+// FP16 input scaling — the paper's future-work direction (Sec. 5):
+// "It is likely that scaling the input data could further increase the
+//  accuracy of our results, and in the case where a dataset is adversely
+//  affected by conversion to FP16, it would mitigate this numerical
+//  sensitivity."
+//
+// Euclidean distances scale linearly: dist(c*p, c*q) = c * dist(p, q), so
+// multiplying every coordinate by a power of two (exact in binary floating
+// point) and the search radius by the same factor leaves the result set
+// semantics unchanged while moving values into FP16's sweet spot.  The
+// chosen scale maps the largest |coordinate| near 2^bias below the FP16
+// overflow threshold, keeping headroom for the squared-norm accumulation.
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/matrix.hpp"
+
+namespace fasted::data {
+
+struct ScalingReport {
+  double scale = 1.0;          // power-of-two factor applied
+  float max_abs_before = 0;
+  float max_abs_after = 0;
+  double rms_quant_error_before = 0;  // FP16 relative quantization RMS
+  double rms_quant_error_after = 0;
+};
+
+// Largest absolute coordinate (0 for an empty matrix).
+float max_abs_value(const MatrixF32& m);
+
+// Relative FP16 quantization error, RMS over nonzero coordinates:
+// sqrt(mean(((q(x) - x) / x)^2)).  Large values flag datasets whose range
+// sits poorly in FP16 (subnormals or near-overflow).
+double fp16_relative_rms_error(const MatrixF32& m);
+
+// Picks the power-of-two scale that brings max|x| into
+// [2^target_exponent/2, 2^target_exponent); the default target (2^8 = 256)
+// leaves ample headroom: 65504 / 256^2 >> typical d, so squared norms stay
+// finite, while all normals stay far from the subnormal range.
+double choose_pow2_scale(float max_abs, int target_exponent = 8);
+
+// Applies the scale in place (exact: power-of-two multiply) and reports the
+// before/after quantization quality.  Multiply eps by the returned
+// `report.scale` (and divide reported distances by it) to keep semantics.
+ScalingReport scale_to_fp16_range(MatrixF32& m, int target_exponent = 8);
+
+}  // namespace fasted::data

@@ -1,0 +1,121 @@
+#include "index/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace fasted::index {
+
+namespace {
+constexpr int kBitsPerDim = 10;
+constexpr std::int64_t kMaxCell = (1 << kBitsPerDim) - 1;
+
+// Clamped cell coordinate.  Clamping merges the far tail into one cell,
+// which preserves the candidate-superset property (it only coarsens).
+std::int64_t cell_coord(float x, float min, float eps) {
+  const double c = std::floor((static_cast<double>(x) - min) / eps);
+  return std::clamp<std::int64_t>(static_cast<std::int64_t>(c), 0, kMaxCell);
+}
+}  // namespace
+
+GridIndex::GridIndex(const MatrixF32& data, float eps, int indexed_dims)
+    : data_(data), eps_(eps) {
+  FASTED_CHECK_MSG(eps > 0, "grid cell width must be positive");
+  g_ = indexed_dims > 0 ? indexed_dims
+                        : static_cast<int>(std::min<std::size_t>(6, data.dims()));
+  FASTED_CHECK(g_ >= 1 && g_ * kBitsPerDim <= 60);
+
+  mins_.assign(static_cast<std::size_t>(g_),
+               std::numeric_limits<float>::max());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const float* p = data.row(i);
+    for (int k = 0; k < g_; ++k) {
+      mins_[static_cast<std::size_t>(k)] =
+          std::min(mins_[static_cast<std::size_t>(k)], p[k]);
+    }
+  }
+
+  cells_.reserve(data.rows() / 4 + 1);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    cells_[key_of(data.row(i))].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Precompute the 3^g neighbor offsets.
+  std::vector<int> offset(static_cast<std::size_t>(g_), -1);
+  for (;;) {
+    neighbor_offsets_.push_back(offset);
+    int k = 0;
+    while (k < g_ && offset[static_cast<std::size_t>(k)] == 1) {
+      offset[static_cast<std::size_t>(k)] = -1;
+      ++k;
+    }
+    if (k == g_) break;
+    ++offset[static_cast<std::size_t>(k)];
+  }
+}
+
+GridIndex::CellKey GridIndex::key_of(const float* p) const {
+  CellKey key = 0;
+  for (int k = 0; k < g_; ++k) {
+    const std::int64_t c =
+        cell_coord(p[k], mins_[static_cast<std::size_t>(k)], eps_);
+    key = (key << kBitsPerDim) | static_cast<CellKey>(c);
+  }
+  return key;
+}
+
+bool GridIndex::neighbor_key(const float* p, const int* offset,
+                             CellKey& key) const {
+  key = 0;
+  for (int k = 0; k < g_; ++k) {
+    std::int64_t c = cell_coord(p[k], mins_[static_cast<std::size_t>(k)], eps_) +
+                     offset[k];
+    if (c < 0 || c > kMaxCell) return false;  // outside the clamped grid
+    key = (key << kBitsPerDim) | static_cast<CellKey>(c);
+  }
+  return true;
+}
+
+void GridIndex::candidates_of(std::size_t i,
+                              std::vector<std::uint32_t>& out) const {
+  const float* p = data_.row(i);
+  // Distinct neighbor-cell keys (duplicates can appear at clamp borders).
+  std::vector<CellKey> keys;
+  keys.reserve(neighbor_offsets_.size());
+  CellKey key;
+  for (const auto& off : neighbor_offsets_) {
+    if (neighbor_key(p, off.data(), key)) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (CellKey k : keys) {
+    const auto it = cells_.find(k);
+    if (it == cells_.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+}
+
+double GridIndex::build_flop_estimate() const {
+  // Cell assignment: g subtract/divide/floor per point, plus prefix-sum
+  // style bucket construction.
+  return static_cast<double>(data_.rows()) * (3.0 * g_ + 8.0);
+}
+
+double GridIndex::mean_candidates(std::size_t sample) const {
+  if (data_.rows() == 0) return 0;
+  Rng rng(12345);
+  std::vector<std::uint32_t> c;
+  double total = 0;
+  const std::size_t m = std::min(sample, data_.rows());
+  for (std::size_t s = 0; s < m; ++s) {
+    c.clear();
+    candidates_of(rng.next_below(data_.rows()), c);
+    total += static_cast<double>(c.size());
+  }
+  return total / static_cast<double>(m);
+}
+
+}  // namespace fasted::index

@@ -1,0 +1,156 @@
+#include "index/mistic_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace fasted::index {
+
+namespace {
+
+double l2(const float* a, const float* b, std::size_t d) {
+  double acc = 0;
+  for (std::size_t k = 0; k < d; ++k) {
+    const double diff = static_cast<double>(a[k]) - b[k];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+double MisticIndex::Partitioner::project(const MatrixF32& data,
+                                         const float* p) const {
+  if (kind == Kind::kMetric) {
+    return l2(p, data.row(pivot), data.dims());
+  }
+  return p[pivot];
+}
+
+MisticIndex::MisticIndex(const MatrixF32& data, float eps, MisticConfig config)
+    : data_(data), eps_(eps), config_(config), rng_state_(config.seed) {
+  FASTED_CHECK_MSG(eps > 0, "partition width must be positive");
+  FASTED_CHECK(config_.levels >= 1 && config_.candidates_per_level >= 1);
+  std::vector<std::uint32_t> all(data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    all[i] = static_cast<std::uint32_t>(i);
+  }
+  root_ = build(std::move(all), 0);
+}
+
+MisticIndex::NodePtr MisticIndex::build(std::vector<std::uint32_t> points,
+                                        int level) {
+  auto node = std::make_unique<Node>();
+  ++node_count_;
+  if (level >= config_.levels || points.size() <= config_.leaf_size) {
+    node->points = std::move(points);
+    ++leaf_count_;
+    return node;
+  }
+
+  // Incremental construction: score candidate partitioners on this node's
+  // point set; lower sum of squared bucket sizes = fewer expected
+  // candidate pairs.
+  Rng rng(rng_state_ ^ (0x9e3779b97f4a7c15ull * (node_count_ + 1)));
+  Partitioner best;
+  double best_score = std::numeric_limits<double>::max();
+  std::vector<double> projections(points.size());
+  std::vector<double> best_projections(points.size());
+
+  for (int c = 0; c < config_.candidates_per_level; ++c) {
+    Partitioner cand;
+    // Alternate flavors so both spaces are explored (MiSTIC mixes
+    // metric- and coordinate-based layers).
+    if (c % 2 == 0 && !points.empty()) {
+      cand.kind = Kind::kMetric;
+      cand.pivot = points[rng.next_below(points.size())];
+    } else {
+      cand.kind = Kind::kCoordinate;
+      cand.pivot = static_cast<std::uint32_t>(rng.next_below(data_.dims()));
+    }
+
+    std::map<std::int64_t, std::uint64_t> sizes;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      projections[i] = cand.project(data_, data_.row(points[i]));
+      const auto b = static_cast<std::int64_t>(
+          std::floor(projections[i] / eps_));
+      ++sizes[b];
+    }
+    if (cand.kind == Kind::kMetric) {
+      build_flops_ += 3.0 * static_cast<double>(points.size()) *
+                      static_cast<double>(data_.dims());
+    } else {
+      build_flops_ += 2.0 * static_cast<double>(points.size());
+    }
+
+    double score = 0;
+    for (const auto& kv : sizes) {
+      score += static_cast<double>(kv.second) * static_cast<double>(kv.second);
+    }
+    if (sizes.size() <= 1) continue;  // useless split
+    if (score < best_score) {
+      best_score = score;
+      best = cand;
+      best_projections = projections;
+    }
+  }
+
+  if (best_score == std::numeric_limits<double>::max()) {
+    // No candidate split the set (e.g. duplicate points): make a leaf.
+    node->points = std::move(points);
+    ++leaf_count_;
+    return node;
+  }
+
+  node->leaf = false;
+  node->part = best;
+  std::map<std::int64_t, std::vector<std::uint32_t>> buckets;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto b =
+        static_cast<std::int64_t>(std::floor(best_projections[i] / eps_));
+    buckets[b].push_back(points[i]);
+  }
+  for (auto& [b, pts] : buckets) {
+    node->kids.emplace(b, build(std::move(pts), level + 1));
+  }
+  return node;
+}
+
+void MisticIndex::collect(const Node& node, const float* q, double eps,
+                          std::vector<std::uint32_t>& out) const {
+  if (node.leaf) {
+    out.insert(out.end(), node.points.begin(), node.points.end());
+    return;
+  }
+  const double proj = node.part.project(data_, q);
+  const auto lo = static_cast<std::int64_t>(std::floor((proj - eps) / eps_));
+  const auto hi = static_cast<std::int64_t>(std::floor((proj + eps) / eps_));
+  for (auto it = node.kids.lower_bound(lo);
+       it != node.kids.end() && it->first <= hi; ++it) {
+    collect(*it->second, q, eps, out);
+  }
+}
+
+void MisticIndex::candidates_of(std::size_t i,
+                                std::vector<std::uint32_t>& out) const {
+  collect(*root_, data_.row(i), eps_, out);
+}
+
+double MisticIndex::mean_candidates(std::size_t sample) const {
+  if (data_.rows() == 0) return 0;
+  Rng rng(999);
+  std::vector<std::uint32_t> c;
+  double total = 0;
+  const std::size_t m = std::min(sample, data_.rows());
+  for (std::size_t s = 0; s < m; ++s) {
+    c.clear();
+    candidates_of(rng.next_below(data_.rows()), c);
+    total += static_cast<double>(c.size());
+  }
+  return total / static_cast<double>(m);
+}
+
+}  // namespace fasted::index

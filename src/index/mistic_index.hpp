@@ -1,0 +1,80 @@
+// MiSTIC-style multi-space tree with incremental construction
+// [Donnelly & Gowanlock, HiPC 2024].
+//
+// The index is a tree of `levels` partitioning layers.  Each node splits its
+// point set either by a *metric* partitioner (distance rings of width eps
+// around a pivot point — the triangle inequality bounds which rings can hold
+// neighbors) or a *coordinate* partitioner (slabs of width eps along one
+// dimension).  Construction is incremental: at every node the builder
+// evaluates `candidates_per_level` random partitioners and keeps the one
+// with the lowest expected candidate count (sum of squared bucket sizes),
+// which is MiSTIC's layer-selection idea.
+//
+// A range query walks the tree, descending only into buckets whose
+// projection interval intersects [proj(q) - eps, proj(q) + eps]; leaves
+// contribute their points as candidates (a superset of the true result).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace fasted::index {
+
+struct MisticConfig {
+  int levels = 6;                 // paper: 6 levels
+  int candidates_per_level = 38;  // paper: 38 candidate layers
+  std::size_t leaf_size = 32;     // stop splitting below this
+  std::uint64_t seed = 0xa11ce;
+};
+
+class MisticIndex {
+ public:
+  MisticIndex(const MatrixF32& data, float eps, MisticConfig config = {});
+
+  void candidates_of(std::size_t i, std::vector<std::uint32_t>& out) const;
+
+  std::size_t node_count() const { return node_count_; }
+  std::size_t leaf_count() const { return leaf_count_; }
+  double build_flop_estimate() const { return build_flops_; }
+  double mean_candidates(std::size_t sample = 256) const;
+
+ private:
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+
+  enum class Kind { kMetric, kCoordinate };
+
+  struct Partitioner {
+    Kind kind = Kind::kCoordinate;
+    std::uint32_t pivot = 0;  // point id (metric) or dimension (coordinate)
+    // Projection: metric -> dist(p, pivot); coordinate -> p[dim].
+    double project(const MatrixF32& data, const float* p) const;
+  };
+
+  struct Node {
+    bool leaf = true;
+    Partitioner part;
+    std::vector<std::uint32_t> points;      // leaf payload
+    std::map<std::int64_t, NodePtr> kids;   // bucket -> child
+  };
+
+  NodePtr build(std::vector<std::uint32_t> points, int level);
+  void collect(const Node& node, const float* q, double eps,
+               std::vector<std::uint32_t>& out) const;
+
+  const MatrixF32& data_;
+  float eps_;
+  MisticConfig config_;
+  NodePtr root_;
+  std::size_t node_count_ = 0;
+  std::size_t leaf_count_ = 0;
+  double build_flops_ = 0;
+  std::uint64_t rng_state_;
+};
+
+}  // namespace fasted::index

@@ -1,0 +1,170 @@
+#include "metrics/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "core/fasted.hpp"
+#include "core/sums.hpp"
+
+namespace fasted::metrics {
+
+double overlap_accuracy(const SelfJoinResult& a, const SelfJoinResult& b) {
+  FASTED_CHECK_MSG(a.num_points() == b.num_points(),
+                   "result sets cover different point sets");
+  const std::size_t n = a.num_points();
+  if (n == 0) return 1.0;
+  std::vector<double> scores(n);
+  parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto na = a.neighbors_of(i);
+      const auto nb = b.neighbors_of(i);
+      // Sorted-merge intersection count.
+      std::size_t ia = 0, ib = 0, both = 0;
+      while (ia < na.size() && ib < nb.size()) {
+        if (na[ia] == nb[ib]) {
+          ++both;
+          ++ia;
+          ++ib;
+        } else if (na[ia] < nb[ib]) {
+          ++ia;
+        } else {
+          ++ib;
+        }
+      }
+      const std::size_t uni = na.size() + nb.size() - both;
+      scores[i] = uni == 0 ? 1.0
+                           : static_cast<double>(both) /
+                                 static_cast<double>(uni);
+    }
+  });
+  double total = 0;
+  for (double s : scores) total += s;
+  return total / static_cast<double>(n);
+}
+
+namespace {
+
+// Visits every pair present in both result sets (i's row intersection) and
+// calls fn(i, j, fasted_dist, ground_truth_dist).
+template <typename Fn>
+void for_each_common_pair(const MatrixF32& data, const SelfJoinResult& fa,
+                          const SelfJoinResult& gt, Fn&& fn) {
+  FASTED_CHECK(fa.num_points() == gt.num_points());
+  FASTED_CHECK(fa.num_points() == data.rows());
+
+  const MatrixF16 data16 = to_fp16(data);
+  const MatrixF32 dequant = to_fp32(data16);
+  const std::vector<float> s = squared_norms_fp16_rz(data16);
+  const MatrixF64 data64 = to_fp64(data);
+  const std::size_t dims = dequant.stride();
+
+  for (std::size_t i = 0; i < fa.num_points(); ++i) {
+    const auto na = fa.neighbors_of(i);
+    const auto nb = gt.neighbors_of(i);
+    std::size_t ia = 0, ib = 0;
+    while (ia < na.size() && ib < nb.size()) {
+      if (na[ia] == nb[ib]) {
+        const std::uint32_t j = na[ia];
+        const float d2f = fasted_pair_dist2(dequant.row(i), dequant.row(j),
+                                            dims, s[i], s[j]);
+        const double df = std::sqrt(std::max(0.0f, d2f));
+        // Ground truth: FP64 direct difference form (GDS-Join FP64).
+        double acc = 0;
+        const double* pi = data64.row(i);
+        const double* pj = data64.row(j);
+        for (std::size_t k = 0; k < data.dims(); ++k) {
+          const double diff = pi[k] - pj[k];
+          acc += diff * diff;
+        }
+        fn(i, j, df, std::sqrt(acc));
+        ++ia;
+        ++ib;
+      } else if (na[ia] < nb[ib]) {
+        ++ia;
+      } else {
+        ++ib;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ErrorStats distance_error(const MatrixF32& data, const SelfJoinResult& fa,
+                          const SelfJoinResult& gt) {
+  ErrorStats st;
+  double sum = 0, sum2 = 0;
+  st.min = std::numeric_limits<double>::max();
+  st.max = std::numeric_limits<double>::lowest();
+  for_each_common_pair(data, fa, gt,
+                       [&](std::size_t, std::size_t, double df, double dg) {
+                         const double e = df - dg;
+                         sum += e;
+                         sum2 += e * e;
+                         st.min = std::min(st.min, e);
+                         st.max = std::max(st.max, e);
+                         ++st.samples;
+                       });
+  if (st.samples == 0) {
+    st.min = st.max = 0;
+    return st;
+  }
+  const double n = static_cast<double>(st.samples);
+  st.mean = sum / n;
+  st.stddev = std::sqrt(std::max(0.0, sum2 / n - st.mean * st.mean));
+  return st;
+}
+
+void Histogram::add(double x) {
+  if (x < lo) {
+    ++underflow;
+    return;
+  }
+  if (x >= hi) {
+    ++overflow;
+    return;
+  }
+  const auto b = static_cast<std::size_t>((x - lo) / (hi - lo) *
+                                          static_cast<double>(bins.size()));
+  ++bins[std::min(b, bins.size() - 1)];
+}
+
+std::string Histogram::render(int width) const {
+  std::uint64_t peak = 1;
+  for (auto b : bins) peak = std::max(peak, b);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const double left = lo + (hi - lo) * static_cast<double>(i) /
+                                 static_cast<double>(bins.size());
+    const int bar = static_cast<int>(
+        static_cast<double>(bins[i]) / static_cast<double>(peak) * width);
+    os << std::scientific;
+    os.precision(2);
+    os << left << " | ";
+    for (int c = 0; c < bar; ++c) os << '#';
+    os << " " << bins[i] << "\n";
+  }
+  return os.str();
+}
+
+Histogram distance_error_histogram(const MatrixF32& data,
+                                   const SelfJoinResult& fa,
+                                   const SelfJoinResult& gt, double lo,
+                                   double hi, int nbins) {
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.bins.assign(static_cast<std::size_t>(nbins), 0);
+  for_each_common_pair(data, fa, gt,
+                       [&](std::size_t, std::size_t, double df, double dg) {
+                         h.add(df - dg);
+                       });
+  return h;
+}
+
+}  // namespace fasted::metrics

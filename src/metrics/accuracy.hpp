@@ -1,0 +1,55 @@
+// Accuracy metrics of Sec. 4.6.
+//
+//  * Overlap between result sets (Eq. 3): mean over points of
+//    |N_a(i) ∩ N_b(i)| / |N_a(i) ∪ N_b(i)|.
+//  * Difference between computed distances: for every pair present in both
+//    result sets, dist_fasted - dist_ground_truth; mean, standard deviation
+//    and a histogram (Fig. 11).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/result.hpp"
+
+namespace fasted::metrics {
+
+// Eq. 3.  Both results must cover the same point set; neighbor lists must be
+// sorted ascending (all engines in this repo produce sorted rows).
+double overlap_accuracy(const SelfJoinResult& a, const SelfJoinResult& b);
+
+struct ErrorStats {
+  double mean = 0;
+  double stddev = 0;
+  std::uint64_t samples = 0;
+  double min = 0;
+  double max = 0;
+};
+
+// Distance error over pairs in the intersection of the two result sets:
+// FaSTED's FP16-32 pipeline distance minus the FP64 ground truth.
+// `data` is the raw FP32 dataset (quantization happens inside, matching the
+// FaSTED path).
+ErrorStats distance_error(const MatrixF32& data, const SelfJoinResult& fasted,
+                          const SelfJoinResult& ground_truth);
+
+struct Histogram {
+  double lo = 0;
+  double hi = 0;
+  std::vector<std::uint64_t> bins;
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+
+  void add(double x);
+  std::string render(int width = 60) const;  // ASCII (Fig. 11 style)
+};
+
+Histogram distance_error_histogram(const MatrixF32& data,
+                                   const SelfJoinResult& fasted,
+                                   const SelfJoinResult& ground_truth,
+                                   double lo, double hi, int bins);
+
+}  // namespace fasted::metrics

@@ -1,0 +1,66 @@
+#include "metrics/degree_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fasted::metrics {
+
+DegreeStats degree_stats(const SelfJoinResult& result) {
+  DegreeStats st;
+  st.points = result.num_points();
+  if (st.points == 0) return st;
+
+  std::vector<std::uint64_t> degrees(st.points);
+  double sum = 0;
+  double sum2 = 0;
+  st.min = ~0ull;
+  for (std::size_t i = 0; i < st.points; ++i) {
+    const std::uint64_t d = result.degree(i);
+    degrees[i] = d;
+    sum += static_cast<double>(d);
+    sum2 += static_cast<double>(d) * static_cast<double>(d);
+    st.min = std::min(st.min, d);
+    st.max = std::max(st.max, d);
+  }
+  const auto n = static_cast<double>(st.points);
+  st.mean = sum / n;
+  st.stddev = std::sqrt(std::max(0.0, sum2 / n - st.mean * st.mean));
+
+  // Warp imbalance before sorting (natural point order -> warp lanes).
+  double imb = 0;
+  std::size_t groups = 0;
+  for (std::size_t base = 0; base < st.points; base += 32, ++groups) {
+    const std::size_t end = std::min(base + 32, st.points);
+    std::uint64_t gmax = 0;
+    std::uint64_t gsum = 0;
+    for (std::size_t i = base; i < end; ++i) {
+      gmax = std::max(gmax, degrees[i]);
+      gsum += degrees[i];
+    }
+    const double gmean =
+        static_cast<double>(gsum) / static_cast<double>(end - base);
+    imb += gmean > 0 ? static_cast<double>(gmax) / gmean : 1.0;
+  }
+  st.warp_imbalance = groups ? imb / static_cast<double>(groups) : 1.0;
+
+  std::sort(degrees.begin(), degrees.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * (n - 1));
+    return degrees[idx];
+  };
+  st.p50 = at(0.50);
+  st.p90 = at(0.90);
+  st.p99 = at(0.99);
+  return st;
+}
+
+std::string DegreeStats::to_string() const {
+  std::ostringstream os;
+  os << "degrees: mean " << mean << " (sd " << stddev << "), min " << min
+     << ", p50 " << p50 << ", p90 " << p90 << ", p99 " << p99 << ", max "
+     << max << ", warp imbalance " << warp_imbalance;
+  return os.str();
+}
+
+}  // namespace fasted::metrics

@@ -1,0 +1,35 @@
+// Neighborhood-degree statistics of a self-join result: the workload-shape
+// diagnostics behind the paper's load-balancing discussion (Sec. 2.6 —
+// MiSTIC beats GDS-Join partly through better balance, and FaSTED's
+// brute-force schedule is "perfectly balanced" because it ignores degrees
+// entirely).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+
+namespace fasted::metrics {
+
+struct DegreeStats {
+  std::size_t points = 0;
+  double mean = 0;
+  double stddev = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  // Intra-warp imbalance if consecutive points map to warp lanes:
+  // mean over 32-point groups of (max degree / mean degree).
+  double warp_imbalance = 1.0;
+
+  std::string to_string() const;
+};
+
+DegreeStats degree_stats(const SelfJoinResult& result);
+
+}  // namespace fasted::metrics

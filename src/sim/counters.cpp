@@ -1,0 +1,59 @@
+#include "sim/counters.hpp"
+
+#include <sstream>
+
+namespace fasted::sim {
+
+ProfileReport ProfileReport::from_counters(const KernelCounters& c,
+                                           const DeviceSpec& spec) {
+  ProfileReport r;
+  if (c.kernel_seconds <= 0) return r;
+  const double seconds = c.kernel_seconds;
+  const double clock = c.achieved_clock_ghz > 0 ? c.achieved_clock_ghz
+                                                : spec.base_clock_ghz;
+
+  r.clock_ghz = clock;
+  r.dram_throughput_pct =
+      100.0 * (c.dram_bytes / seconds) / (spec.dram_bandwidth_gbs * 1e9);
+
+  // Shared-memory peak scales with clock: 128 B/cycle/SM.
+  const double smem_peak =
+      spec.smem_bytes_per_cycle_per_sm() * spec.sm_count * clock * 1e9;
+  r.smem_throughput_pct =
+      100.0 * ((c.smem_load_bytes + c.smem_store_bytes) / seconds) / smem_peak;
+
+  const double bank_cycles = c.smem_load_cycles + c.smem_store_cycles;
+  const double ideal_cycles =
+      (c.smem_load_bytes + c.smem_store_bytes) /
+      spec.smem_bytes_per_cycle_per_sm();
+  r.bank_conflict_pct =
+      bank_cycles > 0 ? 100.0 * (bank_cycles - ideal_cycles) / bank_cycles : 0;
+  if (r.bank_conflict_pct < 0) r.bank_conflict_pct = 0;
+
+  r.l2_hit_rate_pct = c.l2_read_bytes > 0
+                          ? 100.0 * (1.0 - c.dram_bytes / c.l2_read_bytes)
+                          : 0;
+
+  const double elapsed_sm_cycles = seconds * clock * 1e9 * spec.sm_count;
+  const double fp16_cycles =
+      c.tc_fp16_flops / spec.fp16_tc_flops_per_cycle_per_sm;
+  const double fp64_cycles =
+      c.tc_fp64_flops / spec.fp64_tc_flops_per_cycle_per_sm;
+  r.tc_pipe_fp16_pct = 100.0 * fp16_cycles / elapsed_sm_cycles;
+  r.tc_pipe_fp64_pct = 100.0 * fp64_cycles / elapsed_sm_cycles;
+  return r;
+}
+
+std::string ProfileReport::to_string() const {
+  std::ostringstream os;
+  os << "DRAM Throughput (%):          " << dram_throughput_pct << "\n"
+     << "SMEM Throughput (%):          " << smem_throughput_pct << "\n"
+     << "Bank Conflicts (%):           " << bank_conflict_pct << "\n"
+     << "L2 Hit Rate (%):              " << l2_hit_rate_pct << "\n"
+     << "TC Pipe Utilization FP16-32:  " << tc_pipe_fp16_pct << "\n"
+     << "TC Pipe Utilization FP64:     " << tc_pipe_fp64_pct << "\n"
+     << "Clock Speed (GHz):            " << clock_ghz << "\n";
+  return os.str();
+}
+
+}  // namespace fasted::sim

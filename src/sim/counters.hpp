@@ -1,0 +1,87 @@
+// Kernel-level performance counters and the Nsight-style profile report used
+// to reproduce the paper's Table 6.
+//
+// Counters are produced by the performance models (cycle accounting) and the
+// structural models (bank conflicts, L2 reuse); the report converts them to
+// the percentages Nsight Compute shows.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/device_spec.hpp"
+#include "sim/shared_memory.hpp"
+
+namespace fasted::sim {
+
+struct KernelCounters {
+  // Work.
+  double tc_fp16_flops = 0;
+  double tc_fp64_flops = 0;
+  double cuda_fp32_flops = 0;
+  std::uint64_t mma_count = 0;
+  std::uint64_t ldmatrix_count = 0;
+  std::uint64_t block_tiles = 0;
+
+  // Memory traffic (bytes).
+  double smem_load_bytes = 0;    // shared memory -> registers
+  double smem_store_bytes = 0;   // async copy / registers -> shared memory
+  double smem_load_cycles = 0;   // including conflict replays
+  double smem_store_cycles = 0;
+  double l2_read_bytes = 0;      // global loads serviced by L2 (or DRAM)
+  double dram_bytes = 0;         // L2 misses
+  double result_write_bytes = 0;
+
+  // Cycle accounting (SM cycles at base clock, summed over all SMs).
+  double tc_busy_cycles = 0;
+  double cuda_busy_cycles = 0;
+  double total_cycles = 0;       // makespan * SMs (i.e., SM-cycles available)
+
+  // Outcome.
+  double achieved_clock_ghz = 0;
+  double kernel_seconds = 0;
+
+  void merge(const KernelCounters& o) {
+    tc_fp16_flops += o.tc_fp16_flops;
+    tc_fp64_flops += o.tc_fp64_flops;
+    cuda_fp32_flops += o.cuda_fp32_flops;
+    mma_count += o.mma_count;
+    ldmatrix_count += o.ldmatrix_count;
+    block_tiles += o.block_tiles;
+    smem_load_bytes += o.smem_load_bytes;
+    smem_store_bytes += o.smem_store_bytes;
+    smem_load_cycles += o.smem_load_cycles;
+    smem_store_cycles += o.smem_store_cycles;
+    l2_read_bytes += o.l2_read_bytes;
+    dram_bytes += o.dram_bytes;
+    result_write_bytes += o.result_write_bytes;
+    tc_busy_cycles += o.tc_busy_cycles;
+    cuda_busy_cycles += o.cuda_busy_cycles;
+    total_cycles += o.total_cycles;
+    kernel_seconds += o.kernel_seconds;
+    achieved_clock_ghz = o.achieved_clock_ghz;  // last kernel wins
+  }
+
+  double derived_tflops() const {
+    const double flops = tc_fp16_flops + tc_fp64_flops;
+    return kernel_seconds > 0 ? flops / kernel_seconds / 1e12 : 0.0;
+  }
+};
+
+// Table 6 row set.
+struct ProfileReport {
+  double dram_throughput_pct = 0;      // of peak DRAM bandwidth
+  double smem_throughput_pct = 0;      // of peak shared-memory bandwidth
+  double bank_conflict_pct = 0;        // replays / total bank cycles
+  double l2_hit_rate_pct = 0;
+  double tc_pipe_fp16_pct = 0;         // tensor pipe busy / elapsed
+  double tc_pipe_fp64_pct = 0;
+  double clock_ghz = 0;
+
+  static ProfileReport from_counters(const KernelCounters& c,
+                                     const DeviceSpec& spec);
+  std::string to_string() const;
+};
+
+}  // namespace fasted::sim

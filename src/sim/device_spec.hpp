@@ -1,0 +1,120 @@
+// Hardware description of the simulated GPU.
+//
+// The reproduction targets the paper's platform: an NVIDIA A100 PCIe 40 GB.
+// All timing in the performance model is expressed in SM cycles at
+// `base_clock_ghz` and converted to seconds after the power model picks the
+// sustained clock.  Bandwidths are per-device; helpers expose the per-SM,
+// per-cycle service rates the tile-level model composes.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fasted::sim {
+
+struct DeviceSpec {
+  // --- compute ---
+  int sm_count = 108;
+  int tensor_cores_per_sm = 4;
+  int warp_schedulers_per_sm = 4;
+  double base_clock_ghz = 1.41;   // boost clock; the power model may lower it
+  double min_clock_ghz = 0.76;
+
+  // FP16 multiply / FP32 accumulate tensor-core throughput:
+  // 312 TFLOPS at 1.41 GHz over 108 SMs -> 2048 FLOP / cycle / SM.
+  int fp16_tc_flops_per_cycle_per_sm = 2048;
+  // FP64 tensor-core throughput: 19.5 TFLOPS -> 128 FLOP / cycle / SM.
+  int fp64_tc_flops_per_cycle_per_sm = 128;
+  // FP32 CUDA-core FMA throughput: 19.5 TFLOPS -> 128 FLOP / cycle / SM.
+  int fp32_cuda_flops_per_cycle_per_sm = 128;
+
+  // --- memory hierarchy ---
+  double dram_bandwidth_gbs = 1555.0;    // HBM2e
+  // Fraction of DRAM peak reachable with the kernel's ~16-32 KB fragment
+  // bursts (row-buffer + refresh overheads); calibrated once, used for all
+  // algorithms.
+  double dram_efficiency = 0.65;
+  double l2_bandwidth_gbs = 6400.0;      // paper Box #1 value
+  std::size_t l2_capacity_bytes = 40ull * 1024 * 1024;
+  std::size_t l2_line_bytes = 128;
+
+  // Shared memory: 32 banks x 4 B per cycle per SM = 128 B / cycle / SM.
+  int smem_banks = 32;
+  int smem_bank_bytes = 4;
+  std::size_t smem_bytes_per_sm = 164 * 1024;   // max carve-out of the 192 KB
+  std::size_t smem_default_carveout = 96 * 1024;
+  std::size_t registers_per_sm = 65536;          // 32-bit registers
+
+  // --- power ---
+  double power_budget_w = 250.0;   // PCIe A100 (the SXM part allows 400 W)
+  double idle_power_w = 90.0;
+  // Dynamic power at full tensor-pipe utilization and base clock.  Chosen so
+  // the power model reproduces the paper's observed throttle: FP16-32 pipe
+  // ~64% busy forces the clock from 1.41 to ~1.12 GHz (Sec. 4.4).
+  double tc_dynamic_power_w = 500.0;
+  double dram_dynamic_power_w = 60.0;
+
+  // --- derived helpers (at base clock) ---
+  double cycles_per_second() const { return base_clock_ghz * 1e9; }
+  double device_fp16_tflops() const {
+    return fp16_tc_flops_per_cycle_per_sm * sm_count * base_clock_ghz / 1e3;
+  }
+  double device_fp64_tc_tflops() const {
+    return fp64_tc_flops_per_cycle_per_sm * sm_count * base_clock_ghz / 1e3;
+  }
+  double device_fp32_cuda_tflops() const {
+    return fp32_cuda_flops_per_cycle_per_sm * sm_count * base_clock_ghz / 1e3;
+  }
+  // Per-SM share of device bandwidth, in bytes per SM-cycle at base clock.
+  double dram_bytes_per_sm_cycle() const {
+    return dram_bandwidth_gbs * dram_efficiency * 1e9 /
+           (sm_count * cycles_per_second());
+  }
+  double l2_bytes_per_sm_cycle() const {
+    return l2_bandwidth_gbs * 1e9 / (sm_count * cycles_per_second());
+  }
+  int smem_bytes_per_cycle_per_sm() const {
+    return smem_banks * smem_bank_bytes;  // 128 B
+  }
+
+  // PCIe gen4 x16 host<->device link, used for end-to-end response times.
+  double pcie_bandwidth_gbs = 24.0;
+  double kernel_launch_overhead_s = 6e-6;
+
+  // Global memory capacity (40 GB part) and the fraction usable for data +
+  // result buffers once the runtime/allocator reserve is subtracted.  The
+  // paper's Sift10M S=256 run OOMs against this limit (Table 7).
+  double global_memory_bytes = 40e9;
+  double usable_memory_fraction = 0.80;
+
+  static DeviceSpec a100_pcie() { return DeviceSpec{}; }
+  static DeviceSpec a100_sxm() {
+    DeviceSpec s;
+    s.power_budget_w = 400.0;
+    return s;
+  }
+  // H100 SXM5 — the paper notes FaSTED "is generalizable to other
+  // TC-equipped GPU models"; this spec drives the what-if benches.
+  static DeviceSpec h100_sxm() {
+    DeviceSpec s;
+    s.sm_count = 132;
+    s.base_clock_ghz = 1.83;
+    s.fp16_tc_flops_per_cycle_per_sm = 4096;  // ~989 TFLOPS dense
+    s.fp64_tc_flops_per_cycle_per_sm = 256;   // ~62 TFLOPS
+    s.fp32_cuda_flops_per_cycle_per_sm = 256;
+    s.dram_bandwidth_gbs = 3352.0;            // HBM3
+    s.l2_bandwidth_gbs = 12000.0;
+    s.l2_capacity_bytes = 50ull * 1024 * 1024;
+    s.smem_bytes_per_sm = 228 * 1024;
+    s.registers_per_sm = 65536;
+    s.power_budget_w = 700.0;
+    s.idle_power_w = 120.0;
+    s.tc_dynamic_power_w = 900.0;
+    s.pcie_bandwidth_gbs = 55.0;              // gen5 x16
+    s.global_memory_bytes = 80e9;
+    return s;
+  }
+};
+
+}  // namespace fasted::sim

@@ -1,0 +1,145 @@
+#include "sim/l2_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace fasted::sim {
+
+L2Cache::L2Cache(std::size_t capacity_bytes, std::size_t line_bytes, int ways)
+    : line_bytes_(line_bytes),
+      sets_(std::max<std::size_t>(1, capacity_bytes / line_bytes /
+                                         static_cast<std::size_t>(ways))),
+      ways_(ways),
+      lines_(sets_ * static_cast<std::size_t>(ways)) {}
+
+bool L2Cache::access(std::uint64_t addr) {
+  const std::uint64_t line = addr / line_bytes_;
+  const std::size_t set = line % sets_;
+  Line* base = lines_.data() + set * static_cast<std::size_t>(ways_);
+  ++clock_;
+  int victim = 0;
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].tag == line) {
+      base[w].lru = clock_;
+      ++hits_;
+      return true;
+    }
+    if (base[w].lru < base[victim].lru) victim = w;
+  }
+  base[victim].tag = line;
+  base[victim].lru = clock_;
+  ++misses_;
+  return false;
+}
+
+void L2Cache::reset() {
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  clock_ = hits_ = misses_ = 0;
+}
+
+namespace {
+
+// Reuse-distance reasoning for the self-join tile grid.  Each block tile
+// (r, c) reads two full-d fragments: P_r and Q_c, `fragment_bytes` each.
+// A fragment survives in L2 between consecutive uses iff the unique bytes
+// touched in between fit in the capacity (LRU stack-distance argument).
+ReuseEstimate estimate_squares(double capacity, std::size_t t, double f,
+                               int s_in) {
+  const double s = std::min<double>(s_in, static_cast<double>(t));
+  const double tiles = static_cast<double>(t) * static_cast<double>(t);
+  const double l2_read = tiles * 2.0 * f;
+  const double squares_per_row = std::ceil(static_cast<double>(t) / s);
+
+  // Within one s x s square, the working set is 2*s full-d fragments.
+  const double square_ws = 2.0 * s * f;
+  // One square-row streams every Q fragment once plus holds s P fragments.
+  const double row_ws = (static_cast<double>(t) + s) * f;
+
+  double dram = 0;
+  if (row_ws <= capacity) {
+    // Everything streams through once per square-row but survives to the
+    // next square-row: only compulsory misses remain.
+    dram = 2.0 * static_cast<double>(t) * f;
+  } else if (square_ws <= capacity) {
+    // P fragments miss once per square-row (s fresh rows each); Q fragments
+    // miss once per square (their reuse distance spans a whole square-row).
+    const double square_rows = squares_per_row;
+    dram = square_rows * (s + static_cast<double>(t)) * f;
+  } else {
+    // Square working set exceeds L2: every fragment use misses.
+    dram = l2_read;
+  }
+  dram = std::min(dram, l2_read);
+  dram = std::max(dram, 2.0 * static_cast<double>(t) * f);  // compulsory
+  return {l2_read, dram, l2_read > 0 ? 1.0 - dram / l2_read : 0.0};
+}
+
+ReuseEstimate estimate_linear(double capacity, std::size_t t, double f) {
+  const double tiles = static_cast<double>(t) * static_cast<double>(t);
+  const double l2_read = tiles * 2.0 * f;
+  // Row-major: P_r is reused back-to-back along the row (hot, one miss per
+  // row).  Q_c's reuse distance is the whole row's Q stream (~t fragments).
+  const double q_stream = static_cast<double>(t) * f;
+  double dram = 0;
+  if (q_stream + f <= capacity) {
+    dram = 2.0 * static_cast<double>(t) * f;  // compulsory only
+  } else {
+    dram = static_cast<double>(t) * f                      // P, once per row
+           + tiles * f;                                    // Q, every use
+  }
+  dram = std::min(dram, l2_read);
+  dram = std::max(dram, 2.0 * static_cast<double>(t) * f);
+  return {l2_read, dram, l2_read > 0 ? 1.0 - dram / l2_read : 0.0};
+}
+
+}  // namespace
+
+ReuseEstimate FragmentReuseModel::estimate(DispatchPolicy policy,
+                                           std::size_t tiles_per_side,
+                                           double fragment_bytes,
+                                           int square) const {
+  if (tiles_per_side == 0) return {};
+  switch (policy) {
+    case DispatchPolicy::kSquares:
+      return estimate_squares(capacity_, tiles_per_side, fragment_bytes,
+                              square);
+    case DispatchPolicy::kRowMajor:
+    case DispatchPolicy::kColumnMajor:
+      return estimate_linear(capacity_, tiles_per_side, fragment_bytes);
+  }
+  return {};
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> dispatch_order(
+    DispatchPolicy policy, std::size_t tiles_per_side, int square) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order;
+  order.reserve(tiles_per_side * tiles_per_side);
+  const auto t = static_cast<std::uint32_t>(tiles_per_side);
+  switch (policy) {
+    case DispatchPolicy::kRowMajor:
+      for (std::uint32_t r = 0; r < t; ++r)
+        for (std::uint32_t c = 0; c < t; ++c) order.emplace_back(r, c);
+      break;
+    case DispatchPolicy::kColumnMajor:
+      for (std::uint32_t c = 0; c < t; ++c)
+        for (std::uint32_t r = 0; r < t; ++r) order.emplace_back(r, c);
+      break;
+    case DispatchPolicy::kSquares: {
+      const auto s = static_cast<std::uint32_t>(square);
+      for (std::uint32_t sr = 0; sr < t; sr += s) {
+        for (std::uint32_t sc = 0; sc < t; sc += s) {
+          for (std::uint32_t r = sr; r < std::min(sr + s, t); ++r) {
+            for (std::uint32_t c = sc; c < std::min(sc + s, t); ++c) {
+              order.emplace_back(r, c);
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
+  return order;
+}
+
+}  // namespace fasted::sim

@@ -1,0 +1,91 @@
+// L2 cache models.
+//
+// Two complementary models are provided:
+//
+//  * `L2Cache` — an exact set-associative LRU simulator at 128 B line
+//    granularity.  Used by tests and by small-scale dispatch-order studies
+//    to validate the analytic estimates.
+//
+//  * `FragmentReuseModel` — an analytic estimator of DRAM traffic and L2 hit
+//    rate for FaSTED's block-tile access pattern under a dispatch policy
+//    (the paper's Fig. 4 square order, or naive row-/column-major).  The
+//    full-scale experiments (|D| up to 1e6, d up to 4096) would need ~1e8+
+//    simulated accesses, so the estimator reasons about reuse distances of
+//    whole point fragments instead; the LRU simulator cross-checks it at
+//    small scale (see tests/sim/l2_model_test.cpp).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fasted::sim {
+
+class L2Cache {
+ public:
+  L2Cache(std::size_t capacity_bytes, std::size_t line_bytes, int ways = 16);
+
+  // Touches the line containing `addr`; returns true on hit.
+  bool access(std::uint64_t addr);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+  std::uint64_t dram_bytes() const { return misses_ * line_bytes_; }
+  void reset();
+
+ private:
+  struct Line {
+    std::uint64_t tag = ~0ull;
+    std::uint64_t lru = 0;
+  };
+  std::size_t line_bytes_;
+  std::size_t sets_;
+  int ways_;
+  std::vector<Line> lines_;  // sets_ x ways_
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// Dispatch policies for the block-tile work queue (paper Fig. 4).
+enum class DispatchPolicy {
+  kSquares,    // s x s squares of block tiles (FaSTED's optimization)
+  kRowMajor,   // naive row-major over the tile grid
+  kColumnMajor
+};
+
+struct ReuseEstimate {
+  double l2_read_bytes = 0;   // bytes requested from L2 by async copies
+  double dram_bytes = 0;      // bytes L2 must fetch from DRAM
+  double hit_rate = 0;        // 1 - dram/l2_read
+};
+
+class FragmentReuseModel {
+ public:
+  FragmentReuseModel(std::size_t l2_capacity_bytes, std::size_t line_bytes)
+      : capacity_(static_cast<double>(l2_capacity_bytes)),
+        line_bytes_(line_bytes) {}
+
+  // `tiles_per_side`: the tile grid is tiles_per_side^2 (self-join).
+  // `fragment_bytes`: bytes of one 128-point, full-d fragment
+  //                   (128 * padded_d * 2 for FP16).
+  // `square`: side of the dispatch square (8 in the paper's configuration).
+  ReuseEstimate estimate(DispatchPolicy policy, std::size_t tiles_per_side,
+                         double fragment_bytes, int square) const;
+
+ private:
+  double capacity_;
+  std::size_t line_bytes_;
+};
+
+// Generates the block-tile visit order for a dispatch policy; used by the
+// LRU-based validation and by the work-queue module.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> dispatch_order(
+    DispatchPolicy policy, std::size_t tiles_per_side, int square);
+
+}  // namespace fasted::sim

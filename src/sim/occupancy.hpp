@@ -1,0 +1,70 @@
+// SM occupancy calculator (the CUDA occupancy calculator, reduced to the
+// resources this reproduction models): how many thread blocks fit on one SM
+// given register, shared-memory, thread and block-slot limits.
+//
+// FaSTED deliberately sizes its tiles so that exactly two blocks fit
+// (Sec. 3.3.6: "leaving sufficient shared memory and registers to allow two
+// blocks to run simultaneously"); TED-Join's occupancy collapse with
+// growing d is what kills its latency hiding.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "sim/device_spec.hpp"
+
+namespace fasted::sim {
+
+struct BlockResources {
+  int threads_per_block = 256;
+  int registers_per_thread = 128;
+  std::size_t smem_bytes_per_block = 0;
+};
+
+struct OccupancyLimits {
+  int max_blocks_per_sm = 32;
+  int max_threads_per_sm = 2048;
+};
+
+struct Occupancy {
+  int blocks = 0;
+  // Which resource capped the count (for diagnostics/ablation output).
+  enum class Limiter { kNone, kRegisters, kSharedMemory, kThreads, kSlots };
+  Limiter limiter = Limiter::kNone;
+};
+
+inline Occupancy occupancy_per_sm(const DeviceSpec& spec,
+                                  const BlockResources& block,
+                                  const OccupancyLimits& limits = {}) {
+  Occupancy occ;
+  if (block.threads_per_block <= 0) return occ;
+
+  const int by_threads = limits.max_threads_per_sm / block.threads_per_block;
+  const auto regs_per_block = static_cast<std::size_t>(
+      block.registers_per_thread) * static_cast<std::size_t>(
+      block.threads_per_block);
+  const int by_regs =
+      regs_per_block == 0
+          ? limits.max_blocks_per_sm
+          : static_cast<int>(spec.registers_per_sm / regs_per_block);
+  const int by_smem =
+      block.smem_bytes_per_block == 0
+          ? limits.max_blocks_per_sm
+          : static_cast<int>(spec.smem_bytes_per_sm /
+                             block.smem_bytes_per_block);
+
+  occ.blocks = std::min({limits.max_blocks_per_sm, by_threads, by_regs,
+                         by_smem});
+  if (occ.blocks < 0) occ.blocks = 0;
+
+  using L = Occupancy::Limiter;
+  occ.limiter = L::kNone;
+  if (occ.blocks == by_regs) occ.limiter = L::kRegisters;
+  if (occ.blocks == by_smem) occ.limiter = L::kSharedMemory;
+  if (occ.blocks == by_threads) occ.limiter = L::kThreads;
+  if (occ.blocks == limits.max_blocks_per_sm) occ.limiter = L::kSlots;
+  return occ;
+}
+
+}  // namespace fasted::sim

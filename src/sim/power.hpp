@@ -1,0 +1,57 @@
+// Power / clock-throttle model.
+//
+// The paper's PCIe A100 has a 250 W budget; at |D|=1e5, d=4096 the FP16-32
+// pipeline is ~64% busy and the clock throttles from 1.41 to 1.12 GHz, which
+// is why the profiler shows 64% pipe utilization while derived TFLOPS is
+// only 49% of the 312 TFLOPS peak (paper Sec. 4.4 and the conclusion's SXM
+// discussion).
+//
+// Dynamic power scales ~ (f/f0)^3 (voltage tracks frequency) and linearly
+// with pipe utilization.  Solving  idle + dram + tc_dyn * util * (f/f0)^3
+// <= budget  for f reproduces the observed throttle points.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/device_spec.hpp"
+
+namespace fasted::sim {
+
+class PowerModel {
+ public:
+  explicit PowerModel(const DeviceSpec& spec) : spec_(spec) {}
+
+  // `tc_utilization`: tensor-pipe busy fraction (0..1), clock-invariant.
+  // `dram_utilization`: DRAM bandwidth fraction (0..1).
+  // Returns the sustained clock in GHz.
+  double sustained_clock_ghz(double tc_utilization,
+                             double dram_utilization) const {
+    const double dyn_at_base =
+        spec_.tc_dynamic_power_w * std::clamp(tc_utilization, 0.0, 1.0);
+    const double dram_w =
+        spec_.dram_dynamic_power_w * std::clamp(dram_utilization, 0.0, 1.0);
+    const double headroom = spec_.power_budget_w - spec_.idle_power_w - dram_w;
+    if (dyn_at_base <= 0 || headroom >= dyn_at_base) {
+      return spec_.base_clock_ghz;
+    }
+    if (headroom <= 0) return spec_.min_clock_ghz;
+    const double ratio = std::cbrt(headroom / dyn_at_base);
+    return std::max(spec_.min_clock_ghz, spec_.base_clock_ghz * ratio);
+  }
+
+  double power_at(double clock_ghz, double tc_utilization,
+                  double dram_utilization) const {
+    const double r = clock_ghz / spec_.base_clock_ghz;
+    return spec_.idle_power_w +
+           spec_.dram_dynamic_power_w * std::clamp(dram_utilization, 0.0, 1.0) +
+           spec_.tc_dynamic_power_w * std::clamp(tc_utilization, 0.0, 1.0) *
+               r * r * r;
+  }
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace fasted::sim

@@ -1,0 +1,39 @@
+#include "sim/shared_memory.hpp"
+
+#include <algorithm>
+
+namespace fasted::sim {
+
+int SharedMemoryModel::transaction_cost(
+    std::span<const std::uint32_t> thread_addrs, int bytes_per_thread) const {
+  // Count distinct 4-byte words requested per bank.  Word counts per bank are
+  // small (<= #threads * bytes/4), so a flat vector of seen words suffices.
+  std::vector<std::vector<std::uint32_t>> words_per_bank(banks_);
+  for (std::uint32_t base : thread_addrs) {
+    for (int off = 0; off < bytes_per_thread; off += bank_bytes_) {
+      const std::uint32_t word = (base + static_cast<std::uint32_t>(off)) /
+                                 static_cast<std::uint32_t>(bank_bytes_);
+      const int bank = static_cast<int>(word % banks_);
+      auto& seen = words_per_bank[bank];
+      if (std::find(seen.begin(), seen.end(), word) == seen.end()) {
+        seen.push_back(word);
+      }
+    }
+  }
+  int cost = 1;
+  for (const auto& seen : words_per_bank) {
+    cost = std::max(cost, static_cast<int>(seen.size()));
+  }
+  return cost;
+}
+
+int SharedMemoryModel::access(std::span<const std::uint32_t> thread_addrs,
+                              int bytes_per_thread) {
+  const int cost = transaction_cost(thread_addrs, bytes_per_thread);
+  stats_.transactions += 1;
+  stats_.bank_cycles += static_cast<std::uint64_t>(cost);
+  stats_.bytes += thread_addrs.size() * static_cast<std::size_t>(bytes_per_thread);
+  return cost;
+}
+
+}  // namespace fasted::sim

@@ -1,0 +1,75 @@
+// Shared-memory bank-conflict model.
+//
+// An A100 SM has 32 banks of 4 bytes.  A warp-wide access is split into
+// transactions; within one transaction, addresses that fall into the same
+// bank but different 4-byte words serialize ("replays").  The cost of a
+// transaction is therefore the maximum number of distinct words requested
+// from any single bank.
+//
+// FaSTED's `ldmatrix` performs 4 phases of 8 threads x 16 B; the XOR swizzle
+// (core/swizzle.hpp) exists precisely to make each phase conflict-free.
+// This model is what the emulated data path runs against, and its counters
+// feed the Table 5 / Table 6 reproductions.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/device_spec.hpp"
+
+namespace fasted::sim {
+
+struct SmemStats {
+  std::uint64_t transactions = 0;   // ideal (conflict-free) transaction count
+  std::uint64_t bank_cycles = 0;    // actual cycles including replays
+  std::uint64_t bytes = 0;
+
+  std::uint64_t conflict_cycles() const { return bank_cycles - transactions; }
+  // Nsight-style "% of cycles lost to conflicts".
+  double conflict_rate() const {
+    return bank_cycles == 0
+               ? 0.0
+               : static_cast<double>(conflict_cycles()) /
+                     static_cast<double>(bank_cycles);
+  }
+  void merge(const SmemStats& other) {
+    transactions += other.transactions;
+    bank_cycles += other.bank_cycles;
+    bytes += other.bytes;
+  }
+};
+
+class SharedMemoryModel {
+ public:
+  explicit SharedMemoryModel(const DeviceSpec& spec = DeviceSpec::a100_pcie())
+      : banks_(spec.smem_banks), bank_bytes_(spec.smem_bank_bytes) {}
+
+  int banks() const { return banks_; }
+
+  // Bank index of a byte address.
+  int bank_of(std::uint32_t byte_addr) const {
+    return static_cast<int>((byte_addr / bank_bytes_) % banks_);
+  }
+
+  // Cost (in bank cycles) of one transaction where each participating thread
+  // reads `bytes_per_thread` contiguous bytes starting at its address.
+  // Returns max over banks of the number of distinct words requested.
+  int transaction_cost(std::span<const std::uint32_t> thread_addrs,
+                       int bytes_per_thread) const;
+
+  // Records a transaction into the running stats and returns its cost.
+  int access(std::span<const std::uint32_t> thread_addrs, int bytes_per_thread);
+
+  const SmemStats& stats() const { return stats_; }
+  void reset() { stats_ = SmemStats{}; }
+
+ private:
+  int banks_;
+  int bank_bytes_;
+  SmemStats stats_;
+};
+
+}  // namespace fasted::sim

@@ -1,0 +1,29 @@
+#include "sim/tensor_core.hpp"
+
+#include <cmath>
+
+namespace fasted::sim {
+
+void mma_m16n8k16(const Fp16* a, const Fp16* b, const float* c, float* d) {
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      d[i * 8 + j] =
+          dot_accumulate_rz(a + i * 16, b + j * 16, 16, c[i * 8 + j]);
+    }
+  }
+}
+
+void dmma_m8n8k4(const double* a, const double* b, const double* c,
+                 double* d) {
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      double acc = c[i * 8 + j];
+      for (int k = 0; k < 4; ++k) {
+        acc = std::fma(a[i * 4 + k], b[j * 4 + k], acc);
+      }
+      d[i * 8 + j] = acc;
+    }
+  }
+}
+
+}  // namespace fasted::sim

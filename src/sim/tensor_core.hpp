@@ -1,0 +1,56 @@
+// Functional model of the tensor-core MMA instructions FaSTED and TED-Join
+// are built on.
+//
+// FP16-32 (`mma.sync.m16n8k16.f32.f16.f16.f32`): A is 16x16 FP16, B is 16x8
+// FP16, C/D are 16x8 FP32.  Numerics follow Fasi et al. (2021): each FP16
+// product is computed exactly (it fits in FP32), and the 16 products plus
+// the incoming accumulator are summed in FP32 with round-toward-zero,
+// sequentially in k order.  Every other FaSTED code path (the vectorized
+// fast kernel, the fragment-level emulation) is tested for bit-equality
+// against this definition — it *is* the numerics specification.
+//
+// FP64 (`wmma m8n8k4`): products and sums in IEEE double, round-to-nearest,
+// which is how the A100's DMMA behaves and what TED-Join relies on.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/fp16.hpp"
+#include "common/rounding.hpp"
+
+namespace fasted::sim {
+
+// Latency/occupancy facts used by the performance model.
+struct MmaTiming {
+  // m16n8k16 = 4096 FLOP; one SM's 4 tensor cores retire 2048 FLOP/cycle,
+  // so a single TC (serving one warp) takes 4096 / 512 = 8 cycles.
+  static constexpr int fp16_m16n8k16_cycles_per_tc = 8;
+  static constexpr int fp16_m16n8k16_flops = 16 * 8 * 16 * 2;
+  static constexpr int fp64_m8n8k4_flops = 8 * 8 * 4 * 2;
+  static constexpr int ldmatrix_latency_cycles = 29;
+  static constexpr int mma_latency_cycles = 17;
+};
+
+// D = A x B + C for one FP16-32 fragment triple.
+// A: row-major 16x16, B: column-major 16x8 (k-major), C/D: row-major 16x8.
+// Aliasing D == C is allowed (accumulate in place).
+void mma_m16n8k16(const Fp16* a /*16x16*/, const Fp16* b /*16x8 col-major*/,
+                  const float* c /*16x8*/, float* d /*16x8*/);
+
+// Reference semantics for one output element: acc plus the RZ-accumulated
+// sum of k exact FP16 products.  Exposed so kernels can reproduce tensor-core
+// numerics without materializing fragments.
+inline float dot_accumulate_rz(const Fp16* a_row, const Fp16* b_col, int k,
+                               float acc) {
+  for (int i = 0; i < k; ++i) {
+    acc = add_rz(acc, Fp16::mul_exact(a_row[i], b_col[i]));
+  }
+  return acc;
+}
+
+// FP64 tensor-core tile: D = A x B + C with A 8x4 row-major, B 4x8
+// column-major, C/D 8x8 row-major; IEEE double FMA ordering in k.
+void dmma_m8n8k4(const double* a, const double* b, const double* c, double* d);
+
+}  // namespace fasted::sim

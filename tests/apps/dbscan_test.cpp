@@ -1,0 +1,125 @@
+#include "apps/dbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "data/generators.hpp"
+
+namespace fasted::apps {
+namespace {
+
+// Two well-separated blobs plus far-away noise points.
+MatrixF32 two_blobs_with_noise(std::size_t per_blob, std::size_t noise) {
+  MatrixF32 m(2 * per_blob + noise, 8);
+  Rng rng(99);
+  for (std::size_t i = 0; i < per_blob; ++i) {
+    for (std::size_t k = 0; k < 8; ++k) {
+      m.at(i, k) = static_cast<float>(0.0 + 0.01 * rng.normal());
+      m.at(per_blob + i, k) = static_cast<float>(1.0 + 0.01 * rng.normal());
+    }
+  }
+  for (std::size_t i = 0; i < noise; ++i) {
+    for (std::size_t k = 0; k < 8; ++k) {
+      // Isolated points on a diagonal grid far from both blobs.
+      m.at(2 * per_blob + i, k) = 5.0f + 3.0f * static_cast<float>(i);
+    }
+  }
+  return m;
+}
+
+TEST(Dbscan, FindsTwoBlobsAndNoise) {
+  const auto data = two_blobs_with_noise(100, 5);
+  FastedEngine engine;
+  const auto result = dbscan(engine, data, /*eps=*/0.2f, /*min_pts=*/5);
+  EXPECT_EQ(result.cluster_count, 2);
+  EXPECT_EQ(result.noise_points, 5u);
+  // Blob membership is coherent.
+  for (std::size_t i = 1; i < 100; ++i) {
+    EXPECT_EQ(result.labels[i], result.labels[0]);
+    EXPECT_EQ(result.labels[100 + i], result.labels[100]);
+  }
+  EXPECT_NE(result.labels[0], result.labels[100]);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(result.labels[200 + i], kNoise);
+  }
+}
+
+TEST(Dbscan, MinPtsControlsCorePoints) {
+  const auto data = two_blobs_with_noise(50, 0);
+  FastedEngine engine;
+  const auto strict = dbscan(engine, data, 0.2f, 60);  // blobs only have 50
+  EXPECT_EQ(strict.cluster_count, 0);
+  EXPECT_EQ(strict.noise_points, data.rows());
+  const auto loose = dbscan(engine, data, 0.2f, 10);
+  EXPECT_EQ(loose.cluster_count, 2);
+}
+
+TEST(Dbscan, SingleClusterWhenEpsLarge) {
+  const auto data = data::uniform(200, 4, 3);
+  FastedEngine engine;
+  const auto result = dbscan(engine, data, 10.0f, 3);
+  EXPECT_EQ(result.cluster_count, 1);
+  EXPECT_EQ(result.noise_points, 0u);
+}
+
+TEST(Dbscan, AllNoiseWhenEpsTiny) {
+  const auto data = data::uniform(100, 8, 5);
+  FastedEngine engine;
+  const auto result = dbscan(engine, data, 1e-6f, 2);
+  EXPECT_EQ(result.cluster_count, 0);
+  EXPECT_EQ(result.noise_points, 100u);
+}
+
+TEST(Dbscan, LabelsPartitionPoints) {
+  const auto data = data::gaussian_mixture(
+      500, 8, 7, {.clusters = 6, .cluster_std = 0.02, .noise_fraction = 0.1});
+  FastedEngine engine;
+  const auto result = dbscan(engine, data, 0.15f, 4);
+  std::set<std::int32_t> ids;
+  std::size_t noise = 0;
+  for (auto l : result.labels) {
+    if (l == kNoise) {
+      ++noise;
+    } else {
+      EXPECT_GE(l, 0);
+      EXPECT_LT(l, result.cluster_count);
+      ids.insert(l);
+    }
+  }
+  EXPECT_EQ(noise, result.noise_points);
+  EXPECT_EQ(static_cast<std::int32_t>(ids.size()), result.cluster_count);
+}
+
+TEST(Dbscan, ReusingJoinMatchesDirectCall) {
+  const auto data = two_blobs_with_noise(60, 3);
+  FastedEngine engine;
+  const auto join = engine.self_join(data, 0.2f);
+  const auto a = dbscan_from_join(join.result, 5);
+  const auto b = dbscan(engine, data, 0.2f, 5);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.cluster_count, b.cluster_count);
+}
+
+TEST(Dbscan, CorePointCountsAreConsistent) {
+  const auto data = two_blobs_with_noise(80, 4);
+  FastedEngine engine;
+  const auto join = engine.self_join(data, 0.2f);
+  const auto result = dbscan_from_join(join.result, 5);
+  std::size_t expected_core = 0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    if (join.result.degree(i) >= 5) ++expected_core;
+  }
+  EXPECT_EQ(result.core_points, expected_core);
+}
+
+TEST(Dbscan, RejectsZeroMinPts) {
+  const auto data = data::uniform(10, 4, 9);
+  FastedEngine engine;
+  EXPECT_THROW(dbscan(engine, data, 0.1f, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace fasted::apps

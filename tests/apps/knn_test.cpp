@@ -1,0 +1,126 @@
+#include "apps/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "data/generators.hpp"
+
+namespace fasted::apps {
+namespace {
+
+// Brute-force k-NN under the FP64 metric for cross-checking.
+std::vector<std::uint32_t> brute_knn(const MatrixF32& data, std::size_t i,
+                                     std::size_t k) {
+  std::vector<std::pair<double, std::uint32_t>> all;
+  for (std::size_t j = 0; j < data.rows(); ++j) {
+    if (j == i) continue;
+    double acc = 0;
+    for (std::size_t kk = 0; kk < data.dims(); ++kk) {
+      const double d = static_cast<double>(quantize_fp16(data.at(i, kk))) -
+                       quantize_fp16(data.at(j, kk));
+      acc += d * d;
+    }
+    all.emplace_back(acc, static_cast<std::uint32_t>(j));
+  }
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                    all.end());
+  std::vector<std::uint32_t> ids(k);
+  for (std::size_t r = 0; r < k; ++r) ids[r] = all[r].second;
+  return ids;
+}
+
+TEST(Knn, MatchesBruteForceNeighborSets) {
+  const auto data = data::uniform(300, 16, 5);
+  FastedEngine engine;
+  const auto knn = knn_all(engine, data, 5);
+  // Compare as sets (the FP16-32 pipeline may order near-ties differently
+  // from the FP64 reference).
+  std::size_t mismatched = 0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const auto ref = brute_knn(data, i, 5);
+    std::set<std::uint32_t> rs(ref.begin(), ref.end());
+    std::size_t hit = 0;
+    for (std::size_t r = 0; r < 5; ++r) {
+      if (rs.count(knn.id(i, r))) ++hit;
+    }
+    if (hit < 5) ++mismatched;
+  }
+  // Near-ties at the k-boundary may flip under FP16-32; almost all points
+  // must match exactly.
+  EXPECT_LE(mismatched, data.rows() / 50);
+}
+
+TEST(Knn, DistancesAreSortedAscending) {
+  const auto data = data::uniform(200, 8, 7);
+  FastedEngine engine;
+  const auto knn = knn_all(engine, data, 8);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    for (std::size_t r = 1; r < 8; ++r) {
+      EXPECT_LE(knn.distance(i, r - 1), knn.distance(i, r)) << i;
+    }
+  }
+}
+
+TEST(Knn, NeverReturnsSelf) {
+  const auto data = data::uniform(150, 8, 9);
+  FastedEngine engine;
+  const auto knn = knn_all(engine, data, 3);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    for (std::size_t r = 0; r < 3; ++r) {
+      EXPECT_NE(knn.id(i, r), static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+TEST(Knn, NeighborsAreDistinct) {
+  const auto data = data::uniform(150, 8, 11);
+  FastedEngine engine;
+  const auto knn = knn_all(engine, data, 6);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    std::set<std::uint32_t> seen;
+    for (std::size_t r = 0; r < 6; ++r) seen.insert(knn.id(i, r));
+    EXPECT_EQ(seen.size(), 6u) << i;
+  }
+}
+
+TEST(Knn, WorksOnClusteredData) {
+  // Points in tight clusters: nearest neighbors are same-cluster.
+  data::ClusterSpec spec;
+  spec.clusters = 5;
+  spec.cluster_std = 0.01;
+  spec.noise_fraction = 0.0;
+  const auto data = data::gaussian_mixture(250, 12, 13, spec);
+  FastedEngine engine;
+  const auto knn = knn_all(engine, data, 4);
+  // Each neighbor must be much closer than the inter-cluster scale.
+  for (std::size_t i = 0; i < data.rows(); i += 17) {
+    EXPECT_LT(knn.distance(i, 3), 0.2) << i;
+  }
+}
+
+TEST(Knn, AdaptiveRadiusConverges) {
+  const auto data = data::uniform(400, 8, 15);
+  FastedEngine engine;
+  KnnOptions opts;
+  opts.initial_growth = 0.05;  // force deliberately small first radius
+  const auto knn = knn_all(engine, data, 10);
+  EXPECT_GE(knn.rounds, 1);
+  // Still correct despite the bad initial radius.
+  for (std::size_t r = 1; r < 10; ++r) {
+    EXPECT_LE(knn.distance(0, r - 1), knn.distance(0, r));
+  }
+}
+
+TEST(Knn, RejectsBadK) {
+  const auto data = data::uniform(10, 4, 17);
+  FastedEngine engine;
+  EXPECT_THROW(knn_all(engine, data, 0), CheckError);
+  EXPECT_THROW(knn_all(engine, data, 10), CheckError);
+}
+
+}  // namespace
+}  // namespace fasted::apps

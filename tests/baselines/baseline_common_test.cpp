@@ -1,0 +1,124 @@
+#include "baselines/baseline_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fasted::baselines {
+namespace {
+
+TEST(WarpBalance, UniformWorkIsPerfect) {
+  std::vector<std::uint64_t> work(64, 100);
+  EXPECT_DOUBLE_EQ(warp_balance_sorted(work), 1.0);
+}
+
+TEST(WarpBalance, EmptyIsPerfect) {
+  EXPECT_DOUBLE_EQ(warp_balance_sorted({}), 1.0);
+}
+
+TEST(WarpBalance, SortingGroupsSimilarWork) {
+  // 32 heavy + 32 light queries: sorted grouping puts heavies together, so
+  // each warp is internally balanced even though the workload is skewed.
+  std::vector<std::uint64_t> work;
+  for (int i = 0; i < 32; ++i) work.push_back(1000);
+  for (int i = 0; i < 32; ++i) work.push_back(10);
+  EXPECT_DOUBLE_EQ(warp_balance_sorted(work), 1.0);
+}
+
+TEST(WarpBalance, SkewWithinAWarpHurts) {
+  // 1 heavy + 31 idle lanes: balance = mean/max ~ (1000/32)/1000.
+  std::vector<std::uint64_t> work(32, 0);
+  work[0] = 1000;
+  EXPECT_NEAR(warp_balance_sorted(work), 1000.0 / 32.0 / 1000.0, 1e-9);
+}
+
+TEST(WarpBalance, AllZeroWorkIsPerfect) {
+  std::vector<std::uint64_t> work(40, 0);
+  EXPECT_DOUBLE_EQ(warp_balance_sorted(work), 1.0);
+}
+
+TEST(WarpBalance, PartialLastWarp) {
+  // 33 queries: second warp has one lane.
+  std::vector<std::uint64_t> work(33, 7);
+  EXPECT_DOUBLE_EQ(warp_balance_sorted(work), 1.0);
+}
+
+TEST(ShortCircuit, FullDistanceWhenWithinEps) {
+  const float a[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  const float b[8] = {1, 1, 1, 1, 0, 0, 0, 0};
+  std::size_t used = 0;
+  const float d2 = dist2_short_circuit_f32(a, b, 8, 100.0f, used);
+  EXPECT_EQ(d2, 4.0f);
+  EXPECT_EQ(used, 8u);
+}
+
+TEST(ShortCircuit, AbortsEarlyWhenExceeded) {
+  float a[64] = {};
+  float b[64] = {};
+  for (int i = 0; i < 64; ++i) b[i] = 10.0f;  // each chunk adds 800
+  std::size_t used = 0;
+  const float d2 = dist2_short_circuit_f32(a, b, 64, 1.0f, used);
+  EXPECT_GT(d2, 1.0f);
+  EXPECT_EQ(used, 8u);  // first 8-dim chunk already exceeds eps^2
+}
+
+TEST(ShortCircuit, ChecksAtChunkGranularity) {
+  // Exceeds within the second chunk: aborts at dim 16, not earlier.
+  float a[24] = {};
+  float b[24] = {};
+  b[12] = 100.0f;
+  std::size_t used = 0;
+  dist2_short_circuit_f32(a, b, 24, 1.0f, used);
+  EXPECT_EQ(used, 16u);
+}
+
+TEST(ShortCircuit, F64MatchesF32OnExactValues) {
+  const float af[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const float bf[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+  double ad[8], bd[8];
+  for (int i = 0; i < 8; ++i) {
+    ad[i] = af[i];
+    bd[i] = bf[i];
+  }
+  std::size_t u32 = 0, u64 = 0;
+  const float f = dist2_short_circuit_f32(af, bf, 8, 1e9f, u32);
+  const double d = dist2_short_circuit_f64(ad, bd, 8, 1e9, u64);
+  EXPECT_DOUBLE_EQ(static_cast<double>(f), d);  // small ints: both exact
+  EXPECT_EQ(u32, u64);
+}
+
+TEST(CudaKernelModel, MoreWorkTakesLonger) {
+  const sim::DeviceSpec dev;
+  CudaCoreStats light;
+  light.candidates = 1000;
+  light.dims_processed = 1e6;
+  light.warp_efficiency = 0.9;
+  CudaCoreStats heavy = light;
+  heavy.dims_processed = 1e8;
+  heavy.candidates = 100000;
+  EXPECT_LT(cuda_core_kernel_seconds(dev, light),
+            cuda_core_kernel_seconds(dev, heavy));
+}
+
+TEST(CudaKernelModel, BetterBalanceIsFaster) {
+  const sim::DeviceSpec dev;
+  CudaCoreStats balanced;
+  balanced.candidates = 10000;
+  balanced.dims_processed = 1e7;
+  balanced.warp_efficiency = 1.0;
+  CudaCoreStats skewed = balanced;
+  skewed.warp_efficiency = 0.4;
+  EXPECT_LT(cuda_core_kernel_seconds(dev, balanced),
+            cuda_core_kernel_seconds(dev, skewed));
+}
+
+TEST(TransferModel, LinearInBytesPlusLaunch) {
+  const sim::DeviceSpec dev;
+  const double t1 = h2d_seconds(dev, 24e9);  // 1 s of PCIe
+  EXPECT_NEAR(t1, 1.0 + dev.kernel_launch_overhead_s, 1e-9);
+  EXPECT_NEAR(d2h_seconds(dev, 12e9), 0.5, 1e-9);
+  EXPECT_GT(host_store_seconds(8e9), 0.9);
+}
+
+}  // namespace
+}  // namespace fasted::baselines

@@ -1,0 +1,113 @@
+#include "baselines/gds_join.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.hpp"
+
+namespace fasted::baselines {
+namespace {
+
+std::uint64_t brute_force_pairs(const MatrixF32& m, float eps) {
+  std::uint64_t pairs = 0;
+  const double eps2 = static_cast<double>(eps) * eps;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.rows(); ++j) {
+      double acc = 0;
+      for (std::size_t k = 0; k < m.dims(); ++k) {
+        const double d = static_cast<double>(m.at(i, k)) - m.at(j, k);
+        acc += d * d;
+      }
+      if (acc <= eps2) ++pairs;
+    }
+  }
+  return pairs;
+}
+
+TEST(GdsJoin, MatchesBruteForceOnLowDim) {
+  const auto m = data::uniform(400, 6, 3);
+  const float eps = 0.3f;
+  const auto out = gds_self_join(m, eps);
+  EXPECT_EQ(out.pair_count, brute_force_pairs(m, eps));
+}
+
+TEST(GdsJoin, MatchesBruteForceOnHighDim) {
+  const auto m = data::cifar_like(300, 5);
+  const float eps = 0.75f;
+  const auto out = gds_self_join(m, eps);
+  // FP32 short-circuit accumulation vs FP64 brute force: only pairs on the
+  // eps boundary may flip.
+  EXPECT_NEAR(static_cast<double>(out.pair_count),
+              static_cast<double>(brute_force_pairs(m, eps)), 6.0);
+}
+
+TEST(GdsJoin, Fp64MatchesFp32CountsOnSeparatedData) {
+  const auto m = data::uniform(300, 8, 7);
+  GdsOptions f32;
+  GdsOptions f64;
+  f64.precision = GdsPrecision::kF64;
+  const auto a = gds_self_join(m, 0.4f, f32);
+  const auto b = gds_self_join(m, 0.4f, f64);
+  // FP32 vs FP64 may differ only at the eps boundary.
+  EXPECT_NEAR(static_cast<double>(a.pair_count),
+              static_cast<double>(b.pair_count), 4.0);
+}
+
+TEST(GdsJoin, ResultRowsAreSortedAndContainSelf) {
+  const auto m = data::uniform(200, 6, 9);
+  const auto out = gds_self_join(m, 0.25f);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto row = out.result.neighbors_of(i);
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+    EXPECT_TRUE(std::binary_search(row.begin(), row.end(),
+                                   static_cast<std::uint32_t>(i)));
+  }
+}
+
+TEST(GdsJoin, ShortCircuitSavesWork) {
+  // With reordering + short circuit, processed dims per candidate must be
+  // below d on spread-out data.
+  const auto m = data::uniform(500, 64, 11);
+  const auto out = gds_self_join(m, 0.5f);
+  const double mean_dims = out.stats.dims_processed /
+                           static_cast<double>(out.stats.candidates);
+  EXPECT_LT(mean_dims, 64.0 * 0.8);
+}
+
+TEST(GdsJoin, ReorderingDoesNotChangeResults) {
+  const auto m = data::uniform(300, 32, 13);
+  GdsOptions with;
+  GdsOptions without;
+  without.reorder_coordinates = false;
+  const auto a = gds_self_join(m, 0.8f, with);
+  const auto b = gds_self_join(m, 0.8f, without);
+  EXPECT_EQ(a.pair_count, b.pair_count);
+}
+
+TEST(GdsJoin, IndexPrunesCandidates) {
+  const auto m = data::uniform(2000, 6, 15);
+  const auto out = gds_self_join(m, 0.1f);
+  EXPECT_LT(out.stats.mean_candidates_per_query,
+            0.5 * static_cast<double>(m.rows()));
+}
+
+TEST(GdsJoin, TimingFieldsPopulated) {
+  const auto m = data::uniform(500, 16, 17);
+  const auto out = gds_self_join(m, 0.4f);
+  EXPECT_GT(out.timing.index_build_s, 0.0);
+  EXPECT_GT(out.timing.kernel_s, 0.0);
+  EXPECT_GT(out.timing.total_s(), out.timing.kernel_s);
+  EXPECT_GT(out.stats.warp_efficiency, 0.1);
+  EXPECT_LE(out.stats.warp_efficiency, 1.0);
+}
+
+TEST(GdsJoin, SelectivityGrowsWithEps) {
+  const auto m = data::uniform(800, 8, 19);
+  const auto s1 = gds_self_join(m, 0.3f).result.selectivity();
+  const auto s2 = gds_self_join(m, 0.5f).result.selectivity();
+  EXPECT_LT(s1, s2);
+}
+
+}  // namespace
+}  // namespace fasted::baselines

@@ -1,0 +1,72 @@
+#include "baselines/mistic_join.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/gds_join.hpp"
+#include "data/generators.hpp"
+
+namespace fasted::baselines {
+namespace {
+
+MisticOptions fast_options() {
+  MisticOptions o;
+  o.index.candidates_per_level = 6;
+  return o;
+}
+
+TEST(MisticJoin, MatchesGdsJoinResults) {
+  // Same FP32 distance semantics, different index: identical result sets.
+  const auto m = data::uniform(400, 8, 3);
+  const float eps = 0.35f;
+  const auto gds = gds_self_join(m, eps);
+  const auto mis = mistic_self_join(m, eps, fast_options());
+  ASSERT_EQ(mis.pair_count, gds.pair_count);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto a = mis.result.neighbors_of(i);
+    const auto b = gds.result.neighbors_of(i);
+    ASSERT_EQ(a.size(), b.size()) << i;
+    for (std::size_t k = 0; k < a.size(); ++k) ASSERT_EQ(a[k], b[k]);
+  }
+}
+
+TEST(MisticJoin, WorksOnClusteredHighDim) {
+  const auto m = data::tiny_like(400, 5);
+  const auto gds = gds_self_join(m, 0.22f);
+  const auto mis = mistic_self_join(m, 0.22f, fast_options());
+  EXPECT_EQ(mis.pair_count, gds.pair_count);
+}
+
+TEST(MisticJoin, IndexStatsPopulated) {
+  const auto m = data::uniform(600, 8, 7);
+  const auto out = mistic_self_join(m, 0.3f, fast_options());
+  EXPECT_GT(out.index_nodes, 1u);
+  EXPECT_GT(out.stats.candidates, 0u);
+  EXPECT_GT(out.timing.index_build_s, 0.0);
+}
+
+TEST(MisticJoin, WarpEfficiencyAtLeastGds) {
+  // The paper attributes MiSTIC's edge to better load balance.
+  const auto m = data::tiny_like(1000, 9);
+  const auto gds = gds_self_join(m, 0.2f);
+  const auto mis = mistic_self_join(m, 0.2f, fast_options());
+  EXPECT_GE(mis.stats.warp_efficiency, gds.stats.warp_efficiency * 0.95);
+}
+
+TEST(MisticJoin, SelfPairsPresent) {
+  const auto m = data::uniform(100, 8, 11);
+  const auto out = mistic_self_join(m, 0.01f, fast_options());
+  EXPECT_GE(out.pair_count, 100u);
+}
+
+TEST(MisticJoin, TimingTotalsAddUp) {
+  const auto m = data::uniform(300, 8, 13);
+  const auto out = mistic_self_join(m, 0.3f, fast_options());
+  EXPECT_NEAR(out.timing.total_s(),
+              out.timing.index_build_s + out.timing.host_to_device_s +
+                  out.timing.kernel_s + out.timing.device_to_host_s +
+                  out.timing.host_store_s,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace fasted::baselines

@@ -1,0 +1,108 @@
+#include "baselines/ted_join.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/gds_join.hpp"
+#include "data/generators.hpp"
+
+namespace fasted::baselines {
+namespace {
+
+TEST(TedJoin, SmemFootprintMatchesPaperBoundaries) {
+  TedOptions with_carveout;
+  TedOptions without;
+  without.enlarge_shared_memory = false;
+  // Default carve-out: d=128 fits, d=256 does not (paper: fails d > 128).
+  EXPECT_GT(ted_blocks_per_sm(128, without), 0);
+  EXPECT_EQ(ted_blocks_per_sm(256, without), 0);
+  // Enlarged carve-out: up to d=384, OOM at 512 (paper Sec. 4.1.2).
+  EXPECT_GT(ted_blocks_per_sm(384, with_carveout), 0);
+  EXPECT_EQ(ted_blocks_per_sm(512, with_carveout), 0);
+}
+
+TEST(TedJoin, OomReportedForHighDims) {
+  const auto m = data::cifar_like(100, 3);  // d=512
+  const auto out = ted_self_join(m, 0.7f);
+  EXPECT_TRUE(out.out_of_shared_memory);
+  EXPECT_EQ(out.pair_count, 0u);
+}
+
+TEST(TedJoin, BruteMatchesGdsFp64) {
+  const auto m = data::uniform(250, 32, 5);
+  const float eps = 0.9f;
+  GdsOptions gds64;
+  gds64.precision = GdsPrecision::kF64;
+  const auto ref = gds_self_join(m, eps, gds64);
+  const auto ted = ted_self_join(m, eps);
+  ASSERT_FALSE(ted.out_of_shared_memory);
+  // FP64 vs FP64 (different distance form): identical up to ulp boundary.
+  EXPECT_NEAR(static_cast<double>(ted.pair_count),
+              static_cast<double>(ref.pair_count), 2.0);
+}
+
+TEST(TedJoin, IndexModeMatchesBruteResults) {
+  const auto m = data::uniform(300, 16, 7);
+  const float eps = 0.6f;
+  TedOptions brute;
+  TedOptions indexed;
+  indexed.mode = TedMode::kIndex;
+  const auto a = ted_self_join(m, eps, brute);
+  const auto b = ted_self_join(m, eps, indexed);
+  EXPECT_EQ(a.pair_count, b.pair_count);
+  // Index mode does fewer tile MMAs on prunable data.
+  EXPECT_LE(b.tile_mmas, a.tile_mmas);
+}
+
+TEST(TedJoin, UtilizationDeclinesWithDimensionality) {
+  // Paper Table 6 / Fig. 9: FP64 pipe utilization drops as d grows.
+  TedOptions opt;
+  const double u64 = ted_utilization(64, opt);
+  const double u128 = ted_utilization(128, opt);
+  const double u256 = ted_utilization(256, opt);
+  EXPECT_NEAR(u64, 0.068, 0.002);  // paper: 6.8% of peak at d=64
+  EXPECT_GT(u64, u128);
+  EXPECT_GT(u128, u256);
+  EXPECT_NEAR(u256, 0.0199, 0.008);  // paper: 1.99%
+}
+
+TEST(TedJoin, DerivedTflopsDeclinesWithD) {
+  TedOptions opt;
+  double prev = 1e9;
+  for (std::size_t d : {64, 128, 256, 384}) {
+    const auto perf = ted_estimate_kernel(100000, d, opt);
+    EXPECT_LT(perf.derived_tflops, prev) << d;
+    EXPECT_GT(perf.derived_tflops, 0.0) << d;
+    prev = perf.derived_tflops;
+  }
+  // Fig. 9: ~1.3 TFLOPS at d=64 (6.8% of 19.5).
+  const auto p64 = ted_estimate_kernel(100000, 64, opt);
+  EXPECT_NEAR(p64.derived_tflops, 1.3, 0.4);
+}
+
+TEST(TedJoin, BankConflictsAreSevere) {
+  TedOptions opt;
+  const auto p128 = ted_estimate_kernel(100000, 128, opt);
+  EXPECT_NEAR(p128.bank_conflict_pct, 92.3, 1.0);  // paper Table 6
+  const auto p256 = ted_estimate_kernel(100000, 256, opt);
+  EXPECT_NEAR(p256.bank_conflict_pct, 75.0, 1.0);
+}
+
+TEST(TedJoin, TileCountsPadToEight) {
+  MatrixF32 m(20, 16);  // 20 points -> 3 query groups, candidates pad to 24
+  for (std::size_t i = 0; i < 20; ++i) m.at(i, 0) = static_cast<float>(i);
+  const auto out = ted_self_join(m, 100.0f);
+  // Brute: 3 groups x ceil(20/8)=3 candidate tiles x (16/4)=4 k-chunks.
+  EXPECT_EQ(out.tile_mmas, 3u * 3 * 4);
+}
+
+TEST(TedJoin, ResultRowsSorted) {
+  const auto m = data::uniform(150, 24, 9);
+  const auto out = ted_self_join(m, 0.8f);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto row = out.result.neighbors_of(i);
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+  }
+}
+
+}  // namespace
+}  // namespace fasted::baselines

@@ -1,0 +1,164 @@
+#include "common/fp16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace fasted {
+namespace {
+
+TEST(Fp16, ZeroRoundTrips) {
+  EXPECT_EQ(Fp16(0.0f).bits(), 0);
+  EXPECT_EQ(Fp16(-0.0f).bits(), 0x8000);
+  EXPECT_EQ(Fp16(0.0f).to_float(), 0.0f);
+  EXPECT_TRUE(Fp16(0.0f) == Fp16(-0.0f));  // IEEE: +0 == -0
+}
+
+TEST(Fp16, OneAndSmallIntegersAreExact) {
+  for (int i = -2048; i <= 2048; ++i) {
+    // Integers up to 2^11 are exactly representable in binary16.
+    const float f = static_cast<float>(i);
+    EXPECT_EQ(Fp16(f).to_float(), f) << i;
+  }
+}
+
+TEST(Fp16, KnownBitPatterns) {
+  EXPECT_EQ(Fp16(1.0f).bits(), 0x3c00);
+  EXPECT_EQ(Fp16(-1.0f).bits(), 0xbc00);
+  EXPECT_EQ(Fp16(2.0f).bits(), 0x4000);
+  EXPECT_EQ(Fp16(0.5f).bits(), 0x3800);
+  EXPECT_EQ(Fp16(65504.0f).bits(), 0x7bff);  // max finite
+  EXPECT_EQ(Fp16(6.103515625e-05f).bits(), 0x0400);  // min normal
+  EXPECT_EQ(Fp16(5.9604644775390625e-08f).bits(), 0x0001);  // min subnormal
+}
+
+TEST(Fp16, InfinityAndNan) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(Fp16(inf).bits(), 0x7c00);
+  EXPECT_EQ(Fp16(-inf).bits(), 0xfc00);
+  EXPECT_TRUE(Fp16(inf).is_inf());
+  EXPECT_TRUE(std::isinf(Fp16(inf).to_float()));
+
+  const Fp16 nan(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(nan.is_nan());
+  EXPECT_TRUE(std::isnan(nan.to_float()));
+  EXPECT_FALSE(nan == nan);  // IEEE: NaN != NaN
+}
+
+TEST(Fp16, OverflowRounding) {
+  // RN overflows to infinity; RZ clamps to max finite.
+  EXPECT_EQ(Fp16(100000.0f).bits(), 0x7c00);
+  EXPECT_EQ(Fp16::from_float_rz(100000.0f).bits(), 0x7bff);
+  EXPECT_EQ(Fp16::from_float_rz(-100000.0f).bits(), 0xfbff);
+  // 65520 is the RN tie between 65504 and "65536" (inf): rounds to inf.
+  EXPECT_EQ(Fp16(65520.0f).bits(), 0x7c00);
+  EXPECT_EQ(Fp16(65519.96875f).bits(), 0x7bff);
+}
+
+TEST(Fp16, RoundToNearestEvenTies) {
+  // 1 + 2^-11 is exactly between 1.0 and 1+2^-10: ties to even (1.0).
+  EXPECT_EQ(Fp16(1.0f + 0x1.0p-11f).bits(), 0x3c00);
+  // 1 + 3*2^-11 ties between 1+2^-10 and 1+2^-9: ties to even (1+2^-9).
+  EXPECT_EQ(Fp16(1.0f + 3 * 0x1.0p-11f).bits(), 0x3c02);
+  // Slightly above the tie rounds up.
+  EXPECT_EQ(Fp16(1.0f + 0x1.1p-11f).bits(), 0x3c01);
+}
+
+TEST(Fp16, RoundTowardZeroTruncates) {
+  EXPECT_EQ(Fp16::from_float_rz(1.0f + 0x1.fp-11f).bits(), 0x3c00);
+  EXPECT_EQ(Fp16::from_float_rz(-(1.0f + 0x1.fp-11f)).bits(), 0xbc00);
+  // RZ magnitude never exceeds the input.
+  Rng rng(7);
+  for (int t = 0; t < 10000; ++t) {
+    const float f = static_cast<float>(rng.uniform(-1000.0, 1000.0));
+    const float q = Fp16::from_float_rz(f).to_float();
+    EXPECT_LE(std::fabs(q), std::fabs(f));
+  }
+}
+
+TEST(Fp16, SubnormalsRoundTrip) {
+  // All 1023 positive subnormal patterns decode/encode exactly.
+  for (std::uint16_t b = 1; b < 0x0400; ++b) {
+    const Fp16 h = Fp16::from_bits(b);
+    const float f = h.to_float();
+    EXPECT_GT(f, 0.0f);
+    EXPECT_EQ(Fp16(f).bits(), b) << "bits=" << b;
+  }
+}
+
+TEST(Fp16, AllFiniteBitPatternsRoundTrip) {
+  // decode -> encode is the identity for every finite pattern.
+  for (std::uint32_t b = 0; b < 0x10000; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const Fp16 h = Fp16::from_bits(bits);
+    if (h.is_nan() || h.is_inf()) continue;
+    const float f = h.to_float();
+    if (h.is_zero()) {
+      EXPECT_TRUE(Fp16(f).is_zero());
+      continue;
+    }
+    EXPECT_EQ(Fp16(f).bits(), bits) << "bits=" << b;
+    EXPECT_EQ(Fp16::from_float_rz(f).bits(), bits) << "bits=" << b;
+  }
+}
+
+TEST(Fp16, EncodeMatchesNearestNeighborSearch) {
+  // RN must pick the closer of the two adjacent representable values.
+  Rng rng(42);
+  for (int t = 0; t < 20000; ++t) {
+    const float f = static_cast<float>(rng.uniform(-70000.0, 70000.0));
+    const Fp16 h(f);
+    if (h.is_inf()) {
+      EXPECT_GT(std::fabs(f), 65504.0f);
+      continue;
+    }
+    const float q = h.to_float();
+    // Neighbors of q in FP16.
+    const std::uint16_t bits = h.bits();
+    for (int delta : {-1, 1}) {
+      const auto nb = static_cast<std::uint16_t>(bits + delta);
+      const Fp16 nh = Fp16::from_bits(nb);
+      if (nh.is_nan() || nh.is_inf()) continue;
+      if ((nh.bits() ^ bits) & 0x8000) continue;  // crossed zero
+      EXPECT_LE(std::fabs(f - q), std::fabs(f - nh.to_float()) * (1 + 1e-7))
+          << "f=" << f;
+    }
+  }
+}
+
+TEST(Fp16, MulExactIsExact) {
+  // Product of any two FP16 values is exactly the float product.
+  Rng rng(11);
+  for (int t = 0; t < 20000; ++t) {
+    const Fp16 a(static_cast<float>(rng.uniform(-100.0, 100.0)));
+    const Fp16 b(static_cast<float>(rng.uniform(-100.0, 100.0)));
+    const double exact =
+        static_cast<double>(a.to_float()) * static_cast<double>(b.to_float());
+    EXPECT_EQ(static_cast<double>(Fp16::mul_exact(a, b)), exact);
+  }
+}
+
+TEST(Fp16, QuantizeIdempotent) {
+  Rng rng(13);
+  for (int t = 0; t < 10000; ++t) {
+    const float f = static_cast<float>(rng.uniform(-500.0, 500.0));
+    const float q = quantize_fp16(f);
+    EXPECT_EQ(quantize_fp16(q), q);
+  }
+}
+
+TEST(Fp16, OrderingMatchesFloat) {
+  Rng rng(17);
+  for (int t = 0; t < 10000; ++t) {
+    const Fp16 a(static_cast<float>(rng.uniform(-10.0, 10.0)));
+    const Fp16 b(static_cast<float>(rng.uniform(-10.0, 10.0)));
+    EXPECT_EQ(a < b, a.to_float() < b.to_float());
+  }
+}
+
+}  // namespace
+}  // namespace fasted

@@ -1,0 +1,95 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace fasted {
+namespace {
+
+TEST(Matrix, PaddedDimsAlignsTo128Bytes) {
+  // FP32: 32 elements per 128 B row unit.
+  EXPECT_EQ(padded_dims<float>(1), 32u);
+  EXPECT_EQ(padded_dims<float>(32), 32u);
+  EXPECT_EQ(padded_dims<float>(33), 64u);
+  // FP16: 64 elements.
+  EXPECT_EQ(padded_dims<Fp16>(1), 64u);
+  EXPECT_EQ(padded_dims<Fp16>(64), 64u);
+  EXPECT_EQ(padded_dims<Fp16>(65), 128u);
+  EXPECT_EQ(padded_dims<Fp16>(960), 960u);
+  // FP64: 16 elements.
+  EXPECT_EQ(padded_dims<double>(90), 96u);
+}
+
+TEST(Matrix, StrideMatchesPaddedDims) {
+  MatrixF16 m(10, 100);
+  EXPECT_EQ(m.rows(), 10u);
+  EXPECT_EQ(m.dims(), 100u);
+  EXPECT_EQ(m.stride(), 128u);
+  EXPECT_EQ(m.size_bytes(), 10u * 128 * 2);
+}
+
+TEST(Matrix, PaddingIsZeroInitialized) {
+  MatrixF32 m(4, 33);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t k = 0; k < m.stride(); ++k) {
+      EXPECT_EQ(m.at(i, k), 0.0f);
+    }
+  }
+}
+
+TEST(Matrix, RowAccessIsIndependent) {
+  MatrixF32 m(3, 8);
+  m.at(0, 0) = 1.0f;
+  m.at(1, 0) = 2.0f;
+  m.at(2, 7) = 3.0f;
+  EXPECT_EQ(m.row(0)[0], 1.0f);
+  EXPECT_EQ(m.row(1)[0], 2.0f);
+  EXPECT_EQ(m.row(2)[7], 3.0f);
+  EXPECT_EQ(m.row(0)[7], 0.0f);
+}
+
+TEST(Matrix, ToFp16QuantizesValues) {
+  MatrixF32 m(2, 3);
+  m.at(0, 0) = 1.0f;
+  m.at(0, 1) = 1.0f + 0x1.0p-13f;  // not representable in FP16
+  m.at(1, 2) = -2.5f;
+  const MatrixF16 h = to_fp16(m);
+  EXPECT_EQ(h.at(0, 0).to_float(), 1.0f);
+  EXPECT_EQ(h.at(0, 1).to_float(), 1.0f);  // rounded
+  EXPECT_EQ(h.at(1, 2).to_float(), -2.5f);
+}
+
+TEST(Matrix, Fp16RoundTripThroughFp32IsExact) {
+  MatrixF32 m(5, 7);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t k = 0; k < 7; ++k) {
+      m.at(i, k) = static_cast<float>(i * 7 + k) * 0.25f;
+    }
+  }
+  const MatrixF16 h = to_fp16(m);
+  const MatrixF32 back = to_fp32(h);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t k = 0; k < 7; ++k) {
+      EXPECT_EQ(back.at(i, k), quantize_fp16(m.at(i, k)));
+    }
+  }
+}
+
+TEST(Matrix, ToFp64IsExact) {
+  MatrixF32 m(2, 2);
+  m.at(0, 0) = 0.1f;
+  m.at(1, 1) = -3.75f;
+  const MatrixF64 d = to_fp64(m);
+  EXPECT_EQ(d.at(0, 0), static_cast<double>(0.1f));
+  EXPECT_EQ(d.at(1, 1), -3.75);
+}
+
+TEST(Matrix, EmptyMatrix) {
+  MatrixF32 m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.dims(), 0u);
+}
+
+}  // namespace
+}  // namespace fasted

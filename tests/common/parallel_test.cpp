@@ -1,0 +1,104 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace fasted {
+namespace {
+
+TEST(ThreadPool, CoversFullRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  pool.parallel_for(7, 3, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleElementRange) {
+  ThreadPool pool(4);
+  int count = 0;
+  pool.parallel_for(10, 11, [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(b, 10u);
+    EXPECT_EQ(e, 11u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, NonZeroOffset) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(100, 200, [&](std::size_t b, std::size_t e) {
+    std::size_t local = 0;
+    for (std::size_t i = b; i < e; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  std::size_t expect = 0;
+  for (std::size_t i = 100; i < 200; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> total{0};
+    pool.parallel_for(0, 97, [&](std::size_t b, std::size_t e) {
+      total.fetch_add(static_cast<int>(e - b));
+    });
+    ASSERT_EQ(total.load(), 97);
+  }
+}
+
+TEST(ThreadPool, SerialFallbackWithOneThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(0, 10, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) order.push_back(static_cast<int>(i));
+  });
+  std::vector<int> expect(10);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPool, GlobalPoolWorks) {
+  std::atomic<int> total{0};
+  parallel_for(0, 1234, [&](std::size_t b, std::size_t e) {
+    total.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(total.load(), 1234);
+}
+
+TEST(ThreadPool, ChunksAreContiguousAndOrderedWithinChunk) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(0, 1000, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(m);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t pos = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, pos);
+    EXPECT_LT(b, e);
+    pos = e;
+  }
+  EXPECT_EQ(pos, 1000u);
+}
+
+}  // namespace
+}  // namespace fasted

@@ -1,0 +1,152 @@
+#include "common/rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cfenv>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace fasted {
+namespace {
+
+TEST(RoundTowardZero, ExactValuesPassThrough) {
+  EXPECT_EQ(round_toward_zero(1.0), 1.0f);
+  EXPECT_EQ(round_toward_zero(-2.5), -2.5f);
+  EXPECT_EQ(round_toward_zero(0.0), 0.0f);
+}
+
+TEST(RoundTowardZero, TruncatesPositive) {
+  // 1 + 2^-25 is between 1.0 and nextafter(1.0): RZ keeps 1.0 even though
+  // RN would too; 1 + 2^-24 + 2^-25 would RN up but RZ down.
+  const double x = 1.0 + 0x1.8p-24;  // above the RN tie
+  EXPECT_EQ(static_cast<double>(static_cast<float>(x)),
+            1.0 + 0x1.0p-23);  // RN rounds up
+  EXPECT_EQ(round_toward_zero(x), 1.0f + 0x1.0p-24f == 0 ? 1.0f : 1.0f);
+  EXPECT_LE(static_cast<double>(round_toward_zero(x)), x);
+}
+
+TEST(RoundTowardZero, NeverIncreasesMagnitude) {
+  Rng rng(3);
+  for (int t = 0; t < 100000; ++t) {
+    const double x = rng.uniform(-1e6, 1e6);
+    const float f = round_toward_zero(x);
+    EXPECT_LE(std::fabs(static_cast<double>(f)), std::fabs(x));
+  }
+}
+
+TEST(RoundTowardZero, IsTheLargestFloatBelow) {
+  // f = RZ(x) and nextafter(f, +inf*sign) must exceed |x|.
+  Rng rng(5);
+  for (int t = 0; t < 100000; ++t) {
+    const double x = rng.uniform(-1e4, 1e4);
+    if (x == 0) continue;
+    const float f = round_toward_zero(x);
+    const float next =
+        std::nextafterf(f, std::numeric_limits<float>::infinity() *
+                               (x > 0 ? 1.0f : -1.0f));
+    EXPECT_GT(std::fabs(static_cast<double>(next)), std::fabs(x) * (1 - 1e-15))
+        << x;
+  }
+}
+
+TEST(RoundTowardZero, MatchesFesetroundReference) {
+  // Cross-check against the FPU's native RZ conversion.
+  Rng rng(9);
+  const int old = std::fegetround();
+  for (int t = 0; t < 100000; ++t) {
+    const double x = rng.uniform(-1e8, 1e8);
+    std::fesetround(FE_TOWARDZERO);
+    const volatile float ref = static_cast<float>(x);
+    std::fesetround(old);
+    EXPECT_EQ(round_toward_zero(x), ref) << x;
+  }
+}
+
+TEST(RoundTowardZero, OverflowClampsToMaxFinite) {
+  const double big = 1e40;
+  EXPECT_EQ(round_toward_zero(big), std::numeric_limits<float>::max());
+  EXPECT_EQ(round_toward_zero(-big), -std::numeric_limits<float>::max());
+}
+
+TEST(AddRz, KnownSequence) {
+  // Accumulating 2^-24 onto 1.0: RZ drops every contribution.
+  float acc = 1.0f;
+  for (int i = 0; i < 100; ++i) acc = add_rz(acc, 0x1.0p-24f);
+  EXPECT_EQ(acc, 1.0f);
+  // RN for comparison would stay at 1.0 too (ties to even), but 1.5*2^-24
+  // would move RN and not RZ:
+  acc = 1.0f;
+  acc = add_rz(acc, 0x1.8p-24f);
+  EXPECT_EQ(acc, 1.0f);
+  EXPECT_EQ(1.0f + 0x1.8p-24f, 1.0f + 0x1.0p-23f);  // RN rounds up
+}
+
+TEST(AddRz, NegativeAccumulationTruncatesTowardZero) {
+  float acc = -1.0f;
+  acc = add_rz(acc, -0x1.8p-24f);
+  EXPECT_EQ(acc, -1.0f);  // magnitude truncated
+}
+
+TEST(AddRz, ExactWhenRepresentable) {
+  Rng rng(21);
+  for (int t = 0; t < 50000; ++t) {
+    const float a = static_cast<float>(rng.uniform(-1024.0, 1024.0));
+    // Same-exponent addends stay exact.
+    EXPECT_EQ(add_rz(a, a), 2 * a);
+  }
+}
+
+TEST(AddRz, BitEquivalentToReferenceRounding) {
+  // The branchless hot-path add_rz must match the reference
+  // round_toward_zero for random inputs across magnitudes...
+  Rng rng(77);
+  for (int t = 0; t < 200000; ++t) {
+    const float a = static_cast<float>(rng.uniform(-1e6, 1e6));
+    const float b = static_cast<float>(
+        rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.uniform(-6, 6)));
+    const float ref = round_toward_zero(static_cast<double>(a) + b);
+    ASSERT_EQ(add_rz(a, b), ref) << a << " + " << b;
+  }
+}
+
+TEST(AddRz, BitEquivalentOnEdgeCases) {
+  // ...and on the edges: zeros, cancellations, overflow, subnormals.
+  const float big = std::numeric_limits<float>::max();
+  const float tiny = std::numeric_limits<float>::denorm_min();
+  const float cases[] = {0.0f, -0.0f, 1.0f,  -1.0f, big,
+                         -big, tiny,  -tiny, 0.5f,  -0.5f};
+  for (float a : cases) {
+    for (float b : cases) {
+      const float ref = round_toward_zero(static_cast<double>(a) +
+                                          static_cast<double>(b));
+      EXPECT_EQ(add_rz(a, b), ref) << a << " + " << b;
+    }
+  }
+  // Overflow clamps to max finite (RZ semantics).
+  EXPECT_EQ(add_rz(big, big), big);
+  EXPECT_EQ(add_rz(-big, -big), -big);
+}
+
+TEST(FmaRz, SingleRounding) {
+  // fma_rz must round once: a*b + c where a*b alone is inexact in float.
+  const float a = 1.0f + 0x1.0p-23f;
+  const float b = 1.0f + 0x1.0p-23f;
+  const float c = -1.0f;
+  const double exact = static_cast<double>(a) * b + c;
+  EXPECT_EQ(fma_rz(a, b, c), round_toward_zero(exact));
+}
+
+TEST(MulRz, AgainstDouble) {
+  Rng rng(33);
+  for (int t = 0; t < 50000; ++t) {
+    const float a = static_cast<float>(rng.uniform(-100.0, 100.0));
+    const float b = static_cast<float>(rng.uniform(-100.0, 100.0));
+    EXPECT_EQ(mul_rz(a, b),
+              round_toward_zero(static_cast<double>(a) * b));
+  }
+}
+
+}  // namespace
+}  // namespace fasted

@@ -1,0 +1,102 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace fasted {
+namespace {
+
+TEST(Config, PaperDefaultsMatchTable2) {
+  const auto cfg = FastedConfig::paper_defaults();
+  EXPECT_EQ(cfg.block_tile_m, 128);
+  EXPECT_EQ(cfg.block_tile_n, 128);
+  EXPECT_EQ(cfg.block_tile_k, 64);
+  EXPECT_EQ(cfg.warp_tile_m, 64);
+  EXPECT_EQ(cfg.warp_tile_n, 64);
+  EXPECT_EQ(cfg.warp_tile_k, 16);
+  EXPECT_EQ(cfg.warps_per_block, 4);
+  EXPECT_EQ(cfg.pipeline_stages, 2);
+  EXPECT_EQ(cfg.dispatch_square, 8);
+  EXPECT_EQ(cfg.grid_blocks(), 216);  // 2 x 108 SMs
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, AllOptimizationsDefaultOn) {
+  const auto cfg = FastedConfig::paper_defaults();
+  EXPECT_TRUE(cfg.opt_block_tile_ordering);
+  EXPECT_TRUE(cfg.opt_block_tile);
+  EXPECT_TRUE(cfg.opt_memcpy_async);
+  EXPECT_TRUE(cfg.opt_multistage_pipeline);
+  EXPECT_TRUE(cfg.opt_sm_block_residency);
+  EXPECT_TRUE(cfg.opt_warp_tile);
+  EXPECT_TRUE(cfg.opt_swizzle);
+  EXPECT_TRUE(cfg.opt_smem_alignment);
+}
+
+TEST(Config, DispatchPolicyFollowsOrderingToggle) {
+  auto cfg = FastedConfig::paper_defaults();
+  EXPECT_EQ(cfg.dispatch_policy(), sim::DispatchPolicy::kSquares);
+  cfg.opt_block_tile_ordering = false;
+  EXPECT_EQ(cfg.dispatch_policy(), sim::DispatchPolicy::kRowMajor);
+}
+
+TEST(Config, ResidencyToggle) {
+  auto cfg = FastedConfig::paper_defaults();
+  EXPECT_EQ(cfg.residency(), 2);
+  cfg.opt_sm_block_residency = false;
+  EXPECT_EQ(cfg.residency(), 1);
+}
+
+TEST(Config, PipelineRequiresAsyncCopies) {
+  // Paper footnote 9: synchronous copies cannot be pipelined.
+  auto cfg = FastedConfig::paper_defaults();
+  EXPECT_EQ(cfg.effective_pipeline_stages(), 2);
+  cfg.opt_multistage_pipeline = false;
+  EXPECT_EQ(cfg.effective_pipeline_stages(), 1);
+  cfg.opt_multistage_pipeline = true;
+  cfg.opt_memcpy_async = false;
+  EXPECT_EQ(cfg.effective_pipeline_stages(), 1);
+}
+
+TEST(Config, WarpTileToggleShrinksToMmaShape) {
+  auto cfg = FastedConfig::paper_defaults();
+  EXPECT_EQ(cfg.effective_warp_tile_m(), 64);
+  cfg.opt_warp_tile = false;
+  EXPECT_EQ(cfg.effective_warp_tile_m(), 16);
+  EXPECT_EQ(cfg.effective_warp_tile_n(), 8);
+}
+
+TEST(Config, SmemFootprintFitsTwoBlocks) {
+  // Two resident blocks with two-stage pipelines must fit in 164 KB.
+  const auto cfg = FastedConfig::paper_defaults();
+  EXPECT_EQ(cfg.smem_bytes_per_block(), 2u * (128 + 128) * 64 * 2);
+  EXPECT_LE(cfg.smem_bytes_per_block() * 2, cfg.device.smem_bytes_per_sm);
+}
+
+TEST(Config, ValidateRejectsBadWarpGrid) {
+  auto cfg = FastedConfig::paper_defaults();
+  cfg.warps_per_block = 8;  // 2x2 warp tiles != 8
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
+TEST(Config, ValidateRejectsMisalignedTiles) {
+  auto cfg = FastedConfig::paper_defaults();
+  cfg.warp_tile_m = 48;  // does not divide 128
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
+TEST(Config, ValidateRejectsOversizedSmem) {
+  auto cfg = FastedConfig::paper_defaults();
+  cfg.block_tile_k = 256;  // 4x the staging, exceeds 164 KB with 2 blocks
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
+TEST(Config, DescribeMentionsKeyParameters) {
+  const auto s = FastedConfig::paper_defaults().describe();
+  EXPECT_NE(s.find("128x128x64"), std::string::npos);
+  EXPECT_NE(s.find("squares"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fasted

@@ -1,0 +1,162 @@
+#include "core/ldmatrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generators.hpp"
+
+namespace fasted {
+namespace {
+
+MatrixF16 test_data(std::size_t n, std::size_t d, std::uint64_t seed = 3) {
+  return to_fp16(data::uniform(n, d, seed));
+}
+
+TEST(Ldmatrix, LoadsCorrectFragmentValues) {
+  const auto data = test_data(64, 64);
+  sim::SharedMemoryModel store_model;
+  StagedBlockFragment staged(64, 64, true);
+  staged.stage(data, 0, 0, store_model);
+
+  sim::SharedMemoryModel smem;
+  for (int first_row : {0, 16, 32, 48}) {
+    for (int ks = 0; ks < 4; ++ks) {
+      const Fragment16x16 frag = ldmatrix_x4(staged, first_row, ks, smem);
+      for (int r = 0; r < 16; ++r) {
+        for (int c = 0; c < 16; ++c) {
+          EXPECT_EQ(frag.at(r, c).bits(),
+                    data.at(first_row + r, ks * 16 + c).bits())
+              << "row " << first_row << " ks " << ks;
+        }
+      }
+    }
+  }
+}
+
+TEST(Ldmatrix, SwizzledLoadsAreConflictFree) {
+  const auto data = test_data(128, 64);
+  sim::SharedMemoryModel staging;
+  StagedBlockFragment staged(128, 64, true);
+  staged.stage(data, 0, 0, staging);
+
+  sim::SharedMemoryModel smem;
+  for (int row = 0; row < 128; row += 16) {
+    for (int ks = 0; ks < 4; ++ks) ldmatrix_x4(staged, row, ks, smem);
+  }
+  EXPECT_EQ(smem.stats().conflict_cycles(), 0u);
+  // 8 rows x 4 k-slices x 4 phases = 128 transactions.
+  EXPECT_EQ(smem.stats().transactions, 128u);
+}
+
+TEST(Ldmatrix, UnswizzledLoadsHaveEightWayConflicts) {
+  // Paper Fig. 6: a simple row-major copy yields 8-way conflicts per phase.
+  const auto data = test_data(64, 64);
+  sim::SharedMemoryModel staging;
+  StagedBlockFragment staged(64, 64, false);
+  staged.stage(data, 0, 0, staging);
+
+  sim::SharedMemoryModel smem;
+  ldmatrix_x4(staged, 0, 0, smem);
+  EXPECT_EQ(smem.stats().transactions, 4u);
+  EXPECT_EQ(smem.stats().bank_cycles, 4u * 8);
+  EXPECT_NEAR(smem.stats().conflict_rate(), 7.0 / 8.0, 1e-12);
+}
+
+TEST(Ldmatrix, UnswizzledStillLoadsCorrectValues) {
+  const auto data = test_data(32, 64);
+  sim::SharedMemoryModel staging;
+  StagedBlockFragment staged(32, 64, false);
+  staged.stage(data, 0, 0, staging);
+  sim::SharedMemoryModel smem;
+  const Fragment16x16 frag = ldmatrix_x4(staged, 16, 1, smem);
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 16; ++c) {
+      EXPECT_EQ(frag.at(r, c).bits(), data.at(16 + r, 16 + c).bits());
+    }
+  }
+}
+
+TEST(Ldmatrix, MisalignedFragmentCostsExtraTransactions) {
+  const auto data = test_data(64, 64);
+  sim::SharedMemoryModel staging;
+  StagedBlockFragment staged(64, 64, true, /*aligned=*/false);
+  staged.stage(data, 0, 0, staging);
+  sim::SharedMemoryModel smem;
+  ldmatrix_x4(staged, 0, 0, smem);
+  // 4 phases + 4 split-transaction penalties.
+  EXPECT_EQ(smem.stats().transactions, 8u);
+}
+
+// --- PTX register-layout mappings ---
+
+TEST(MmaLayout, ACoordsCoverTileExactlyOnce) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int reg = 0; reg < 4; ++reg) {
+      for (int h = 0; h < 2; ++h) {
+        const Coord c = mma_a_coord(lane, reg, h);
+        EXPECT_GE(c.row, 0);
+        EXPECT_LT(c.row, 16);
+        EXPECT_GE(c.col, 0);
+        EXPECT_LT(c.col, 16);
+        EXPECT_TRUE(seen.emplace(c.row, c.col).second)
+            << "duplicate at lane " << lane << " reg " << reg;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(MmaLayout, BCoordsCoverTileExactlyOnce) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int reg = 0; reg < 2; ++reg) {
+      for (int h = 0; h < 2; ++h) {
+        const Coord c = mma_b_coord(lane, reg, h);
+        EXPECT_GE(c.row, 0);
+        EXPECT_LT(c.row, 16);  // k
+        EXPECT_GE(c.col, 0);
+        EXPECT_LT(c.col, 8);   // n
+        EXPECT_TRUE(seen.emplace(c.row, c.col).second);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 128u);
+}
+
+TEST(MmaLayout, AccCoordsCoverTileExactlyOnce) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int reg = 0; reg < 4; ++reg) {
+      const Coord c = mma_acc_coord(lane, reg);
+      EXPECT_LT(c.row, 16);
+      EXPECT_LT(c.col, 8);
+      EXPECT_TRUE(seen.emplace(c.row, c.col).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 128u);
+}
+
+TEST(MmaLayout, KnownPtxAnchors) {
+  // Lane 0 holds A[0][0..1] in a0 and A[8][0..1] in a1 (PTX ISA layout).
+  EXPECT_EQ(mma_a_coord(0, 0, 0), (Coord{0, 0}));
+  EXPECT_EQ(mma_a_coord(0, 0, 1), (Coord{0, 1}));
+  EXPECT_EQ(mma_a_coord(0, 1, 0), (Coord{8, 0}));
+  EXPECT_EQ(mma_a_coord(0, 2, 0), (Coord{0, 8}));
+  // Lane 5 (group 1, pair 1): acc c0 -> row 1, col 2.
+  EXPECT_EQ(mma_acc_coord(5, 0), (Coord{1, 2}));
+}
+
+TEST(LdmatrixDest, DistributesChunkAcrossFourLanes) {
+  // Paper Fig. 7b: T0's 16 B chunk lands in registers of lanes 0-3.
+  for (int elem = 0; elem < 8; ++elem) {
+    const LdDest d = ldmatrix_dest(0, elem);
+    EXPECT_EQ(d.lane, elem / 2);
+    EXPECT_EQ(d.half, elem % 2);
+  }
+  EXPECT_EQ(ldmatrix_dest(7, 7).lane, 31);
+}
+
+}  // namespace
+}  // namespace fasted

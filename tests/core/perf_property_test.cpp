@@ -1,0 +1,152 @@
+// Parameterized properties of the performance model: sanity laws that must
+// hold across the whole configuration space, not just the paper's operating
+// points — kernel time positive and monotone in work, utilization bounded,
+// power budget respected, counters internally consistent.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/perf_model.hpp"
+#include "sim/power.hpp"
+
+namespace fasted {
+namespace {
+
+using Shape = std::tuple<std::size_t, std::size_t>;  // (n, d)
+
+class PerfLaws : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(PerfLaws, InvariantsHold) {
+  const auto [n, d] = GetParam();
+  const auto est = estimate_fasted_kernel(FastedConfig::paper_defaults(), n, d);
+
+  EXPECT_GT(est.kernel_seconds, 0.0);
+  EXPECT_GT(est.derived_tflops, 0.0);
+  EXPECT_LE(est.derived_tflops, 312.0);  // cannot beat the hardware peak
+  EXPECT_GE(est.tc_utilization, 0.0);
+  EXPECT_LE(est.tc_utilization, 1.0);
+  EXPECT_GE(est.clock_ghz, FastedConfig{}.device.min_clock_ghz);
+  EXPECT_LE(est.clock_ghz, FastedConfig{}.device.base_clock_ghz + 1e-12);
+  EXPECT_GE(est.l2_hit_rate, 0.0);
+  EXPECT_LE(est.l2_hit_rate, 1.0);
+  EXPECT_LE(est.counters.dram_bytes, est.counters.l2_read_bytes + 1.0);
+  // Work accounting: at least the real FLOPs are executed (padding only
+  // adds).
+  EXPECT_GE(est.counters.tc_fp16_flops,
+            2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                static_cast<double>(d) * 0.999);
+
+  // The sustained clock respects the power budget.
+  sim::PowerModel power(FastedConfig{}.device);
+  if (est.clock_ghz > FastedConfig{}.device.min_clock_ghz + 1e-9) {
+    const double dram_util = est.counters.dram_bytes / est.kernel_seconds /
+                             (FastedConfig{}.device.dram_bandwidth_gbs * 1e9);
+    EXPECT_LE(power.power_at(est.clock_ghz, est.tc_utilization, dram_util),
+              FastedConfig{}.device.power_budget_w * 1.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, PerfLaws,
+    ::testing::Combine(::testing::Values<std::size_t>(100, 1000, 10000,
+                                                      100000, 1000000),
+                       ::testing::Values<std::size_t>(16, 64, 100, 512, 2048,
+                                                      4096, 8192)));
+
+class PerfConfigLaws : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerfConfigLaws, EveryLeaveOneOutSlowsTheKernel) {
+  const int which = GetParam();
+  FastedConfig cfg = FastedConfig::paper_defaults();
+  switch (which) {
+    case 0: cfg.opt_block_tile_ordering = false; break;
+    case 1: cfg.opt_block_tile = false; break;
+    case 2: cfg.opt_memcpy_async = false; break;
+    case 3: cfg.opt_multistage_pipeline = false; break;
+    case 4: cfg.opt_sm_block_residency = false; break;
+    case 5: cfg.opt_warp_tile = false; break;
+    case 6: cfg.opt_swizzle = false; break;
+    case 7: cfg.opt_smem_alignment = false; break;
+    default: break;
+  }
+  // Must hold across dimensionalities, not only at the paper's d=4096.
+  for (std::size_t d : {256, 1024, 4096}) {
+    const auto base =
+        estimate_fasted_kernel(FastedConfig::paper_defaults(), 100000, d);
+    const auto ablated = estimate_fasted_kernel(cfg, 100000, d);
+    EXPECT_LE(ablated.derived_tflops, base.derived_tflops * 1.001)
+        << "toggle " << which << " d " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllToggles, PerfConfigLaws, ::testing::Range(0, 8));
+
+TEST(PerfLawsExtra, KernelTimeMonotoneInN) {
+  const FastedConfig cfg = FastedConfig::paper_defaults();
+  double prev = 0;
+  for (std::size_t n = 1000; n <= 1024000; n *= 4) {
+    const double t = estimate_fasted_kernel(cfg, n, 512).kernel_seconds;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PerfLawsExtra, KernelTimeMonotoneInD) {
+  const FastedConfig cfg = FastedConfig::paper_defaults();
+  double prev = 0;
+  for (std::size_t d = 64; d <= 16384; d *= 2) {
+    const double t = estimate_fasted_kernel(cfg, 50000, d).kernel_seconds;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PerfLawsExtra, AlternativeTileGeometriesStayLawful) {
+  // The model must remain sane for non-paper tile shapes (4-warp blocks).
+  struct Shape {
+    int bm, bn, bk, wm, wn;
+  };
+  for (const Shape& s : {Shape{64, 64, 64, 32, 32}, Shape{128, 64, 64, 64, 32},
+                         Shape{64, 128, 64, 32, 64}}) {
+    FastedConfig cfg = FastedConfig::paper_defaults();
+    cfg.block_tile_m = s.bm;
+    cfg.block_tile_n = s.bn;
+    cfg.block_tile_k = s.bk;
+    cfg.warp_tile_m = s.wm;
+    cfg.warp_tile_n = s.wn;
+    ASSERT_NO_THROW(cfg.validate());
+    const auto est = estimate_fasted_kernel(cfg, 50000, 2048);
+    EXPECT_GT(est.derived_tflops, 10.0);
+    EXPECT_LE(est.derived_tflops, 312.0);
+    // Smaller tiles can never need *less* DRAM than the paper geometry.
+    const auto paper =
+        estimate_fasted_kernel(FastedConfig::paper_defaults(), 50000, 2048);
+    EXPECT_GE(est.counters.dram_bytes * 1.01 +
+                  static_cast<double>(s.bm >= 128 && s.bn >= 128),
+              paper.counters.dram_bytes * 0.5);
+  }
+}
+
+TEST(PerfLawsExtra, H100SpecScalesThroughputSanely) {
+  FastedConfig h100 = FastedConfig::paper_defaults();
+  h100.device = sim::DeviceSpec::h100_sxm();
+  const auto a100 =
+      estimate_fasted_kernel(FastedConfig::paper_defaults(), 100000, 4096);
+  const auto h = estimate_fasted_kernel(h100, 100000, 4096);
+  // Faster than the A100 but nowhere near the 4x peak ratio: the reuse
+  // ceilings (Box #1) bind earlier relative to peak.
+  EXPECT_GT(h.derived_tflops, 1.3 * a100.derived_tflops);
+  EXPECT_LT(h.derived_tflops, 3.0 * a100.derived_tflops);
+  EXPECT_LE(h.derived_tflops, h100.device.device_fp16_tflops());
+}
+
+TEST(PerfLawsExtra, RectangularMatchesSquareWhenEqual) {
+  const FastedConfig cfg = FastedConfig::paper_defaults();
+  const auto sq = estimate_fasted_kernel(cfg, 40000, 1024);
+  const auto rect = estimate_fasted_join_kernel(cfg, 40000, 40000, 1024);
+  EXPECT_DOUBLE_EQ(sq.kernel_seconds, rect.kernel_seconds);
+}
+
+}  // namespace
+}  // namespace fasted

@@ -1,0 +1,70 @@
+#include "core/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fasted {
+namespace {
+
+SelfJoinResult three_point_result() {
+  std::vector<std::vector<std::uint32_t>> rows(3);
+  rows[0] = {0, 1};
+  rows[1] = {0, 1, 2};
+  rows[2] = {1, 2};
+  return SelfJoinResult::from_rows(std::move(rows));
+}
+
+TEST(Result, BasicAccessors) {
+  const auto r = three_point_result();
+  EXPECT_EQ(r.num_points(), 3u);
+  EXPECT_EQ(r.pair_count(), 7u);
+  EXPECT_EQ(r.degree(0), 2u);
+  EXPECT_EQ(r.degree(1), 3u);
+  ASSERT_EQ(r.neighbors_of(1).size(), 3u);
+  EXPECT_EQ(r.neighbors_of(1)[2], 2u);
+}
+
+TEST(Result, SelectivityFormula) {
+  // S = (|R| - |D|) / |D| = (7 - 3) / 3.
+  const auto r = three_point_result();
+  EXPECT_DOUBLE_EQ(r.selectivity(), 4.0 / 3.0);
+}
+
+TEST(Result, SelfPairsOnlyGivesZeroSelectivity) {
+  std::vector<std::vector<std::uint32_t>> rows(5);
+  for (std::uint32_t i = 0; i < 5; ++i) rows[i] = {i};
+  const auto r = SelfJoinResult::from_rows(std::move(rows));
+  EXPECT_EQ(r.pair_count(), 5u);
+  EXPECT_DOUBLE_EQ(r.selectivity(), 0.0);
+}
+
+TEST(Result, EmptyResult) {
+  SelfJoinResult r;
+  EXPECT_EQ(r.num_points(), 0u);
+  EXPECT_EQ(r.pair_count(), 0u);
+  EXPECT_DOUBLE_EQ(r.selectivity(), 0.0);
+}
+
+TEST(Result, EmptyRowsAllowed) {
+  std::vector<std::vector<std::uint32_t>> rows(4);
+  rows[2] = {0, 3};
+  const auto r = SelfJoinResult::from_rows(std::move(rows));
+  EXPECT_EQ(r.degree(0), 0u);
+  EXPECT_EQ(r.degree(2), 2u);
+  EXPECT_TRUE(r.neighbors_of(0).empty());
+}
+
+TEST(Result, ResultBytesCountsPairs) {
+  const auto r = three_point_result();
+  EXPECT_EQ(r.result_bytes(), 7u * 8);
+}
+
+TEST(Result, OffsetsAreMonotone) {
+  const auto r = three_point_result();
+  const auto& off = r.offsets();
+  ASSERT_EQ(off.size(), 4u);
+  for (std::size_t i = 1; i < off.size(); ++i) EXPECT_LE(off[i - 1], off[i]);
+  EXPECT_EQ(off.back(), r.pair_count());
+}
+
+}  // namespace
+}  // namespace fasted

@@ -1,0 +1,90 @@
+#include "core/sm_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/perf_model.hpp"
+
+namespace fasted::sim {
+namespace {
+
+fasted::FastedConfig paper() { return fasted::FastedConfig::paper_defaults(); }
+
+TEST(SmTimeline, RunsToCompletion) {
+  const auto r = simulate_sm_timeline(paper(), 512);
+  EXPECT_GT(r.cycles_per_tile_pair, 0.0);
+  EXPECT_GT(r.tc_busy_fraction, 0.0);
+  EXPECT_LE(r.tc_busy_fraction, 1.0);
+  EXPECT_LE(r.smem_busy_fraction, 1.0);
+  EXPECT_EQ(r.iteration_starts.size(), 4u * (512 / 64));
+}
+
+TEST(SmTimeline, CrossValidatesAnalyticPeriodAtPaperPoint) {
+  // The event simulation and the max()-algebra model must agree on the SM
+  // period for the paper's d=4096 operating point (within the algebra's
+  // simplification error).
+  const auto sim = simulate_sm_timeline(paper(), 4096);
+  // Analytic T_period at d=4096 (R=2 tiles per period): reconstruct from
+  // the estimate: cycles = periods * T_period, periods = ceil(tiles/216).
+  const auto est = fasted::estimate_fasted_kernel(paper(), 100000, 4096);
+  const double tiles = 782.0 * 782.0;
+  const double periods = std::ceil(tiles / 216.0);
+  const double analytic_period =
+      (est.kernel_seconds - 0.0) * est.clock_ghz * 1e9 / periods;
+  // The estimate includes fixed overheads; compare loosely (25%).
+  EXPECT_NEAR(sim.cycles_per_tile_pair, analytic_period,
+              analytic_period * 0.25);
+}
+
+TEST(SmTimeline, TcUtilizationNearPaperCeiling) {
+  // At d=4096 the simulated tensor-pipe occupancy lands near the measured
+  // 62-64% ceiling.
+  const auto r = simulate_sm_timeline(paper(), 4096);
+  EXPECT_GT(r.tc_busy_fraction, 0.5);
+  EXPECT_LT(r.tc_busy_fraction, 0.75);
+}
+
+TEST(SmTimeline, LowDimensionalityIsEpilogueBound) {
+  // d=128: 2 k-iterations vs a fixed epilogue -> low TC occupancy, exactly
+  // the Table 6 regime.
+  const auto r = simulate_sm_timeline(paper(), 128);
+  EXPECT_LT(r.tc_busy_fraction, 0.25);
+}
+
+TEST(SmTimeline, ResidencyOffSlowsThePeriodPerTile) {
+  auto lone = paper();
+  lone.opt_sm_block_residency = false;
+  const auto base = simulate_sm_timeline(paper(), 4096);
+  const auto solo = simulate_sm_timeline(lone, 4096);
+  // Per-tile cost: base period covers 2 tiles.
+  EXPECT_GT(solo.cycles_per_tile_pair, base.cycles_per_tile_pair / 2.0);
+}
+
+TEST(SmTimeline, SyncCopiesDominateTheTimeline) {
+  auto sync = paper();
+  sync.opt_memcpy_async = false;
+  const auto base = simulate_sm_timeline(paper(), 4096);
+  const auto slow = simulate_sm_timeline(sync, 4096);
+  EXPECT_GT(slow.cycles_per_tile_pair, 2.0 * base.cycles_per_tile_pair);
+  EXPECT_LT(slow.tc_busy_fraction, base.tc_busy_fraction);
+}
+
+TEST(SmTimeline, SwizzleOffRaisesPortOccupancy) {
+  auto nosw = paper();
+  nosw.opt_swizzle = false;
+  const auto base = simulate_sm_timeline(paper(), 4096);
+  const auto conf = simulate_sm_timeline(nosw, 4096);
+  EXPECT_GT(conf.smem_busy_fraction, base.smem_busy_fraction);
+  EXPECT_GE(conf.cycles_per_tile_pair, base.cycles_per_tile_pair);
+}
+
+TEST(SmTimeline, MoreTilesConvergeToSteadyState) {
+  const auto few = simulate_sm_timeline(paper(), 1024, 3);
+  const auto many = simulate_sm_timeline(paper(), 1024, 8);
+  EXPECT_NEAR(few.cycles_per_tile_pair, many.cycles_per_tile_pair,
+              0.15 * many.cycles_per_tile_pair);
+}
+
+}  // namespace
+}  // namespace fasted::sim

@@ -1,0 +1,73 @@
+#include "core/sums.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rounding.hpp"
+#include "data/generators.hpp"
+
+namespace fasted {
+namespace {
+
+TEST(Sums, SimpleKnownValues) {
+  MatrixF32 m(2, 4);
+  m.at(0, 0) = 1.0f;
+  m.at(0, 1) = 2.0f;
+  m.at(0, 2) = 2.0f;
+  m.at(1, 3) = 3.0f;
+  const auto s = squared_norms_fp16_rz(to_fp16(m));
+  EXPECT_EQ(s[0], 9.0f);
+  EXPECT_EQ(s[1], 9.0f);
+}
+
+TEST(Sums, MatchesSequentialRz) {
+  const auto data = to_fp16(data::uniform(64, 96, 19));
+  const auto s = squared_norms_fp16_rz(data);
+  for (std::size_t i = 0; i < 64; ++i) {
+    float acc = 0.0f;
+    for (std::size_t k = 0; k < 96; ++k) {
+      acc = add_rz(acc, Fp16::mul_exact(data.at(i, k), data.at(i, k)));
+    }
+    ASSERT_EQ(s[i], acc) << i;
+  }
+}
+
+TEST(Sums, RzIsLowerBoundOfExact) {
+  // Squares are non-negative, so RZ accumulation is a lower bound.
+  const auto data = to_fp16(data::uniform(128, 256, 23));
+  const auto s = squared_norms_fp16_rz(data);
+  for (std::size_t i = 0; i < 128; ++i) {
+    double exact = 0;
+    for (std::size_t k = 0; k < 256; ++k) {
+      const double v = data.at(i, k).to_float();
+      exact += v * v;
+    }
+    EXPECT_LE(static_cast<double>(s[i]), exact);
+    EXPECT_NEAR(static_cast<double>(s[i]), exact, exact * 1e-5);
+  }
+}
+
+TEST(Sums, Fp32AndFp64Agree) {
+  const auto data = data::uniform(32, 48, 29);
+  const auto s32 = squared_norms_fp32(data);
+  const auto s64 = squared_norms_fp64(to_fp64(data));
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(static_cast<double>(s32[i]), s64[i], s64[i] * 1e-5);
+  }
+}
+
+TEST(Sums, ZeroPointHasZeroNorm) {
+  MatrixF32 m(1, 10);
+  const auto s = squared_norms_fp16_rz(to_fp16(m));
+  EXPECT_EQ(s[0], 0.0f);
+}
+
+TEST(Sums, PaddingDoesNotContribute) {
+  // d=33 pads to 64 in FP16 layout; padding must not change the norm.
+  MatrixF32 m(1, 33);
+  for (std::size_t k = 0; k < 33; ++k) m.at(0, k) = 1.0f;
+  const auto s = squared_norms_fp16_rz(to_fp16(m));
+  EXPECT_EQ(s[0], 33.0f);
+}
+
+}  // namespace
+}  // namespace fasted

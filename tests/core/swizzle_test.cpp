@@ -1,0 +1,83 @@
+#include "core/swizzle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fasted {
+namespace {
+
+TEST(Swizzle, MatchesEquationTwo) {
+  // Eq. 2: destination column = s XOR (i mod 8).
+  EXPECT_EQ(swizzle_column(0, 0), 0u);
+  EXPECT_EQ(swizzle_column(1, 0), 1u);
+  EXPECT_EQ(swizzle_column(1, 1), 0u);
+  EXPECT_EQ(swizzle_column(7, 0), 7u);
+  EXPECT_EQ(swizzle_column(7, 7), 0u);
+  EXPECT_EQ(swizzle_column(8, 3), 3u);  // row 8 behaves like row 0
+  EXPECT_EQ(swizzle_column(13, 6), 6u ^ 5u);
+}
+
+TEST(Swizzle, IsPermutationPerRow) {
+  // Within a row, the 8 chunks map to 8 distinct columns.
+  for (std::uint32_t row = 0; row < 16; ++row) {
+    std::set<std::uint32_t> cols;
+    for (std::uint32_t s = 0; s < 8; ++s) cols.insert(swizzle_column(row, s));
+    EXPECT_EQ(cols.size(), 8u);
+  }
+}
+
+TEST(Swizzle, PhaseColumnsAreDistinctAcrossEightRows) {
+  // The conflict-freedom property (Fig. 6): 8 consecutive rows requesting
+  // the same logical chunk s hit 8 distinct columns.
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    for (std::uint32_t base = 0; base < 128; base += 8) {
+      std::set<std::uint32_t> cols;
+      for (std::uint32_t t = 0; t < 8; ++t) {
+        cols.insert(swizzle_column(base + t, s));
+      }
+      EXPECT_EQ(cols.size(), 8u) << "chunk " << s << " base " << base;
+    }
+  }
+}
+
+TEST(Swizzle, IdentityLayoutCollidesInPhases) {
+  // Without the swizzle all 8 rows request the same column (8-way conflict).
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    std::set<std::uint32_t> cols;
+    for (std::uint32_t t = 0; t < 8; ++t) cols.insert(identity_column(t, s));
+    EXPECT_EQ(cols.size(), 1u);
+  }
+}
+
+TEST(Swizzle, OffsetsStayInsideFragment) {
+  for (std::uint32_t row = 0; row < 128; ++row) {
+    for (std::uint32_t s = 0; s < 8; ++s) {
+      const std::uint32_t off = swizzled_offset_bytes(row, s);
+      EXPECT_LT(off, 128u * 8 * 16);
+      EXPECT_EQ(off % kChunkBytes, 0u);
+      // Stays within its own row's 128 B.
+      EXPECT_EQ(off / 128, row);
+    }
+  }
+}
+
+TEST(Swizzle, IsInvolutionOnColumns) {
+  // Applying the XOR twice restores the logical chunk: unswizzling uses the
+  // same function.
+  for (std::uint32_t row = 0; row < 64; ++row) {
+    for (std::uint32_t s = 0; s < 8; ++s) {
+      const std::uint32_t stored = swizzle_column(row, s);
+      EXPECT_EQ(swizzle_column(row, stored), s);
+    }
+  }
+}
+
+TEST(Swizzle, ChunkConstants) {
+  EXPECT_EQ(kChunkDims, 8);
+  EXPECT_EQ(kChunkBytes, 16);
+  EXPECT_EQ(kChunksPerRow, 8);  // 64-dim k-slices
+}
+
+}  // namespace
+}  // namespace fasted

@@ -1,0 +1,107 @@
+#include "core/warp_tile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rounding.hpp"
+#include "data/generators.hpp"
+#include "sim/tensor_core.hpp"
+
+namespace fasted {
+namespace {
+
+TEST(WarpTile, MatchesDirectRzAccumulation) {
+  const auto data = to_fp16(data::uniform(128, 64, 21));
+  sim::SharedMemoryModel smem;
+  StagedBlockFragment p(128, 64, true);
+  StagedBlockFragment q(128, 64, true);
+  p.stage(data, 0, 0, smem);
+  q.stage(data, 64, 0, smem);
+
+  WarpTile tile(64, 64);
+  std::uint64_t mmas = 0, lds = 0;
+  tile.accumulate(p, q, 0, 0, smem, &mmas, &lds);
+
+  for (int r = 0; r < 64; ++r) {
+    for (int c = 0; c < 64; ++c) {
+      float ref = 0.0f;
+      for (int k = 0; k < 64; ++k) {
+        ref = add_rz(ref, Fp16::mul_exact(data.at(r, k), data.at(64 + c, k)));
+      }
+      ASSERT_EQ(tile.acc(r, c), ref) << r << "," << c;
+    }
+  }
+}
+
+TEST(WarpTile, CountsMmaAndLdmatrix) {
+  const auto data = to_fp16(data::uniform(128, 64, 5));
+  sim::SharedMemoryModel smem;
+  StagedBlockFragment p(128, 64, true);
+  StagedBlockFragment q(128, 64, true);
+  p.stage(data, 0, 0, smem);
+  q.stage(data, 0, 0, smem);
+
+  WarpTile tile(64, 64);
+  std::uint64_t mmas = 0, lds = 0;
+  tile.accumulate(p, q, 0, 0, smem, &mmas, &lds);
+  // Per k-slice: 4 P + 4 Q ldmatrix, (64/16)*(64/8) = 32 MMAs; 4 slices.
+  EXPECT_EQ(lds, 32u);
+  EXPECT_EQ(mmas, 128u);
+}
+
+TEST(WarpTile, OffsetSelectsSubtile) {
+  const auto data = to_fp16(data::uniform(128, 64, 9));
+  sim::SharedMemoryModel smem;
+  StagedBlockFragment p(128, 64, true);
+  StagedBlockFragment q(128, 64, true);
+  p.stage(data, 0, 0, smem);
+  q.stage(data, 0, 0, smem);
+
+  WarpTile tile(64, 64);
+  tile.accumulate(p, q, 64, 64, smem, nullptr, nullptr);
+  // acc(0,0) should be <p_64, p_64> = squared norm of point 64's k-slice.
+  float ref = 0.0f;
+  for (int k = 0; k < 64; ++k) {
+    ref = add_rz(ref, Fp16::mul_exact(data.at(64, k), data.at(64, k)));
+  }
+  EXPECT_EQ(tile.acc(0, 0), ref);
+}
+
+TEST(WarpTile, AccumulatesAcrossCalls) {
+  // Two stage+accumulate rounds emulate two block k-iterations.
+  const auto data = to_fp16(data::uniform(64, 128, 33));
+  sim::SharedMemoryModel smem;
+  WarpTile tile(64, 64);
+  for (int it = 0; it < 2; ++it) {
+    StagedBlockFragment p(64, 64, true);
+    StagedBlockFragment q(64, 64, true);
+    p.stage(data, 0, it * 64, smem);
+    q.stage(data, 0, it * 64, smem);
+    tile.accumulate(p, q, 0, 0, smem, nullptr, nullptr);
+  }
+  float ref = 0.0f;
+  for (int k = 0; k < 128; ++k) {
+    ref = add_rz(ref, Fp16::mul_exact(data.at(0, k), data.at(1, k)));
+  }
+  EXPECT_EQ(tile.acc(0, 1), ref);
+}
+
+TEST(WarpTile, ResetZeroesAccumulators) {
+  const auto data = to_fp16(data::uniform(64, 64, 4));
+  sim::SharedMemoryModel smem;
+  StagedBlockFragment p(64, 64, true);
+  p.stage(data, 0, 0, smem);
+  WarpTile tile(64, 64);
+  tile.accumulate(p, p, 0, 0, smem, nullptr, nullptr);
+  EXPECT_NE(tile.acc(0, 0), 0.0f);
+  tile.reset();
+  EXPECT_EQ(tile.acc(0, 0), 0.0f);
+}
+
+TEST(WarpTile, RejectsBadShapes) {
+  EXPECT_THROW(WarpTile(15, 64), CheckError);
+  EXPECT_THROW(WarpTile(16, 7), CheckError);
+}
+
+}  // namespace
+}  // namespace fasted

@@ -1,0 +1,63 @@
+#include "core/work_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+namespace fasted {
+namespace {
+
+TEST(WorkQueue, DrainsAllTilesExactlyOnce) {
+  WorkQueue q(sim::DispatchPolicy::kSquares, 10, 8);
+  EXPECT_EQ(q.size(), 100u);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  std::pair<std::uint32_t, std::uint32_t> tile;
+  while (q.pop(tile)) {
+    EXPECT_TRUE(seen.insert(tile).second);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(WorkQueue, PopAfterDrainReturnsFalse) {
+  WorkQueue q(sim::DispatchPolicy::kRowMajor, 2, 8);
+  std::pair<std::uint32_t, std::uint32_t> tile;
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.pop(tile));
+  EXPECT_FALSE(q.pop(tile));
+  EXPECT_FALSE(q.pop(tile));
+}
+
+TEST(WorkQueue, OrderFollowsSquareDispatch) {
+  WorkQueue q(sim::DispatchPolicy::kSquares, 16, 8);
+  const auto& order = q.order();
+  // First 64 tiles form the 8x8 square at the origin.
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_LT(order[i].first, 8u);
+    EXPECT_LT(order[i].second, 8u);
+  }
+  // Next square moves right.
+  EXPECT_GE(order[64].second, 8u);
+}
+
+TEST(WorkQueue, ConcurrentPopsPartitionTheWork) {
+  WorkQueue q(sim::DispatchPolicy::kSquares, 20, 8);
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> got(4);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      std::pair<std::uint32_t, std::uint32_t> tile;
+      while (q.pop(tile)) got[static_cast<std::size_t>(t)].push_back(tile);
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::set<std::pair<std::uint32_t, std::uint32_t>> all;
+  std::size_t total = 0;
+  for (const auto& v : got) {
+    total += v.size();
+    for (auto p : v) EXPECT_TRUE(all.insert(p).second);
+  }
+  EXPECT_EQ(total, 400u);
+}
+
+}  // namespace
+}  // namespace fasted

@@ -1,0 +1,137 @@
+#include "data/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fasted::data {
+namespace {
+
+TEST(Generators, UniformBoundsAndShape) {
+  const auto m = uniform(500, 32, 1);
+  EXPECT_EQ(m.rows(), 500u);
+  EXPECT_EQ(m.dims(), 32u);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t k = 0; k < m.dims(); ++k) {
+      EXPECT_GE(m.at(i, k), 0.0f);
+      EXPECT_LT(m.at(i, k), 1.0f);
+    }
+  }
+}
+
+TEST(Generators, UniformIsDeterministicPerSeed) {
+  const auto a = uniform(100, 8, 42);
+  const auto b = uniform(100, 8, 42);
+  const auto c = uniform(100, 8, 43);
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t k = 0; k < 8; ++k) {
+      EXPECT_EQ(a.at(i, k), b.at(i, k));
+    }
+  }
+  int diffs = 0;
+  for (std::size_t k = 0; k < 8; ++k) {
+    if (a.at(0, k) != c.at(0, k)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(Generators, UniformCustomRange) {
+  const auto m = uniform(200, 4, 7, -5.0f, 5.0f);
+  float lo = 100, hi = -100;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      lo = std::min(lo, m.at(i, k));
+      hi = std::max(hi, m.at(i, k));
+    }
+  }
+  EXPECT_GE(lo, -5.0f);
+  EXPECT_LT(hi, 5.0f);
+  EXPECT_LT(lo, -3.0f);  // actually spreads out
+  EXPECT_GT(hi, 3.0f);
+}
+
+TEST(Generators, GaussianMixtureIsClustered) {
+  // Clustered data must have smaller mean nearest-centroid spread than
+  // uniform data — proxy: variance of pairwise distances is higher than
+  // uniform (mixture of tight modes).
+  ClusterSpec spec;
+  spec.clusters = 4;
+  spec.cluster_std = 0.02;
+  spec.noise_fraction = 0.0;
+  const auto m = gaussian_mixture(400, 16, 3, spec);
+  // Count close pairs: clustered data has far more than uniform.
+  auto close_pairs = [](const MatrixF32& d, double thresh) {
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < d.rows(); i += 4) {
+      for (std::size_t j = i + 1; j < d.rows(); j += 4) {
+        double acc = 0;
+        for (std::size_t k = 0; k < d.dims(); ++k) {
+          const double diff = static_cast<double>(d.at(i, k)) - d.at(j, k);
+          acc += diff * diff;
+        }
+        if (std::sqrt(acc) < thresh) ++c;
+      }
+    }
+    return c;
+  };
+  const auto u = uniform(400, 16, 3);
+  EXPECT_GT(close_pairs(m, 0.3), 10 * close_pairs(u, 0.3) + 10);
+}
+
+TEST(Generators, SiftLikeIsIntegerValuedInRange) {
+  const auto m = sift_like(300, 5);
+  EXPECT_EQ(m.dims(), 128u);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t k = 0; k < m.dims(); ++k) {
+      const float v = m.at(i, k);
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 255.0f);
+      EXPECT_EQ(v, std::round(v));
+    }
+  }
+}
+
+TEST(Generators, NormalizedSurrogatesAreUnitNorm) {
+  for (const auto& m : {tiny_like(50, 1), cifar_like(50, 1), gist_like(50, 1)}) {
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      double norm2 = 0;
+      for (std::size_t k = 0; k < m.dims(); ++k) {
+        norm2 += static_cast<double>(m.at(i, k)) * m.at(i, k);
+      }
+      EXPECT_NEAR(norm2, 1.0, 1e-4);
+    }
+  }
+}
+
+TEST(Generators, SurrogateDimensionsMatchPaper) {
+  EXPECT_EQ(sift_like(10, 1).dims(), 128u);
+  EXPECT_EQ(tiny_like(10, 1).dims(), 384u);
+  EXPECT_EQ(cifar_like(10, 1).dims(), 512u);
+  EXPECT_EQ(gist_like(10, 1).dims(), 960u);
+}
+
+TEST(Generators, NormalizeRowsHandlesZeroRow) {
+  MatrixF32 m(2, 4);
+  m.at(1, 0) = 3.0f;
+  m.at(1, 1) = 4.0f;
+  normalize_rows(m);
+  EXPECT_EQ(m.at(0, 0), 0.0f);  // zero row untouched
+  EXPECT_NEAR(m.at(1, 0), 0.6f, 1e-6);
+  EXPECT_NEAR(m.at(1, 1), 0.8f, 1e-6);
+}
+
+TEST(Generators, ValuesFitFp16Range) {
+  // All surrogates must be FP16-representable without overflow (the paper
+  // notes the datasets are commensurate with FP16's dynamic range).
+  for (const auto& m : {sift_like(100, 2), tiny_like(100, 2),
+                        cifar_like(100, 2), gist_like(100, 2)}) {
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      for (std::size_t k = 0; k < m.dims(); ++k) {
+        EXPECT_LE(std::fabs(m.at(i, k)), 65504.0f);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fasted::data

@@ -1,0 +1,65 @@
+#include "data/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace fasted::data {
+namespace {
+
+TEST(Registry, FourRealWorldDatasetsFromTable4) {
+  const auto& ds = real_world_datasets();
+  ASSERT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds[0].name, "Sift10M");
+  EXPECT_EQ(ds[0].paper_n, 10'000'000u);
+  EXPECT_EQ(ds[0].d, 128u);
+  EXPECT_EQ(ds[1].name, "Tiny5M");
+  EXPECT_EQ(ds[1].d, 384u);
+  EXPECT_EQ(ds[2].name, "Cifar60K");
+  EXPECT_EQ(ds[2].d, 512u);
+  EXPECT_EQ(ds[3].name, "Gist1M");
+  EXPECT_EQ(ds[3].d, 960u);
+}
+
+TEST(Registry, PaperEpsilonsMatchTable4) {
+  const auto& ds = real_world_datasets();
+  EXPECT_DOUBLE_EQ(ds[0].paper_eps[0], 122.5);
+  EXPECT_DOUBLE_EQ(ds[0].paper_eps[2], 152.5);
+  EXPECT_DOUBLE_EQ(ds[3].paper_eps[1], 0.5292);
+}
+
+TEST(Registry, SurrogatesHaveDeclaredShape) {
+  for (const auto& info : real_world_datasets()) {
+    const auto m = make_surrogate(info, 1);
+    EXPECT_EQ(m.rows(), info.surrogate_n) << info.name;
+    EXPECT_EQ(m.dims(), info.d) << info.name;
+  }
+}
+
+TEST(Registry, SelectivityLevelsMatchPaper) {
+  EXPECT_EQ(kSelectivityLevels[0], 64);
+  EXPECT_EQ(kSelectivityLevels[1], 128);
+  EXPECT_EQ(kSelectivityLevels[2], 256);
+}
+
+TEST(Registry, SynthGridMatchesFigure8Axes) {
+  const auto sizes = synth_sizes();
+  ASSERT_EQ(sizes.size(), 10u);
+  EXPECT_EQ(sizes.front(), 1000u);
+  EXPECT_EQ(sizes.back(), 1000000u);
+  EXPECT_EQ(sizes[1], 2154u);   // 10^(3+1/3)
+  EXPECT_EQ(sizes[5], 46416u);  // the paper's saturation size
+
+  const auto dims = synth_dimensions();
+  ASSERT_EQ(dims.size(), 7u);
+  EXPECT_EQ(dims.front(), 64u);
+  EXPECT_EQ(dims.back(), 4096u);
+}
+
+TEST(Registry, UnknownDatasetThrows) {
+  DatasetInfo bogus{"NotADataset", 1, 1, 1, {0, 0, 0}};
+  EXPECT_THROW(make_surrogate(bogus), fasted::CheckError);
+}
+
+}  // namespace
+}  // namespace fasted::data

@@ -1,0 +1,107 @@
+#include "data/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fasted.hpp"
+#include "data/generators.hpp"
+
+namespace fasted::data {
+namespace {
+
+TEST(Scaling, MaxAbsValue) {
+  MatrixF32 m(2, 3);
+  m.at(0, 1) = -7.5f;
+  m.at(1, 2) = 3.0f;
+  EXPECT_EQ(max_abs_value(m), 7.5f);
+}
+
+TEST(Scaling, Pow2ScaleLandsInTargetRange) {
+  for (float v : {1e-6f, 0.01f, 1.0f, 77.0f, 300.0f, 40000.0f}) {
+    const double s = choose_pow2_scale(v, 8);
+    const double scaled = v * s;
+    EXPECT_GT(scaled, 128.0 * (1 - 1e-12)) << v;
+    EXPECT_LE(scaled, 256.0) << v;
+    // Power of two: log2 is integral.
+    EXPECT_EQ(std::exp2(std::round(std::log2(s))), s) << v;
+  }
+  EXPECT_EQ(choose_pow2_scale(0.0f), 1.0);
+}
+
+TEST(Scaling, ScalingIsExactForPow2) {
+  // Scaling by a power of two must not change any mantissa.
+  auto m = uniform(100, 8, 3, 1e-5f, 2e-5f);
+  MatrixF32 orig = m;
+  const auto rep = scale_to_fp16_range(m);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t k = 0; k < 8; ++k) {
+      EXPECT_EQ(static_cast<double>(m.at(i, k)),
+                orig.at(i, k) * rep.scale);
+    }
+  }
+}
+
+TEST(Scaling, ImprovesQuantizationOfTinyValues) {
+  // Values near FP16's subnormal range quantize badly; scaling fixes it.
+  auto m = uniform(200, 16, 5, 1e-7f, 6e-7f);
+  const double before = fp16_relative_rms_error(m);
+  const auto rep = scale_to_fp16_range(m);
+  EXPECT_GT(before, 1e-2);  // catastrophic without scaling
+  EXPECT_LT(rep.rms_quant_error_after, 1e-3);
+  EXPECT_LT(rep.rms_quant_error_after, before);
+}
+
+TEST(Scaling, LeavesWellScaledDataAlmostAlone) {
+  auto m = uniform(200, 16, 7, 100.0f, 250.0f);
+  const auto rep = scale_to_fp16_range(m);
+  EXPECT_EQ(rep.scale, 1.0);  // already in [128, 256)
+  EXPECT_NEAR(rep.rms_quant_error_after, rep.rms_quant_error_before, 1e-12);
+}
+
+TEST(Scaling, PreservesSelfJoinSemantics) {
+  // dist(c p, c q) = c dist(p, q): scaling data and eps together must give
+  // the same pair count (up to FP16 re-rounding of boundary pairs).
+  const auto base = uniform(300, 12, 9, 0.0f, 4e-6f);
+  const float eps = 2.5e-6f;
+
+  FastedEngine engine;
+  MatrixF32 scaled = base;
+  const auto rep = scale_to_fp16_range(scaled);
+  const auto out = engine.self_join(scaled,
+                                    static_cast<float>(eps * rep.scale));
+
+  // FP64 reference on the unscaled data.
+  std::uint64_t ref = 0;
+  for (std::size_t i = 0; i < base.rows(); ++i) {
+    for (std::size_t j = 0; j < base.rows(); ++j) {
+      double acc = 0;
+      for (std::size_t k = 0; k < 12; ++k) {
+        const double d = static_cast<double>(base.at(i, k)) - base.at(j, k);
+        acc += d * d;
+      }
+      if (std::sqrt(acc) <= eps) ++ref;
+    }
+  }
+  // The scaled FP16-32 join tracks the FP64 truth closely...
+  EXPECT_NEAR(static_cast<double>(out.pair_count), static_cast<double>(ref),
+              0.02 * static_cast<double>(ref));
+  // ...while the unscaled join is wrecked by subnormal quantization.
+  const auto raw = engine.self_join(base, eps);
+  const double raw_err = std::fabs(static_cast<double>(raw.pair_count) -
+                                   static_cast<double>(ref));
+  const double scaled_err = std::fabs(static_cast<double>(out.pair_count) -
+                                      static_cast<double>(ref));
+  EXPECT_LE(scaled_err, raw_err);
+}
+
+TEST(Scaling, ReportFieldsConsistent) {
+  auto m = uniform(50, 4, 11, 0.0f, 1000.0f);
+  const auto rep = scale_to_fp16_range(m);
+  EXPECT_NEAR(rep.max_abs_after,
+              static_cast<float>(rep.max_abs_before * rep.scale), 1e-3f);
+  EXPECT_EQ(max_abs_value(m), rep.max_abs_after);
+}
+
+}  // namespace
+}  // namespace fasted::data

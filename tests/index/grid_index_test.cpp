@@ -1,0 +1,116 @@
+#include "index/grid_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "data/generators.hpp"
+
+namespace fasted::index {
+namespace {
+
+double dist(const MatrixF32& m, std::size_t i, std::size_t j) {
+  double acc = 0;
+  for (std::size_t k = 0; k < m.dims(); ++k) {
+    const double d = static_cast<double>(m.at(i, k)) - m.at(j, k);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+TEST(GridIndex, CandidatesAreSuperset) {
+  // The defining contract: every true neighbor appears in the candidates.
+  const auto m = data::uniform(800, 6, 3);
+  const float eps = 0.25f;
+  GridIndex grid(m, eps);
+  std::vector<std::uint32_t> cand;
+  for (std::size_t i = 0; i < m.rows(); i += 7) {
+    cand.clear();
+    grid.candidates_of(i, cand);
+    std::set<std::uint32_t> cs(cand.begin(), cand.end());
+    for (std::size_t j = 0; j < m.rows(); ++j) {
+      if (dist(m, i, j) <= eps) {
+        EXPECT_TRUE(cs.count(static_cast<std::uint32_t>(j)))
+            << i << " missing neighbor " << j;
+      }
+    }
+  }
+}
+
+TEST(GridIndex, CandidatesHaveNoDuplicates) {
+  const auto m = data::uniform(500, 4, 5);
+  GridIndex grid(m, 0.3f);
+  std::vector<std::uint32_t> cand;
+  for (std::size_t i = 0; i < 50; ++i) {
+    cand.clear();
+    grid.candidates_of(i, cand);
+    std::set<std::uint32_t> cs(cand.begin(), cand.end());
+    EXPECT_EQ(cs.size(), cand.size()) << i;
+  }
+}
+
+TEST(GridIndex, SelfIsAlwaysCandidate) {
+  const auto m = data::uniform(300, 5, 7);
+  GridIndex grid(m, 0.2f);
+  std::vector<std::uint32_t> cand;
+  for (std::size_t i = 0; i < m.rows(); i += 13) {
+    cand.clear();
+    grid.candidates_of(i, cand);
+    EXPECT_TRUE(std::find(cand.begin(), cand.end(),
+                          static_cast<std::uint32_t>(i)) != cand.end());
+  }
+}
+
+TEST(GridIndex, PrunesForSmallEps) {
+  const auto m = data::uniform(3000, 6, 9);
+  GridIndex grid(m, 0.1f);
+  // With eps=0.1 in [0,1]^6 the candidate fraction must be far below 1.
+  EXPECT_LT(grid.mean_candidates(), 0.5 * static_cast<double>(m.rows()));
+  EXPECT_GT(grid.non_empty_cells(), 100u);
+}
+
+TEST(GridIndex, HighDimIndexesPrefixOnly) {
+  const auto m = data::uniform(200, 100, 11);
+  GridIndex grid(m, 0.5f);
+  EXPECT_EQ(grid.indexed_dims(), 6);
+  GridIndex grid3(m, 0.5f, 3);
+  EXPECT_EQ(grid3.indexed_dims(), 3);
+  // Fewer indexed dims -> coarser pruning -> at least as many candidates.
+  EXPECT_GE(grid3.mean_candidates() + 1e-9, grid.mean_candidates() * 0.99);
+}
+
+TEST(GridIndex, SupersetHoldsInHighDims) {
+  const auto m = data::cifar_like(400, 13);
+  const float eps = 0.7f;
+  GridIndex grid(m, eps);
+  std::vector<std::uint32_t> cand;
+  for (std::size_t i = 0; i < m.rows(); i += 37) {
+    cand.clear();
+    grid.candidates_of(i, cand);
+    std::set<std::uint32_t> cs(cand.begin(), cand.end());
+    for (std::size_t j = 0; j < m.rows(); ++j) {
+      if (dist(m, i, j) <= eps) {
+        EXPECT_TRUE(cs.count(static_cast<std::uint32_t>(j)));
+      }
+    }
+  }
+}
+
+TEST(GridIndex, RejectsNonPositiveEps) {
+  const auto m = data::uniform(10, 4, 1);
+  EXPECT_THROW(GridIndex(m, 0.0f), fasted::CheckError);
+}
+
+TEST(GridIndex, BuildFlopEstimateScalesWithRows) {
+  const auto small = data::uniform(100, 6, 1);
+  const auto large = data::uniform(1000, 6, 1);
+  GridIndex gs(small, 0.2f);
+  GridIndex gl(large, 0.2f);
+  EXPECT_NEAR(gl.build_flop_estimate() / gs.build_flop_estimate(), 10.0, 0.5);
+}
+
+}  // namespace
+}  // namespace fasted::index

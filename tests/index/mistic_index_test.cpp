@@ -1,0 +1,119 @@
+#include "index/mistic_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "data/generators.hpp"
+
+namespace fasted::index {
+namespace {
+
+double dist(const MatrixF32& m, std::size_t i, std::size_t j) {
+  double acc = 0;
+  for (std::size_t k = 0; k < m.dims(); ++k) {
+    const double d = static_cast<double>(m.at(i, k)) - m.at(j, k);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+MisticConfig fast_config() {
+  MisticConfig cfg;
+  cfg.candidates_per_level = 6;  // keep test builds quick
+  return cfg;
+}
+
+TEST(MisticIndex, CandidatesAreSuperset) {
+  const auto m = data::uniform(600, 8, 21);
+  const float eps = 0.4f;
+  MisticIndex tree(m, eps, fast_config());
+  std::vector<std::uint32_t> cand;
+  for (std::size_t i = 0; i < m.rows(); i += 11) {
+    cand.clear();
+    tree.candidates_of(i, cand);
+    std::set<std::uint32_t> cs(cand.begin(), cand.end());
+    for (std::size_t j = 0; j < m.rows(); ++j) {
+      if (dist(m, i, j) <= eps) {
+        EXPECT_TRUE(cs.count(static_cast<std::uint32_t>(j)))
+            << i << " missing " << j;
+      }
+    }
+  }
+}
+
+TEST(MisticIndex, SupersetOnClusteredHighDim) {
+  const auto m = data::tiny_like(500, 23);
+  const float eps = 0.25f;
+  MisticIndex tree(m, eps, fast_config());
+  std::vector<std::uint32_t> cand;
+  for (std::size_t i = 0; i < m.rows(); i += 29) {
+    cand.clear();
+    tree.candidates_of(i, cand);
+    std::set<std::uint32_t> cs(cand.begin(), cand.end());
+    for (std::size_t j = 0; j < m.rows(); ++j) {
+      if (dist(m, i, j) <= eps) {
+        EXPECT_TRUE(cs.count(static_cast<std::uint32_t>(j)));
+      }
+    }
+  }
+}
+
+TEST(MisticIndex, PrunesOnClusteredData) {
+  // Moderate dimensionality: partition projections still spread (in very
+  // high d, pairwise distances concentrate and any eps-window index prunes
+  // poorly — which the paper's index baselines also suffer from).
+  data::ClusterSpec spec;
+  spec.clusters = 16;
+  spec.cluster_std = 0.03;
+  const auto m = data::gaussian_mixture(2000, 16, 25, spec);
+  MisticIndex tree(m, 0.1f, fast_config());
+  EXPECT_LT(tree.mean_candidates(), 0.5 * static_cast<double>(m.rows()));
+}
+
+TEST(MisticIndex, BuildsMultipleLevels) {
+  const auto m = data::uniform(2000, 8, 27);
+  MisticIndex tree(m, 0.2f, fast_config());
+  EXPECT_GT(tree.node_count(), tree.leaf_count());
+  EXPECT_GT(tree.leaf_count(), 1u);
+}
+
+TEST(MisticIndex, MoreCandidateLayersImprovePruning) {
+  const auto m = data::uniform(1500, 8, 29);
+  MisticConfig few = fast_config();
+  few.candidates_per_level = 1;
+  few.seed = 5;
+  MisticConfig many = fast_config();
+  many.candidates_per_level = 16;
+  many.seed = 5;
+  MisticIndex tf(m, 0.25f, few);
+  MisticIndex tm(m, 0.25f, many);
+  // Incremental construction with more candidates should not be worse
+  // (allow small noise).
+  EXPECT_LE(tm.mean_candidates(), tf.mean_candidates() * 1.10);
+}
+
+TEST(MisticIndex, DuplicatePointsBecomeLeaf) {
+  MatrixF32 m(50, 4);  // all-zero points: nothing can split them
+  MisticIndex tree(m, 0.5f, fast_config());
+  std::vector<std::uint32_t> cand;
+  tree.candidates_of(0, cand);
+  EXPECT_EQ(cand.size(), 50u);  // everyone is a candidate (and a neighbor)
+}
+
+TEST(MisticIndex, BuildFlopsTracked) {
+  const auto m = data::uniform(500, 8, 31);
+  MisticIndex tree(m, 0.3f, fast_config());
+  EXPECT_GT(tree.build_flop_estimate(), 0.0);
+}
+
+TEST(MisticIndex, RejectsNonPositiveEps) {
+  const auto m = data::uniform(10, 4, 1);
+  EXPECT_THROW(MisticIndex(m, -0.5f), fasted::CheckError);
+}
+
+}  // namespace
+}  // namespace fasted::index

@@ -1,0 +1,103 @@
+// Cross-algorithm integration: all four implementations must agree on the
+// self-join result (up to floating-point boundary pairs), mirroring the
+// paper's Table 3 implementation matrix.
+
+#include <gtest/gtest.h>
+
+#include "baselines/gds_join.hpp"
+#include "baselines/mistic_join.hpp"
+#include "baselines/ted_join.hpp"
+#include "core/fasted.hpp"
+#include "data/calibrate.hpp"
+#include "data/generators.hpp"
+#include "metrics/accuracy.hpp"
+
+namespace fasted {
+namespace {
+
+struct Workload {
+  MatrixF32 data;
+  float eps;
+};
+
+Workload calibrated_workload(std::size_t n, std::size_t d, double selectivity,
+                             std::uint64_t seed) {
+  Workload w{data::uniform(n, d, seed), 0.0f};
+  w.eps = data::calibrate_epsilon(w.data, selectivity).eps;
+  return w;
+}
+
+TEST(CrossAlgorithm, AllFourAgreeOnUniformData) {
+  const auto w = calibrated_workload(500, 24, 16.0, 3);
+  FastedEngine fasted;
+  const auto fa = fasted.self_join(w.data, w.eps);
+  const auto gds = baselines::gds_self_join(w.data, w.eps);
+  baselines::MisticOptions mo;
+  mo.index.candidates_per_level = 6;
+  const auto mis = baselines::mistic_self_join(w.data, w.eps, mo);
+  const auto ted = baselines::ted_self_join(w.data, w.eps);
+
+  // CUDA-core FP32 joins agree exactly with each other.
+  EXPECT_EQ(gds.pair_count, mis.pair_count);
+  // FP64 TED and FP32 GDS agree up to boundary ulps.
+  EXPECT_NEAR(static_cast<double>(ted.pair_count),
+              static_cast<double>(gds.pair_count),
+              0.002 * static_cast<double>(gds.pair_count) + 4);
+  // FaSTED (FP16-32) overlaps both almost perfectly (paper Table 7).
+  EXPECT_GT(metrics::overlap_accuracy(fa.result, gds.result), 0.99);
+  EXPECT_GT(metrics::overlap_accuracy(fa.result, ted.result), 0.99);
+}
+
+TEST(CrossAlgorithm, AgreementOnClusteredSurrogate) {
+  auto data = data::tiny_like(600, 7);
+  const float eps = data::calibrate_epsilon(data, 32.0).eps;
+  FastedEngine fasted;
+  const auto fa = fasted.self_join(data, eps);
+  const auto gds = baselines::gds_self_join(data, eps);
+  EXPECT_GT(metrics::overlap_accuracy(fa.result, gds.result), 0.99);
+  // Selectivities land in the same regime.
+  EXPECT_NEAR(fa.result.selectivity(), gds.result.selectivity(),
+              0.05 * gds.result.selectivity() + 1.0);
+}
+
+TEST(CrossAlgorithm, FastedIsBruteForceSelectivityIndependent) {
+  // FaSTED's modeled kernel time must not depend on eps (brute force),
+  // while GDS-Join's does (paper Sec. 4.5 observation 1).
+  const auto data = data::uniform(1000, 32, 11);
+  const float eps_small = data::calibrate_epsilon(data, 8.0).eps;
+  const float eps_large = data::calibrate_epsilon(data, 64.0).eps;
+  FastedEngine fasted;
+  const auto fs = fasted.self_join(data, eps_small);
+  const auto fl = fasted.self_join(data, eps_large);
+  EXPECT_DOUBLE_EQ(fs.perf.kernel_seconds, fl.perf.kernel_seconds);
+
+  const auto gs = baselines::gds_self_join(data, eps_small);
+  const auto gl = baselines::gds_self_join(data, eps_large);
+  EXPECT_GT(gl.timing.kernel_s, gs.timing.kernel_s);
+}
+
+TEST(CrossAlgorithm, IndexPruningBeatsBruteCandidates) {
+  // Low dimensionality and tight selectivity: the regime where grid
+  // indexing pays off.
+  const auto data = data::uniform(3000, 6, 13);
+  const float eps = data::calibrate_epsilon(data, 4.0).eps;
+  const auto gds = baselines::gds_self_join(data, eps);
+  // Index examines far fewer than n^2 candidate pairs.
+  EXPECT_LT(static_cast<double>(gds.stats.candidates),
+            0.6 * 3000.0 * 3000.0);
+}
+
+TEST(CrossAlgorithm, TedIndexPrunesTiles) {
+  const auto data = data::uniform(800, 6, 17);
+  const float eps = data::calibrate_epsilon(data, 4.0).eps;
+  baselines::TedOptions brute;
+  baselines::TedOptions indexed;
+  indexed.mode = baselines::TedMode::kIndex;
+  const auto tb = baselines::ted_self_join(data, eps, brute);
+  const auto ti = baselines::ted_self_join(data, eps, indexed);
+  EXPECT_EQ(tb.pair_count, ti.pair_count);
+  EXPECT_LT(ti.tile_mmas, tb.tile_mmas);
+}
+
+}  // namespace
+}  // namespace fasted

@@ -1,0 +1,116 @@
+// End-to-end checks that the experiment harnesses reproduce the paper's
+// headline claims (small-scale versions of the bench binaries).
+
+#include <gtest/gtest.h>
+
+#include "baselines/gds_join.hpp"
+#include "baselines/mistic_join.hpp"
+#include "baselines/ted_join.hpp"
+#include "core/fasted.hpp"
+#include "core/perf_model.hpp"
+#include "data/calibrate.hpp"
+#include "data/generators.hpp"
+#include "data/registry.hpp"
+#include "metrics/accuracy.hpp"
+
+namespace fasted {
+namespace {
+
+TEST(PaperClaims, Fig10ShapeFastedBeatsIndexBaselines) {
+  // Shape claim of Sec. 4.5: FaSTED's modeled response time beats all
+  // index-supported baselines on a clustered high-dimensional workload.
+  auto data = data::tiny_like(1200, 5);
+  const float eps = data::calibrate_epsilon(data, 64.0).eps;
+
+  FastedEngine fasted;
+  const auto fa = fasted.self_join(data, eps);
+  const auto gds = baselines::gds_self_join(data, eps);
+  baselines::MisticOptions mo;
+  mo.index.candidates_per_level = 8;
+  const auto mis = baselines::mistic_self_join(data, eps, mo);
+
+  EXPECT_LT(fa.timing.total_s(), gds.timing.total_s());
+  EXPECT_LT(fa.timing.total_s(), mis.timing.total_s());
+}
+
+TEST(PaperClaims, SpeedupGrowsWithSelectivity) {
+  // Sec. 4.5 observation 1: FaSTED's *kernel* speedup over index methods
+  // grows with selectivity because brute force is selectivity-independent
+  // while the index methods compute more distances.  (At paper scale the
+  // kernels dominate the end-to-end time; at this test's scale result
+  // transfers would mask the effect, so the kernel ratio is asserted.)
+  auto data = data::tiny_like(1000, 9);
+  FastedEngine fasted;
+  JoinOptions count_only;
+  count_only.build_result = false;
+  double prev_speedup = 0;
+  for (double s : {16.0, 64.0, 128.0}) {
+    const float eps = data::calibrate_epsilon(data, s).eps;
+    const auto fa = fasted.self_join(data, eps, count_only);
+    const auto gds = baselines::gds_self_join(data, eps);
+    const double speedup = gds.timing.kernel_s / fa.perf.kernel_seconds;
+    EXPECT_GT(speedup, prev_speedup) << "S=" << s;
+    prev_speedup = speedup;
+  }
+  EXPECT_GT(prev_speedup, 1.0);
+}
+
+TEST(PaperClaims, TedJoinIndexIsSlowestTcBaseline) {
+  // Fig. 10: TED-Join-Index trails the CUDA-core baselines badly.
+  auto data = data::uniform(800, 64, 21);
+  const float eps = data::calibrate_epsilon(data, 32.0).eps;
+  baselines::TedOptions topt;
+  topt.mode = baselines::TedMode::kIndex;
+  const auto ted = baselines::ted_self_join(data, eps, topt);
+  const auto gds = baselines::gds_self_join(data, eps);
+  ASSERT_FALSE(ted.out_of_shared_memory);
+  EXPECT_GT(ted.timing.total_s(), gds.timing.total_s());
+}
+
+TEST(PaperClaims, AccuracyAbovePaperFloor) {
+  // Table 7: lowest overlap accuracy in the paper is 0.99946.
+  for (const auto& info : data::real_world_datasets()) {
+    auto data = data::make_surrogate(info, 77);
+    // Shrink for test runtime; keep dimensionality.
+    MatrixF32 small(600, info.d);
+    for (std::size_t i = 0; i < small.rows(); ++i) {
+      for (std::size_t k = 0; k < info.d; ++k) {
+        small.at(i, k) = data.at(i, k);
+      }
+    }
+    const float eps = data::calibrate_epsilon(small, 16.0).eps;
+    FastedEngine fasted;
+    const auto fa = fasted.self_join(small, eps);
+    baselines::GdsOptions gt;
+    gt.precision = baselines::GdsPrecision::kF64;
+    const auto gd = baselines::gds_self_join(small, eps, gt);
+    const double acc = metrics::overlap_accuracy(fa.result, gd.result);
+    EXPECT_GT(acc, 0.99) << info.name;
+  }
+}
+
+TEST(PaperClaims, MixedPrecisionSpeedAdvantageOverFp64Tc) {
+  // Fig. 9 claim: FaSTED's FP16-32 throughput dwarfs TED-Join's FP64.
+  const FastedConfig cfg;
+  for (std::size_t d : {128, 256, 384}) {
+    const auto fasted = estimate_fasted_kernel(cfg, 100000, d);
+    const auto ted =
+        baselines::ted_estimate_kernel(100000, d, baselines::TedOptions{});
+    EXPECT_GT(fasted.derived_tflops, 10.0 * ted.derived_tflops) << d;
+  }
+}
+
+TEST(PaperClaims, HeadlineSpeedupRange) {
+  // Abstract: 2.5-51x speedups over the SOTA on real-world-style workloads.
+  auto data = data::tiny_like(1500, 31);
+  const float eps = data::calibrate_epsilon(data, 64.0).eps;
+  FastedEngine fasted;
+  const auto fa = fasted.self_join(data, eps);
+  const auto gds = baselines::gds_self_join(data, eps);
+  const double speedup = gds.timing.total_s() / fa.timing.total_s();
+  EXPECT_GT(speedup, 1.5);
+  EXPECT_LT(speedup, 500.0);
+}
+
+}  // namespace
+}  // namespace fasted

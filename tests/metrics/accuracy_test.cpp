@@ -1,0 +1,141 @@
+#include "metrics/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gds_join.hpp"
+#include "common/check.hpp"
+#include "core/fasted.hpp"
+#include "data/generators.hpp"
+
+namespace fasted::metrics {
+namespace {
+
+SelfJoinResult make_result(std::vector<std::vector<std::uint32_t>> rows) {
+  return SelfJoinResult::from_rows(std::move(rows));
+}
+
+TEST(Overlap, IdenticalSetsScoreOne) {
+  auto a = make_result({{0, 1}, {0, 1, 2}, {1, 2}});
+  auto b = make_result({{0, 1}, {0, 1, 2}, {1, 2}});
+  EXPECT_DOUBLE_EQ(overlap_accuracy(a, b), 1.0);
+}
+
+TEST(Overlap, DisjointSetsScoreZero) {
+  auto a = make_result({{0}, {1}});
+  auto b = make_result({{1}, {0}});
+  EXPECT_DOUBLE_EQ(overlap_accuracy(a, b), 0.0);
+}
+
+TEST(Overlap, PartialOverlapMatchesEquationThree) {
+  // Point 0: {0,1} vs {0,1,2}: 2/3.  Point 1: {1} vs {1}: 1.
+  auto a = make_result({{0, 1}, {1}});
+  auto b = make_result({{0, 1, 2}, {1}});
+  EXPECT_DOUBLE_EQ(overlap_accuracy(a, b), (2.0 / 3.0 + 1.0) / 2.0);
+}
+
+TEST(Overlap, BothEmptyRowsScoreOne) {
+  auto a = make_result({{}, {0}});
+  auto b = make_result({{}, {0}});
+  EXPECT_DOUBLE_EQ(overlap_accuracy(a, b), 1.0);
+}
+
+TEST(Overlap, MismatchedSizesThrow) {
+  auto a = make_result({{0}});
+  auto b = make_result({{0}, {1}});
+  EXPECT_THROW(overlap_accuracy(a, b), CheckError);
+}
+
+TEST(Overlap, SymmetricInArguments) {
+  auto a = make_result({{0, 1}, {0, 1, 2}, {2}});
+  auto b = make_result({{0}, {1, 2}, {1, 2}});
+  EXPECT_DOUBLE_EQ(overlap_accuracy(a, b), overlap_accuracy(b, a));
+}
+
+TEST(DistanceError, FastedVsFp64GroundTruthIsTiny) {
+  // The paper's Table 8 claim in miniature: errors ~1e-4 scale, no bias.
+  const auto data = data::uniform(400, 64, 3);
+  FastedEngine engine;
+  const auto fa = engine.self_join(data, 0.8f);
+  baselines::GdsOptions gt;
+  gt.precision = baselines::GdsPrecision::kF64;
+  const auto gd = baselines::gds_self_join(data, 0.8f, gt);
+
+  const auto err = distance_error(data, fa.result, gd.result);
+  EXPECT_GT(err.samples, 100u);
+  EXPECT_LT(std::abs(err.mean), 5e-4);
+  EXPECT_LT(err.stddev, 5e-3);
+  EXPECT_LT(err.max, 0.05);
+}
+
+TEST(DistanceError, OverlapNearOneForFasted) {
+  const auto data = data::uniform(500, 32, 5);
+  FastedEngine engine;
+  const auto fa = engine.self_join(data, 0.7f);
+  baselines::GdsOptions gt;
+  gt.precision = baselines::GdsPrecision::kF64;
+  const auto gd = baselines::gds_self_join(data, 0.7f, gt);
+  EXPECT_GT(overlap_accuracy(fa.result, gd.result), 0.995);
+}
+
+TEST(DistanceError, EmptyIntersectionGivesZeroSamples) {
+  const auto data = data::uniform(10, 4, 7);
+  auto a = make_result(std::vector<std::vector<std::uint32_t>>(10));
+  auto b = make_result(std::vector<std::vector<std::uint32_t>>(10));
+  const auto err = distance_error(data, a, b);
+  EXPECT_EQ(err.samples, 0u);
+  EXPECT_EQ(err.mean, 0.0);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h;
+  h.lo = -1.0;
+  h.hi = 1.0;
+  h.bins.assign(4, 0);
+  h.add(-0.9);  // bin 0
+  h.add(-0.1);  // bin 1
+  h.add(0.1);   // bin 2
+  h.add(0.9);   // bin 3
+  h.add(-2.0);  // underflow
+  h.add(2.0);   // overflow
+  EXPECT_EQ(h.bins[0], 1u);
+  EXPECT_EQ(h.bins[1], 1u);
+  EXPECT_EQ(h.bins[2], 1u);
+  EXPECT_EQ(h.bins[3], 1u);
+  EXPECT_EQ(h.underflow, 1u);
+  EXPECT_EQ(h.overflow, 1u);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h;
+  h.lo = 0;
+  h.hi = 1;
+  h.bins = {10, 5};
+  const auto s = h.render(20);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("10"), std::string::npos);
+}
+
+TEST(Histogram, ErrorHistogramIsCenteredNearZero) {
+  const auto data = data::uniform(300, 48, 9);
+  FastedEngine engine;
+  const auto fa = engine.self_join(data, 0.9f);
+  baselines::GdsOptions gt;
+  gt.precision = baselines::GdsPrecision::kF64;
+  const auto gd = baselines::gds_self_join(data, 0.9f, gt);
+  const auto h =
+      distance_error_histogram(data, fa.result, gd.result, -1.5e-4, 1.5e-4, 30);
+  std::uint64_t total = h.underflow + h.overflow;
+  std::uint64_t center = 0;
+  for (std::size_t i = 0; i < h.bins.size(); ++i) {
+    total += h.bins[i];
+    if (i >= 10 && i < 20) center += h.bins[i];
+  }
+  EXPECT_GT(total, 0u);
+  // Most mass near zero (Fig. 11's bell shape).
+  EXPECT_GT(static_cast<double>(center), 0.5 * static_cast<double>(total));
+}
+
+}  // namespace
+}  // namespace fasted::metrics

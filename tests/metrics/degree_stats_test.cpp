@@ -1,0 +1,79 @@
+#include "metrics/degree_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fasted.hpp"
+#include "data/generators.hpp"
+
+namespace fasted::metrics {
+namespace {
+
+SelfJoinResult make_result(std::vector<std::vector<std::uint32_t>> rows) {
+  return SelfJoinResult::from_rows(std::move(rows));
+}
+
+TEST(DegreeStats, UniformDegrees) {
+  std::vector<std::vector<std::uint32_t>> rows(64);
+  for (auto& r : rows) r = {0, 1, 2};
+  const auto st = degree_stats(make_result(std::move(rows)));
+  EXPECT_EQ(st.points, 64u);
+  EXPECT_DOUBLE_EQ(st.mean, 3.0);
+  EXPECT_DOUBLE_EQ(st.stddev, 0.0);
+  EXPECT_EQ(st.min, 3u);
+  EXPECT_EQ(st.max, 3u);
+  EXPECT_EQ(st.p50, 3u);
+  EXPECT_DOUBLE_EQ(st.warp_imbalance, 1.0);
+}
+
+TEST(DegreeStats, SkewShowsInPercentilesAndImbalance) {
+  std::vector<std::vector<std::uint32_t>> rows(32);
+  for (std::size_t i = 0; i < 31; ++i) rows[i] = {0};
+  rows[31].assign(100, 0);  // one hub
+  const auto st = degree_stats(make_result(std::move(rows)));
+  EXPECT_EQ(st.max, 100u);
+  EXPECT_EQ(st.p50, 1u);
+  // Group mean = (31 + 100)/32 ~ 4.09; imbalance = 100/4.09 ~ 24.4.
+  EXPECT_NEAR(st.warp_imbalance, 100.0 / (131.0 / 32.0), 1e-9);
+}
+
+TEST(DegreeStats, EmptyResult) {
+  const auto st = degree_stats(SelfJoinResult{});
+  EXPECT_EQ(st.points, 0u);
+  EXPECT_EQ(st.mean, 0.0);
+}
+
+TEST(DegreeStats, MatchesSelectivity) {
+  const auto data = data::uniform(500, 8, 77);
+  FastedEngine engine;
+  const auto out = engine.self_join(data, 0.5f);
+  const auto st = degree_stats(out.result);
+  // mean degree = selectivity + 1 (self pair included in degree).
+  EXPECT_NEAR(st.mean, out.result.selectivity() + 1.0, 1e-9);
+}
+
+TEST(DegreeStats, ClusteredDataIsMoreImbalanced) {
+  const auto uniform = data::uniform(1000, 8, 3);
+  data::ClusterSpec spec;
+  spec.clusters = 4;
+  spec.cluster_std = 0.02;
+  spec.noise_fraction = 0.3;
+  const auto clustered = data::gaussian_mixture(1000, 8, 3, spec);
+  FastedEngine engine;
+  const float eps = 0.12f;
+  const auto su = degree_stats(engine.self_join(uniform, eps).result);
+  const auto sc = degree_stats(engine.self_join(clustered, eps).result);
+  EXPECT_GT(sc.warp_imbalance, su.warp_imbalance);
+  EXPECT_GT(sc.stddev, su.stddev);
+}
+
+TEST(DegreeStats, ToStringHasAllFields) {
+  std::vector<std::vector<std::uint32_t>> rows(10);
+  for (auto& r : rows) r = {1};
+  const auto s = degree_stats(make_result(std::move(rows))).to_string();
+  EXPECT_NE(s.find("mean"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+  EXPECT_NE(s.find("imbalance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fasted::metrics

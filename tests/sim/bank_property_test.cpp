@@ -1,0 +1,99 @@
+// Parameterized properties of the bank-conflict model: cost bounds,
+// stride laws, and the swizzle's conflict-freedom across every phase shape
+// FaSTED issues.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/swizzle.hpp"
+#include "sim/shared_memory.hpp"
+
+namespace fasted::sim {
+namespace {
+
+// Cost of an 8-thread, 16 B/thread phase at the given element stride (in
+// 16 B chunks).
+int phase_cost_for_stride(int chunk_stride) {
+  SharedMemoryModel smem;
+  std::array<std::uint32_t, 8> addrs{};
+  for (int t = 0; t < 8; ++t) {
+    addrs[static_cast<std::size_t>(t)] =
+        static_cast<std::uint32_t>(t * chunk_stride * 16);
+  }
+  return smem.transaction_cost(std::span<const std::uint32_t>(addrs), 16);
+}
+
+class StrideCost : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrideCost, MatchesBankArithmetic) {
+  const int stride = GetParam();
+  // 16 B granules cover 4 banks; 8 requests at chunk stride s hit bank
+  // group (t*s) mod 8 — conflicts = max multiplicity of that residue map.
+  std::array<int, 8> counts{};
+  for (int t = 0; t < 8; ++t) ++counts[static_cast<std::size_t>((t * stride) % 8)];
+  int expected = 1;
+  for (int c : counts) expected = std::max(expected, c);
+  EXPECT_EQ(phase_cost_for_stride(stride), expected) << "stride " << stride;
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, StrideCost,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16,
+                                           24, 32));
+
+TEST(BankProperty, CostBounds) {
+  // Any 8-thread 16 B phase costs between 1 and 8 cycles.
+  for (int stride = 1; stride <= 64; ++stride) {
+    const int cost = phase_cost_for_stride(stride);
+    EXPECT_GE(cost, 1);
+    EXPECT_LE(cost, 8);
+  }
+}
+
+// Every ldmatrix phase FaSTED can issue against a swizzled fragment is
+// conflict-free: all row groups x all chunk columns.
+class SwizzledPhase
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SwizzledPhase, ConflictFree) {
+  const auto [row_base, chunk] = GetParam();
+  SharedMemoryModel smem;
+  std::array<std::uint32_t, 8> addrs{};
+  for (int t = 0; t < 8; ++t) {
+    addrs[static_cast<std::size_t>(t)] = swizzled_offset_bytes(
+        static_cast<std::uint32_t>(row_base + t),
+        static_cast<std::uint32_t>(chunk));
+  }
+  EXPECT_EQ(smem.transaction_cost(std::span<const std::uint32_t>(addrs), 16),
+            1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPhases, SwizzledPhase,
+    ::testing::Combine(::testing::Values(0, 8, 16, 24, 56, 120),
+                       ::testing::Range(0, 8)));
+
+// The identity layout conflicts 8-way on the same phases.
+class IdentityPhase
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IdentityPhase, EightWayConflict) {
+  const auto [row_base, chunk] = GetParam();
+  SharedMemoryModel smem;
+  std::array<std::uint32_t, 8> addrs{};
+  for (int t = 0; t < 8; ++t) {
+    addrs[static_cast<std::size_t>(t)] = identity_offset_bytes(
+        static_cast<std::uint32_t>(row_base + t),
+        static_cast<std::uint32_t>(chunk));
+  }
+  EXPECT_EQ(smem.transaction_cost(std::span<const std::uint32_t>(addrs), 16),
+            8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPhases, IdentityPhase,
+    ::testing::Combine(::testing::Values(0, 8, 64), ::testing::Range(0, 8)));
+
+}  // namespace
+}  // namespace fasted::sim

@@ -1,0 +1,95 @@
+#include "sim/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fasted::sim {
+namespace {
+
+KernelCounters sample_counters() {
+  KernelCounters c;
+  c.kernel_seconds = 0.5;
+  c.achieved_clock_ghz = 1.12;
+  c.tc_fp16_flops = 8.0e13;
+  c.dram_bytes = 120e9;
+  c.l2_read_bytes = 1.2e12;
+  c.smem_load_bytes = 2.0e12;
+  c.smem_store_bytes = 1.0e12;
+  c.smem_load_cycles = 2.0e12 / 128;
+  c.smem_store_cycles = 1.0e12 / 128;
+  return c;
+}
+
+TEST(ProfileReport, L2HitRate) {
+  const auto r =
+      ProfileReport::from_counters(sample_counters(), DeviceSpec::a100_pcie());
+  EXPECT_NEAR(r.l2_hit_rate_pct, 90.0, 0.1);
+}
+
+TEST(ProfileReport, DramThroughputPercent) {
+  const auto r =
+      ProfileReport::from_counters(sample_counters(), DeviceSpec::a100_pcie());
+  // 120 GB / 0.5 s = 240 GB/s of 1555 GB/s peak.
+  EXPECT_NEAR(r.dram_throughput_pct, 100.0 * 240.0 / 1555.0, 0.1);
+}
+
+TEST(ProfileReport, ConflictFreeTrafficShowsZeroConflicts) {
+  const auto r =
+      ProfileReport::from_counters(sample_counters(), DeviceSpec::a100_pcie());
+  EXPECT_NEAR(r.bank_conflict_pct, 0.0, 1e-9);
+}
+
+TEST(ProfileReport, ConflictsShowUp) {
+  auto c = sample_counters();
+  c.smem_load_cycles *= 8;  // 8-way conflicts on loads
+  const auto r = ProfileReport::from_counters(c, DeviceSpec::a100_pcie());
+  // replay fraction = (8L + S - (L + S)) / (8L + S) with L=2e12/128, S=1e12/128
+  const double l = 2.0e12 / 128, s = 1.0e12 / 128;
+  EXPECT_NEAR(r.bank_conflict_pct, 100.0 * (7 * l) / (8 * l + s), 0.5);
+}
+
+TEST(ProfileReport, TcUtilizationFp16) {
+  const auto r =
+      ProfileReport::from_counters(sample_counters(), DeviceSpec::a100_pcie());
+  // 8e13 FLOP / 2048 FLOP/cycle = 3.906e10 SM-cycles busy;
+  // elapsed = 0.5 s * 1.12e9 * 108 SM-cycles.
+  const double busy = 8.0e13 / 2048;
+  const double elapsed = 0.5 * 1.12e9 * 108;
+  EXPECT_NEAR(r.tc_pipe_fp16_pct, 100.0 * busy / elapsed, 0.01);
+  EXPECT_EQ(r.tc_pipe_fp64_pct, 0.0);
+}
+
+TEST(ProfileReport, EmptyCountersAreAllZero) {
+  const auto r =
+      ProfileReport::from_counters(KernelCounters{}, DeviceSpec::a100_pcie());
+  EXPECT_EQ(r.dram_throughput_pct, 0.0);
+  EXPECT_EQ(r.tc_pipe_fp16_pct, 0.0);
+}
+
+TEST(KernelCounters, MergeAddsWork) {
+  KernelCounters a = sample_counters();
+  KernelCounters b = sample_counters();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.tc_fp16_flops, 1.6e14);
+  EXPECT_DOUBLE_EQ(a.kernel_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(a.dram_bytes, 240e9);
+}
+
+TEST(KernelCounters, DerivedTflops) {
+  KernelCounters c;
+  c.tc_fp16_flops = 77e12;
+  c.kernel_seconds = 0.5;
+  EXPECT_NEAR(c.derived_tflops(), 154.0, 1e-9);
+}
+
+TEST(ProfileReport, ToStringContainsAllRows) {
+  const auto r =
+      ProfileReport::from_counters(sample_counters(), DeviceSpec::a100_pcie());
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("DRAM Throughput"), std::string::npos);
+  EXPECT_NE(s.find("Bank Conflicts"), std::string::npos);
+  EXPECT_NE(s.find("L2 Hit Rate"), std::string::npos);
+  EXPECT_NE(s.find("Clock Speed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fasted::sim

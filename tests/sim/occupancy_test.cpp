@@ -1,0 +1,75 @@
+#include "sim/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+
+namespace fasted::sim {
+namespace {
+
+TEST(Occupancy, FastedConfigurationFitsExactlyTwoBlocks) {
+  // Sec. 3.3.6: the tile sizes leave room for exactly two resident blocks.
+  const fasted::FastedConfig cfg = fasted::FastedConfig::paper_defaults();
+  BlockResources block;
+  block.threads_per_block = cfg.warps_per_block * 32;
+  block.registers_per_thread = 128;  // 32 acc fragments + operands
+  block.smem_bytes_per_block = cfg.smem_bytes_per_block();
+  const auto occ = occupancy_per_sm(DeviceSpec::a100_pcie(), block);
+  EXPECT_EQ(occ.blocks, 2);
+  EXPECT_EQ(occ.limiter, Occupancy::Limiter::kSharedMemory);
+}
+
+TEST(Occupancy, RegisterBound) {
+  BlockResources block;
+  block.threads_per_block = 256;
+  block.registers_per_thread = 255;  // 65280 of 65536 regs
+  block.smem_bytes_per_block = 1024;
+  const auto occ = occupancy_per_sm(DeviceSpec::a100_pcie(), block);
+  EXPECT_EQ(occ.blocks, 1);
+  EXPECT_EQ(occ.limiter, Occupancy::Limiter::kRegisters);
+}
+
+TEST(Occupancy, ThreadBound) {
+  BlockResources block;
+  block.threads_per_block = 1024;
+  block.registers_per_thread = 32;
+  block.smem_bytes_per_block = 1024;
+  const auto occ = occupancy_per_sm(DeviceSpec::a100_pcie(), block);
+  EXPECT_EQ(occ.blocks, 2);  // 2048 threads / 1024
+  EXPECT_EQ(occ.limiter, Occupancy::Limiter::kThreads);
+}
+
+TEST(Occupancy, SlotBoundForTinyBlocks) {
+  BlockResources block;
+  block.threads_per_block = 32;
+  block.registers_per_thread = 16;
+  block.smem_bytes_per_block = 0;
+  const auto occ = occupancy_per_sm(DeviceSpec::a100_pcie(), block);
+  EXPECT_EQ(occ.blocks, 32);
+  EXPECT_EQ(occ.limiter, Occupancy::Limiter::kSlots);
+}
+
+TEST(Occupancy, OversizedBlockYieldsZero) {
+  BlockResources block;
+  block.threads_per_block = 256;
+  block.registers_per_thread = 64;
+  block.smem_bytes_per_block = 200 * 1024;  // exceeds 164 KB
+  const auto occ = occupancy_per_sm(DeviceSpec::a100_pcie(), block);
+  EXPECT_EQ(occ.blocks, 0);
+}
+
+TEST(Occupancy, SmemGrowthEvictsSecondBlock) {
+  // Doubling FaSTED's pipeline depth would halve residency: the Sec. 3.3.6
+  // trade-off between pipeline depth and blocks per SM.
+  fasted::FastedConfig cfg = fasted::FastedConfig::paper_defaults();
+  cfg.pipeline_stages = 4;
+  BlockResources block;
+  block.threads_per_block = 128;
+  block.registers_per_thread = 128;
+  block.smem_bytes_per_block = cfg.smem_bytes_per_block();
+  const auto occ = occupancy_per_sm(DeviceSpec::a100_pcie(), block);
+  EXPECT_EQ(occ.blocks, 1);
+}
+
+}  // namespace
+}  // namespace fasted::sim

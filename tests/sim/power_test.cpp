@@ -1,0 +1,88 @@
+#include "sim/power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fasted::sim {
+namespace {
+
+TEST(Power, IdleLoadRunsAtBaseClock) {
+  PowerModel power(DeviceSpec::a100_pcie());
+  EXPECT_DOUBLE_EQ(power.sustained_clock_ghz(0.0, 0.0), 1.41);
+  EXPECT_DOUBLE_EQ(power.sustained_clock_ghz(0.1, 0.02), 1.41);
+}
+
+TEST(Power, PaperThrottlePoint) {
+  // Sec. 4.4: at ~64% FP16-32 pipe utilization the PCIe A100 throttles from
+  // 1.41 to ~1.12 GHz.
+  PowerModel power(DeviceSpec::a100_pcie());
+  const double clock = power.sustained_clock_ghz(0.64, 0.16);
+  EXPECT_NEAR(clock, 1.12, 0.05);
+}
+
+TEST(Power, ModerateLoadThrottlesLess) {
+  PowerModel power(DeviceSpec::a100_pcie());
+  const double c45 = power.sustained_clock_ghz(0.45, 0.1);
+  const double c64 = power.sustained_clock_ghz(0.64, 0.1);
+  EXPECT_GT(c45, c64);
+  EXPECT_LT(c45, 1.41);
+  EXPECT_GT(c45, 1.2);
+}
+
+TEST(Power, SxmBudgetBarelyThrottlesAtPaperLoad) {
+  // Conclusion: a 400 W SXM A100 would sustain a much higher clock at
+  // FaSTED's load than the 250 W PCIe part (1.12 GHz).
+  PowerModel sxm(DeviceSpec::a100_sxm());
+  PowerModel pcie(DeviceSpec::a100_pcie());
+  const double sxm_clock = sxm.sustained_clock_ghz(0.64, 0.16);
+  EXPECT_GT(sxm_clock, 1.35);
+  EXPECT_GT(sxm_clock, pcie.sustained_clock_ghz(0.64, 0.16) + 0.2);
+}
+
+TEST(Power, ClockNeverBelowFloor) {
+  PowerModel power(DeviceSpec::a100_pcie());
+  const double clock = power.sustained_clock_ghz(1.0, 1.0);
+  EXPECT_GE(clock, DeviceSpec::a100_pcie().min_clock_ghz);
+}
+
+TEST(Power, PowerAtSolvedClockRespectsBudget) {
+  const DeviceSpec spec = DeviceSpec::a100_pcie();
+  PowerModel power(spec);
+  for (double util : {0.3, 0.5, 0.64, 0.8, 1.0}) {
+    for (double dram : {0.0, 0.2, 0.5}) {
+      const double clock = power.sustained_clock_ghz(util, dram);
+      if (clock > spec.min_clock_ghz) {
+        EXPECT_LE(power.power_at(clock, util, dram),
+                  spec.power_budget_w + 1e-6)
+            << "util=" << util << " dram=" << dram;
+      }
+    }
+  }
+}
+
+TEST(Power, MonotoneInUtilization) {
+  PowerModel power(DeviceSpec::a100_pcie());
+  double prev = 2.0;
+  for (double util = 0.1; util <= 1.0; util += 0.1) {
+    const double clock = power.sustained_clock_ghz(util, 0.1);
+    EXPECT_LE(clock, prev + 1e-12);
+    prev = clock;
+  }
+}
+
+TEST(Power, UtilizationClamped) {
+  PowerModel power(DeviceSpec::a100_pcie());
+  EXPECT_EQ(power.sustained_clock_ghz(-0.5, 0.0), 1.41);
+  EXPECT_EQ(power.sustained_clock_ghz(1.5, 0.0),
+            power.sustained_clock_ghz(1.0, 0.0));
+}
+
+TEST(DeviceSpec, PeakThroughputs) {
+  const DeviceSpec spec = DeviceSpec::a100_pcie();
+  EXPECT_NEAR(spec.device_fp16_tflops(), 312.0, 1.0);    // paper: 312
+  EXPECT_NEAR(spec.device_fp64_tc_tflops(), 19.5, 0.1);  // paper: 19.5
+  EXPECT_NEAR(spec.device_fp32_cuda_tflops(), 19.5, 0.1);
+  EXPECT_EQ(spec.smem_bytes_per_cycle_per_sm(), 128);
+}
+
+}  // namespace
+}  // namespace fasted::sim

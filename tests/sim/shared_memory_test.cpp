@@ -1,0 +1,93 @@
+#include "sim/shared_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+
+namespace fasted::sim {
+namespace {
+
+std::array<std::uint32_t, 8> addrs(std::initializer_list<std::uint32_t> xs) {
+  std::array<std::uint32_t, 8> a{};
+  std::size_t i = 0;
+  for (auto x : xs) a[i++] = x;
+  return a;
+}
+
+TEST(SharedMemory, BankOfAddress) {
+  SharedMemoryModel smem;
+  EXPECT_EQ(smem.bank_of(0), 0);
+  EXPECT_EQ(smem.bank_of(4), 1);
+  EXPECT_EQ(smem.bank_of(124), 31);
+  EXPECT_EQ(smem.bank_of(128), 0);  // wraps every 128 B
+}
+
+TEST(SharedMemory, ConflictFreeWhenBanksDistinct) {
+  SharedMemoryModel smem;
+  // 8 threads x 16 B, consecutive: spans all 32 banks once.
+  const auto a =
+      addrs({0, 16, 32, 48, 64, 80, 96, 112});
+  EXPECT_EQ(smem.transaction_cost(std::span<const std::uint32_t>(a), 16), 1);
+}
+
+TEST(SharedMemory, SameBankFullConflict) {
+  SharedMemoryModel smem;
+  // 8 threads all reading 16 B from addresses 128 B apart: same 4 banks,
+  // different words -> 8-way serialization.
+  const auto a =
+      addrs({0, 128, 256, 384, 512, 640, 768, 896});
+  EXPECT_EQ(smem.transaction_cost(std::span<const std::uint32_t>(a), 16), 8);
+}
+
+TEST(SharedMemory, SameWordBroadcastsWithoutConflict) {
+  SharedMemoryModel smem;
+  // All threads reading the same 16 B: one word per bank -> broadcast.
+  const auto a = addrs({64, 64, 64, 64, 64, 64, 64, 64});
+  EXPECT_EQ(smem.transaction_cost(std::span<const std::uint32_t>(a), 16), 1);
+}
+
+TEST(SharedMemory, PartialConflictCountsMaxPerBank) {
+  SharedMemoryModel smem;
+  // Two groups of 4 threads hitting two distinct 128 B rows: 2 words per
+  // bank -> cost 2.
+  const auto a = addrs({0, 16, 32, 48, 128, 144, 160, 176});
+  EXPECT_EQ(smem.transaction_cost(std::span<const std::uint32_t>(a), 16), 2);
+}
+
+TEST(SharedMemory, FourByteAccessGranularity) {
+  SharedMemoryModel smem;
+  // 32 threads' worth collapsed to 8: 4 B accesses in consecutive words.
+  const auto a = addrs({0, 4, 8, 12, 16, 20, 24, 28});
+  EXPECT_EQ(smem.transaction_cost(std::span<const std::uint32_t>(a), 4), 1);
+  // All in bank 0 (stride 128).
+  const auto b = addrs({0, 128, 256, 384, 512, 640, 768, 896});
+  EXPECT_EQ(smem.transaction_cost(std::span<const std::uint32_t>(b), 4), 8);
+}
+
+TEST(SharedMemory, StatsAccumulate) {
+  SharedMemoryModel smem;
+  const auto free_txn = addrs({0, 16, 32, 48, 64, 80, 96, 112});
+  const auto bad_txn = addrs({0, 128, 256, 384, 512, 640, 768, 896});
+  smem.access(std::span<const std::uint32_t>(free_txn), 16);
+  smem.access(std::span<const std::uint32_t>(bad_txn), 16);
+  EXPECT_EQ(smem.stats().transactions, 2u);
+  EXPECT_EQ(smem.stats().bank_cycles, 1u + 8u);
+  EXPECT_EQ(smem.stats().bytes, 2u * 128);
+  EXPECT_EQ(smem.stats().conflict_cycles(), 7u);
+  EXPECT_NEAR(smem.stats().conflict_rate(), 7.0 / 9.0, 1e-12);
+  smem.reset();
+  EXPECT_EQ(smem.stats().transactions, 0u);
+}
+
+TEST(SharedMemory, MergeCombinesStats) {
+  SmemStats a{10, 15, 1000};
+  SmemStats b{5, 5, 500};
+  a.merge(b);
+  EXPECT_EQ(a.transactions, 15u);
+  EXPECT_EQ(a.bank_cycles, 20u);
+  EXPECT_EQ(a.bytes, 1500u);
+}
+
+}  // namespace
+}  // namespace fasted::sim

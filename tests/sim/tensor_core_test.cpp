@@ -1,0 +1,141 @@
+#include "sim/tensor_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace fasted::sim {
+namespace {
+
+using A16 = std::array<Fp16, 256>;
+using B16 = std::array<Fp16, 128>;
+using C32 = std::array<float, 128>;
+
+TEST(TensorCore, ZeroTimesZeroIsZero) {
+  A16 a{};
+  B16 b{};
+  C32 c{};
+  C32 d{};
+  mma_m16n8k16(a.data(), b.data(), c.data(), d.data());
+  for (float v : d) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorCore, IdentityPropagatesB) {
+  // A = I16 (first 16 columns), B arbitrary: D[i][j] = B[j*16+i].
+  A16 a{};
+  for (int i = 0; i < 16; ++i) a[i * 16 + i] = Fp16(1.0f);
+  B16 b{};
+  Rng rng(5);
+  for (auto& v : b) v = Fp16(static_cast<float>(rng.uniform(-2, 2)));
+  C32 c{};
+  C32 d{};
+  mma_m16n8k16(a.data(), b.data(), c.data(), d.data());
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(d[i * 8 + j], b[j * 16 + i].to_float());
+    }
+  }
+}
+
+TEST(TensorCore, AccumulatorIsAdded) {
+  A16 a{};
+  B16 b{};
+  C32 c{};
+  for (int i = 0; i < 128; ++i) c[i] = static_cast<float>(i) * 0.5f;
+  C32 d{};
+  mma_m16n8k16(a.data(), b.data(), c.data(), d.data());
+  for (int i = 0; i < 128; ++i) EXPECT_EQ(d[i], c[i]);
+}
+
+TEST(TensorCore, InPlaceAccumulationAllowed) {
+  A16 a{};
+  for (int i = 0; i < 16; ++i) a[i * 16] = Fp16(1.0f);  // column 0 ones
+  B16 b{};
+  for (int j = 0; j < 8; ++j) b[j * 16] = Fp16(2.0f);   // k=0 twos
+  C32 c{};
+  for (auto& v : c) v = 1.0f;
+  mma_m16n8k16(a.data(), b.data(), c.data(), c.data());
+  for (float v : c) EXPECT_EQ(v, 3.0f);
+}
+
+TEST(TensorCore, MatchesDotAccumulateReference) {
+  Rng rng(77);
+  A16 a;
+  B16 b;
+  C32 c;
+  for (auto& v : a) v = Fp16(static_cast<float>(rng.uniform(-1, 1)));
+  for (auto& v : b) v = Fp16(static_cast<float>(rng.uniform(-1, 1)));
+  for (auto& v : c) v = static_cast<float>(rng.uniform(-4, 4));
+  C32 d;
+  mma_m16n8k16(a.data(), b.data(), c.data(), d.data());
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      const float ref =
+          dot_accumulate_rz(a.data() + i * 16, b.data() + j * 16, 16,
+                            c[i * 8 + j]);
+      EXPECT_EQ(d[i * 8 + j], ref);
+    }
+  }
+}
+
+TEST(TensorCore, RzAccumulationNeverOvershootsExact) {
+  // |RZ sum| <= |exact sum| does not hold in general for mixed signs, but
+  // for all-positive inputs the RZ result is a lower bound.
+  Rng rng(88);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::array<Fp16, 16> a, b;
+    for (auto& v : a) v = Fp16(static_cast<float>(rng.uniform(0, 1)));
+    for (auto& v : b) v = Fp16(static_cast<float>(rng.uniform(0, 1)));
+    double exact = 0;
+    for (int k = 0; k < 16; ++k) {
+      exact += static_cast<double>(a[k].to_float()) * b[k].to_float();
+    }
+    const float rz = dot_accumulate_rz(a.data(), b.data(), 16, 0.0f);
+    EXPECT_LE(static_cast<double>(rz), exact);
+    EXPECT_NEAR(static_cast<double>(rz), exact, exact * 1e-5 + 1e-7);
+  }
+}
+
+TEST(TensorCore, RzOrderSensitivityIsDeterministic) {
+  // Same inputs always give the same bits (no FPU-state dependence).
+  Rng rng(99);
+  std::array<Fp16, 16> a, b;
+  for (auto& v : a) v = Fp16(static_cast<float>(rng.uniform(-1, 1)));
+  for (auto& v : b) v = Fp16(static_cast<float>(rng.uniform(-1, 1)));
+  const float first = dot_accumulate_rz(a.data(), b.data(), 16, 0.25f);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dot_accumulate_rz(a.data(), b.data(), 16, 0.25f), first);
+  }
+}
+
+TEST(TensorCoreF64, Dmma8x8x4MatchesFmaChain) {
+  Rng rng(123);
+  std::array<double, 32> a;
+  std::array<double, 32> b;
+  std::array<double, 64> c;
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  for (auto& v : c) v = rng.uniform(-1, 1);
+  std::array<double, 64> d;
+  dmma_m8n8k4(a.data(), b.data(), c.data(), d.data());
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      double acc = c[i * 8 + j];
+      for (int k = 0; k < 4; ++k) acc = std::fma(a[i * 4 + k], b[j * 4 + k], acc);
+      EXPECT_EQ(d[i * 8 + j], acc);
+    }
+  }
+}
+
+TEST(MmaTiming, A100Constants) {
+  // 4096 FLOP per m16n8k16; 512 FLOP/cycle/TC -> 8 cycles.
+  EXPECT_EQ(MmaTiming::fp16_m16n8k16_flops, 4096);
+  EXPECT_EQ(MmaTiming::fp16_m16n8k16_cycles_per_tc, 8);
+  EXPECT_EQ(MmaTiming::fp64_m8n8k4_flops, 512);
+}
+
+}  // namespace
+}  // namespace fasted::sim
