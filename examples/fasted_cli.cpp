@@ -4,9 +4,17 @@
 //   fasted_cli --dataset tiny --n 2000 --selectivity 64 --algo fasted
 //   fasted_cli --load points.bin --eps 0.25 --algo gds --save-result r.bin
 //   fasted_cli --dataset uniform --n 5000 --d 64 --eps 0.4 --algo all
+//
+// Service mode (corpus-resident query joins): --queries switches from the
+// self-join algos to a JoinService over the dataset, serving batches of
+// externally generated query points.
+//
+//   fasted_cli --n 10000 --queries 256 --serve-batches 8 --selectivity 64
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -18,6 +26,8 @@
 #include "data/calibrate.hpp"
 #include "data/generators.hpp"
 #include "data/registry.hpp"
+#include "service/corpus_session.hpp"
+#include "service/join_service.hpp"
 
 using namespace fasted;
 
@@ -33,6 +43,8 @@ struct Args {
   std::uint64_t seed = 42;
   std::optional<float> eps;
   double selectivity = 64.0;
+  std::size_t queries = 0;        // > 0 switches to service mode
+  std::size_t serve_batches = 1;  // query batches served per session
 };
 
 void usage() {
@@ -46,7 +58,10 @@ void usage() {
       "  --eps X          search radius; omit to calibrate\n"
       "  --selectivity S  calibration target when --eps absent (default 64)\n"
       "  --algo A         fasted|gds|mistic|ted|all (default fasted)\n"
-      "  --save-result F  save the FaSTED result set\n");
+      "  --save-result F  save the FaSTED result set\n"
+      "  --queries N      service mode: serve batches of N query points\n"
+      "                   against the resident dataset (skips --algo)\n"
+      "  --serve-batches B  number of query batches to serve (default 1)\n");
 }
 
 bool parse(int argc, char** argv, Args& args) {
@@ -75,6 +90,10 @@ bool parse(int argc, char** argv, Args& args) {
       args.eps = std::stof(v);
     } else if (flag == "--selectivity" && (v = next())) {
       args.selectivity = std::stod(v);
+    } else if (flag == "--queries" && (v = next())) {
+      args.queries = std::stoull(v);
+    } else if (flag == "--serve-batches" && (v = next())) {
+      args.serve_batches = std::stoull(v);
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -95,6 +114,71 @@ MatrixF32 make_data(const Args& args) {
   std::fprintf(stderr, "unknown dataset %s, using uniform\n",
                args.dataset.c_str());
   return data::uniform(args.n, args.d, args.seed);
+}
+
+// Query batches for service mode: drawn from the same distribution family
+// as the corpus (falls back to uniform in the corpus dimensionality when
+// the corpus came from a file).
+MatrixF32 make_query_batch(const Args& args, const MatrixF32& corpus,
+                           std::size_t batch) {
+  const std::uint64_t seed = args.seed + 1000 + batch;
+  if (args.load_path.empty()) {
+    Args qargs = args;
+    qargs.n = args.queries;
+    qargs.seed = seed;
+    qargs.d = corpus.dims();
+    return make_data(qargs);
+  }
+  return data::uniform(args.queries, corpus.dims(), seed);
+}
+
+int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
+  using Clock = std::chrono::steady_clock;
+  if (!args.save_result.empty()) {
+    std::fprintf(stderr,
+                 "warning: --save-result is not supported in service mode; "
+                 "ignoring\n");
+  }
+  std::printf("service mode: corpus resident, %zu queries/batch x %zu "
+              "batches, eps=%.5g\n",
+              args.queries, args.serve_batches, eps);
+
+  const auto ingest_start = Clock::now();
+  auto session = std::make_shared<service::CorpusSession>(MatrixF32(points));
+  service::JoinService svc(std::move(session));
+  const double ingest_s =
+      std::chrono::duration<double>(Clock::now() - ingest_start).count();
+  std::printf("ingest: FP16 + norms prepared in %.3f s (paid once)\n",
+              ingest_s);
+
+  double host_s = 0;
+  double modeled_s = 0;
+  for (std::size_t b = 0; b < args.serve_batches; ++b) {
+    service::EpsQuery request;
+    request.points = make_query_batch(args, points, b);
+    request.eps = eps;
+    const auto out = svc.eps_join(request);
+    host_s += out.host_seconds;
+    modeled_s += out.timing.total_s();
+    std::printf("batch %-3zu pairs=%-12llu modeled A100=%.6f s   host=%.3f s"
+                "   (%zu x %zu block tiles)\n",
+                b, static_cast<unsigned long long>(out.pair_count),
+                out.timing.total_s(), out.host_seconds, out.perf.query_tiles,
+                out.perf.corpus_tiles);
+  }
+
+  const auto stats = svc.stats();
+  const double served = static_cast<double>(stats.queries);
+  std::printf("served %llu queries in %llu batches: %llu pairs\n",
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.eps_batches),
+              static_cast<unsigned long long>(stats.pairs));
+  if (host_s > 0 && modeled_s > 0) {
+    std::printf("throughput: %.0f queries/s host, %.0f queries/s modeled "
+                "A100 (corpus legs amortized)\n",
+                served / host_s, served / modeled_s);
+  }
+  return 0;
 }
 
 void report(const char* name, std::uint64_t pairs, double selectivity,
@@ -127,6 +211,8 @@ int main(int argc, char** argv) {
     std::printf("calibrated eps=%.5g for selectivity %.0f\n", eps,
                 args.selectivity);
   }
+
+  if (args.queries > 0) return run_service_mode(args, points, eps);
 
   const bool all = args.algo == "all";
   if (all || args.algo == "fasted") {

@@ -1,71 +1,49 @@
 #include "apps/knn.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include <memory>
 
 #include "common/check.hpp"
-#include "common/parallel.hpp"
-#include "data/calibrate.hpp"
+#include "service/corpus_session.hpp"
+#include "service/join_service.hpp"
 
 namespace fasted::apps {
 
+// All-points kNN is a kNN query batch whose query set is the corpus: ask
+// the join service for k+1 matches per query (the self match rides along at
+// distance 0) and strip the query's own id from each row.
 KnnResult knn_all(const FastedEngine& engine, const MatrixF32& data,
                   std::size_t k, const KnnOptions& options) {
   const std::size_t n = data.rows();
   FASTED_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < |D|");
 
+  auto session = std::make_shared<service::CorpusSession>(data);
+  service::JoinService svc(std::move(session), engine);
+
+  service::KnnOptions sopts;
+  sopts.initial_growth = options.initial_growth;
+  sopts.radius_growth = options.radius_growth;
+  sopts.max_rounds = options.max_rounds;
+  // knn_corpus reuses the session's prepared corpus as the query batch —
+  // no second copy or quantization pass.
+  const service::KnnBatchResult batch = svc.knn_corpus(k + 1, sopts);
+
   KnnResult result;
   result.k = k;
+  result.rounds = batch.rounds;
   result.ids.assign(n * k, 0);
   result.distances.assign(n * k, 0.0f);
-
-  // Quantize + precompute norms once; every adaptive round reuses them.
-  const PreparedDataset prepared(data);
-
-  // Round 1..max: self-join with a growing radius until few points are
-  // short of k neighbors.
-  double target = options.initial_growth * static_cast<double>(k);
-  float eps = data::calibrate_epsilon(data, target).eps;
-  JoinOutput join;
-  std::size_t deficient = n;
-  for (result.rounds = 1; result.rounds <= options.max_rounds;
-       ++result.rounds) {
-    join = engine.self_join(prepared, eps);
-    deficient = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (join.result.degree(i) < k + 1) ++deficient;  // +1 for self
+  for (std::size_t i = 0; i < n; ++i) {
+    // Drop the self match if it made the k+1 cut; when >= k+1 zero-distance
+    // duplicates with smaller ids crowd it out, the first k entries already
+    // exclude i.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < k + 1 && w < k; ++r) {
+      if (batch.id(i, r) == static_cast<std::uint32_t>(i)) continue;
+      result.ids[i * k + w] = batch.id(i, r);
+      result.distances[i * k + w] = batch.distance(i, r);
+      ++w;
     }
-    if (deficient <= n / 20) break;
-    eps *= static_cast<float>(options.radius_growth);
   }
-
-  // Rank candidates per point; brute-force the stragglers.
-  parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
-    std::vector<std::pair<float, std::uint32_t>> ranked;
-    for (std::size_t i = lo; i < hi; ++i) {
-      ranked.clear();
-      if (join.result.degree(i) >= k + 1) {
-        for (std::uint32_t j : join.result.neighbors_of(i)) {
-          if (j == i) continue;
-          ranked.emplace_back(prepared.pair_dist2(i, j), j);
-        }
-      } else {
-        for (std::size_t j = 0; j < n; ++j) {
-          if (j == i) continue;
-          ranked.emplace_back(prepared.pair_dist2(i, j),
-                              static_cast<std::uint32_t>(j));
-        }
-      }
-      std::partial_sort(ranked.begin(),
-                        ranked.begin() + static_cast<std::ptrdiff_t>(k),
-                        ranked.end());
-      for (std::size_t r = 0; r < k; ++r) {
-        result.ids[i * k + r] = ranked[r].second;
-        result.distances[i * k + r] =
-            std::sqrt(std::max(0.0f, ranked[r].first));
-      }
-    }
-  });
   return result;
 }
 

@@ -1,12 +1,13 @@
-// k-nearest-neighbor search built on the FaSTED self-join — one of the
-// downstream applications motivating the paper (Sec. 1; Samet 2008).
+// k-nearest-neighbor search built on the FaSTED query-join service — one of
+// the downstream applications motivating the paper (Sec. 1; Samet 2008).
 //
-// Strategy: a range self-join with an adaptive radius.  Start from an eps
+// Strategy: all-points kNN is a kNN query batch whose query set equals the
+// corpus, served by service::JoinService over a corpus-resident session.
+// The service runs an adaptive-radius query join: start from an eps
 // calibrated so the mean neighborhood holds ~k * growth candidates, then
-// enlarge eps for the points that came up short until every point has at
-// least k neighbors (or the radius covers the data diameter).  Distances
-// are the FP16-32 pipeline distances, so results are exactly what a GPU
-// FaSTED-based kNN would return.
+// enlarge eps for the queries that came up short, brute-forcing the
+// stragglers.  Distances are the FP16-32 pipeline distances, so results are
+// exactly what a GPU FaSTED-based kNN would return.
 
 #pragma once
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "common/check.hpp"
@@ -26,6 +27,38 @@ float fasted_pair_dist2(const float* pi, const float* pj, std::size_t dims,
   return epilogue_dist2(acc, si, sj);
 }
 
+void query_row_join(const float* query, float query_norm,
+                    const MatrixF32& corpus_values,
+                    const std::vector<float>& corpus_norms, std::size_t begin,
+                    std::size_t end, float eps2,
+                    std::vector<QueryMatch>& out) {
+  const std::size_t dims = corpus_values.stride();
+  const auto emit = [&](std::size_t j, float d2) {
+    if (d2 <= eps2) {
+      out.push_back(QueryMatch{static_cast<std::uint32_t>(j), d2});
+    }
+  };
+  // Two independent RZ chains: pairs are independent and the sequential
+  // add_rz dependency is the bottleneck (same idiom as the self-join).
+  std::size_t j = begin;
+  for (; j + 1 < end; j += 2) {
+    const float* pj0 = corpus_values.row(j);
+    const float* pj1 = corpus_values.row(j + 1);
+    float acc0 = 0.0f;
+    float acc1 = 0.0f;
+    for (std::size_t k = 0; k < dims; ++k) {
+      acc0 = add_rz(acc0, query[k] * pj0[k]);
+      acc1 = add_rz(acc1, query[k] * pj1[k]);
+    }
+    emit(j, epilogue_dist2(acc0, query_norm, corpus_norms[j]));
+    emit(j + 1, epilogue_dist2(acc1, query_norm, corpus_norms[j + 1]));
+  }
+  for (; j < end; ++j) {
+    emit(j, fasted_pair_dist2(query, corpus_values.row(j), dims, query_norm,
+                              corpus_norms[j]));
+  }
+}
+
 FastedEngine::FastedEngine(FastedConfig config) : config_(std::move(config)) {
   config_.validate();
 }
@@ -38,6 +71,22 @@ PreparedDataset::PreparedDataset(const MatrixF32& data)
 float PreparedDataset::pair_dist2(std::size_t i, std::size_t j) const {
   return fasted_pair_dist2(dequant_.row(i), dequant_.row(j),
                            dequant_.stride(), norms_[i], norms_[j]);
+}
+
+PreparedDataset PreparedDataset::gather(const PreparedDataset& src,
+                                        const std::vector<std::uint32_t>& rows) {
+  PreparedDataset out;
+  out.fp16_ = MatrixF16(rows.size(), src.dims());
+  out.dequant_ = MatrixF32(rows.size(), src.dims());
+  out.norms_.resize(rows.size());
+  for (std::size_t a = 0; a < rows.size(); ++a) {
+    const std::size_t i = rows[a];
+    std::copy_n(src.fp16_.row(i), src.fp16_.stride(), out.fp16_.row(a));
+    std::copy_n(src.dequant_.row(i), src.dequant_.stride(),
+                out.dequant_.row(a));
+    out.norms_[a] = src.norms_[i];
+  }
+  return out;
 }
 
 namespace {
@@ -174,43 +223,28 @@ JoinOutput run_emulated(const FastedConfig& cfg, const MatrixF16& data16,
   return out;
 }
 
-// General A x B join: per-query rows, no symmetry to exploit.
+// General A x B join: per-query rows, no symmetry to exploit.  The inner
+// loop is the canonical query_row_join kernel; only the ids are kept.
 JoinOutput run_fast_join(const MatrixF32& queries, const MatrixF32& corpus,
                          const std::vector<float>& sq,
                          const std::vector<float>& sc, float eps2,
                          bool build_result) {
   const std::size_t nq = queries.rows();
   const std::size_t nc = corpus.rows();
-  const std::size_t dims = queries.stride();
 
   std::vector<std::vector<std::uint32_t>> rows(nq);
   std::atomic<std::uint64_t> pairs{0};
   parallel_for(0, nq, [&](std::size_t lo, std::size_t hi) {
+    std::vector<QueryMatch> scratch;
     std::uint64_t local_pairs = 0;
     for (std::size_t i = lo; i < hi; ++i) {
-      const float* pi = queries.row(i);
-      auto& row = rows[i];
-      const auto emit = [&](std::size_t j, float d2) {
-        if (d2 <= eps2) {
-          ++local_pairs;
-          if (build_result) row.push_back(static_cast<std::uint32_t>(j));
-        }
-      };
-      std::size_t j = 0;
-      for (; j + 1 < nc; j += 2) {
-        const float* pj0 = corpus.row(j);
-        const float* pj1 = corpus.row(j + 1);
-        float acc0 = 0.0f;
-        float acc1 = 0.0f;
-        for (std::size_t k = 0; k < dims; ++k) {
-          acc0 = add_rz(acc0, pi[k] * pj0[k]);
-          acc1 = add_rz(acc1, pi[k] * pj1[k]);
-        }
-        emit(j, epilogue_dist2(acc0, sq[i], sc[j]));
-        emit(j + 1, epilogue_dist2(acc1, sq[i], sc[j + 1]));
-      }
-      for (; j < nc; ++j) {
-        emit(j, fasted_pair_dist2(pi, corpus.row(j), dims, sq[i], sc[j]));
+      scratch.clear();
+      query_row_join(queries.row(i), sq[i], corpus, sc, 0, nc, eps2, scratch);
+      local_pairs += scratch.size();
+      if (build_result) {
+        auto& row = rows[i];
+        row.reserve(scratch.size());
+        for (const QueryMatch& m : scratch) row.push_back(m.id);
       }
     }
     pairs.fetch_add(local_pairs, std::memory_order_relaxed);
@@ -279,6 +313,110 @@ JoinOutput run_emulated_join(const FastedConfig& cfg, const MatrixF16& q16,
   return out;
 }
 
+// The query-service kernel: a rectangular grid of block_tile_m query rows x
+// block_tile_n corpus columns, drained as dynamic work items from the
+// rectangular WorkQueue so tile cost imbalance (ragged edges, skewed match
+// density) cannot idle workers.  Distances are per-pair independent RZ
+// chains, so the values are bit-identical to the self-join fast path.
+QueryJoinOutput run_query_join(const FastedConfig& cfg,
+                               const PreparedDataset& queries,
+                               const PreparedDataset& corpus, float eps2,
+                               const JoinOptions& options) {
+  const MatrixF32& q = queries.values();
+  const MatrixF32& c = corpus.values();
+  const std::vector<float>& sq = queries.norms();
+  const std::vector<float>& sc = corpus.norms();
+  const std::size_t nq = q.rows();
+  const std::size_t nc = c.rows();
+  const bool emulated = options.path == ExecutionPath::kEmulated;
+  const bool build_result = options.build_result;
+
+  const auto bm = static_cast<std::size_t>(cfg.block_tile_m);
+  const auto bn = static_cast<std::size_t>(cfg.block_tile_n);
+  const std::size_t tile_rows = (nq + bm - 1) / bm;
+  const std::size_t tile_cols = (nc + bn - 1) / bn;
+  WorkQueue queue(cfg.dispatch_policy(), tile_rows, tile_cols,
+                  cfg.dispatch_square);
+
+  std::vector<std::vector<QueryMatch>> rows(build_result ? nq : 0);
+  std::mutex rows_mutex;
+  std::atomic<std::uint64_t> pairs{0};
+
+  parallel_for(0, ThreadPool::global().size(), [&](std::size_t, std::size_t) {
+    std::optional<BlockTileEngine> engine;
+    if (emulated) engine.emplace(cfg);
+    std::vector<std::pair<std::uint32_t, QueryMatch>> local;
+    std::vector<QueryMatch> scratch;
+    std::uint64_t local_pairs = 0;
+    // Flush the worker-local buffer into the shared rows once it holds this
+    // many matches, bounding peak memory to ~one tile's worth per worker
+    // instead of a second copy of the whole result set.
+    constexpr std::size_t kFlushThreshold = 1 << 16;
+    const auto flush = [&] {
+      if (local.empty()) return;
+      std::lock_guard<std::mutex> lock(rows_mutex);
+      for (const auto& [i, m] : local) rows[i].push_back(m);
+      local.clear();
+    };
+    std::pair<std::uint32_t, std::uint32_t> tile;
+    while (queue.pop(tile)) {
+      const std::size_t r0 = static_cast<std::size_t>(tile.first) * bm;
+      const std::size_t c0 = static_cast<std::size_t>(tile.second) * bn;
+      const std::size_t r1 = std::min(r0 + bm, nq);
+      const std::size_t c1 = std::min(c0 + bn, nc);
+      if (emulated) {
+        engine->compute(queries.quantized(), corpus.quantized(), r0, c0);
+        for (std::size_t i = r0; i < r1; ++i) {
+          for (std::size_t j = c0; j < c1; ++j) {
+            const float a = engine->acc(static_cast<int>(i - r0),
+                                        static_cast<int>(j - c0));
+            const float d2 = epilogue_dist2(a, sq[i], sc[j]);
+            if (d2 <= eps2) {
+              ++local_pairs;
+              if (build_result) {
+                local.emplace_back(
+                    static_cast<std::uint32_t>(i),
+                    QueryMatch{static_cast<std::uint32_t>(j), d2});
+              }
+            }
+          }
+        }
+      } else {
+        for (std::size_t i = r0; i < r1; ++i) {
+          scratch.clear();
+          query_row_join(q.row(i), sq[i], c, sc, c0, c1, eps2, scratch);
+          local_pairs += scratch.size();
+          if (build_result) {
+            for (const QueryMatch& m : scratch) {
+              local.emplace_back(static_cast<std::uint32_t>(i), m);
+            }
+          }
+        }
+      }
+      if (build_result && local.size() >= kFlushThreshold) flush();
+    }
+    pairs.fetch_add(local_pairs, std::memory_order_relaxed);
+    if (build_result) flush();
+  });
+
+  QueryJoinOutput out;
+  out.pair_count = pairs.load();
+  if (build_result) {
+    // Corpus tiles land per query row in drain order; canonicalize to
+    // ascending corpus id (ids are unique within a row).
+    parallel_for(0, nq, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        std::sort(rows[i].begin(), rows[i].end(),
+                  [](const QueryMatch& a, const QueryMatch& b) {
+                    return a.id < b.id;
+                  });
+      }
+    });
+    out.result = QueryJoinResult::from_rows(std::move(rows));
+  }
+  return out;
+}
+
 }  // namespace
 
 JoinOutput FastedEngine::join(const MatrixF32& queries,
@@ -309,6 +447,37 @@ JoinOutput FastedEngine::join(const MatrixF32& queries,
   out.timing = model_response_time(queries.rows() + corpus.rows(),
                                    queries.dims(), out.pair_count);
   out.timing.kernel_s = out.perf.kernel_seconds;
+  return out;
+}
+
+QueryJoinOutput FastedEngine::query_join(const PreparedDataset& queries,
+                                         const PreparedDataset& corpus,
+                                         float eps,
+                                         const JoinOptions& options) const {
+  FASTED_CHECK_MSG(queries.rows() > 0 && corpus.rows() > 0, "empty input");
+  FASTED_CHECK_MSG(queries.dims() == corpus.dims(),
+                   "query/corpus dimensionality mismatch");
+  FASTED_CHECK_MSG(eps >= 0, "negative search radius");
+  Timer timer;
+
+  QueryJoinOutput out =
+      run_query_join(config_, queries, corpus, eps * eps, options);
+  out.host_seconds = timer.seconds();
+  out.perf = estimate_join(queries.rows(), corpus.rows(), queries.dims());
+  out.timing = model_query_response_time(queries.rows(), corpus.rows(),
+                                         queries.dims(), out.pair_count);
+  return out;
+}
+
+QueryJoinOutput FastedEngine::query_join(const MatrixF32& queries,
+                                         const PreparedDataset& corpus,
+                                         float eps,
+                                         const JoinOptions& options) const {
+  FASTED_CHECK_MSG(queries.rows() > 0, "empty query batch");
+  Timer timer;
+  const PreparedDataset prepared(queries);
+  QueryJoinOutput out = query_join(prepared, corpus, eps, options);
+  out.host_seconds = timer.seconds();
   return out;
 }
 
@@ -388,7 +557,7 @@ JoinOutput FastedEngine::batched_self_join(const MatrixF32& data, float eps,
     const auto perf =
         estimate_fasted_join_kernel(config_, q1 - q0, n, prepared.dims());
     kernel_s += perf.kernel_seconds;
-    d2h_s += static_cast<double>(pairs.load()) * 8.0 /
+    d2h_s += static_cast<double>(pairs.load()) * sizeof(ResultPair) /
                  (config_.device.pcie_bandwidth_gbs * 1e9) +
              config_.device.kernel_launch_overhead_s;
   }
@@ -421,7 +590,9 @@ FastedEngine::DeviceMemoryReport FastedEngine::device_memory_report(
       static_cast<double>(n) * static_cast<double>(padded_dims<Fp16>(d)) * 2;
   const double norm_bytes = static_cast<double>(n) * 4;
   // Result buffer: pair ids (2 x u32) plus the FP32 distance.
-  const double result_bytes = static_cast<double>(result_pairs) * 12.0;
+  const double result_bytes =
+      static_cast<double>(result_pairs) *
+      (sizeof(ResultPair) + sizeof(float));
   rep.bytes_required = data_bytes + norm_bytes + result_bytes;
   rep.bytes_usable =
       config_.device.global_memory_bytes * config_.device.usable_memory_fraction;
@@ -441,7 +612,32 @@ TimingBreakdown FastedEngine::model_response_time(
                        (dev.device_fp32_cuda_tflops() * 1e12 * 0.30) +
                    dev.kernel_launch_overhead_s;
   t.kernel_s = estimate(n, d).kernel_seconds;
-  const double result_bytes = static_cast<double>(result_pairs) * 8.0;
+  const double result_bytes =
+      static_cast<double>(result_pairs) * sizeof(ResultPair);
+  t.device_to_host_s = result_bytes / (dev.pcie_bandwidth_gbs * 1e9);
+  t.host_store_s = result_bytes / (8.0 * 1e9);  // host-side memcpy rate
+  return t;
+}
+
+TimingBreakdown FastedEngine::model_query_response_time(
+    std::size_t queries, std::size_t corpus, std::size_t d,
+    std::uint64_t result_pairs) const {
+  const sim::DeviceSpec& dev = config_.device;
+  TimingBreakdown t;
+  // Corpus-resident serving: only the query batch crosses PCIe and only the
+  // query norms are recomputed; the corpus FP16 data, norms, and index were
+  // paid once when the session ingested it.
+  const double query_bytes =
+      static_cast<double>(queries) * padded_dims<Fp16>(d) * 2;
+  t.host_to_device_s = query_bytes / (dev.pcie_bandwidth_gbs * 1e9) +
+                       dev.kernel_launch_overhead_s;
+  t.precompute_s =
+      2.0 * static_cast<double>(queries) * static_cast<double>(d) /
+          (dev.device_fp32_cuda_tflops() * 1e12 * 0.30) +
+      dev.kernel_launch_overhead_s;
+  t.kernel_s = estimate_join(queries, corpus, d).kernel_seconds;
+  const double result_bytes =
+      static_cast<double>(result_pairs) * sizeof(QueryMatch);
   t.device_to_host_s = result_bytes / (dev.pcie_bandwidth_gbs * 1e9);
   t.host_store_s = result_bytes / (8.0 * 1e9);  // host-side memcpy rate
   return t;

@@ -58,6 +58,18 @@ struct JoinOutput {
   double host_seconds = 0;  // wall time of the functional computation
 };
 
+// Output of the asymmetric query-tile x corpus-tile kernel.  The modeled
+// timing assumes a *corpus-resident* execution: only the query batch moves
+// host-to-device and only the query norms are precomputed per request; the
+// corpus legs are paid once by the owning session.
+struct QueryJoinOutput {
+  QueryJoinResult result;
+  std::uint64_t pair_count = 0;
+  PerfEstimate perf;        // includes query_tiles / corpus_tiles
+  TimingBreakdown timing;
+  double host_seconds = 0;
+};
+
 // The epilogue combine (paper Step 3): dist^2 = -2*a + s_i + s_j in FP32.
 inline float epilogue_dist2(float a, float si, float sj) {
   return std::fma(-2.0f, a, si + sj);
@@ -69,6 +81,12 @@ inline float epilogue_dist2(float a, float si, float sj) {
 class PreparedDataset {
  public:
   explicit PreparedDataset(const MatrixF32& data);
+
+  // Row-subset gather: copies already-prepared rows (FP16 data, decoded
+  // values, norms) without re-quantizing — the adaptive kNN rounds shrink
+  // their active batch this way.
+  static PreparedDataset gather(const PreparedDataset& src,
+                                const std::vector<std::uint32_t>& rows);
 
   std::size_t rows() const { return dequant_.rows(); }
   std::size_t dims() const { return dequant_.dims(); }
@@ -82,6 +100,8 @@ class PreparedDataset {
   float pair_dist2(std::size_t i, std::size_t j) const;
 
  private:
+  PreparedDataset() = default;  // for gather()
+
   MatrixF16 fp16_;
   MatrixF32 dequant_;
   std::vector<float> norms_;
@@ -114,6 +134,29 @@ class FastedEngine {
   // coincides with a corpus point).  Both matrices must share `dims()`.
   JoinOutput join(const MatrixF32& queries, const MatrixF32& corpus,
                   float eps, const JoinOptions& options = {}) const;
+
+  // The query-service kernel: joins a prepared query batch against a
+  // prepared (resident) corpus, decomposed into block_tile_m x block_tile_n
+  // work items drained from a rectangular WorkQueue on the thread pool.
+  // Numerics are bit-identical to self_join (FP16 exact products, FP32 RZ
+  // accumulation, expanded-form distance): a query batch equal to the
+  // corpus reproduces the self-join pairs exactly.  Returns per-query
+  // matches with their pipeline squared distances.
+  QueryJoinOutput query_join(const PreparedDataset& queries,
+                             const PreparedDataset& corpus, float eps,
+                             const JoinOptions& options = {}) const;
+
+  // Convenience overload preparing the query batch in place (the corpus
+  // stays resident; query FP16 conversion + norms are counted in timing).
+  QueryJoinOutput query_join(const MatrixF32& queries,
+                             const PreparedDataset& corpus, float eps,
+                             const JoinOptions& options = {}) const;
+
+  // Modeled response time of a corpus-resident query join: query-batch
+  // upload + query-norm precompute + rectangular kernel + match download.
+  TimingBreakdown model_query_response_time(std::size_t queries,
+                                            std::size_t corpus, std::size_t d,
+                                            std::uint64_t result_pairs) const;
 
   // Performance model only (no functional work): the derived-TFLOPS
   // experiments (Figs. 8-9, Tables 5-6) call this.
@@ -150,5 +193,15 @@ class FastedEngine {
 // zero and does not perturb the RZ accumulation).
 float fasted_pair_dist2(const float* pi, const float* pj, std::size_t dims,
                         float si, float sj);
+
+// Appends every corpus row in [begin, end) within the squared radius `eps2`
+// of one prepared query row, with pipeline squared distances, ascending
+// corpus id.  Building block of the streaming service path and of kNN
+// straggler sweeps; pass eps2 = infinity to rank the whole corpus.
+void query_row_join(const float* query, float query_norm,
+                    const MatrixF32& corpus_values,
+                    const std::vector<float>& corpus_norms, std::size_t begin,
+                    std::size_t end, float eps2,
+                    std::vector<QueryMatch>& out);
 
 }  // namespace fasted

@@ -219,6 +219,8 @@ PerfEstimate estimate_fasted_join_kernel(const FastedConfig& cfg,
   est.dram_seconds = dram_seconds;
   est.l2_seconds = l2_seconds;
   est.l2_hit_rate = re.hit_rate;
+  est.query_tiles = tiles_rows;
+  est.corpus_tiles = tiles_cols;
 
   sim::KernelCounters& c = est.counters;
   c.tc_fp16_flops = tiles * mmas_per_tile * sim::MmaTiming::fp16_m16n8k16_flops;

@@ -50,6 +50,11 @@ struct PerfEstimate {
   double dram_seconds = 0;        // device-wide DRAM service time
   double l2_seconds = 0;
   double l2_hit_rate = 0;
+  // Block-tile grid shape: query rows x corpus columns of block tiles
+  // (equal for the self-join).  The service layer sizes its work items and
+  // result batching from these.
+  std::size_t query_tiles = 0;
+  std::size_t corpus_tiles = 0;
   sim::KernelCounters counters;   // Table 6 inputs
 };
 

@@ -19,4 +19,22 @@ SelfJoinResult SelfJoinResult::from_rows(
   return r;
 }
 
+QueryJoinResult QueryJoinResult::from_rows(
+    std::vector<std::vector<QueryMatch>> rows) {
+  QueryJoinResult r;
+  r.offsets_.assign(rows.size() + 1, 0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    total += rows[i].size();
+    r.offsets_[i + 1] = total;
+  }
+  r.matches_.reserve(total);
+  for (auto& row : rows) {
+    r.matches_.insert(r.matches_.end(), row.begin(), row.end());
+    row.clear();
+    row.shrink_to_fit();
+  }
+  return r;
+}
+
 }  // namespace fasted

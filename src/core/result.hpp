@@ -14,6 +14,17 @@
 
 namespace fasted {
 
+// Layout of one result pair as a GPU kernel would write it to the device
+// result buffer and ship it over PCIe: the two point ids, tightly packed.
+// The transfer models below derive their byte counts from this struct.
+struct ResultPair {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+static_assert(sizeof(ResultPair) == 2 * sizeof(std::uint32_t),
+              "ResultPair must stay tightly packed: the modeled device "
+              "result buffer holds exactly two u32 ids per pair");
+
 class SelfJoinResult {
  public:
   SelfJoinResult() = default;
@@ -45,7 +56,9 @@ class SelfJoinResult {
   }
 
   // Bytes a GPU implementation would ship back to the host (pairs of ids).
-  std::uint64_t result_bytes() const { return pair_count() * 8; }
+  std::uint64_t result_bytes() const {
+    return pair_count() * sizeof(ResultPair);
+  }
 
   const std::vector<std::uint64_t>& offsets() const { return offsets_; }
   const std::vector<std::uint32_t>& neighbors() const { return neighbors_; }
@@ -53,6 +66,52 @@ class SelfJoinResult {
  private:
   std::vector<std::uint64_t> offsets_;
   std::vector<std::uint32_t> neighbors_;
+};
+
+// One corpus match of a query: the corpus row id and the FP16-32 pipeline
+// squared distance.  This is also the modeled per-match device buffer slot
+// for query joins (id + FP32 distance, tightly packed).
+struct QueryMatch {
+  std::uint32_t id = 0;
+  float dist2 = 0.0f;
+};
+static_assert(sizeof(QueryMatch) == sizeof(std::uint32_t) + sizeof(float),
+              "QueryMatch must stay tightly packed: the modeled device "
+              "result buffer holds one u32 id and one FP32 distance");
+
+// Query-join result set: for each query row, the corpus rows within the
+// search radius with their pipeline distances.  Unlike SelfJoinResult there
+// is no self-pair convention — a query only matches itself if it coincides
+// with a corpus point.  CSR layout, rows sorted by corpus id ascending.
+class QueryJoinResult {
+ public:
+  QueryJoinResult() = default;
+
+  static QueryJoinResult from_rows(std::vector<std::vector<QueryMatch>> rows);
+
+  std::size_t num_queries() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::uint64_t pair_count() const { return matches_.size(); }
+
+  std::span<const QueryMatch> matches_of(std::size_t q) const {
+    return {matches_.data() + offsets_[q], matches_.data() + offsets_[q + 1]};
+  }
+  std::size_t degree(std::size_t q) const {
+    return offsets_[q + 1] - offsets_[q];
+  }
+
+  // Bytes a GPU implementation would ship back to the host.
+  std::uint64_t result_bytes() const {
+    return pair_count() * sizeof(QueryMatch);
+  }
+
+  const std::vector<std::uint64_t>& offsets() const { return offsets_; }
+  const std::vector<QueryMatch>& matches() const { return matches_; }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<QueryMatch> matches_;
 };
 
 }  // namespace fasted

@@ -18,6 +18,12 @@ class WorkQueue {
   WorkQueue(sim::DispatchPolicy policy, std::size_t tiles_per_side, int square)
       : order_(sim::dispatch_order(policy, tiles_per_side, square)) {}
 
+  // Rectangular grid (query tiles x corpus tiles) for asymmetric joins,
+  // preserving the policy's L2-locality ordering clipped to the bounds.
+  WorkQueue(sim::DispatchPolicy policy, std::size_t tile_rows,
+            std::size_t tile_cols, int square)
+      : order_(sim::dispatch_order(policy, tile_rows, tile_cols, square)) {}
+
   std::size_t size() const { return order_.size(); }
 
   // Thread-safe pop; returns false when the queue is drained.

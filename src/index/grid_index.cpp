@@ -81,7 +81,11 @@ bool GridIndex::neighbor_key(const float* p, const int* offset,
 
 void GridIndex::candidates_of(std::size_t i,
                               std::vector<std::uint32_t>& out) const {
-  const float* p = data_.row(i);
+  candidates_of(data_.row(i), out);
+}
+
+void GridIndex::candidates_of(const float* p,
+                              std::vector<std::uint32_t>& out) const {
   // Distinct neighbor-cell keys (duplicates can appear at clamp borders).
   std::vector<CellKey> keys;
   keys.reserve(neighbor_offsets_.size());

@@ -28,6 +28,11 @@ class GridIndex {
   // neighbors within eps.
   void candidates_of(std::size_t i, std::vector<std::uint32_t>& out) const;
 
+  // Same, for an external query point (a row of at least indexed_dims()
+  // coordinates that need not belong to the indexed data) — the lookup a
+  // corpus-resident session uses for incoming query batches.
+  void candidates_of(const float* query, std::vector<std::uint32_t>& out) const;
+
   std::size_t non_empty_cells() const { return cells_.size(); }
   int indexed_dims() const { return g_; }
   double build_flop_estimate() const;  // for the GPU timing model

@@ -1,0 +1,53 @@
+#include "service/corpus_session.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "data/calibrate.hpp"
+
+namespace fasted::service {
+
+CorpusSession::CorpusSession(MatrixF32 corpus)
+    : corpus_(std::move(corpus)), prepared_(corpus_) {
+  FASTED_CHECK_MSG(corpus_.rows() > 0, "empty corpus");
+}
+
+float CorpusSession::eps_for_selectivity(double target) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = calibration_.find(target);
+    if (it != calibration_.end()) {
+      ++stats_.calibration_hits;
+      return it->second;
+    }
+  }
+  // Calibrate outside the lock: sampling is O(sample * n * d) and must not
+  // serialize concurrent requests for already-cached targets.
+  const float eps = data::calibrate_epsilon(corpus_, target).eps;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.calibration_misses;
+  return calibration_.emplace(target, eps).first->second;
+}
+
+const index::GridIndex& CorpusSession::grid_at(float eps) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = grids_.find(eps);
+    if (it != grids_.end()) {
+      ++stats_.grid_hits;
+      return *it->second;
+    }
+  }
+  auto grid = std::make_unique<index::GridIndex>(corpus_, eps);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.grid_misses;
+  // emplace keeps the first build if another thread raced us here.
+  return *grids_.emplace(eps, std::move(grid)).first->second;
+}
+
+SessionStats CorpusSession::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace fasted::service

@@ -1,0 +1,229 @@
+#include "service/join_service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+
+namespace fasted::service {
+
+namespace {
+
+// Ranking order for kNN: pipeline distance ascending, ties by corpus id.
+bool rank_less(const QueryMatch& a, const QueryMatch& b) {
+  return a.dist2 != b.dist2 ? a.dist2 < b.dist2 : a.id < b.id;
+}
+
+}  // namespace
+
+JoinService::JoinService(std::shared_ptr<CorpusSession> session,
+                         FastedEngine engine)
+    : session_(std::move(session)), engine_(std::move(engine)) {
+  FASTED_CHECK_MSG(session_ != nullptr, "JoinService needs a corpus session");
+}
+
+float JoinService::resolve_eps(const EpsQuery& request) {
+  return request.eps >= 0 ? request.eps
+                          : session_->eps_for_selectivity(request.selectivity);
+}
+
+QueryJoinOutput JoinService::eps_join(const EpsQuery& request) {
+  FASTED_CHECK_MSG(request.points.rows() > 0, "empty query batch");
+  FASTED_CHECK_MSG(request.points.dims() == session_->dims(),
+                   "query/corpus dimensionality mismatch");
+  std::lock_guard<std::mutex> serve(serve_mutex_);
+  const float eps = resolve_eps(request);
+
+  JoinOptions options;
+  options.path = request.path;
+  QueryJoinOutput out =
+      engine_.query_join(request.points, session_->prepared(), eps, options);
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.eps_batches;
+  stats_.queries += request.points.rows();
+  stats_.pairs += out.pair_count;
+  return out;
+}
+
+QueryJoinOutput JoinService::eps_join(const EpsQuery& request,
+                                      const EpsMatchCallback& callback) {
+  FASTED_CHECK_MSG(request.points.rows() > 0, "empty query batch");
+  FASTED_CHECK_MSG(request.points.dims() == session_->dims(),
+                   "query/corpus dimensionality mismatch");
+  FASTED_CHECK_MSG(callback != nullptr, "streaming join needs a callback");
+  std::lock_guard<std::mutex> serve(serve_mutex_);
+  const float eps = resolve_eps(request);
+  const float eps2 = eps * eps;
+  Timer timer;
+
+  const PreparedDataset queries(request.points);
+  const PreparedDataset& corpus = session_->prepared();
+  const MatrixF32& q = queries.values();
+  const MatrixF32& c = corpus.values();
+  const std::vector<float>& sq = queries.norms();
+  const std::vector<float>& sc = corpus.norms();
+  const std::size_t nq = q.rows();
+  const std::size_t nc = c.rows();
+
+  // Strip-sized work items (block_tile_m queries x the whole corpus): each
+  // strip owns its query rows, so matches stream out with no batch-wide
+  // buffer.  Streaming always runs the fast kernel — it is bit-identical to
+  // the emulated data path, so the requested ExecutionPath does not change
+  // the matches.
+  const auto strip =
+      static_cast<std::size_t>(engine_.config().block_tile_m);
+  const std::size_t nstrips = (nq + strip - 1) / strip;
+  std::atomic<std::uint64_t> pairs{0};
+  std::mutex callback_mutex;
+
+  parallel_for(0, nstrips, [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::vector<QueryMatch>> rows;
+    for (std::size_t s = lo; s < hi; ++s) {
+      const std::size_t r0 = s * strip;
+      const std::size_t r1 = std::min(r0 + strip, nq);
+      rows.assign(r1 - r0, {});
+      std::uint64_t strip_pairs = 0;
+      for (std::size_t i = r0; i < r1; ++i) {
+        query_row_join(q.row(i), sq[i], c, sc, 0, nc, eps2, rows[i - r0]);
+        strip_pairs += rows[i - r0].size();
+      }
+      pairs.fetch_add(strip_pairs, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(callback_mutex);
+      for (std::size_t i = r0; i < r1; ++i) {
+        callback(i, std::span<const QueryMatch>(rows[i - r0]));
+      }
+    }
+  });
+
+  QueryJoinOutput out;
+  out.pair_count = pairs.load();
+  out.host_seconds = timer.seconds();
+  out.perf = engine_.estimate_join(nq, nc, queries.dims());
+  out.timing =
+      engine_.model_query_response_time(nq, nc, queries.dims(), out.pair_count);
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.eps_batches;
+  stats_.queries += nq;
+  stats_.pairs += out.pair_count;
+  return out;
+}
+
+KnnBatchResult JoinService::knn(const KnnQuery& request,
+                                const KnnOptions& options) {
+  FASTED_CHECK_MSG(request.points.rows() > 0, "empty query batch");
+  FASTED_CHECK_MSG(request.points.dims() == session_->dims(),
+                   "query/corpus dimensionality mismatch");
+  std::lock_guard<std::mutex> serve(serve_mutex_);
+  const PreparedDataset queries(request.points);
+  return knn_prepared(queries, request.k, options);
+}
+
+KnnBatchResult JoinService::knn_corpus(std::size_t k,
+                                       const KnnOptions& options) {
+  std::lock_guard<std::mutex> serve(serve_mutex_);
+  return knn_prepared(session_->prepared(), k, options);
+}
+
+KnnBatchResult JoinService::knn_prepared(const PreparedDataset& queries,
+                                         std::size_t k,
+                                         const KnnOptions& options) {
+  const std::size_t nq = queries.rows();
+  const std::size_t nc = session_->size();
+  FASTED_CHECK_MSG(k >= 1 && k <= nc, "need 1 <= k <= corpus size");
+
+  KnnBatchResult result;
+  result.k = k;
+  result.ids.assign(nq * k, 0);
+  result.distances.assign(nq * k, 0.0f);
+
+  const PreparedDataset& corpus = session_->prepared();
+
+  // Adaptive radius: join the still-deficient queries against the corpus
+  // with a growing eps, freezing each query's matches at the first round
+  // that yields at least k (the k nearest are then inside the radius, so
+  // the frozen set is complete).  The initial radius comes from the
+  // session's calibration cache, which amortizes the sampling across
+  // batches asking for similar k.
+  std::vector<std::vector<QueryMatch>> matches(nq);
+  std::vector<std::uint32_t> active(nq);
+  std::iota(active.begin(), active.end(), 0);
+
+  float eps = session_->eps_for_selectivity(
+      options.initial_growth * static_cast<double>(k));
+  for (result.rounds = 1;; ++result.rounds) {
+    std::optional<PreparedDataset> gathered;
+    if (active.size() != nq) {
+      gathered = PreparedDataset::gather(queries, active);
+    }
+    const PreparedDataset& sub = gathered ? *gathered : queries;
+    const QueryJoinOutput out = engine_.query_join(sub, corpus, eps);
+    std::vector<std::uint32_t> still;
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      if (out.result.degree(a) >= k) {
+        const auto span = out.result.matches_of(a);
+        matches[active[a]].assign(span.begin(), span.end());
+      } else {
+        still.push_back(active[a]);
+      }
+    }
+    active = std::move(still);
+    if (active.empty() || result.rounds >= options.max_rounds ||
+        static_cast<double>(active.size()) <=
+            options.straggler_fraction * static_cast<double>(nq)) {
+      break;
+    }
+    eps *= static_cast<float>(options.radius_growth);
+  }
+
+  // Straggler sweep: rank the whole corpus for queries the radius never
+  // covered (isolated points, tiny corpora).
+  if (!active.empty()) {
+    const float inf = std::numeric_limits<float>::infinity();
+    parallel_for(0, active.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t a = lo; a < hi; ++a) {
+        const std::size_t i = active[a];
+        auto& row = matches[i];
+        row.clear();
+        query_row_join(queries.values().row(i), queries.norms()[i],
+                       corpus.values(), corpus.norms(), 0, nc, inf, row);
+      }
+    });
+  }
+
+  // Rank and emit the top k per query.
+  parallel_for(0, nq, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto& row = matches[i];
+      std::partial_sort(row.begin(),
+                        row.begin() + static_cast<std::ptrdiff_t>(k),
+                        row.end(), rank_less);
+      for (std::size_t r = 0; r < k; ++r) {
+        result.ids[i * k + r] = row[r].id;
+        result.distances[i * k + r] =
+            std::sqrt(std::max(0.0f, row[r].dist2));
+      }
+    }
+  });
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.knn_batches;
+  stats_.queries += nq;
+  stats_.knn_brute_force_queries += active.size();
+  return result;
+}
+
+ServiceStats JoinService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace fasted::service

@@ -1,0 +1,133 @@
+// Query-join front end over a corpus-resident session.
+//
+// Accepts request batches and runs them through the asymmetric query-tile x
+// corpus-tile kernel (FastedEngine::query_join), which chunks the batch
+// into block-tile work items drained from the rectangular WorkQueue on the
+// shared ThreadPool.  Two request shapes:
+//
+//   EpsQuery   all corpus rows within a radius, per query.  The radius can
+//              be given directly or calibrated from a selectivity target
+//              via the session's calibration cache.  Results arrive as a
+//              CSR QueryJoinResult or stream through a per-query callback.
+//   KnnQuery   the k nearest corpus rows, per query, under the FP16-32
+//              pipeline distance.  Implemented as an adaptive-radius eps
+//              join (radius grown until enough queries are covered) with a
+//              brute-force sweep for the stragglers — results are exactly
+//              what a brute-force FP32-pipeline reference produces.
+//
+// All numerics are the bit-exact tensor-core pipeline: an EpsQuery whose
+// batch equals the corpus reproduces self_join pair-for-pair.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/fasted.hpp"
+#include "service/corpus_session.hpp"
+
+namespace fasted::service {
+
+struct EpsQuery {
+  MatrixF32 points;
+  // Search radius; negative means "calibrate from `selectivity`" using the
+  // session's cached corpus calibration.
+  float eps = -1.0f;
+  double selectivity = 64.0;
+  // Honored by the batched eps_join.  The streaming overload always runs
+  // the fast kernel (bit-identical to the emulated data path), so `path`
+  // does not change its matches.
+  ExecutionPath path = ExecutionPath::kFast;
+};
+
+struct KnnQuery {
+  MatrixF32 points;
+  std::size_t k = 1;
+};
+
+struct KnnOptions {
+  double initial_growth = 3.0;   // first selectivity target = growth * k
+  double radius_growth = 1.6;    // eps multiplier between rounds
+  int max_rounds = 8;
+  // Stop growing the radius once at most this fraction of the batch is
+  // still short of k matches; the stragglers are brute-forced.
+  double straggler_fraction = 0.05;
+};
+
+struct KnnBatchResult {
+  // Row-major nq x k corpus ids, sorted by pipeline distance ascending,
+  // ties by id; `distances` are the matching pipeline distances.
+  std::vector<std::uint32_t> ids;
+  std::vector<float> distances;
+  std::size_t k = 0;
+  int rounds = 0;  // adaptive-radius rounds used
+
+  std::uint32_t id(std::size_t query, std::size_t rank) const {
+    return ids[query * k + rank];
+  }
+  float distance(std::size_t query, std::size_t rank) const {
+    return distances[query * k + rank];
+  }
+};
+
+struct ServiceStats {
+  std::uint64_t eps_batches = 0;
+  std::uint64_t knn_batches = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t pairs = 0;                  // matches emitted
+  std::uint64_t knn_brute_force_queries = 0;  // straggler sweeps
+};
+
+// Called once per query (in ascending query order within a work item; work
+// items complete in any order).  The span is only valid for the duration of
+// the call.
+using EpsMatchCallback =
+    std::function<void(std::size_t query, std::span<const QueryMatch>)>;
+
+// Requests may be issued from any number of threads: they are admitted one
+// at a time (each request already saturates the shared ThreadPool, whose
+// fork-join jobs must not overlap), so concurrent callers queue rather
+// than race.
+class JoinService {
+ public:
+  explicit JoinService(std::shared_ptr<CorpusSession> session,
+                       FastedEngine engine = FastedEngine());
+
+  // Batched eps join: the full CSR result set.
+  QueryJoinOutput eps_join(const EpsQuery& request);
+
+  // Streaming eps join: per-query matches are handed to `callback` as the
+  // query strips complete, without materializing the batch-wide CSR; the
+  // returned output carries counts, perf, and timing but an empty result.
+  QueryJoinOutput eps_join(const EpsQuery& request,
+                           const EpsMatchCallback& callback);
+
+  // Batched k-nearest-neighbor lookup.  Requires 1 <= k <= corpus size.
+  KnnBatchResult knn(const KnnQuery& request, const KnnOptions& options = {});
+
+  // All-points kNN over the resident corpus itself (query set == corpus):
+  // reuses the session's prepared data — no copy, no re-quantization.
+  KnnBatchResult knn_corpus(std::size_t k, const KnnOptions& options = {});
+
+  CorpusSession& session() { return *session_; }
+  const FastedEngine& engine() const { return engine_; }
+  ServiceStats stats() const;
+
+ private:
+  float resolve_eps(const EpsQuery& request);
+  KnnBatchResult knn_prepared(const PreparedDataset& queries, std::size_t k,
+                              const KnnOptions& options);
+
+  std::shared_ptr<CorpusSession> session_;
+  FastedEngine engine_;
+
+  std::mutex serve_mutex_;  // admits one request at a time (see above)
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+};
+
+}  // namespace fasted::service

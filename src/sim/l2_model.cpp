@@ -113,24 +113,31 @@ ReuseEstimate FragmentReuseModel::estimate(DispatchPolicy policy,
 
 std::vector<std::pair<std::uint32_t, std::uint32_t>> dispatch_order(
     DispatchPolicy policy, std::size_t tiles_per_side, int square) {
+  return dispatch_order(policy, tiles_per_side, tiles_per_side, square);
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> dispatch_order(
+    DispatchPolicy policy, std::size_t tile_rows, std::size_t tile_cols,
+    int square) {
   std::vector<std::pair<std::uint32_t, std::uint32_t>> order;
-  order.reserve(tiles_per_side * tiles_per_side);
-  const auto t = static_cast<std::uint32_t>(tiles_per_side);
+  order.reserve(tile_rows * tile_cols);
+  const auto tr = static_cast<std::uint32_t>(tile_rows);
+  const auto tc = static_cast<std::uint32_t>(tile_cols);
   switch (policy) {
     case DispatchPolicy::kRowMajor:
-      for (std::uint32_t r = 0; r < t; ++r)
-        for (std::uint32_t c = 0; c < t; ++c) order.emplace_back(r, c);
+      for (std::uint32_t r = 0; r < tr; ++r)
+        for (std::uint32_t c = 0; c < tc; ++c) order.emplace_back(r, c);
       break;
     case DispatchPolicy::kColumnMajor:
-      for (std::uint32_t c = 0; c < t; ++c)
-        for (std::uint32_t r = 0; r < t; ++r) order.emplace_back(r, c);
+      for (std::uint32_t c = 0; c < tc; ++c)
+        for (std::uint32_t r = 0; r < tr; ++r) order.emplace_back(r, c);
       break;
     case DispatchPolicy::kSquares: {
       const auto s = static_cast<std::uint32_t>(square);
-      for (std::uint32_t sr = 0; sr < t; sr += s) {
-        for (std::uint32_t sc = 0; sc < t; sc += s) {
-          for (std::uint32_t r = sr; r < std::min(sr + s, t); ++r) {
-            for (std::uint32_t c = sc; c < std::min(sc + s, t); ++c) {
+      for (std::uint32_t sr = 0; sr < tr; sr += s) {
+        for (std::uint32_t sc = 0; sc < tc; sc += s) {
+          for (std::uint32_t r = sr; r < std::min(sr + s, tr); ++r) {
+            for (std::uint32_t c = sc; c < std::min(sc + s, tc); ++c) {
               order.emplace_back(r, c);
             }
           }

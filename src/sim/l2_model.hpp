@@ -88,4 +88,11 @@ class FragmentReuseModel {
 std::vector<std::pair<std::uint32_t, std::uint32_t>> dispatch_order(
     DispatchPolicy policy, std::size_t tiles_per_side, int square);
 
+// Rectangular variant (query tiles x corpus tiles) for asymmetric joins:
+// the same square-by-square traversal clipped to the bounds, generated in
+// O(rows * cols) — never materializing the enclosing square grid.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> dispatch_order(
+    DispatchPolicy policy, std::size_t tile_rows, std::size_t tile_cols,
+    int square);
+
 }  // namespace fasted::sim

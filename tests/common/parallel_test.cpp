@@ -27,6 +27,28 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(ThreadPool, RangeSmallerThanWorkerCount) {
+  // Fewer items than workers: every index still visited exactly once, and
+  // no chunk may be empty.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  std::atomic<int> chunks{0};
+  pool.parallel_for(0, hits.size(), [&](std::size_t b, std::size_t e) {
+    EXPECT_LT(b, e);
+    ++chunks;
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_LE(chunks.load(), 3);
+}
+
+TEST(ThreadPool, BeginEqualsEndMidRangeIsNoop) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(42, 42, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
 TEST(ThreadPool, SingleElementRange) {
   ThreadPool pool(4);
   int count = 0;

@@ -59,5 +59,65 @@ TEST(WorkQueue, ConcurrentPopsPartitionTheWork) {
   EXPECT_EQ(total, 400u);
 }
 
+TEST(WorkQueue, RectangularGridCoversAllTilesInBounds) {
+  // 3 query tiles x 7 corpus tiles: the square dispatch order is filtered
+  // to the rectangle without dropping or duplicating tiles.
+  WorkQueue q(sim::DispatchPolicy::kSquares, 3, 7, 8);
+  EXPECT_EQ(q.size(), 21u);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  std::pair<std::uint32_t, std::uint32_t> tile;
+  while (q.pop(tile)) {
+    EXPECT_LT(tile.first, 3u);
+    EXPECT_LT(tile.second, 7u);
+    EXPECT_TRUE(seen.insert(tile).second);
+  }
+  EXPECT_EQ(seen.size(), 21u);
+}
+
+TEST(WorkQueue, RectangularRowMajorKeepsRowMajorOrder) {
+  WorkQueue q(sim::DispatchPolicy::kRowMajor, 2, 3, 8);
+  const auto& order = q.order();
+  ASSERT_EQ(order.size(), 6u);
+  for (std::size_t t = 0; t < 6; ++t) {
+    EXPECT_EQ(order[t].first, t / 3);
+    EXPECT_EQ(order[t].second, t % 3);
+  }
+}
+
+TEST(WorkQueue, RectangularEmptySideYieldsEmptyQueue) {
+  WorkQueue q(sim::DispatchPolicy::kSquares, 0, 5, 8);
+  EXPECT_EQ(q.size(), 0u);
+  std::pair<std::uint32_t, std::uint32_t> tile;
+  EXPECT_FALSE(q.pop(tile));
+}
+
+TEST(WorkQueue, ManyThreadsDrainWithoutLossOrDuplication) {
+  // 16 threads hammering pop on a rectangular queue: the union of what they
+  // got is exactly the tile set, with no tile handed out twice.
+  WorkQueue q(sim::DispatchPolicy::kSquares, 24, 17, 8);
+  constexpr int kThreads = 16;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> got(
+      kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::pair<std::uint32_t, std::uint32_t> tile;
+      while (q.pop(tile)) got[static_cast<std::size_t>(t)].push_back(tile);
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::set<std::pair<std::uint32_t, std::uint32_t>> all;
+  std::size_t total = 0;
+  for (const auto& v : got) {
+    total += v.size();
+    for (auto p : v) EXPECT_TRUE(all.insert(p).second);
+  }
+  EXPECT_EQ(total, 24u * 17u);
+  EXPECT_EQ(all.size(), 24u * 17u);
+  // Drained queues stay drained under further concurrent pops.
+  std::pair<std::uint32_t, std::uint32_t> tile;
+  EXPECT_FALSE(q.pop(tile));
+}
+
 }  // namespace
 }  // namespace fasted

@@ -1,0 +1,120 @@
+#include "service/corpus_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/check.hpp"
+#include "core/sums.hpp"
+#include "data/calibrate.hpp"
+#include "data/generators.hpp"
+
+namespace fasted::service {
+namespace {
+
+TEST(CorpusSession, PreparedArtifactsMatchDirectComputation) {
+  const auto data = data::uniform(200, 16, 41);
+  CorpusSession session{MatrixF32(data)};
+  EXPECT_EQ(session.size(), 200u);
+  EXPECT_EQ(session.dims(), 16u);
+
+  // The cached norms are the RZ squared norms of the FP16 quantization.
+  const auto norms = squared_norms_fp16_rz(to_fp16(data));
+  ASSERT_EQ(session.prepared().norms().size(), norms.size());
+  for (std::size_t i = 0; i < norms.size(); ++i) {
+    EXPECT_EQ(session.prepared().norms()[i], norms[i]) << i;
+  }
+  // The prepared dataset is a stable, session-lifetime object.
+  EXPECT_EQ(&session.prepared(), &session.prepared());
+}
+
+TEST(CorpusSession, CalibrationIsCachedPerTarget) {
+  const auto data = data::uniform(300, 8, 43);
+  CorpusSession session{MatrixF32(data)};
+
+  const float eps1 = session.eps_for_selectivity(64.0);
+  const float eps2 = session.eps_for_selectivity(64.0);
+  EXPECT_EQ(eps1, eps2);
+  EXPECT_EQ(eps1, data::calibrate_epsilon(data, 64.0).eps);
+
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.calibration_misses, 1u);
+  EXPECT_EQ(stats.calibration_hits, 1u);
+
+  // A different target misses again and yields a larger radius.
+  const float eps3 = session.eps_for_selectivity(128.0);
+  EXPECT_GT(eps3, eps1);
+  EXPECT_EQ(session.stats().calibration_misses, 2u);
+}
+
+TEST(CorpusSession, GridIndexIsCachedPerEps) {
+  const auto data = data::uniform(250, 8, 45);
+  CorpusSession session{MatrixF32(data)};
+
+  const auto& g1 = session.grid_at(0.5f);
+  const auto& g2 = session.grid_at(0.5f);
+  EXPECT_EQ(&g1, &g2);
+  const auto& g3 = session.grid_at(0.25f);
+  EXPECT_NE(&g1, &g3);
+
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.grid_misses, 2u);
+  EXPECT_EQ(stats.grid_hits, 1u);
+}
+
+TEST(CorpusSession, GridServesExternalQueryPoints) {
+  const auto corpus = data::uniform(400, 8, 47);
+  const auto queries = data::uniform(20, 8, 48);
+  CorpusSession session{MatrixF32(corpus)};
+  const float eps = 0.4f;
+  const auto& grid = session.grid_at(eps);
+
+  // Candidates of an external query must be a superset of its true
+  // eps-neighbors in the corpus.
+  for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+    std::vector<std::uint32_t> cand;
+    grid.candidates_of(queries.row(qi), cand);
+    const std::set<std::uint32_t> cset(cand.begin(), cand.end());
+    for (std::size_t j = 0; j < corpus.rows(); ++j) {
+      double acc = 0;
+      for (std::size_t kk = 0; kk < corpus.dims(); ++kk) {
+        const double d = static_cast<double>(queries.at(qi, kk)) -
+                         corpus.at(j, kk);
+        acc += d * d;
+      }
+      if (std::sqrt(acc) <= eps) {
+        EXPECT_TRUE(cset.count(static_cast<std::uint32_t>(j)))
+            << "query " << qi << " missing corpus neighbor " << j;
+      }
+    }
+  }
+}
+
+TEST(CorpusSession, ConcurrentCacheAccessIsSafe) {
+  const auto data = data::uniform(200, 8, 49);
+  CorpusSession session{MatrixF32(data)};
+  std::vector<std::thread> threads;
+  std::vector<float> eps(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      eps[static_cast<std::size_t>(t)] = session.eps_for_selectivity(32.0);
+      session.grid_at(0.5f);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < 8; ++t) {
+    EXPECT_EQ(eps[static_cast<std::size_t>(t)], eps[0]);
+  }
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.calibration_hits + stats.calibration_misses, 8u);
+  EXPECT_EQ(stats.grid_hits + stats.grid_misses, 8u);
+}
+
+TEST(CorpusSession, RejectsEmptyCorpus) {
+  EXPECT_THROW(CorpusSession{MatrixF32(0, 4)}, CheckError);
+}
+
+}  // namespace
+}  // namespace fasted::service

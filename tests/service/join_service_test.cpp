@@ -1,0 +1,270 @@
+#include "service/join_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "data/calibrate.hpp"
+#include "data/generators.hpp"
+
+namespace fasted::service {
+namespace {
+
+std::shared_ptr<CorpusSession> make_session(const MatrixF32& corpus) {
+  return std::make_shared<CorpusSession>(MatrixF32(corpus));
+}
+
+// Acceptance: an EpsQuery batch whose query set equals the corpus
+// reproduces self_join bit-exactly — same pair count, same neighbor lists.
+TEST(JoinService, EpsBatchEqualToCorpusReproducesSelfJoin) {
+  const auto data = data::uniform(400, 16, 51);
+  const float eps = data::calibrate_epsilon(data, 48.0).eps;
+
+  FastedEngine engine;
+  const auto self = engine.self_join(data, eps);
+
+  JoinService svc(make_session(data), engine);
+  EpsQuery request;
+  request.points = data;
+  request.eps = eps;
+  const auto out = svc.eps_join(request);
+
+  ASSERT_EQ(out.pair_count, self.pair_count);
+  ASSERT_EQ(out.result.num_queries(), self.result.num_points());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const auto expect = self.result.neighbors_of(i);
+    const auto got = out.result.matches_of(i);
+    ASSERT_EQ(got.size(), expect.size()) << i;
+    for (std::size_t r = 0; r < expect.size(); ++r) {
+      EXPECT_EQ(got[r].id, expect[r]) << "query " << i << " rank " << r;
+    }
+  }
+}
+
+TEST(JoinService, EmulatedPathReproducesSelfJoinToo) {
+  const auto data = data::uniform(180, 8, 52);
+  const float eps = 0.6f;
+  FastedEngine engine;
+  const auto self = engine.self_join(data, eps);
+
+  JoinService svc(make_session(data), engine);
+  EpsQuery request;
+  request.points = data;
+  request.eps = eps;
+  request.path = ExecutionPath::kEmulated;
+  const auto out = svc.eps_join(request);
+  EXPECT_EQ(out.pair_count, self.pair_count);
+}
+
+TEST(JoinService, CalibratedEpsQueryUsesSessionCache) {
+  const auto data = data::uniform(300, 8, 53);
+  JoinService svc(make_session(data));
+
+  EpsQuery request;
+  request.points = data;
+  request.eps = -1.0f;  // calibrate
+  request.selectivity = 32.0;
+  const auto out1 = svc.eps_join(request);
+  const auto out2 = svc.eps_join(request);
+  EXPECT_EQ(out1.pair_count, out2.pair_count);
+
+  const auto stats = svc.session().stats();
+  EXPECT_EQ(stats.calibration_misses, 1u);
+  EXPECT_GE(stats.calibration_hits, 1u);
+}
+
+TEST(JoinService, StreamingCallbackMatchesCsrResult) {
+  const auto corpus = data::uniform(350, 8, 54);
+  const auto queries = data::uniform(140, 8, 55);
+  JoinService svc(make_session(corpus));
+
+  EpsQuery request;
+  request.points = queries;
+  request.eps = 0.7f;
+  const auto batched = svc.eps_join(request);
+
+  std::vector<int> calls(queries.rows(), 0);
+  std::vector<std::vector<QueryMatch>> streamed(queries.rows());
+  const auto out = svc.eps_join(request, [&](std::size_t q,
+                                             std::span<const QueryMatch> m) {
+    ++calls[q];
+    streamed[q].assign(m.begin(), m.end());
+  });
+
+  EXPECT_EQ(out.pair_count, batched.pair_count);
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    ASSERT_EQ(calls[i], 1) << i;
+    const auto expect = batched.result.matches_of(i);
+    ASSERT_EQ(streamed[i].size(), expect.size()) << i;
+    for (std::size_t r = 0; r < expect.size(); ++r) {
+      EXPECT_EQ(streamed[i][r].id, expect[r].id) << i;
+      EXPECT_EQ(streamed[i][r].dist2, expect[r].dist2) << i;
+    }
+  }
+}
+
+// Acceptance: KnnQuery results match a brute-force reference of the FP32
+// pipeline distance on small inputs (distance ascending, ties by id).
+TEST(JoinService, KnnMatchesBruteForceReference) {
+  const auto corpus = data::uniform(120, 8, 56);
+  const auto queries = data::uniform(30, 8, 57);
+  const std::size_t k = 4;
+
+  JoinService svc(make_session(corpus));
+  KnnQuery request;
+  request.points = queries;
+  request.k = k;
+  const auto got = svc.knn(request);
+
+  const PreparedDataset pq(queries);
+  const PreparedDataset pc(corpus);
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    std::vector<QueryMatch> all;
+    query_row_join(pq.values().row(i), pq.norms()[i], pc.values(), pc.norms(),
+                   0, pc.rows(), std::numeric_limits<float>::infinity(), all);
+    std::sort(all.begin(), all.end(), [](const QueryMatch& a,
+                                         const QueryMatch& b) {
+      return a.dist2 != b.dist2 ? a.dist2 < b.dist2 : a.id < b.id;
+    });
+    for (std::size_t r = 0; r < k; ++r) {
+      EXPECT_EQ(got.id(i, r), all[r].id) << "query " << i << " rank " << r;
+      EXPECT_EQ(got.distance(i, r),
+                std::sqrt(std::max(0.0f, all[r].dist2)))
+          << "query " << i << " rank " << r;
+    }
+  }
+}
+
+TEST(JoinService, KnnTinyRadiusStartConvergesViaAdaptiveRounds) {
+  const auto corpus = data::uniform(200, 8, 58);
+  const auto queries = data::uniform(25, 8, 59);
+  JoinService svc(make_session(corpus));
+
+  KnnQuery request;
+  request.points = queries;
+  request.k = 6;
+  KnnOptions opts;
+  opts.initial_growth = 0.02;  // deliberately far too small
+  const auto got = svc.knn(request, opts);
+  EXPECT_GE(got.rounds, 1);
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    for (std::size_t r = 1; r < 6; ++r) {
+      EXPECT_LE(got.distance(i, r - 1), got.distance(i, r)) << i;
+    }
+  }
+}
+
+TEST(JoinService, KnnKEqualsCorpusSizeRanksEverything) {
+  const auto corpus = data::uniform(40, 8, 60);
+  const auto queries = data::uniform(5, 8, 61);
+  JoinService svc(make_session(corpus));
+  KnnQuery request;
+  request.points = queries;
+  request.k = 40;
+  const auto got = svc.knn(request);
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    std::vector<bool> seen(40, false);
+    for (std::size_t r = 0; r < 40; ++r) seen[got.id(i, r)] = true;
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                            [](bool b) { return b; }))
+        << i;
+  }
+}
+
+TEST(JoinService, KnnCorpusMatchesExplicitSelfBatch) {
+  const auto corpus = data::uniform(150, 8, 67);
+  JoinService svc(make_session(corpus));
+
+  KnnQuery request;
+  request.points = corpus;
+  request.k = 5;
+  const auto explicit_batch = svc.knn(request);
+  const auto resident = svc.knn_corpus(5);
+
+  ASSERT_EQ(resident.k, explicit_batch.k);
+  EXPECT_EQ(resident.rounds, explicit_batch.rounds);
+  for (std::size_t i = 0; i < corpus.rows(); ++i) {
+    for (std::size_t r = 0; r < 5; ++r) {
+      EXPECT_EQ(resident.id(i, r), explicit_batch.id(i, r)) << i;
+      EXPECT_EQ(resident.distance(i, r), explicit_batch.distance(i, r)) << i;
+    }
+  }
+}
+
+TEST(JoinService, ConcurrentRequestsAreAdmittedSafely) {
+  // Requests from many threads queue on the serve mutex; every caller gets
+  // the same answer as a serial run.
+  const auto corpus = data::uniform(200, 8, 68);
+  const auto queries = data::uniform(40, 8, 69);
+  JoinService svc(make_session(corpus));
+
+  EpsQuery request;
+  request.points = queries;
+  request.eps = 0.7f;
+  const auto expect = svc.eps_join(request).pair_count;
+
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> counts(6, 0);
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      counts[static_cast<std::size_t>(t)] = svc.eps_join(request).pair_count;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto c : counts) EXPECT_EQ(c, expect);
+  EXPECT_EQ(svc.stats().eps_batches, 7u);
+}
+
+TEST(JoinService, StatsAccumulateAcrossBatches) {
+  const auto corpus = data::uniform(150, 8, 62);
+  const auto queries = data::uniform(60, 8, 63);
+  JoinService svc(make_session(corpus));
+
+  EpsQuery eq;
+  eq.points = queries;
+  eq.eps = 0.7f;
+  const auto out = svc.eps_join(eq);
+  KnnQuery kq;
+  kq.points = queries;
+  kq.k = 3;
+  svc.knn(kq);
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.eps_batches, 1u);
+  EXPECT_EQ(stats.knn_batches, 1u);
+  EXPECT_EQ(stats.queries, 120u);
+  EXPECT_EQ(stats.pairs, out.pair_count);
+}
+
+TEST(JoinService, RejectsBadRequests) {
+  const auto corpus = data::uniform(50, 8, 64);
+  JoinService svc(make_session(corpus));
+
+  EpsQuery empty;
+  empty.points = MatrixF32(0, 8);
+  EXPECT_THROW(svc.eps_join(empty), CheckError);
+
+  EpsQuery mismatch;
+  mismatch.points = data::uniform(10, 4, 65);
+  mismatch.eps = 0.5f;
+  EXPECT_THROW(svc.eps_join(mismatch), CheckError);
+
+  KnnQuery bad_k;
+  bad_k.points = data::uniform(10, 8, 66);
+  bad_k.k = 51;  // > corpus size
+  EXPECT_THROW(svc.knn(bad_k), CheckError);
+  bad_k.k = 0;
+  EXPECT_THROW(svc.knn(bad_k), CheckError);
+
+  EXPECT_THROW(JoinService(nullptr), CheckError);
+}
+
+}  // namespace
+}  // namespace fasted::service
