@@ -1,0 +1,160 @@
+// Join-throughput tracker: scalar vs SIMD rz_dot through the unified
+// executor, on the two serving-relevant workloads — the full self-join and
+// the corpus-resident query join.  Emits machine-readable BENCH_join.json
+// (pairs/s and distance-evaluations/s per kernel variant) so the perf
+// trajectory is tracked across PRs.
+//
+//   bench_join_throughput [corpus_n] [dims] [query_batch] [reps]
+//                         (defaults 4096 64 1024 3)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/fasted.hpp"
+#include "core/kernels/rz_dot.hpp"
+#include "data/calibrate.hpp"
+#include "data/generators.hpp"
+
+using namespace fasted;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Measurement {
+  std::string kernel;
+  double seconds = 0;
+  double evals_per_s = 0;   // candidate distance evaluations / second
+  double pairs_per_s = 0;   // result pairs / second
+  std::uint64_t pairs = 0;
+};
+
+template <typename Fn>
+Measurement measure(const char* kernel_name, double evals, std::size_t reps,
+                    const Fn& run) {
+  Measurement m;
+  m.kernel = kernel_name;
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const double t0 = now_s();
+    m.pairs = run();
+    best = std::min(best, now_s() - t0);
+  }
+  m.seconds = best;
+  m.evals_per_s = evals / best;
+  m.pairs_per_s = static_cast<double>(m.pairs) / best;
+  return m;
+}
+
+void print_row(const char* workload, const Measurement& m) {
+  std::printf("%-12s %-8s %10.4f s %14.3e evals/s %14.3e pairs/s\n", workload,
+              m.kernel.c_str(), m.seconds, m.evals_per_s, m.pairs_per_s);
+}
+
+void json_entry(FILE* f, const char* label, const Measurement& m) {
+  std::fprintf(f,
+               "    \"%s\": {\"kernel\": \"%s\", \"seconds\": %.6f, "
+               "\"evals_per_s\": %.1f, \"pairs_per_s\": %.1f, "
+               "\"pairs\": %llu},\n",
+               label, m.kernel.c_str(), m.seconds, m.evals_per_s,
+               m.pairs_per_s, static_cast<unsigned long long>(m.pairs));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4096;
+  const std::size_t d = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+  const std::size_t batch =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1024;
+  const std::size_t reps = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 3;
+
+  bench::header("Join throughput: scalar vs SIMD rz_dot",
+                "unified execution layer (no paper figure): kernel-family "
+                "speedup on self-join and resident query-join");
+
+  const kernels::RzDotKernel& simd = kernels::rz_dot_dispatch();
+  std::printf("corpus %zu x %zu dims, query batch %zu, reps %zu\n", n, d,
+              batch, reps);
+  std::printf("dispatched kernel: %s (supported:", simd.name);
+  for (const kernels::RzDotKernel* k : kernels::rz_dot_supported()) {
+    std::printf(" %s", k->name);
+  }
+  std::printf(")\n\n");
+
+  const auto corpus_data = data::uniform(n, d, 42);
+  const auto query_data = data::uniform(batch, d, 4242);
+  const float eps = data::calibrate_epsilon(corpus_data, 64.0).eps;
+  const PreparedDataset corpus(corpus_data);
+  const PreparedDataset queries(query_data);
+  FastedEngine engine;
+  JoinOptions count_only;
+  count_only.build_result = false;
+
+  const double self_evals =
+      0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  const double query_evals =
+      static_cast<double>(batch) * static_cast<double>(n);
+
+  const auto run_self = [&] {
+    return engine.self_join(corpus, eps, count_only).pair_count;
+  };
+  const auto run_query = [&] {
+    return engine.query_join(queries, corpus, eps, count_only).pair_count;
+  };
+
+  kernels::set_rz_dot_override(&kernels::rz_dot_scalar());
+  const Measurement self_scalar = measure("scalar", self_evals, reps, run_self);
+  const Measurement query_scalar =
+      measure("scalar", query_evals, reps, run_query);
+  kernels::set_rz_dot_override(&simd);
+  const Measurement self_simd = measure(simd.name, self_evals, reps, run_self);
+  const Measurement query_simd =
+      measure(simd.name, query_evals, reps, run_query);
+  kernels::set_rz_dot_override(nullptr);
+
+  print_row("self_join", self_scalar);
+  print_row("self_join", self_simd);
+  print_row("query_join", query_scalar);
+  print_row("query_join", query_simd);
+  const double self_speedup = self_scalar.seconds / self_simd.seconds;
+  const double query_speedup = query_scalar.seconds / query_simd.seconds;
+  std::printf("\nspeedup (%s over scalar): self-join %.2fx, query-join %.2fx\n",
+              simd.name, self_speedup, query_speedup);
+
+  FILE* f = std::fopen("BENCH_join.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_join.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"config\": {\"corpus_n\": %zu, \"dims\": %zu, "
+               "\"query_batch\": %zu, \"eps\": %.6g, \"simd_kernel\": "
+               "\"%s\"},\n",
+               n, d, batch, static_cast<double>(eps), simd.name);
+  std::fprintf(f, "  \"self_join\": {\n");
+  json_entry(f, "scalar", self_scalar);
+  json_entry(f, "simd", self_simd);
+  std::fprintf(f, "    \"speedup\": %.3f\n  },\n", self_speedup);
+  std::fprintf(f, "  \"query_join\": {\n");
+  json_entry(f, "scalar", query_scalar);
+  json_entry(f, "simd", query_simd);
+  std::fprintf(f, "    \"speedup\": %.3f\n  }\n", query_speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_join.json\n");
+
+  bench::note("count-only joins isolate kernel throughput from CSR "
+              "materialization; pairs/s counts emitted result pairs");
+  return 0;
+}

@@ -46,6 +46,13 @@ DbscanResult dbscan_from_join(const SelfJoinResult& join,
 
 DbscanResult dbscan(const FastedEngine& engine, const MatrixF32& data,
                     float eps, std::size_t min_pts) {
+  // Validate before paying the O(n*d) dataset preparation.
+  FASTED_CHECK_MSG(min_pts >= 1, "min_pts must be positive");
+  return dbscan(engine, PreparedDataset(data), eps, min_pts);
+}
+
+DbscanResult dbscan(const FastedEngine& engine, const PreparedDataset& data,
+                    float eps, std::size_t min_pts) {
   FASTED_CHECK_MSG(min_pts >= 1, "min_pts must be positive");
   const JoinOutput join = engine.self_join(data, eps);
   return dbscan_from_join(join.result, min_pts);

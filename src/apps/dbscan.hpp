@@ -33,6 +33,13 @@ struct DbscanResult {
 DbscanResult dbscan(const FastedEngine& engine, const MatrixF32& data,
                     float eps, std::size_t min_pts);
 
+// Same, on an already-prepared dataset: eps sweeps (the standard way of
+// picking DBSCAN's radius) pay the FP16 quantization + norm precompute once
+// instead of once per candidate eps — the same amortization the kNN app
+// gets from its corpus session.
+DbscanResult dbscan(const FastedEngine& engine, const PreparedDataset& data,
+                    float eps, std::size_t min_pts);
+
 // Same, reusing an existing self-join result (e.g. to sweep min_pts without
 // recomputing distances).
 DbscanResult dbscan_from_join(const SelfJoinResult& join,

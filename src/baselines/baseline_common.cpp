@@ -28,6 +28,9 @@ double d2h_seconds(const sim::DeviceSpec& dev, double bytes) {
 
 double host_store_seconds(double bytes) { return bytes / kHostStoreRate; }
 
+// dist2_short_circuit_f32/f64 moved to core/kernels/short_circuit.cpp — the
+// shared candidate-verification kernels of the unified execution layer.
+
 double warp_balance_sorted(std::vector<std::uint64_t> work) {
   if (work.empty()) return 1.0;
   std::sort(work.begin(), work.end(), std::greater<>());
@@ -51,47 +54,6 @@ double warp_balance_sorted(std::vector<std::uint64_t> work) {
     ++warps;
   }
   return warps ? balance_sum / static_cast<double>(warps) : 1.0;
-}
-
-float dist2_short_circuit_f32(const float* a, const float* b, std::size_t d,
-                              float eps2, std::size_t& dims_used) {
-  float acc = 0.0f;
-  std::size_t k = 0;
-  // Check every 8 dims: per-element checks would defeat vectorization on
-  // the real GPU too (GDS-Join checks in chunks).
-  while (k < d) {
-    const std::size_t stop = std::min(k + 8, d);
-    for (; k < stop; ++k) {
-      const float diff = a[k] - b[k];
-      acc += diff * diff;
-    }
-    if (acc > eps2) {
-      dims_used = k;
-      return acc;
-    }
-  }
-  dims_used = d;
-  return acc;
-}
-
-double dist2_short_circuit_f64(const double* a, const double* b,
-                               std::size_t d, double eps2,
-                               std::size_t& dims_used) {
-  double acc = 0.0;
-  std::size_t k = 0;
-  while (k < d) {
-    const std::size_t stop = std::min(k + 8, d);
-    for (; k < stop; ++k) {
-      const double diff = a[k] - b[k];
-      acc += diff * diff;
-    }
-    if (acc > eps2) {
-      dims_used = k;
-      return acc;
-    }
-  }
-  dims_used = d;
-  return acc;
 }
 
 }  // namespace fasted::baselines

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "core/kernels/short_circuit.hpp"
 #include "sim/device_spec.hpp"
 
 namespace fasted::baselines {
@@ -60,13 +61,9 @@ double host_store_seconds(double bytes);
 // averaged over 32-lane groups.
 double warp_balance_sorted(std::vector<std::uint64_t> work_per_query);
 
-// FP32 short-circuited squared distance: accumulates (a[k]-b[k])^2 until the
-// running sum exceeds eps2 (then returns early).  `dims_used` reports how
-// many dimensions were accumulated.
-float dist2_short_circuit_f32(const float* a, const float* b, std::size_t d,
-                              float eps2, std::size_t& dims_used);
-double dist2_short_circuit_f64(const double* a, const double* b,
-                               std::size_t d, double eps2,
-                               std::size_t& dims_used);
+// Candidate verification: every baseline checks its index candidates with
+// the shared short-circuit kernels (core/kernels/short_circuit.hpp).
+using kernels::dist2_short_circuit_f32;
+using kernels::dist2_short_circuit_f64;
 
 }  // namespace fasted::baselines

@@ -1,32 +1,58 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <utility>
 
 namespace fasted {
 
+namespace {
+
+// FASTED_THREADS pins the default worker count (CI and benchmarks use it to
+// make runs reproducible); unset, non-numeric, or non-positive values fall
+// back to hardware concurrency.
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("FASTED_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return std::thread::hardware_concurrency();
+}
+
+}  // namespace
+
 // A simple fork-join pool: each parallel_for publishes one job, workers grab
-// chunk indices from an atomic counter, and the caller participates too.
+// chunk indices under the pool mutex, and the caller participates too.
 struct ThreadPool::Impl {
+  std::mutex job_mutex;  // admits one fork-join job at a time (see below)
   std::mutex mutex;
   std::condition_variable cv_work;
   std::condition_variable cv_done;
   std::function<void(std::size_t, std::size_t)> body;
   std::vector<std::pair<std::size_t, std::size_t>> chunks;
-  std::atomic<std::size_t> next_chunk{0};
-  std::size_t pending = 0;    // chunks not yet completed
-  std::uint64_t epoch = 0;    // bumped per job so workers notice new work
+  std::size_t next_chunk = 0;  // guarded by mutex
+  std::size_t pending = 0;     // chunks not yet completed
+  std::uint64_t epoch = 0;     // bumped per job so workers notice new work
   bool stop = false;
 
   void run_chunks() {
     for (;;) {
-      const std::size_t i = next_chunk.fetch_add(1, std::memory_order_relaxed);
-      if (i >= chunks.size()) return;
-      body(chunks[i].first, chunks[i].second);
+      std::pair<std::size_t, std::size_t> chunk;
+      {
+        // Chunks are grabbed under the mutex: a straggler from the previous
+        // job that races the next job's publication either sees the old
+        // drained list (returns) or a fully published new one (helps drain
+        // it) — never a torn vector.  `body` is only reassigned once
+        // pending hits zero, and a grabbed-but-unfinished chunk keeps
+        // pending nonzero, so the unlocked body call below is stable.
+        std::lock_guard<std::mutex> lock(mutex);
+        if (next_chunk >= chunks.size()) return;
+        chunk = chunks[next_chunk++];
+      }
+      body(chunk.first, chunk.second);
       std::lock_guard<std::mutex> lock(mutex);
       if (--pending == 0) cv_done.notify_all();
     }
@@ -34,7 +60,7 @@ struct ThreadPool::Impl {
 };
 
 ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
-  std::size_t n = threads ? threads : std::thread::hardware_concurrency();
+  std::size_t n = threads ? threads : default_thread_count();
   if (n == 0) n = 1;
   workers_.reserve(n - 1);
   for (std::size_t i = 0; i + 1 < n; ++i) {
@@ -75,6 +101,13 @@ void ThreadPool::parallel_for(
     body(begin, end);
     return;
   }
+  // One fork-join job at a time: the pool publishes a single body/chunk
+  // set, so a second concurrent caller must wait for the first job to
+  // drain completely (otherwise the two jobs clobber each other's chunks —
+  // exactly what happened when raw threads calibrated a session
+  // concurrently).  Callers queue here; bodies must not call parallel_for
+  // re-entrantly.
+  std::lock_guard<std::mutex> job(impl_->job_mutex);
   // Over-decompose 4x for load balance; chunks are grabbed dynamically.
   const std::size_t nchunks = std::min(n, nthreads * 4);
   {
@@ -85,7 +118,7 @@ void ThreadPool::parallel_for(
     for (std::size_t s = begin; s < end; s += step) {
       impl_->chunks.emplace_back(s, std::min(s + step, end));
     }
-    impl_->next_chunk.store(0, std::memory_order_relaxed);
+    impl_->next_chunk = 0;
     impl_->pending = impl_->chunks.size();
     ++impl_->epoch;
   }

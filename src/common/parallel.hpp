@@ -16,7 +16,9 @@ namespace fasted {
 
 class ThreadPool {
  public:
-  // `threads == 0` picks std::thread::hardware_concurrency() (min 1).
+  // `threads == 0` picks the FASTED_THREADS environment variable if it is a
+  // positive integer, else std::thread::hardware_concurrency() (min 1) —
+  // CI and benchmarks pin worker counts this way.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -27,6 +29,8 @@ class ThreadPool {
 
   // Runs body(begin..end) partitioned into `size()` contiguous chunks and
   // blocks until all chunks finish.  body receives [chunk_begin, chunk_end).
+  // Safe to call from multiple threads: concurrent jobs are admitted one at
+  // a time.  Bodies must not call parallel_for re-entrantly.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& body);
 

@@ -1,30 +1,19 @@
 #include "core/fasted.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
-#include <optional>
 #include <utility>
 
 #include "common/check.hpp"
-#include "common/parallel.hpp"
-#include "common/rounding.hpp"
 #include "common/timer.hpp"
-#include "core/block_tile.hpp"
+#include "core/kernels/join_executor.hpp"
+#include "core/kernels/join_plan.hpp"
 #include "core/sums.hpp"
-#include "core/work_queue.hpp"
 
 namespace fasted {
 
 float fasted_pair_dist2(const float* pi, const float* pj, std::size_t dims,
                         float si, float sj) {
-  float acc = 0.0f;
-  for (std::size_t k = 0; k < dims; ++k) {
-    // pi/pj hold FP16-exact values, so the float product is exact; the
-    // accumulation rounds toward zero like the tensor core.
-    acc = add_rz(acc, pi[k] * pj[k]);
-  }
-  return epilogue_dist2(acc, si, sj);
+  return epilogue_dist2(kernels::rz_dot_pair(pi, pj, dims), si, sj);
 }
 
 void query_row_join(const float* query, float query_norm,
@@ -33,29 +22,22 @@ void query_row_join(const float* query, float query_norm,
                     std::size_t end, float eps2,
                     std::vector<QueryMatch>& out) {
   const std::size_t dims = corpus_values.stride();
-  const auto emit = [&](std::size_t j, float d2) {
-    if (d2 <= eps2) {
-      out.push_back(QueryMatch{static_cast<std::uint32_t>(j), d2});
+  const kernels::RzDotKernel& kern = kernels::rz_dot_dispatch();
+  thread_local std::vector<float> panel;
+  panel.resize(dims * kernels::kPanelWidth);
+  float acc[kernels::kPanelWidth];
+  for (std::size_t j0 = begin; j0 < end; j0 += kernels::kPanelWidth) {
+    const std::size_t width = std::min(kernels::kPanelWidth, end - j0);
+    kernels::pack_panel(corpus_values.row(j0), corpus_values.stride(), width,
+                        dims, panel.data());
+    kern.dot_panel(query, 0, 1, panel.data(), dims, acc);
+    for (std::size_t r = 0; r < width; ++r) {
+      const std::size_t j = j0 + r;
+      const float d2 = epilogue_dist2(acc[r], query_norm, corpus_norms[j]);
+      if (d2 <= eps2) {
+        out.push_back(QueryMatch{static_cast<std::uint32_t>(j), d2});
+      }
     }
-  };
-  // Two independent RZ chains: pairs are independent and the sequential
-  // add_rz dependency is the bottleneck (same idiom as the self-join).
-  std::size_t j = begin;
-  for (; j + 1 < end; j += 2) {
-    const float* pj0 = corpus_values.row(j);
-    const float* pj1 = corpus_values.row(j + 1);
-    float acc0 = 0.0f;
-    float acc1 = 0.0f;
-    for (std::size_t k = 0; k < dims; ++k) {
-      acc0 = add_rz(acc0, query[k] * pj0[k]);
-      acc1 = add_rz(acc1, query[k] * pj1[k]);
-    }
-    emit(j, epilogue_dist2(acc0, query_norm, corpus_norms[j]));
-    emit(j + 1, epilogue_dist2(acc1, query_norm, corpus_norms[j + 1]));
-  }
-  for (; j < end; ++j) {
-    emit(j, fasted_pair_dist2(query, corpus_values.row(j), dims, query_norm,
-                              corpus_norms[j]));
   }
 }
 
@@ -91,328 +73,67 @@ PreparedDataset PreparedDataset::gather(const PreparedDataset& src,
 
 namespace {
 
-// Fast functional path: upper triangle (+ diagonal) with mirroring; the RZ
-// accumulation is symmetric in (i, j), so dist(i,j) == dist(j,i) exactly.
-JoinOutput run_fast(const MatrixF32& quantized, const std::vector<float>& s,
-                    float eps2, bool build_result) {
-  const std::size_t n = quantized.rows();
-  const std::size_t dims = quantized.stride();
-
-  std::vector<std::vector<std::uint32_t>> above(n);  // j > i neighbors
-  std::vector<std::uint64_t> below_count(n, 0);      // mirrored degree
-  std::atomic<std::uint64_t> pairs{0};
-
-  parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
-    std::uint64_t local_pairs = 0;
-    for (std::size_t i = lo; i < hi; ++i) {
-      const float* pi = quantized.row(i);
-      auto& row = above[i];
-      const auto emit = [&](std::size_t j, float d2) {
-        if (d2 <= eps2) {
-          ++local_pairs;
-          if (build_result) row.push_back(static_cast<std::uint32_t>(j));
-        }
-      };
-      // Two independent RZ chains per iteration: the sequential
-      // add_rz dependency is the bottleneck, and pairs are independent.
-      std::size_t j = i + 1;
-      for (; j + 1 < n; j += 2) {
-        const float* pj0 = quantized.row(j);
-        const float* pj1 = quantized.row(j + 1);
-        float acc0 = 0.0f;
-        float acc1 = 0.0f;
-        for (std::size_t k = 0; k < dims; ++k) {
-          acc0 = add_rz(acc0, pi[k] * pj0[k]);
-          acc1 = add_rz(acc1, pi[k] * pj1[k]);
-        }
-        emit(j, epilogue_dist2(acc0, s[i], s[j]));
-        emit(j + 1, epilogue_dist2(acc1, s[i], s[j + 1]));
-      }
-      for (; j < n; ++j) {
-        emit(j, fasted_pair_dist2(pi, quantized.row(j), dims, s[i], s[j]));
-      }
-      ++local_pairs;  // self pair
-    }
-    pairs.fetch_add(local_pairs, std::memory_order_relaxed);
-  });
-
-  JoinOutput out;
-  out.pair_count = 2 * pairs.load() - n;  // mirrored pairs + n self pairs
-
-  if (build_result) {
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::uint32_t j : above[i]) ++below_count[j];
-    }
-    std::vector<std::vector<std::uint32_t>> rows(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      rows[i].reserve(below_count[i] + above[i].size() + 1);
-    }
-    // Ascending neighbor ids: j < i first, then self, then j > i.
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::uint32_t j : above[i]) {
-        rows[j].push_back(static_cast<std::uint32_t>(i));
-      }
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      rows[i].push_back(static_cast<std::uint32_t>(i));
-      rows[i].insert(rows[i].end(), above[i].begin(), above[i].end());
-      above[i].clear();
-      above[i].shrink_to_fit();
-    }
-    out.result = SelfJoinResult::from_rows(std::move(rows));
-    FASTED_CHECK(out.result.pair_count() == out.pair_count);
-  }
-  return out;
+// The executor views of one prepared dataset joined against another (or
+// itself).  Quantized matrices ride along for the emulated data path.
+kernels::JoinInputs join_inputs(const PreparedDataset& queries,
+                                const PreparedDataset& corpus) {
+  kernels::JoinInputs in;
+  in.q_values = &queries.values();
+  in.q_norms = &queries.norms();
+  in.c_values = &corpus.values();
+  in.c_norms = &corpus.norms();
+  in.q_quant = &queries.quantized();
+  in.c_quant = &corpus.quantized();
+  return in;
 }
 
-// Emulated path: drains the block-tile work queue through the full staged
-// data path.  Intended for validation at small scales.
-JoinOutput run_emulated(const FastedConfig& cfg, const MatrixF16& data16,
-                        const std::vector<float>& s, float eps2,
-                        bool build_result) {
-  const std::size_t n = data16.rows();
-  const auto bm = static_cast<std::size_t>(cfg.block_tile_m);
-  const std::size_t tiles_per_side = (n + bm - 1) / bm;
-  WorkQueue queue(cfg.dispatch_policy(), tiles_per_side, cfg.dispatch_square);
-
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> found;
-  std::mutex found_mutex;
-  std::atomic<std::uint64_t> pairs{0};
-
-  parallel_for(0, queue.size(), [&](std::size_t lo, std::size_t hi) {
-    BlockTileEngine engine(cfg);
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> local;
-    std::uint64_t local_pairs = 0;
-    for (std::size_t t = lo; t < hi; ++t) {
-      const auto [tr, tc] = queue.order()[t];
-      const std::size_t r0 = tr * bm;
-      const std::size_t c0 = tc * bm;
-      engine.compute(data16, r0, c0);
-      for (int r = 0; r < cfg.block_tile_m; ++r) {
-        const std::size_t i = r0 + static_cast<std::size_t>(r);
-        if (i >= n) break;
-        for (int c = 0; c < cfg.block_tile_n; ++c) {
-          const std::size_t j = c0 + static_cast<std::size_t>(c);
-          if (j >= n) break;
-          const float d2 = epilogue_dist2(engine.acc(r, c), s[i], s[j]);
-          if (d2 <= eps2) {
-            ++local_pairs;
-            if (build_result) {
-              local.emplace_back(static_cast<std::uint32_t>(i),
-                                 static_cast<std::uint32_t>(j));
-            }
-          }
-        }
-      }
-    }
-    pairs.fetch_add(local_pairs, std::memory_order_relaxed);
-    if (build_result) {
-      std::lock_guard<std::mutex> lock(found_mutex);
-      found.insert(found.end(), local.begin(), local.end());
-    }
-  });
-
-  JoinOutput out;
-  out.pair_count = pairs.load();
-  if (build_result) {
-    std::vector<std::vector<std::uint32_t>> rows(n);
-    std::sort(found.begin(), found.end());
-    for (const auto& [i, j] : found) rows[i].push_back(j);
-    out.result = SelfJoinResult::from_rows(std::move(rows));
-  }
-  return out;
-}
-
-// General A x B join: per-query rows, no symmetry to exploit.  The inner
-// loop is the canonical query_row_join kernel; only the ids are kept.
-JoinOutput run_fast_join(const MatrixF32& queries, const MatrixF32& corpus,
-                         const std::vector<float>& sq,
-                         const std::vector<float>& sc, float eps2,
-                         bool build_result) {
-  const std::size_t nq = queries.rows();
-  const std::size_t nc = corpus.rows();
-
-  std::vector<std::vector<std::uint32_t>> rows(nq);
-  std::atomic<std::uint64_t> pairs{0};
-  parallel_for(0, nq, [&](std::size_t lo, std::size_t hi) {
-    std::vector<QueryMatch> scratch;
-    std::uint64_t local_pairs = 0;
-    for (std::size_t i = lo; i < hi; ++i) {
-      scratch.clear();
-      query_row_join(queries.row(i), sq[i], corpus, sc, 0, nc, eps2, scratch);
-      local_pairs += scratch.size();
-      if (build_result) {
-        auto& row = rows[i];
-        row.reserve(scratch.size());
-        for (const QueryMatch& m : scratch) row.push_back(m.id);
-      }
-    }
-    pairs.fetch_add(local_pairs, std::memory_order_relaxed);
-  });
-
-  JoinOutput out;
-  out.pair_count = pairs.load();
-  if (build_result) out.result = SelfJoinResult::from_rows(std::move(rows));
-  return out;
-}
-
-JoinOutput run_emulated_join(const FastedConfig& cfg, const MatrixF16& q16,
-                             const MatrixF16& c16,
-                             const std::vector<float>& sq,
-                             const std::vector<float>& sc, float eps2,
-                             bool build_result) {
-  const std::size_t nq = q16.rows();
-  const std::size_t nc = c16.rows();
-  const auto bm = static_cast<std::size_t>(cfg.block_tile_m);
-  const auto bn = static_cast<std::size_t>(cfg.block_tile_n);
-  const std::size_t tr = (nq + bm - 1) / bm;
-  const std::size_t tc = (nc + bn - 1) / bn;
-
-  std::vector<std::vector<std::uint32_t>> rows(nq);
-  std::mutex rows_mutex;
-  std::atomic<std::uint64_t> pairs{0};
-
-  parallel_for(0, tr * tc, [&](std::size_t lo, std::size_t hi) {
-    BlockTileEngine engine(cfg);
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> local;
-    std::uint64_t local_pairs = 0;
-    for (std::size_t t = lo; t < hi; ++t) {
-      const std::size_t r0 = (t / tc) * bm;
-      const std::size_t c0 = (t % tc) * bn;
-      engine.compute(q16, c16, r0, c0);
-      for (int r = 0; r < cfg.block_tile_m; ++r) {
-        const std::size_t i = r0 + static_cast<std::size_t>(r);
-        if (i >= nq) break;
-        for (int c = 0; c < cfg.block_tile_n; ++c) {
-          const std::size_t j = c0 + static_cast<std::size_t>(c);
-          if (j >= nc) break;
-          const float d2 = epilogue_dist2(engine.acc(r, c), sq[i], sc[j]);
-          if (d2 <= eps2) {
-            ++local_pairs;
-            if (build_result) {
-              local.emplace_back(static_cast<std::uint32_t>(i),
-                                 static_cast<std::uint32_t>(j));
-            }
-          }
-        }
-      }
-    }
-    pairs.fetch_add(local_pairs, std::memory_order_relaxed);
-    if (build_result) {
-      std::lock_guard<std::mutex> lock(rows_mutex);
-      for (const auto& [i, j] : local) rows[i].push_back(j);
-    }
-  });
-
-  JoinOutput out;
-  out.pair_count = pairs.load();
-  if (build_result) {
-    for (auto& row : rows) std::sort(row.begin(), row.end());
-    out.result = SelfJoinResult::from_rows(std::move(rows));
-  }
-  return out;
-}
-
-// The query-service kernel: a rectangular grid of block_tile_m query rows x
-// block_tile_n corpus columns, drained as dynamic work items from the
-// rectangular WorkQueue so tile cost imbalance (ragged edges, skewed match
-// density) cannot idle workers.  Distances are per-pair independent RZ
-// chains, so the values are bit-identical to the self-join fast path.
-QueryJoinOutput run_query_join(const FastedConfig& cfg,
-                               const PreparedDataset& queries,
-                               const PreparedDataset& corpus, float eps2,
-                               const JoinOptions& options) {
-  const MatrixF32& q = queries.values();
-  const MatrixF32& c = corpus.values();
-  const std::vector<float>& sq = queries.norms();
-  const std::vector<float>& sc = corpus.norms();
-  const std::size_t nq = q.rows();
-  const std::size_t nc = c.rows();
+// Self-join through the unified pipeline: a triangular JoinPlan emits the
+// strict upper triangle once (fast rz_dot kernels or the emulated
+// block-tile data path — bit-identical by construction), the sink mirrors,
+// and the count recovers the mirrored half plus the n always-within-eps
+// self pairs.
+JoinOutput run_self_join(const FastedConfig& cfg,
+                         const PreparedDataset& prepared, float eps2,
+                         const JoinOptions& options) {
+  const std::size_t n = prepared.rows();
   const bool emulated = options.path == ExecutionPath::kEmulated;
-  const bool build_result = options.build_result;
+  kernels::JoinPlan plan = kernels::JoinPlan::triangular_self(cfg, n);
+  const kernels::JoinInputs in = join_inputs(prepared, prepared);
 
-  const auto bm = static_cast<std::size_t>(cfg.block_tile_m);
-  const auto bn = static_cast<std::size_t>(cfg.block_tile_n);
-  const std::size_t tile_rows = (nq + bm - 1) / bm;
-  const std::size_t tile_cols = (nc + bn - 1) / bn;
-  WorkQueue queue(cfg.dispatch_policy(), tile_rows, tile_cols,
-                  cfg.dispatch_square);
+  JoinOutput out;
+  if (options.build_result) {
+    kernels::SelfJoinCsrSink sink(n, /*mirror=*/true);
+    const std::uint64_t hits =
+        kernels::execute_join(cfg, plan, in, eps2, emulated, sink);
+    out.pair_count = 2 * hits + n;
+    out.result = sink.finalize();
+    FASTED_CHECK(out.result.pair_count() == out.pair_count);
+  } else {
+    kernels::CountSink sink;
+    const std::uint64_t hits =
+        kernels::execute_join(cfg, plan, in, eps2, emulated, sink);
+    out.pair_count = 2 * hits + n;
+  }
+  return out;
+}
 
-  std::vector<std::vector<QueryMatch>> rows(build_result ? nq : 0);
-  std::mutex rows_mutex;
-  std::atomic<std::uint64_t> pairs{0};
+// General A x B join: a rectangular plan, ids-only CSR rows per query.
+JoinOutput run_join(const FastedConfig& cfg, const PreparedDataset& queries,
+                    const PreparedDataset& corpus, float eps2,
+                    const JoinOptions& options) {
+  const bool emulated = options.path == ExecutionPath::kEmulated;
+  kernels::JoinPlan plan =
+      kernels::JoinPlan::rectangular(cfg, queries.rows(), corpus.rows());
+  const kernels::JoinInputs in = join_inputs(queries, corpus);
 
-  parallel_for(0, ThreadPool::global().size(), [&](std::size_t, std::size_t) {
-    std::optional<BlockTileEngine> engine;
-    if (emulated) engine.emplace(cfg);
-    std::vector<std::pair<std::uint32_t, QueryMatch>> local;
-    std::vector<QueryMatch> scratch;
-    std::uint64_t local_pairs = 0;
-    // Flush the worker-local buffer into the shared rows once it holds this
-    // many matches, bounding peak memory to ~one tile's worth per worker
-    // instead of a second copy of the whole result set.
-    constexpr std::size_t kFlushThreshold = 1 << 16;
-    const auto flush = [&] {
-      if (local.empty()) return;
-      std::lock_guard<std::mutex> lock(rows_mutex);
-      for (const auto& [i, m] : local) rows[i].push_back(m);
-      local.clear();
-    };
-    std::pair<std::uint32_t, std::uint32_t> tile;
-    while (queue.pop(tile)) {
-      const std::size_t r0 = static_cast<std::size_t>(tile.first) * bm;
-      const std::size_t c0 = static_cast<std::size_t>(tile.second) * bn;
-      const std::size_t r1 = std::min(r0 + bm, nq);
-      const std::size_t c1 = std::min(c0 + bn, nc);
-      if (emulated) {
-        engine->compute(queries.quantized(), corpus.quantized(), r0, c0);
-        for (std::size_t i = r0; i < r1; ++i) {
-          for (std::size_t j = c0; j < c1; ++j) {
-            const float a = engine->acc(static_cast<int>(i - r0),
-                                        static_cast<int>(j - c0));
-            const float d2 = epilogue_dist2(a, sq[i], sc[j]);
-            if (d2 <= eps2) {
-              ++local_pairs;
-              if (build_result) {
-                local.emplace_back(
-                    static_cast<std::uint32_t>(i),
-                    QueryMatch{static_cast<std::uint32_t>(j), d2});
-              }
-            }
-          }
-        }
-      } else {
-        for (std::size_t i = r0; i < r1; ++i) {
-          scratch.clear();
-          query_row_join(q.row(i), sq[i], c, sc, c0, c1, eps2, scratch);
-          local_pairs += scratch.size();
-          if (build_result) {
-            for (const QueryMatch& m : scratch) {
-              local.emplace_back(static_cast<std::uint32_t>(i), m);
-            }
-          }
-        }
-      }
-      if (build_result && local.size() >= kFlushThreshold) flush();
-    }
-    pairs.fetch_add(local_pairs, std::memory_order_relaxed);
-    if (build_result) flush();
-  });
-
-  QueryJoinOutput out;
-  out.pair_count = pairs.load();
-  if (build_result) {
-    // Corpus tiles land per query row in drain order; canonicalize to
-    // ascending corpus id (ids are unique within a row).
-    parallel_for(0, nq, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        std::sort(rows[i].begin(), rows[i].end(),
-                  [](const QueryMatch& a, const QueryMatch& b) {
-                    return a.id < b.id;
-                  });
-      }
-    });
-    out.result = QueryJoinResult::from_rows(std::move(rows));
+  JoinOutput out;
+  if (options.build_result) {
+    kernels::SelfJoinCsrSink sink(queries.rows(), /*mirror=*/false);
+    out.pair_count = kernels::execute_join(cfg, plan, in, eps2, emulated, sink);
+    out.result = sink.finalize();
+  } else {
+    kernels::CountSink sink;
+    out.pair_count = kernels::execute_join(cfg, plan, in, eps2, emulated, sink);
   }
   return out;
 }
@@ -428,20 +149,9 @@ JoinOutput FastedEngine::join(const MatrixF32& queries,
   FASTED_CHECK_MSG(eps >= 0, "negative search radius");
   Timer timer;
 
-  const MatrixF16 q16 = to_fp16(queries);
-  const MatrixF16 c16 = to_fp16(corpus);
-  const std::vector<float> sq = squared_norms_fp16_rz(q16);
-  const std::vector<float> sc = squared_norms_fp16_rz(c16);
-  const float eps2 = eps * eps;
-
-  JoinOutput out;
-  if (options.path == ExecutionPath::kFast) {
-    out = run_fast_join(to_fp32(q16), to_fp32(c16), sq, sc, eps2,
-                        options.build_result);
-  } else {
-    out = run_emulated_join(config_, q16, c16, sq, sc, eps2,
-                            options.build_result);
-  }
+  const PreparedDataset q(queries);
+  const PreparedDataset c(corpus);
+  JoinOutput out = run_join(config_, q, c, eps * eps, options);
   out.host_seconds = timer.seconds();
   out.perf = estimate_join(queries.rows(), corpus.rows(), queries.dims());
   out.timing = model_response_time(queries.rows() + corpus.rows(),
@@ -460,8 +170,22 @@ QueryJoinOutput FastedEngine::query_join(const PreparedDataset& queries,
   FASTED_CHECK_MSG(eps >= 0, "negative search radius");
   Timer timer;
 
-  QueryJoinOutput out =
-      run_query_join(config_, queries, corpus, eps * eps, options);
+  const bool emulated = options.path == ExecutionPath::kEmulated;
+  kernels::JoinPlan plan =
+      kernels::JoinPlan::rectangular(config_, queries.rows(), corpus.rows());
+  const kernels::JoinInputs in = join_inputs(queries, corpus);
+
+  QueryJoinOutput out;
+  if (options.build_result) {
+    kernels::QueryJoinCsrSink sink(queries.rows());
+    out.pair_count =
+        kernels::execute_join(config_, plan, in, eps * eps, emulated, sink);
+    out.result = sink.finalize();
+  } else {
+    kernels::CountSink sink;
+    out.pair_count =
+        kernels::execute_join(config_, plan, in, eps * eps, emulated, sink);
+  }
   out.host_seconds = timer.seconds();
   out.perf = estimate_join(queries.rows(), corpus.rows(), queries.dims());
   out.timing = model_query_response_time(queries.rows(), corpus.rows(),
@@ -481,6 +205,21 @@ QueryJoinOutput FastedEngine::query_join(const MatrixF32& queries,
   return out;
 }
 
+std::uint64_t FastedEngine::query_join_into(const PreparedDataset& queries,
+                                            const PreparedDataset& corpus,
+                                            float eps,
+                                            kernels::ResultSink& sink) const {
+  FASTED_CHECK_MSG(queries.rows() > 0 && corpus.rows() > 0, "empty input");
+  FASTED_CHECK_MSG(queries.dims() == corpus.dims(),
+                   "query/corpus dimensionality mismatch");
+  FASTED_CHECK_MSG(eps >= 0, "negative search radius");
+  // Full-corpus-width tiles so per-tile sinks see each query complete.
+  kernels::JoinPlan plan =
+      kernels::JoinPlan::query_strip(config_, queries.rows(), corpus.rows());
+  return kernels::execute_join(config_, plan, join_inputs(queries, corpus),
+                               eps * eps, /*emulated=*/false, sink);
+}
+
 JoinOutput FastedEngine::self_join(const MatrixF32& data, float eps,
                                    const JoinOptions& options) const {
   FASTED_CHECK_MSG(data.rows() > 0, "empty dataset");
@@ -494,16 +233,8 @@ JoinOutput FastedEngine::self_join(const PreparedDataset& prepared, float eps,
   FASTED_CHECK_MSG(prepared.rows() > 0, "empty dataset");
   FASTED_CHECK_MSG(eps >= 0, "negative search radius");
   Timer timer;
-  const float eps2 = eps * eps;
 
-  JoinOutput out;
-  if (options.path == ExecutionPath::kFast) {
-    out = run_fast(prepared.values(), prepared.norms(), eps2,
-                   options.build_result);
-  } else {
-    out = run_emulated(config_, prepared.quantized(), prepared.norms(), eps2,
-                       options.build_result);
-  }
+  JoinOutput out = run_self_join(config_, prepared, eps * eps, options);
   out.host_seconds = timer.seconds();
   out.perf = estimate(prepared.rows(), prepared.dims());
   out.timing =
@@ -520,50 +251,38 @@ JoinOutput FastedEngine::batched_self_join(const MatrixF32& data, float eps,
   const PreparedDataset prepared(data);
   const std::size_t n = prepared.rows();
   const float eps2 = eps * eps;
+  const kernels::JoinInputs in = join_inputs(prepared, prepared);
 
   JoinOutput out;
-  std::vector<std::vector<std::uint32_t>> rows;
-  if (options.build_result) rows.resize(n);
+  kernels::CountSink count_sink;
+  kernels::SelfJoinCsrSink csr_sink(options.build_result ? n : 0,
+                                    /*mirror=*/false);
+  kernels::ResultSink& sink =
+      options.build_result ? static_cast<kernels::ResultSink&>(csr_sink)
+                           : count_sink;
 
   double kernel_s = 0;
   double d2h_s = 0;
   for (std::size_t q0 = 0; q0 < n; q0 += batch_rows) {
     const std::size_t q1 = std::min(q0 + batch_rows, n);
-    // Functional strip: queries [q0, q1) against the full corpus.
-    std::atomic<std::uint64_t> pairs{0};
-    std::vector<std::vector<std::uint32_t>> strip(q1 - q0);
-    parallel_for(q0, q1, [&](std::size_t lo, std::size_t hi) {
-      std::uint64_t local = 0;
-      for (std::size_t i = lo; i < hi; ++i) {
-        auto& row = strip[i - q0];
-        for (std::size_t j = 0; j < n; ++j) {
-          if (prepared.pair_dist2(i, j) <= eps2) {
-            ++local;
-            if (options.build_result) {
-              row.push_back(static_cast<std::uint32_t>(j));
-            }
-          }
-        }
-      }
-      pairs.fetch_add(local, std::memory_order_relaxed);
-    });
-    out.pair_count += pairs.load();
-    if (options.build_result) {
-      for (std::size_t i = q0; i < q1; ++i) {
-        rows[i] = std::move(strip[i - q0]);
-      }
-    }
+    // Functional strip: queries [q0, q1) against the full corpus, through
+    // the same plan/kernel/sink pipeline as every other join.
+    kernels::JoinPlan plan =
+        kernels::JoinPlan::self_strip(config_, q0, q1, n);
+    const std::uint64_t strip_pairs = kernels::execute_join(
+        config_, plan, in, eps2, /*emulated=*/false, sink);
+    out.pair_count += strip_pairs;
     // Modeled per-batch legs: one rectangular kernel + its result transfer.
     const auto perf =
         estimate_fasted_join_kernel(config_, q1 - q0, n, prepared.dims());
     kernel_s += perf.kernel_seconds;
-    d2h_s += static_cast<double>(pairs.load()) * sizeof(ResultPair) /
+    d2h_s += static_cast<double>(strip_pairs) * sizeof(ResultPair) /
                  (config_.device.pcie_bandwidth_gbs * 1e9) +
              config_.device.kernel_launch_overhead_s;
   }
 
   if (options.build_result) {
-    out.result = SelfJoinResult::from_rows(std::move(rows));
+    out.result = csr_sink.finalize();
   }
   out.host_seconds = timer.seconds();
   out.perf = estimate(n, prepared.dims());

@@ -23,6 +23,8 @@
 
 #include "common/matrix.hpp"
 #include "core/config.hpp"
+#include "core/kernels/result_sink.hpp"
+#include "core/kernels/rz_dot.hpp"
 #include "core/perf_model.hpp"
 #include "core/result.hpp"
 
@@ -70,10 +72,8 @@ struct QueryJoinOutput {
   double host_seconds = 0;
 };
 
-// The epilogue combine (paper Step 3): dist^2 = -2*a + s_i + s_j in FP32.
-inline float epilogue_dist2(float a, float si, float sj) {
-  return std::fma(-2.0f, a, si + sj);
-}
+// The epilogue combine (paper Step 3) lives with the kernel family.
+using kernels::epilogue_dist2;
 
 // A dataset prepared for the FaSTED pipeline: FP16 quantization and the
 // squared-norm precompute (Step 1) done once, reusable across any number of
@@ -152,6 +152,15 @@ class FastedEngine {
                              const PreparedDataset& corpus, float eps,
                              const JoinOptions& options = {}) const;
 
+  // Sink-directed query join: same kernels and numerics as query_join, but
+  // matches flow into `sink` instead of a batch-wide CSR (pass a
+  // kernels::StreamingSink for bounded-memory per-query delivery — each
+  // tile spans the full corpus so every query completes in one piece).
+  // Returns the number of matches emitted.
+  std::uint64_t query_join_into(const PreparedDataset& queries,
+                                const PreparedDataset& corpus, float eps,
+                                kernels::ResultSink& sink) const;
+
   // Modeled response time of a corpus-resident query join: query-batch
   // upload + query-norm precompute + rectangular kernel + match download.
   TimingBreakdown model_query_response_time(std::size_t queries,
@@ -196,8 +205,9 @@ float fasted_pair_dist2(const float* pi, const float* pj, std::size_t dims,
 
 // Appends every corpus row in [begin, end) within the squared radius `eps2`
 // of one prepared query row, with pipeline squared distances, ascending
-// corpus id.  Building block of the streaming service path and of kNN
-// straggler sweeps; pass eps2 = infinity to rank the whole corpus.
+// corpus id — a one-query convenience over the shared rz_dot panel kernels
+// (kNN straggler sweeps, classifiers); pass eps2 = infinity to rank the
+// whole corpus.
 void query_row_join(const float* query, float query_norm,
                     const MatrixF32& corpus_values,
                     const std::vector<float>& corpus_norms, std::size_t begin,

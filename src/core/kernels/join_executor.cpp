@@ -1,0 +1,117 @@
+#include "core/kernels/join_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "core/block_tile.hpp"
+#include "core/kernels/rz_dot.hpp"
+
+namespace fasted::kernels {
+
+namespace {
+
+// Flush the worker-local hit buffer into the sink once it holds this many
+// matches, bounding peak memory to ~one buffer per worker instead of a
+// second copy of the whole result set.
+constexpr std::size_t kFlushThreshold = 1 << 16;
+
+}  // namespace
+
+std::uint64_t execute_join(const FastedConfig& cfg, JoinPlan& plan,
+                           const JoinInputs& in, float eps2, bool emulated,
+                           ResultSink& sink) {
+  const MatrixF32& q = *in.q_values;
+  const MatrixF32& c = *in.c_values;
+  const std::vector<float>& sq = *in.q_norms;
+  const std::vector<float>& sc = *in.c_norms;
+  FASTED_CHECK_MSG(q.stride() == c.stride(),
+                   "query/corpus stride mismatch in join executor");
+  if (emulated) {
+    FASTED_CHECK_MSG(in.q_quant != nullptr && in.c_quant != nullptr,
+                     "emulated path needs quantized inputs");
+  }
+  const std::size_t dims = c.stride();
+  const bool collect = sink.wants_hits();
+  const bool per_tile = collect && sink.per_tile();
+  std::atomic<std::uint64_t> total{0};
+
+  parallel_for(0, ThreadPool::global().size(), [&](std::size_t, std::size_t) {
+    const RzDotKernel& kern = rz_dot_dispatch();
+    std::optional<BlockTileEngine> engine;
+    if (emulated) engine.emplace(cfg);
+    // Pre-allocated per-worker scratch: the packed corpus panel, the
+    // kernel's accumulator block, and the hit buffer.
+    std::vector<float> panel(dims * kPanelWidth);
+    float acc[kQueryBlock * kPanelWidth];
+    std::vector<PairHit> hits;
+    std::uint64_t local = 0;
+
+    const auto emit = [&](std::size_t i, std::size_t j, float d2) {
+      if (d2 <= eps2) {
+        ++local;
+        if (collect) {
+          hits.push_back(PairHit{static_cast<std::uint32_t>(i),
+                                 static_cast<std::uint32_t>(j), d2});
+        }
+      }
+    };
+
+    TileRange t;
+    while (plan.next(t)) {
+      // Per-tile sinks (streaming) rely on each query completing within one
+      // tile — only full-corpus-width plans (query_strip) qualify.
+      if (per_tile) {
+        FASTED_CHECK_MSG(t.c0 == 0 && t.c1 == plan.corpus_rows(),
+                         "per-tile sinks need a full-corpus-width plan");
+      }
+      if (emulated) {
+        engine->compute(*in.q_quant, *in.c_quant, t.q0, t.c0);
+        for (std::size_t i = t.q0; i < t.q1; ++i) {
+          for (std::size_t j = t.c0; j < t.c1; ++j) {
+            if (t.diagonal && j <= i) continue;
+            const float a = engine->acc(static_cast<int>(i - t.q0),
+                                        static_cast<int>(j - t.c0));
+            emit(i, j, epilogue_dist2(a, sq[i], sc[j]));
+          }
+        }
+      } else {
+        for (std::size_t c0 = t.c0; c0 < t.c1; c0 += kPanelWidth) {
+          const std::size_t width = std::min(kPanelWidth, t.c1 - c0);
+          pack_panel(c.row(c0), c.stride(), width, dims, panel.data());
+          for (std::size_t i0 = t.q0; i0 < t.q1; i0 += kQueryBlock) {
+            const std::size_t nq = std::min(kQueryBlock, t.q1 - i0);
+            kern.dot_panel(q.row(i0), q.stride(), nq, panel.data(), dims, acc);
+            for (std::size_t qi = 0; qi < nq; ++qi) {
+              const std::size_t i = i0 + qi;
+              const float si = sq[i];
+              const float* a = acc + qi * kPanelWidth;
+              for (std::size_t r = 0; r < width; ++r) {
+                const std::size_t j = c0 + r;
+                if (t.diagonal && j <= i) continue;
+                emit(i, j, epilogue_dist2(a[r], si, sc[j]));
+              }
+            }
+          }
+        }
+      }
+      if (per_tile) {
+        sink.consume(t, std::span<const PairHit>(hits));
+        hits.clear();
+      } else if (collect && hits.size() >= kFlushThreshold) {
+        sink.consume(t, std::span<const PairHit>(hits));
+        hits.clear();
+      }
+    }
+    if (collect && !hits.empty()) {
+      sink.consume(TileRange{}, std::span<const PairHit>(hits));
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+
+  return total.load();
+}
+
+}  // namespace fasted::kernels

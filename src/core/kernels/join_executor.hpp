@@ -1,0 +1,40 @@
+// The unified join executor: drains a JoinPlan's tiles on the shared
+// ThreadPool, evaluates every (query, corpus) cell with the dispatched
+// rz_dot kernel (or the emulated block-tile data path), and hands within-eps
+// hits to a ResultSink.  All of FastedEngine's joins — self, strip-batched,
+// rectangular, streaming — are thin wrappers around this one loop.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/config.hpp"
+#include "core/kernels/join_plan.hpp"
+#include "core/kernels/result_sink.hpp"
+
+namespace fasted::kernels {
+
+// Views of prepared data.  Values/norms drive the fast path; the quantized
+// matrices are only needed when `emulated` is set.  For self-joins the
+// query and corpus views alias the same dataset.
+struct JoinInputs {
+  const MatrixF32* q_values = nullptr;
+  const std::vector<float>* q_norms = nullptr;
+  const MatrixF32* c_values = nullptr;
+  const std::vector<float>* c_norms = nullptr;
+  const MatrixF16* q_quant = nullptr;
+  const MatrixF16* c_quant = nullptr;
+};
+
+// Evaluates the plan and emits hits with dist2 <= eps2 into `sink`.
+// Triangular plans emit only the strict upper triangle (j > i) — the
+// mirrored half and the n always-within-eps self pairs are the sink's (or
+// the caller's count arithmetic's) business.  Returns the number of hits
+// emitted.
+std::uint64_t execute_join(const FastedConfig& cfg, JoinPlan& plan,
+                           const JoinInputs& in, float eps2, bool emulated,
+                           ResultSink& sink);
+
+}  // namespace fasted::kernels

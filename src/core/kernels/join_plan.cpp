@@ -1,0 +1,75 @@
+#include "core/kernels/join_plan.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fasted::kernels {
+
+namespace {
+
+std::size_t div_up(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+JoinPlan JoinPlan::triangular_self(const FastedConfig& cfg, std::size_t n) {
+  FASTED_CHECK_MSG(n > 0, "empty self-join");
+  // Self-join tiles are square so the diagonal tiles straddle i == j
+  // exactly (and stay within the emulated engine's block on either side).
+  const std::size_t bm = std::min(static_cast<std::size_t>(cfg.block_tile_m),
+                                  static_cast<std::size_t>(cfg.block_tile_n));
+  const std::size_t tiles = div_up(n, bm);
+  auto order =
+      sim::dispatch_order(cfg.dispatch_policy(), tiles, cfg.dispatch_square);
+  // Keep the upper triangle (tc >= tr) in policy order; the mirrored half
+  // is recovered by the sink (RZ distances are exactly symmetric).
+  order.erase(std::remove_if(order.begin(), order.end(),
+                             [](const auto& t) { return t.second < t.first; }),
+              order.end());
+  return JoinPlan(std::move(order), bm, bm, 0, n, n, /*triangular=*/true);
+}
+
+JoinPlan JoinPlan::rectangular(const FastedConfig& cfg, std::size_t nq,
+                               std::size_t nc) {
+  FASTED_CHECK_MSG(nq > 0 && nc > 0, "empty join");
+  const auto bm = static_cast<std::size_t>(cfg.block_tile_m);
+  const auto bn = static_cast<std::size_t>(cfg.block_tile_n);
+  auto order = sim::dispatch_order(cfg.dispatch_policy(), div_up(nq, bm),
+                                   div_up(nc, bn), cfg.dispatch_square);
+  return JoinPlan(std::move(order), bm, bn, 0, nq, nc, /*triangular=*/false);
+}
+
+JoinPlan JoinPlan::self_strip(const FastedConfig& cfg, std::size_t row0,
+                              std::size_t row1, std::size_t n) {
+  FASTED_CHECK_MSG(row0 < row1 && row1 <= n, "bad strip bounds");
+  const auto bm = static_cast<std::size_t>(cfg.block_tile_m);
+  const auto bn = static_cast<std::size_t>(cfg.block_tile_n);
+  auto order = sim::dispatch_order(cfg.dispatch_policy(), div_up(row1 - row0, bm),
+                                   div_up(n, bn), cfg.dispatch_square);
+  return JoinPlan(std::move(order), bm, bn, row0, row1, n,
+                  /*triangular=*/false);
+}
+
+JoinPlan JoinPlan::query_strip(const FastedConfig& cfg, std::size_t nq,
+                               std::size_t nc) {
+  FASTED_CHECK_MSG(nq > 0 && nc > 0, "empty join");
+  const auto bm = static_cast<std::size_t>(cfg.block_tile_m);
+  // One tile per strip of bm queries, spanning the whole corpus: a query's
+  // matches complete within a single tile (streaming sinks rely on this).
+  auto order = sim::dispatch_order(cfg.dispatch_policy(), div_up(nq, bm), 1,
+                                   cfg.dispatch_square);
+  return JoinPlan(std::move(order), bm, nc, 0, nq, nc, /*triangular=*/false);
+}
+
+bool JoinPlan::next(TileRange& out) {
+  std::pair<std::uint32_t, std::uint32_t> tile;
+  if (!queue_.pop(tile)) return false;
+  out.q0 = query_base_ + static_cast<std::size_t>(tile.first) * tile_m_;
+  out.q1 = std::min(out.q0 + tile_m_, nq_);
+  out.c0 = static_cast<std::size_t>(tile.second) * tile_n_;
+  out.c1 = std::min(out.c0 + tile_n_, nc_);
+  out.diagonal = triangular_ && tile.first == tile.second;
+  return true;
+}
+
+}  // namespace fasted::kernels

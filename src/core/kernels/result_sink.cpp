@@ -1,0 +1,129 @@
+#include "core/kernels/result_sink.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace fasted::kernels {
+
+SelfJoinCsrSink::SelfJoinCsrSink(std::size_t n, bool mirror)
+    : mirror_(mirror), rows_(n) {}
+
+namespace {
+
+// One counting pass, then only the stripes this flush actually touches are
+// locked and scanned (a tile's queries span very few stripes; buffered
+// flushes across a dispatch square span a handful).
+template <typename Append>
+void consume_striped(std::array<std::mutex, kSinkStripes>& stripes,
+                     std::span<const PairHit> hits, const Append& append) {
+  std::array<std::size_t, kSinkStripes> counts{};
+  for (const PairHit& h : hits) ++counts[sink_stripe_of(h.query)];
+  for (std::size_t s = 0; s < kSinkStripes; ++s) {
+    if (counts[s] == 0) continue;
+    std::lock_guard<std::mutex> lock(stripes[s]);
+    std::size_t remaining = counts[s];
+    for (const PairHit& h : hits) {
+      if (sink_stripe_of(h.query) != s) continue;
+      append(h);
+      if (--remaining == 0) break;
+    }
+  }
+}
+
+}  // namespace
+
+void SelfJoinCsrSink::consume(const TileRange&,
+                              std::span<const PairHit> hits) {
+  consume_striped(stripes_, hits, [&](const PairHit& h) {
+    rows_[h.query].push_back(h.corpus);
+  });
+}
+
+SelfJoinResult SelfJoinCsrSink::finalize() {
+  const std::size_t n = rows_.size();
+  // Tiles land in drain order; canonicalize every row to ascending ids.
+  parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::sort(rows_[i].begin(), rows_[i].end());
+    }
+  });
+  if (!mirror_) return SelfJoinResult::from_rows(std::move(rows_));
+
+  // rows_ holds each point's j > i neighbors, sorted.  Ascending final rows
+  // are below-neighbors (mirrored), then self, then above-neighbors.
+  std::vector<std::uint64_t> below_count(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t j : rows_[i]) ++below_count[j];
+  }
+  std::vector<std::vector<std::uint32_t>> full(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    full[i].reserve(below_count[i] + rows_[i].size() + 1);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t j : rows_[i]) {
+      full[j].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    full[i].push_back(static_cast<std::uint32_t>(i));
+    full[i].insert(full[i].end(), rows_[i].begin(), rows_[i].end());
+    rows_[i].clear();
+    rows_[i].shrink_to_fit();
+  }
+  return SelfJoinResult::from_rows(std::move(full));
+}
+
+QueryJoinCsrSink::QueryJoinCsrSink(std::size_t num_queries)
+    : rows_(num_queries) {}
+
+void QueryJoinCsrSink::consume(const TileRange&,
+                               std::span<const PairHit> hits) {
+  consume_striped(stripes_, hits, [&](const PairHit& h) {
+    rows_[h.query].push_back(QueryMatch{h.corpus, h.dist2});
+  });
+}
+
+QueryJoinResult QueryJoinCsrSink::finalize() {
+  parallel_for(0, rows_.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::sort(rows_[i].begin(), rows_[i].end(),
+                [](const QueryMatch& a, const QueryMatch& b) {
+                  return a.id < b.id;
+                });
+    }
+  });
+  return QueryJoinResult::from_rows(std::move(rows_));
+}
+
+StreamingSink::StreamingSink(QueryMatchCallback callback)
+    : callback_(std::move(callback)) {
+  FASTED_CHECK_MSG(callback_ != nullptr, "streaming sink needs a callback");
+}
+
+void StreamingSink::consume(const TileRange& range,
+                            std::span<const PairHit> hits) {
+  // Requires a full-corpus-width plan (query_strip): the tile holds every
+  // match of queries [q0, q1), so each query is delivered complete exactly
+  // once.  Hits arrive corpus-block-major; a stable counting scatter
+  // regroups them per query, preserving ascending corpus ids.
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t nq = range.q1 - range.q0;
+  offsets_.assign(nq + 1, 0);
+  for (const PairHit& h : hits) ++offsets_[h.query - range.q0 + 1];
+  for (std::size_t q = 1; q <= nq; ++q) offsets_[q] += offsets_[q - 1];
+  fill_.assign(offsets_.begin(), offsets_.end() - 1);
+  scratch_.resize(hits.size());
+  for (const PairHit& h : hits) {
+    scratch_[fill_[h.query - range.q0]++] = QueryMatch{h.corpus, h.dist2};
+  }
+  for (std::size_t q = 0; q < nq; ++q) {
+    callback_(range.q0 + q,
+              std::span<const QueryMatch>(scratch_.data() + offsets_[q],
+                                          offsets_[q + 1] - offsets_[q]));
+  }
+}
+
+}  // namespace fasted::kernels

@@ -1,0 +1,133 @@
+// ResultSink: pluggable consumers for the unified join executor.
+//
+// The executor evaluates tiles and emits (query, corpus, dist2) hits; what
+// happens to a hit is the sink's business.  This replaces the old
+// build_result flag (count-only vs CSR was a boolean threaded through every
+// driver) and the service layer's ad-hoc streaming strip loop:
+//
+//   CountSink          pair accounting only — no hit ever materializes.
+//   SelfJoinCsrSink    SelfJoinResult builder.  In mirror mode it receives
+//                      the upper triangle (j > i) of a triangular plan and
+//                      finalizes by adding self pairs and mirroring; in
+//                      direct mode it receives complete rows (strip or
+//                      rectangular plans).
+//   QueryJoinCsrSink   QueryJoinResult builder (keeps pipeline distances).
+//   StreamingSink      bounded-buffer per-query callback delivery; pair it
+//                      with a query_strip plan so every query's matches
+//                      complete inside one tile.  Peak memory is one tile's
+//                      hits per worker instead of the batch-wide CSR.
+//
+// consume() must be thread-safe; the executor calls it from pool workers.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/kernels/join_plan.hpp"
+#include "core/result.hpp"
+
+namespace fasted::kernels {
+
+// CSR sinks stripe their row locks by query-id block so concurrent worker
+// flushes (up to the executor's flush threshold of hits each) rarely
+// serialize against each other.
+inline constexpr std::size_t kSinkStripes = 16;
+// Consecutive queries share a stripe in blocks of 64 rows, keeping one
+// tile's flush on few stripes while separating neighboring tiles.
+inline constexpr std::size_t sink_stripe_of(std::uint32_t query) {
+  return (query >> 6) % kSinkStripes;
+}
+
+// One within-eps pair: global query row, corpus row, pipeline distance^2.
+struct PairHit {
+  std::uint32_t query = 0;
+  std::uint32_t corpus = 0;
+  float dist2 = 0.0f;
+};
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  // False: the executor only counts hits and never materializes them.
+  virtual bool wants_hits() const { return true; }
+
+  // True: each tile's hits arrive in exactly one consume() call with that
+  // tile's range (corpus-block-major order; within a query, corpus ids
+  // ascend).  False: the executor batches hits across tiles per worker and
+  // `range` carries no meaning.
+  virtual bool per_tile() const { return false; }
+
+  virtual void consume(const TileRange& range,
+                       std::span<const PairHit> hits) = 0;
+};
+
+class CountSink final : public ResultSink {
+ public:
+  bool wants_hits() const override { return false; }
+  void consume(const TileRange&, std::span<const PairHit>) override {}
+};
+
+class SelfJoinCsrSink final : public ResultSink {
+ public:
+  // mirror: hits are the strict upper triangle of an n-point self-join;
+  // finalize() mirrors them and inserts the n self pairs.
+  SelfJoinCsrSink(std::size_t n, bool mirror);
+
+  void consume(const TileRange&, std::span<const PairHit> hits) override;
+
+  // Sorts rows ascending (mirroring first if requested) and builds the CSR.
+  SelfJoinResult finalize();
+
+ private:
+  bool mirror_;
+  std::array<std::mutex, kSinkStripes> stripes_;
+  std::vector<std::vector<std::uint32_t>> rows_;
+};
+
+class QueryJoinCsrSink final : public ResultSink {
+ public:
+  explicit QueryJoinCsrSink(std::size_t num_queries);
+
+  void consume(const TileRange&, std::span<const PairHit> hits) override;
+
+  // Sorts each row by corpus id ascending and builds the CSR.
+  QueryJoinResult finalize();
+
+ private:
+  std::array<std::mutex, kSinkStripes> stripes_;
+  std::vector<std::vector<QueryMatch>> rows_;
+};
+
+// Called once per query (ascending within a tile; tiles complete in any
+// order).  The span is only valid for the duration of the call.  Runs on
+// ThreadPool workers inside the executor's fork-join job: it must not call
+// parallel_for-backed APIs (joins, dbscan, ...) — that re-enters the pool
+// and deadlocks.  Buffer and defer any follow-up work.
+using QueryMatchCallback =
+    std::function<void(std::size_t query, std::span<const QueryMatch>)>;
+
+class StreamingSink final : public ResultSink {
+ public:
+  explicit StreamingSink(QueryMatchCallback callback);
+
+  bool per_tile() const override { return true; }
+  void consume(const TileRange& range, std::span<const PairHit> hits) override;
+
+ private:
+  QueryMatchCallback callback_;
+  std::mutex mutex_;
+  // Pre-allocated grouping scratch, bounded by one tile's hits: the
+  // executor's tile order is corpus-block-major, so hits are regrouped by
+  // query with a counting scatter before delivery.
+  std::vector<QueryMatch> scratch_;
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> fill_;
+};
+
+}  // namespace fasted::kernels

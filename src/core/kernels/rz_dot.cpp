@@ -1,0 +1,86 @@
+#include "core/kernels/rz_dot.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/rounding.hpp"
+
+namespace fasted::kernels {
+
+void pack_panel(const float* rows, std::size_t row_stride, std::size_t nrows,
+                std::size_t dims, float* panel) {
+  if (nrows < kPanelWidth) {
+    std::memset(panel, 0, dims * kPanelWidth * sizeof(float));
+  }
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const float* src = rows + r * row_stride;
+    for (std::size_t k = 0; k < dims; ++k) {
+      panel[k * kPanelWidth + r] = src[k];
+    }
+  }
+}
+
+namespace {
+
+void dot_panel_scalar(const float* q, std::size_t q_stride, std::size_t nq,
+                      const float* panel, std::size_t dims, float* acc) {
+  for (std::size_t qi = 0; qi < nq; ++qi) {
+    const float* query = q + qi * q_stride;
+    float* a = acc + qi * kPanelWidth;
+    for (std::size_t r = 0; r < kPanelWidth; ++r) a[r] = 0.0f;
+    for (std::size_t k = 0; k < dims; ++k) {
+      const float qk = query[k];
+      const float* col = panel + k * kPanelWidth;
+      // kPanelWidth independent RZ chains; the FP16-exact products are
+      // exact in FP32, so only the accumulation rounds (toward zero).
+      for (std::size_t r = 0; r < kPanelWidth; ++r) {
+        a[r] = add_rz(a[r], qk * col[r]);
+      }
+    }
+  }
+}
+
+const RzDotKernel kScalar{"scalar", &dot_panel_scalar};
+
+const RzDotKernel* pick_kernel() {
+  if (const char* env = std::getenv("FASTED_RZ_KERNEL")) {
+    const std::string want(env);
+    for (const RzDotKernel* k : rz_dot_supported()) {
+      if (want == k->name) return k;
+    }
+    // Unknown or unsupported name: warn loudly so a pinned run is never
+    // silently attributed to the wrong kernel, then auto-select.
+    std::fprintf(stderr,
+                 "fasted: FASTED_RZ_KERNEL=\"%s\" is not a supported variant "
+                 "on this CPU; falling back to auto selection\n",
+                 env);
+  }
+  if (const RzDotKernel* k = rz_dot_avx512()) return k;
+  if (const RzDotKernel* k = rz_dot_avx2()) return k;
+  return &kScalar;
+}
+
+const RzDotKernel* g_override = nullptr;
+
+}  // namespace
+
+const RzDotKernel& rz_dot_scalar() { return kScalar; }
+
+const RzDotKernel& rz_dot_dispatch() {
+  if (g_override != nullptr) return *g_override;
+  static const RzDotKernel* const best = pick_kernel();
+  return *best;
+}
+
+void set_rz_dot_override(const RzDotKernel* kernel) { g_override = kernel; }
+
+std::vector<const RzDotKernel*> rz_dot_supported() {
+  std::vector<const RzDotKernel*> out{&kScalar};
+  if (const RzDotKernel* k = rz_dot_avx2()) out.push_back(k);
+  if (const RzDotKernel* k = rz_dot_avx512()) out.push_back(k);
+  return out;
+}
+
+}  // namespace fasted::kernels

@@ -1,0 +1,100 @@
+// The rz_dot kernel family: the one hot loop of the whole system.
+//
+// Every distance FaSTED produces — self-join, strip-batched join, resident
+// query join, kNN straggler sweeps — reduces to the same primitive: the
+// inner product of two FP16-exact rows accumulated in FP32 with
+// round-toward-zero, term by term, in ascending dimension order (the
+// tensor-core chain of common/rounding.hpp).  This header is the single
+// home of that primitive.
+//
+// Shape: one call evaluates a small dense block — up to kQueryBlock query
+// rows against a packed panel of kPanelWidth corpus rows — because the RZ
+// chain is a serial data dependency per pair and the only way to go faster
+// is to run many independent chains at once.  The scalar reference keeps
+// one chain per (query, corpus) cell; the AVX2/FMA variant runs the
+// kPanelWidth chains of a query as SIMD lanes (8 corpus rows per
+// instruction instead of the historical hand-unrolled 2); the AVX512
+// variant additionally collapses the round-toward-zero step into a single
+// embedded-rounding convert.  All variants are bit-identical to the
+// sequential add_rz chain for every pair — property-tested on randomized
+// dims/strides/tails in tests/core/kernels_test.cpp.
+//
+// Corpus rows are packed column-interleaved (pack_panel) so the inner loop
+// issues one contiguous aligned load per dimension; the pack is amortized
+// across every query row of a block tile, in the pre-allocated-scratch
+// spirit of the cpp-hpc-primitives exemplar (SNIPPETS.md §1).
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rounding.hpp"
+
+namespace fasted::kernels {
+
+// The epilogue combine (paper Step 3): dist^2 = -2*a + s_i + s_j in FP32,
+// applied to every rz_dot accumulator.
+inline float epilogue_dist2(float a, float si, float sj) {
+  return std::fma(-2.0f, a, si + sj);
+}
+
+// The single-pair scalar chain — the semantic definition every panel kernel
+// must reproduce lane-for-lane, and the reference the property tests use.
+inline float rz_dot_pair(const float* a, const float* b, std::size_t dims) {
+  float acc = 0.0f;
+  for (std::size_t k = 0; k < dims; ++k) {
+    // a/b hold FP16-exact values, so the float product is exact; the
+    // accumulation rounds toward zero like the tensor core.
+    acc = add_rz(acc, a[k] * b[k]);
+  }
+  return acc;
+}
+
+// Corpus rows per packed panel (SIMD lanes of one chain group).
+inline constexpr std::size_t kPanelWidth = 8;
+// Max query rows evaluated per call (independent chain groups in flight —
+// enough to hide the serial add_rz latency of a single group).
+inline constexpr std::size_t kQueryBlock = 4;
+
+// Computes acc[qi * kPanelWidth + r] = RZ-chain dot product of query row qi
+// (rows `q`, `q + q_stride`, ... for `nq` rows, 1 <= nq <= kQueryBlock)
+// with panel row r, over `dims` dimensions.  All kPanelWidth lanes are
+// produced; lanes packed from fewer than kPanelWidth rows hold the dot
+// against a zero row (exactly 0.0f).
+using RzDotPanelFn = void (*)(const float* q, std::size_t q_stride,
+                              std::size_t nq, const float* panel,
+                              std::size_t dims, float* acc);
+
+struct RzDotKernel {
+  const char* name;  // "scalar", "avx2", "avx512"
+  RzDotPanelFn dot_panel;
+};
+
+// Packs `nrows` (<= kPanelWidth) consecutive rows starting at `rows` with
+// stride `row_stride` into the column-interleaved layout
+// panel[k * kPanelWidth + r] = rows[r * row_stride + k]; lanes >= nrows are
+// zero-filled.  `panel` must hold dims * kPanelWidth floats.
+void pack_panel(const float* rows, std::size_t row_stride, std::size_t nrows,
+                std::size_t dims, float* panel);
+
+// The scalar reference (always available; the bit-exactness oracle).
+const RzDotKernel& rz_dot_scalar();
+
+// SIMD variants; nullptr when the build or the running CPU lacks support.
+const RzDotKernel* rz_dot_avx2();
+const RzDotKernel* rz_dot_avx512();
+
+// The variant the join executor uses: the widest supported one, unless
+// overridden.  The FASTED_RZ_KERNEL environment variable ("scalar", "avx2",
+// "avx512") pins the choice at first use; set_rz_dot_override() re-pins it
+// programmatically (benchmarks time scalar vs SIMD this way; not
+// thread-safe against concurrent joins).
+const RzDotKernel& rz_dot_dispatch();
+void set_rz_dot_override(const RzDotKernel* kernel);
+
+// Every variant this build + CPU can run (scalar first).
+std::vector<const RzDotKernel*> rz_dot_supported();
+
+}  // namespace fasted::kernels

@@ -1,0 +1,114 @@
+// AVX2/FMA rz_dot variant: the kPanelWidth independent RZ chains of one
+// query become the 8 lanes of a YMM accumulator.
+//
+// add_rz(a, b) is RZ(a + b) with a single rounding, computed exactly as the
+// scalar helper does (common/rounding.hpp): the double sum of two floats is
+// exact, the round-to-nearest narrowing may overshoot the magnitude by one
+// ulp, and stepping the float's bit pattern toward zero repairs it (which
+// also turns an overflowed infinity into FLT_MAX, the RZ overflow value).
+// The vector form mirrors that bit operation lane by lane, so the variant
+// is bit-identical to the scalar chain by construction — no rounding-mode
+// (MXCSR) games, deterministic under any compiler flags or sanitizers.
+//
+// This file is compiled with -mavx2 -mfma on x86-64 (see CMakeLists.txt);
+// everywhere else it degrades to a nullptr stub and dispatch stays scalar.
+
+#include "core/kernels/rz_dot.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace fasted::kernels {
+namespace {
+
+// Lane-wise add_rz: 8 chains advance one term per call.
+inline __m256 add_rz8(__m256 acc, __m256 prod) {
+  const __m256d a_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(acc));
+  const __m256d a_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(acc, 1));
+  const __m256d p_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(prod));
+  const __m256d p_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(prod, 1));
+  const __m256d s_lo = _mm256_add_pd(a_lo, p_lo);  // exact
+  const __m256d s_hi = _mm256_add_pd(a_hi, p_hi);
+  const __m128 f_lo = _mm256_cvtpd_ps(s_lo);  // round-to-nearest
+  const __m128 f_hi = _mm256_cvtpd_ps(s_hi);
+  // Overshoot mask per 64-bit lane: |RN(s)| > |s|.
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  const __m256d over_lo =
+      _mm256_cmp_pd(_mm256_and_pd(_mm256_cvtps_pd(f_lo), abs_mask),
+                    _mm256_and_pd(s_lo, abs_mask), _CMP_GT_OQ);
+  const __m256d over_hi =
+      _mm256_cmp_pd(_mm256_and_pd(_mm256_cvtps_pd(f_hi), abs_mask),
+                    _mm256_and_pd(s_hi, abs_mask), _CMP_GT_OQ);
+  // Compress each 64-bit mask to the matching 32-bit float lane (pick the
+  // low word of every mask) and add it: all-ones is -1, stepping the float
+  // bit pattern one ulp toward zero for either sign.
+  const __m256i pick = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  const __m128i m_lo = _mm256_castsi256_si128(
+      _mm256_permutevar8x32_epi32(_mm256_castpd_si256(over_lo), pick));
+  const __m128i m_hi = _mm256_castsi256_si128(
+      _mm256_permutevar8x32_epi32(_mm256_castpd_si256(over_hi), pick));
+  const __m128i r_lo = _mm_add_epi32(_mm_castps_si128(f_lo), m_lo);
+  const __m128i r_hi = _mm_add_epi32(_mm_castps_si128(f_hi), m_hi);
+  return _mm256_set_m128(_mm_castsi128_ps(r_hi), _mm_castsi128_ps(r_lo));
+}
+
+void dot_panel_avx2(const float* q, std::size_t q_stride, std::size_t nq,
+                    const float* panel, std::size_t dims, float* acc) {
+  if (nq == kQueryBlock) {
+    // Four query chains share every panel load; the independent chains keep
+    // the long add_rz8 latency chain fed.
+    const float* q0 = q;
+    const float* q1 = q + q_stride;
+    const float* q2 = q + 2 * q_stride;
+    const float* q3 = q + 3 * q_stride;
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps();
+    __m256 a3 = _mm256_setzero_ps();
+    for (std::size_t k = 0; k < dims; ++k) {
+      const __m256 col = _mm256_loadu_ps(panel + k * kPanelWidth);
+      a0 = add_rz8(a0, _mm256_mul_ps(_mm256_set1_ps(q0[k]), col));
+      a1 = add_rz8(a1, _mm256_mul_ps(_mm256_set1_ps(q1[k]), col));
+      a2 = add_rz8(a2, _mm256_mul_ps(_mm256_set1_ps(q2[k]), col));
+      a3 = add_rz8(a3, _mm256_mul_ps(_mm256_set1_ps(q3[k]), col));
+    }
+    _mm256_storeu_ps(acc, a0);
+    _mm256_storeu_ps(acc + kPanelWidth, a1);
+    _mm256_storeu_ps(acc + 2 * kPanelWidth, a2);
+    _mm256_storeu_ps(acc + 3 * kPanelWidth, a3);
+    return;
+  }
+  for (std::size_t qi = 0; qi < nq; ++qi) {
+    const float* query = q + qi * q_stride;
+    __m256 a = _mm256_setzero_ps();
+    for (std::size_t k = 0; k < dims; ++k) {
+      const __m256 col = _mm256_loadu_ps(panel + k * kPanelWidth);
+      a = add_rz8(a, _mm256_mul_ps(_mm256_set1_ps(query[k]), col));
+    }
+    _mm256_storeu_ps(acc + qi * kPanelWidth, a);
+  }
+}
+
+const RzDotKernel kAvx2{"avx2", &dot_panel_avx2};
+
+}  // namespace
+
+const RzDotKernel* rz_dot_avx2() {
+  // The TU is compiled with -mavx2 -mfma, so the compiler is licensed to
+  // emit FMA anywhere in it — require both features at runtime.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")
+             ? &kAvx2
+             : nullptr;
+}
+
+}  // namespace fasted::kernels
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace fasted::kernels {
+const RzDotKernel* rz_dot_avx2() { return nullptr; }
+}  // namespace fasted::kernels
+
+#endif

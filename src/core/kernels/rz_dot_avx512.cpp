@@ -1,0 +1,80 @@
+// AVX-512F rz_dot variant: the whole add_rz step collapses to three
+// instructions per 8 lanes.
+//
+// The chain sum of two floats is exact in double (cvtps_pd + add_pd), and
+// EVEX embedded rounding converts it back to FP32 rounding toward zero in
+// one instruction — exactly the single-rounding RZ(a + b) the scalar
+// add_rz computes, including the FLT_MAX overflow clamp, with no MXCSR
+// manipulation.  Bit-identical to the scalar chain; property-tested in
+// tests/core/kernels_test.cpp.
+//
+// Compiled with -mavx512f on x86-64 (see CMakeLists.txt); elsewhere this
+// is a nullptr stub.
+
+#include "core/kernels/rz_dot.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace fasted::kernels {
+namespace {
+
+inline __m256 add_rz8(__m256 acc, __m256 prod) {
+  const __m512d s =
+      _mm512_add_pd(_mm512_cvtps_pd(acc), _mm512_cvtps_pd(prod));  // exact
+  return _mm512_cvt_roundpd_ps(s, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+}
+
+void dot_panel_avx512(const float* q, std::size_t q_stride, std::size_t nq,
+                      const float* panel, std::size_t dims, float* acc) {
+  if (nq == kQueryBlock) {
+    const float* q0 = q;
+    const float* q1 = q + q_stride;
+    const float* q2 = q + 2 * q_stride;
+    const float* q3 = q + 3 * q_stride;
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps();
+    __m256 a3 = _mm256_setzero_ps();
+    for (std::size_t k = 0; k < dims; ++k) {
+      const __m256 col = _mm256_loadu_ps(panel + k * kPanelWidth);
+      a0 = add_rz8(a0, _mm256_mul_ps(_mm256_set1_ps(q0[k]), col));
+      a1 = add_rz8(a1, _mm256_mul_ps(_mm256_set1_ps(q1[k]), col));
+      a2 = add_rz8(a2, _mm256_mul_ps(_mm256_set1_ps(q2[k]), col));
+      a3 = add_rz8(a3, _mm256_mul_ps(_mm256_set1_ps(q3[k]), col));
+    }
+    _mm256_storeu_ps(acc, a0);
+    _mm256_storeu_ps(acc + kPanelWidth, a1);
+    _mm256_storeu_ps(acc + 2 * kPanelWidth, a2);
+    _mm256_storeu_ps(acc + 3 * kPanelWidth, a3);
+    return;
+  }
+  for (std::size_t qi = 0; qi < nq; ++qi) {
+    const float* query = q + qi * q_stride;
+    __m256 a = _mm256_setzero_ps();
+    for (std::size_t k = 0; k < dims; ++k) {
+      const __m256 col = _mm256_loadu_ps(panel + k * kPanelWidth);
+      a = add_rz8(a, _mm256_mul_ps(_mm256_set1_ps(query[k]), col));
+    }
+    _mm256_storeu_ps(acc + qi * kPanelWidth, a);
+  }
+}
+
+const RzDotKernel kAvx512{"avx512", &dot_panel_avx512};
+
+}  // namespace
+
+const RzDotKernel* rz_dot_avx512() {
+  return __builtin_cpu_supports("avx512f") ? &kAvx512 : nullptr;
+}
+
+}  // namespace fasted::kernels
+
+#else  // !__AVX512F__
+
+namespace fasted::kernels {
+const RzDotKernel* rz_dot_avx512() { return nullptr; }
+}  // namespace fasted::kernels
+
+#endif

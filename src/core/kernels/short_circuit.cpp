@@ -1,0 +1,46 @@
+#include "core/kernels/short_circuit.hpp"
+
+#include <algorithm>
+
+namespace fasted::kernels {
+
+float dist2_short_circuit_f32(const float* a, const float* b, std::size_t d,
+                              float eps2, std::size_t& dims_used) {
+  float acc = 0.0f;
+  std::size_t k = 0;
+  while (k < d) {
+    const std::size_t stop = std::min(k + 8, d);
+    for (; k < stop; ++k) {
+      const float diff = a[k] - b[k];
+      acc += diff * diff;
+    }
+    if (acc > eps2) {
+      dims_used = k;
+      return acc;
+    }
+  }
+  dims_used = d;
+  return acc;
+}
+
+double dist2_short_circuit_f64(const double* a, const double* b,
+                               std::size_t d, double eps2,
+                               std::size_t& dims_used) {
+  double acc = 0.0;
+  std::size_t k = 0;
+  while (k < d) {
+    const std::size_t stop = std::min(k + 8, d);
+    for (; k < stop; ++k) {
+      const double diff = a[k] - b[k];
+      acc += diff * diff;
+    }
+    if (acc > eps2) {
+      dims_used = k;
+      return acc;
+    }
+  }
+  dims_used = d;
+  return acc;
+}
+
+}  // namespace fasted::kernels

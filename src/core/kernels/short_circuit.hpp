@@ -1,0 +1,28 @@
+// Short-circuited candidate-verification kernels.
+//
+// The index-supported baselines (GDS-Join, MiSTIC) verify grid candidates
+// with a plain FP32/FP64 squared distance that aborts once the running sum
+// exceeds eps^2 — deliberately *different* numerics from the rz_dot family
+// (round-to-nearest difference form vs FP16 products with RZ accumulation),
+// because that is what the modeled CUDA-core kernels execute.  They live in
+// the kernel layer so every baseline verifies candidates through one shared
+// implementation, with the work counters (`dims_used`) the response-time
+// models consume.
+
+#pragma once
+
+#include <cstddef>
+
+namespace fasted::kernels {
+
+// Accumulates (a[k]-b[k])^2 in chunks of 8 dims (per-element checks would
+// defeat vectorization on the real GPU too; GDS-Join checks in chunks) and
+// returns early once the sum exceeds eps2.  `dims_used` reports how many
+// dimensions were accumulated.
+float dist2_short_circuit_f32(const float* a, const float* b, std::size_t d,
+                              float eps2, std::size_t& dims_used);
+double dist2_short_circuit_f64(const double* a, const double* b,
+                               std::size_t d, double eps2,
+                               std::size_t& dims_used);
+
+}  // namespace fasted::kernels

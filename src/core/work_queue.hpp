@@ -24,6 +24,11 @@ class WorkQueue {
             std::size_t tile_cols, int square)
       : order_(sim::dispatch_order(policy, tile_rows, tile_cols, square)) {}
 
+  // Explicit tile order (the JoinPlan layer filters policy orders, e.g. to
+  // the upper triangle of a self-join grid).
+  explicit WorkQueue(std::vector<std::pair<std::uint32_t, std::uint32_t>> order)
+      : order_(std::move(order)) {}
+
   std::size_t size() const { return order_.size(); }
 
   // Thread-safe pop; returns false when the queue is drained.

@@ -13,8 +13,12 @@ MatrixF32 uniform(std::size_t n, std::size_t d, std::uint64_t seed, float lo,
   FASTED_CHECK(n > 0 && d > 0);
   MatrixF32 m(n, d);
   parallel_for(0, n, [&](std::size_t b, std::size_t e) {
-    Rng rng(seed ^ (0x9e3779b97f4a7c15ull * (b + 1)));
     for (std::size_t i = b; i < e; ++i) {
+      // One stream per row, derived from the row index: the dataset is
+      // bit-identical for any thread count or chunking (the previous
+      // per-chunk streams made the data depend on the pool size, which
+      // FASTED_THREADS made painfully visible).
+      Rng rng(seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
       float* row = m.row(i);
       for (std::size_t k = 0; k < d; ++k) {
         row[k] = lo + (hi - lo) * rng.next_float();
@@ -36,8 +40,9 @@ MatrixF32 gaussian_mixture(std::size_t n, std::size_t d, std::uint64_t seed,
 
   MatrixF32 m(n, d);
   parallel_for(0, n, [&](std::size_t b, std::size_t e) {
-    Rng rng(seed ^ (0xda3e39cb94b95bdbull * (b + 1)));
     for (std::size_t i = b; i < e; ++i) {
+      // Per-row stream: thread-count-invariant (see uniform()).
+      Rng rng(seed ^ (0xda3e39cb94b95bdbull * (i + 1)));
       float* row = m.row(i);
       if (rng.next_double() < spec.noise_fraction) {
         for (std::size_t k = 0; k < d; ++k) {

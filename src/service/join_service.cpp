@@ -1,7 +1,6 @@
 #include "service/join_service.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -61,50 +60,22 @@ QueryJoinOutput JoinService::eps_join(const EpsQuery& request,
   FASTED_CHECK_MSG(callback != nullptr, "streaming join needs a callback");
   std::lock_guard<std::mutex> serve(serve_mutex_);
   const float eps = resolve_eps(request);
-  const float eps2 = eps * eps;
   Timer timer;
 
   const PreparedDataset queries(request.points);
   const PreparedDataset& corpus = session_->prepared();
-  const MatrixF32& q = queries.values();
-  const MatrixF32& c = corpus.values();
-  const std::vector<float>& sq = queries.norms();
-  const std::vector<float>& sc = corpus.norms();
-  const std::size_t nq = q.rows();
-  const std::size_t nc = c.rows();
+  const std::size_t nq = queries.rows();
+  const std::size_t nc = corpus.rows();
 
-  // Strip-sized work items (block_tile_m queries x the whole corpus): each
-  // strip owns its query rows, so matches stream out with no batch-wide
-  // buffer.  Streaming always runs the fast kernel — it is bit-identical to
-  // the emulated data path, so the requested ExecutionPath does not change
-  // the matches.
-  const auto strip =
-      static_cast<std::size_t>(engine_.config().block_tile_m);
-  const std::size_t nstrips = (nq + strip - 1) / strip;
-  std::atomic<std::uint64_t> pairs{0};
-  std::mutex callback_mutex;
-
-  parallel_for(0, nstrips, [&](std::size_t lo, std::size_t hi) {
-    std::vector<std::vector<QueryMatch>> rows;
-    for (std::size_t s = lo; s < hi; ++s) {
-      const std::size_t r0 = s * strip;
-      const std::size_t r1 = std::min(r0 + strip, nq);
-      rows.assign(r1 - r0, {});
-      std::uint64_t strip_pairs = 0;
-      for (std::size_t i = r0; i < r1; ++i) {
-        query_row_join(q.row(i), sq[i], c, sc, 0, nc, eps2, rows[i - r0]);
-        strip_pairs += rows[i - r0].size();
-      }
-      pairs.fetch_add(strip_pairs, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(callback_mutex);
-      for (std::size_t i = r0; i < r1; ++i) {
-        callback(i, std::span<const QueryMatch>(rows[i - r0]));
-      }
-    }
-  });
-
+  // Bounded-buffer streaming through the unified pipeline: a query_strip
+  // plan (block_tile_m queries x the whole corpus per tile) drained into a
+  // StreamingSink, so matches stream out with no batch-wide buffer.
+  // Streaming always runs the fast kernel — it is bit-identical to the
+  // emulated data path, so the requested ExecutionPath does not change the
+  // matches.
+  kernels::StreamingSink sink(callback);
   QueryJoinOutput out;
-  out.pair_count = pairs.load();
+  out.pair_count = engine_.query_join_into(queries, corpus, eps, sink);
   out.host_seconds = timer.seconds();
   out.perf = engine_.estimate_join(nq, nc, queries.dims());
   out.timing =

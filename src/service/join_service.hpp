@@ -84,9 +84,12 @@ struct ServiceStats {
 
 // Called once per query (in ascending query order within a work item; work
 // items complete in any order).  The span is only valid for the duration of
-// the call.
-using EpsMatchCallback =
-    std::function<void(std::size_t query, std::span<const QueryMatch>)>;
+// the call.  This is exactly the kernel layer's streaming-sink callback —
+// the service's streaming path is a StreamingSink over a query_strip plan.
+// The callback executes on ThreadPool workers inside the join's fork-join
+// job: it must not issue further joins or other pool-using calls (that
+// would re-enter parallel_for, which deadlocks); buffer and defer instead.
+using EpsMatchCallback = kernels::QueryMatchCallback;
 
 // Requests may be issued from any number of threads: they are admitted one
 // at a time (each request already saturates the shared ThreadPool, whose

@@ -121,5 +121,22 @@ TEST(Dbscan, RejectsZeroMinPts) {
   EXPECT_THROW(dbscan(engine, data, 0.1f, 0), CheckError);
 }
 
+
+TEST(Dbscan, PreparedDatasetOverloadMatchesAndAmortizesEpsSweeps) {
+  const auto data = two_blobs_with_noise(80, 4);
+  FastedEngine engine;
+  const PreparedDataset prepared(data);
+  // The prepared overload must agree with the direct overload at every
+  // radius of a sweep (same quantization, same join, same clustering).
+  for (float eps : {0.05f, 0.3f, 0.8f, 2.0f}) {
+    const auto direct = apps::dbscan(engine, data, eps, 3);
+    const auto amortized = apps::dbscan(engine, prepared, eps, 3);
+    EXPECT_EQ(direct.labels, amortized.labels) << eps;
+    EXPECT_EQ(direct.cluster_count, amortized.cluster_count) << eps;
+    EXPECT_EQ(direct.core_points, amortized.core_points) << eps;
+    EXPECT_EQ(direct.noise_points, amortized.noise_points) << eps;
+  }
+}
+
 }  // namespace
 }  // namespace fasted::apps

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace fasted {
@@ -120,6 +123,55 @@ TEST(ThreadPool, ChunksAreContiguousAndOrderedWithinChunk) {
     pos = e;
   }
   EXPECT_EQ(pos, 1000u);
+}
+
+
+TEST(ThreadPool, HonorsFastedThreadsEnv) {
+  // Save the incoming pin (the CI sanitize job sets FASTED_THREADS=4) so
+  // the rest of the binary keeps its reproducible pool size.
+  const char* incoming = getenv("FASTED_THREADS");
+  const std::string saved = incoming ? incoming : "";
+  // `threads == 0` consults FASTED_THREADS before hardware concurrency.
+  setenv("FASTED_THREADS", "3", 1);
+  ThreadPool pinned(0);
+  EXPECT_EQ(pinned.size(), 3u);
+  // Garbage and non-positive values fall back to hardware concurrency.
+  setenv("FASTED_THREADS", "0", 1);
+  ThreadPool zero(0);
+  EXPECT_GE(zero.size(), 1u);
+  setenv("FASTED_THREADS", "banana", 1);
+  ThreadPool garbage(0);
+  EXPECT_GE(garbage.size(), 1u);
+  unsetenv("FASTED_THREADS");
+  // Explicit counts always win.
+  setenv("FASTED_THREADS", "7", 1);
+  ThreadPool explicit_count(2);
+  EXPECT_EQ(explicit_count.size(), 2u);
+  if (incoming != nullptr) {
+    setenv("FASTED_THREADS", saved.c_str(), 1);
+  } else {
+    unsetenv("FASTED_THREADS");
+  }
+}
+
+
+TEST(ThreadPool, ConcurrentCallersEachSeeTheirOwnJobComplete) {
+  // Two fork-join jobs issued from different threads must not clobber each
+  // other's chunk state: every element of both arrays gets written exactly
+  // once.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> a(2000), b(2000);
+  auto run = [&](std::vector<std::atomic<int>>& out) {
+    pool.parallel_for(0, out.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) out[i].fetch_add(1);
+    });
+  };
+  std::thread ta([&] { for (int r = 0; r < 20; ++r) run(a); });
+  std::thread tb([&] { for (int r = 0; r < 20; ++r) run(b); });
+  ta.join();
+  tb.join();
+  for (auto& h : a) EXPECT_EQ(h.load(), 20);
+  for (auto& h : b) EXPECT_EQ(h.load(), 20);
 }
 
 }  // namespace

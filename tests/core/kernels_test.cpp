@@ -1,0 +1,183 @@
+// The unified execution layer's contracts:
+//  * every rz_dot variant (scalar, AVX2, AVX512 — whichever this CPU runs)
+//    is bit-identical to the sequential add_rz chain on randomized
+//    dims/strides/tail widths/query counts,
+//  * pack_panel zero-fills tail lanes,
+//  * the three ResultSinks (count-only, CSR, streaming) agree pair-for-pair
+//    through the public join APIs, on both kernel paths.
+
+#include "core/kernels/rz_dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/fp16.hpp"
+#include "common/rng.hpp"
+#include "core/fasted.hpp"
+#include "core/kernels/result_sink.hpp"
+#include "data/calibrate.hpp"
+#include "data/generators.hpp"
+
+namespace fasted {
+namespace {
+
+using kernels::kPanelWidth;
+using kernels::kQueryBlock;
+
+// FP16-exact value streams, like every input the pipeline ever sees.
+std::vector<float> fp16_exact_values(Rng& rng, std::size_t count,
+                                     double magnitude) {
+  std::vector<float> out(count);
+  for (auto& v : out) {
+    v = quantize_fp16(static_cast<float>(rng.uniform(-magnitude, magnitude)));
+  }
+  return out;
+}
+
+TEST(RzDotKernels, AllVariantsMatchScalarChainOnRandomizedShapes) {
+  Rng rng(2025);
+  const auto kernels_list = kernels::rz_dot_supported();
+  ASSERT_GE(kernels_list.size(), 1u);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t dims = 1 + rng.next_u64() % 130;
+    const std::size_t stride = dims + rng.next_u64() % 9;  // padded rows
+    const std::size_t nrows = 1 + rng.next_u64() % kPanelWidth;
+    const std::size_t nq = 1 + rng.next_u64() % kQueryBlock;
+    // Mostly unit-scale data; occasionally large magnitudes so the RZ
+    // overshoot/overflow repair path is exercised in every lane.
+    const double mag = trial % 7 == 0 ? 6.0e4 : 2.0;
+
+    const auto corpus = fp16_exact_values(rng, nrows * stride, mag);
+    const auto queries = fp16_exact_values(rng, nq * stride, mag);
+
+    std::vector<float> panel(dims * kPanelWidth);
+    kernels::pack_panel(corpus.data(), stride, nrows, dims, panel.data());
+
+    for (const kernels::RzDotKernel* kern : kernels_list) {
+      std::vector<float> acc(nq * kPanelWidth, -1.0f);
+      kern->dot_panel(queries.data(), stride, nq, panel.data(), dims,
+                      acc.data());
+      for (std::size_t qi = 0; qi < nq; ++qi) {
+        for (std::size_t r = 0; r < kPanelWidth; ++r) {
+          const float expect =
+              r < nrows ? kernels::rz_dot_pair(queries.data() + qi * stride,
+                                               corpus.data() + r * stride, dims)
+                        : 0.0f;
+          const float got = acc[qi * kPanelWidth + r];
+          ASSERT_EQ(std::bit_cast<std::uint32_t>(expect),
+                    std::bit_cast<std::uint32_t>(got))
+              << kern->name << " trial " << trial << " dims " << dims
+              << " stride " << stride << " nrows " << nrows << " q " << qi
+              << " lane " << r << " expect " << expect << " got " << got;
+        }
+      }
+    }
+  }
+}
+
+TEST(RzDotKernels, PackPanelZeroFillsTailLanes) {
+  const std::size_t dims = 5;
+  std::vector<float> rows(3 * dims);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = static_cast<float>(i + 1);
+  }
+  std::vector<float> panel(dims * kPanelWidth, -7.0f);
+  kernels::pack_panel(rows.data(), dims, 3, dims, panel.data());
+  for (std::size_t k = 0; k < dims; ++k) {
+    for (std::size_t r = 0; r < kPanelWidth; ++r) {
+      const float v = panel[k * kPanelWidth + r];
+      if (r < 3) {
+        EXPECT_EQ(v, rows[r * dims + k]);
+      } else {
+        EXPECT_EQ(v, 0.0f);
+      }
+    }
+  }
+}
+
+TEST(RzDotKernels, DispatchReportsAKnownVariant) {
+  const kernels::RzDotKernel& k = kernels::rz_dot_dispatch();
+  bool found = false;
+  for (const kernels::RzDotKernel* s : kernels::rz_dot_supported()) {
+    if (s == &k) found = true;
+  }
+  EXPECT_TRUE(found) << k.name;
+}
+
+TEST(RzDotKernels, ScalarOverrideReproducesDispatchedJoinExactly) {
+  // End-to-end scalar-vs-SIMD equivalence: the whole self-join result set
+  // must be identical whichever variant runs.
+  const auto data = data::uniform(400, 40, 77);
+  FastedEngine engine;
+  const auto dispatched = engine.self_join(data, 1.1f);
+  kernels::set_rz_dot_override(&kernels::rz_dot_scalar());
+  const auto scalar = engine.self_join(data, 1.1f);
+  kernels::set_rz_dot_override(nullptr);
+  ASSERT_EQ(dispatched.pair_count, scalar.pair_count);
+  EXPECT_EQ(dispatched.result.offsets(), scalar.result.offsets());
+  EXPECT_EQ(dispatched.result.neighbors(), scalar.result.neighbors());
+}
+
+TEST(ResultSinks, CountCsrAndStreamingAgreePairForPair) {
+  const auto corpus_data = data::uniform(700, 24, 91);
+  const auto query_data = data::uniform(233, 24, 92);
+  const float eps = data::calibrate_epsilon(corpus_data, 24.0).eps;
+  FastedEngine engine;
+  const PreparedDataset corpus(corpus_data);
+  const PreparedDataset queries(query_data);
+
+  // CSR sink (build_result) vs count-only sink.
+  JoinOptions count_only;
+  count_only.build_result = false;
+  const auto csr = engine.query_join(queries, corpus, eps);
+  const auto counted = engine.query_join(queries, corpus, eps, count_only);
+  EXPECT_EQ(csr.pair_count, counted.pair_count);
+  EXPECT_EQ(counted.result.num_queries(), 0u);
+
+  // Streaming sink: every query delivered exactly once, matches identical
+  // to the CSR rows (ids and distances).
+  std::map<std::size_t, std::vector<QueryMatch>> streamed;
+  kernels::StreamingSink sink(
+      [&](std::size_t q, std::span<const QueryMatch> matches) {
+        ASSERT_EQ(streamed.count(q), 0u) << "query delivered twice";
+        streamed[q].assign(matches.begin(), matches.end());
+      });
+  const std::uint64_t stream_pairs =
+      engine.query_join_into(queries, corpus, eps, sink);
+  EXPECT_EQ(stream_pairs, csr.pair_count);
+  ASSERT_EQ(streamed.size(), queries.rows());
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    const auto expect = csr.result.matches_of(q);
+    const auto& got = streamed[q];
+    ASSERT_EQ(got.size(), expect.size()) << q;
+    for (std::size_t r = 0; r < expect.size(); ++r) {
+      EXPECT_EQ(got[r].id, expect[r].id) << q;
+      EXPECT_EQ(got[r].dist2, expect[r].dist2) << q;
+    }
+  }
+}
+
+TEST(ResultSinks, SelfJoinCountMatchesCsrOnBothPaths) {
+  const auto data = data::uniform(300, 32, 93);
+  FastedEngine engine;
+  for (const ExecutionPath path :
+       {ExecutionPath::kFast, ExecutionPath::kEmulated}) {
+    JoinOptions with_result;
+    with_result.path = path;
+    JoinOptions count_only = with_result;
+    count_only.build_result = false;
+    const auto a = engine.self_join(data, 1.0f, with_result);
+    const auto b = engine.self_join(data, 1.0f, count_only);
+    EXPECT_EQ(a.pair_count, b.pair_count);
+    EXPECT_EQ(a.result.pair_count(), a.pair_count);
+    EXPECT_EQ(b.result.num_points(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fasted
