@@ -1,8 +1,11 @@
 // Join-throughput tracker: scalar vs SIMD rz_dot through the unified
 // executor, on the two serving-relevant workloads — the full self-join and
-// the corpus-resident query join.  Emits machine-readable BENCH_join.json
-// (pairs/s and distance-evaluations/s per kernel variant) so the perf
-// trajectory is tracked across PRs.
+// the corpus-resident query join — plus the sharded configurations (same
+// joins through per-shard plan composition + merging sinks, per shard
+// count).  Emits machine-readable BENCH_join.json (pairs/s and
+// distance-evaluations/s per variant) so the perf trajectory is tracked
+// across PRs; CI gates regressions against BENCH_baseline.json with
+// tools/check_bench_regression.py.
 //
 //   bench_join_throughput [corpus_n] [dims] [query_batch] [reps]
 //                         (defaults 4096 64 1024 3)
@@ -11,6 +14,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -131,6 +136,33 @@ int main(int argc, char** argv) {
   std::printf("\nspeedup (%s over scalar): self-join %.2fx, query-join %.2fx\n",
               simd.name, self_speedup, query_speedup);
 
+  // Sharded configurations: the same joins through per-shard plan
+  // composition (triangular + shard-pair rectangular for self, rectangular
+  // per shard for query), per shard count, on the dispatched kernel.  The
+  // deltas vs 1 shard are the cost of shard composition itself — results
+  // are bit-identical, so pairs/s is directly comparable.
+  std::printf("\n");
+  const std::size_t shard_counts[] = {1, 2, 4};
+  std::vector<std::pair<std::size_t, Measurement>> sharded_self;
+  std::vector<std::pair<std::size_t, Measurement>> sharded_query;
+  for (const std::size_t shards : shard_counts) {
+    const PreparedShards set = prepare_shards(corpus_data, shards);
+    const std::span<const CorpusShardView> views = set.span();
+    char label[32];
+    std::snprintf(label, sizeof label, "self/s=%zu", shards);
+    const Measurement ms = measure(simd.name, self_evals, reps, [&] {
+      return engine.self_join(views, eps, count_only).pair_count;
+    });
+    print_row(label, ms);
+    sharded_self.emplace_back(shards, ms);
+    std::snprintf(label, sizeof label, "query/s=%zu", shards);
+    const Measurement mq = measure(simd.name, query_evals, reps, [&] {
+      return engine.query_join(queries, views, eps, count_only).pair_count;
+    });
+    print_row(label, mq);
+    sharded_query.emplace_back(shards, mq);
+  }
+
   FILE* f = std::fopen("BENCH_join.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_join.json\n");
@@ -149,7 +181,21 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"query_join\": {\n");
   json_entry(f, "scalar", query_scalar);
   json_entry(f, "simd", query_simd);
-  std::fprintf(f, "    \"speedup\": %.3f\n  }\n", query_speedup);
+  std::fprintf(f, "    \"speedup\": %.3f\n  },\n", query_speedup);
+  std::fprintf(f, "  \"sharded_self_join\": {\n");
+  for (std::size_t i = 0; i < sharded_self.size(); ++i) {
+    char label[32];
+    std::snprintf(label, sizeof label, "shards_%zu", sharded_self[i].first);
+    json_entry(f, label, sharded_self[i].second);
+  }
+  std::fprintf(f, "    \"shard_counts\": %zu\n  },\n", sharded_self.size());
+  std::fprintf(f, "  \"sharded_query_join\": {\n");
+  for (std::size_t i = 0; i < sharded_query.size(); ++i) {
+    char label[32];
+    std::snprintf(label, sizeof label, "shards_%zu", sharded_query[i].first);
+    json_entry(f, label, sharded_query[i].second);
+  }
+  std::fprintf(f, "    \"shard_counts\": %zu\n  }\n", sharded_query.size());
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_join.json\n");

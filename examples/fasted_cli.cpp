@@ -10,6 +10,15 @@
 // externally generated query points.
 //
 //   fasted_cli --n 10000 --queries 256 --serve-batches 8 --selectivity 64
+//
+// Sharded service (--shards N splits the resident corpus N ways; results
+// are bit-identical to the 1-shard session).  --ingest-fraction F starts
+// the session with the first F*n rows and appends the remainder between
+// batches — the append-driven serve mode — with a per-shard skew table at
+// the end:
+//
+//   fasted_cli --n 10000 --queries 256 --serve-batches 8 --shards 4 \
+//              --ingest-fraction 0.5
 
 #include <chrono>
 #include <cstdio>
@@ -17,6 +26,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "baselines/gds_join.hpp"
 #include "baselines/mistic_join.hpp"
@@ -28,6 +38,7 @@
 #include "data/registry.hpp"
 #include "service/corpus_session.hpp"
 #include "service/join_service.hpp"
+#include "service/sharded_corpus.hpp"
 
 using namespace fasted;
 
@@ -45,6 +56,8 @@ struct Args {
   double selectivity = 64.0;
   std::size_t queries = 0;        // > 0 switches to service mode
   std::size_t serve_batches = 1;  // query batches served per session
+  std::size_t shards = 0;         // > 0: ShardedCorpus with N-way split
+  double ingest_fraction = 1.0;   // < 1: append the rest between batches
 };
 
 void usage() {
@@ -61,7 +74,11 @@ void usage() {
       "  --save-result F  save the FaSTED result set\n"
       "  --queries N      service mode: serve batches of N query points\n"
       "                   against the resident dataset (skips --algo)\n"
-      "  --serve-batches B  number of query batches to serve (default 1)\n");
+      "  --serve-batches B  number of query batches to serve (default 1)\n"
+      "  --shards N       serve from a ShardedCorpus split N ways\n"
+      "                   (bit-identical results; also shards --algo fasted)\n"
+      "  --ingest-fraction F  start the service with the first F*n rows and\n"
+      "                   append the rest between batches (needs --shards)\n");
 }
 
 bool parse(int argc, char** argv, Args& args) {
@@ -94,6 +111,10 @@ bool parse(int argc, char** argv, Args& args) {
       args.queries = std::stoull(v);
     } else if (flag == "--serve-batches" && (v = next())) {
       args.serve_batches = std::stoull(v);
+    } else if (flag == "--shards" && (v = next())) {
+      args.shards = std::stoull(v);
+    } else if (flag == "--ingest-fraction" && (v = next())) {
+      args.ingest_fraction = std::stod(v);
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -132,6 +153,31 @@ MatrixF32 make_query_batch(const Args& args, const MatrixF32& corpus,
   return data::uniform(args.queries, corpus.dims(), seed);
 }
 
+void print_shard_table(service::ShardedCorpus& corpus,
+                       const std::vector<std::uint64_t>& shard_pairs) {
+  const auto infos = corpus.shard_infos();
+  std::printf("per-shard stats (skew view):\n");
+  std::printf("  %-6s %-10s %-8s %-7s %-6s %-7s %s\n", "shard", "base",
+              "rows", "state", "grids", "calib", "pairs(last batch)");
+  for (std::size_t s = 0; s < infos.size(); ++s) {
+    const auto& info = infos[s];
+    std::printf("  %-6zu %-10zu %-8zu %-7s %-6zu %-7zu %llu\n", s, info.base,
+                info.rows, info.sealed ? "sealed" : "open", info.grid_entries,
+                info.calibration_blocks,
+                s < shard_pairs.size()
+                    ? static_cast<unsigned long long>(shard_pairs[s])
+                    : 0ull);
+  }
+  const auto stats = corpus.stats();
+  std::printf("  appends=%llu rows_appended=%llu seals=%llu open_rebuilds=%llu "
+              "calib_blocks_built=%llu\n",
+              static_cast<unsigned long long>(stats.appends),
+              static_cast<unsigned long long>(stats.rows_appended),
+              static_cast<unsigned long long>(stats.shards_sealed),
+              static_cast<unsigned long long>(stats.open_rebuilds),
+              static_cast<unsigned long long>(stats.calibration_blocks_built));
+}
+
 int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
   using Clock = std::chrono::steady_clock;
   if (!args.save_result.empty()) {
@@ -139,27 +185,70 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
                  "warning: --save-result is not supported in service mode; "
                  "ignoring\n");
   }
-  std::printf("service mode: corpus resident, %zu queries/batch x %zu "
+  const bool sharded = args.shards > 0;
+  if (!sharded && args.ingest_fraction < 1.0) {
+    std::fprintf(stderr,
+                 "warning: --ingest-fraction needs --shards; serving the "
+                 "whole corpus up front\n");
+  }
+
+  // Incremental ingest plan: start with the first `initial` rows, append
+  // the remainder in one slice per served batch.
+  const std::size_t n = points.rows();
+  std::size_t initial = n;
+  if (sharded && args.ingest_fraction < 1.0 && args.ingest_fraction > 0.0) {
+    initial = std::max<std::size_t>(
+        1, static_cast<std::size_t>(args.ingest_fraction *
+                                    static_cast<double>(n)));
+  }
+  std::printf("service mode: corpus resident%s, %zu queries/batch x %zu "
               "batches, eps=%.5g\n",
-              args.queries, args.serve_batches, eps);
+              sharded ? " (sharded)" : "", args.queries, args.serve_batches,
+              eps);
 
   const auto ingest_start = Clock::now();
-  auto session = std::make_shared<service::CorpusSession>(MatrixF32(points));
-  service::JoinService svc(std::move(session));
+  std::shared_ptr<service::ShardedCorpus> corpus;
+  std::optional<service::JoinService> svc;
+  if (sharded) {
+    service::ShardedCorpusOptions copts;
+    // Capacity from the FULL corpus size so the append-driven session seals
+    // shards at the same boundaries a bulk N-way split would.
+    copts.shard_capacity = (n + args.shards - 1) / args.shards;
+    corpus = std::make_shared<service::ShardedCorpus>(
+        row_slice(points, 0, initial), copts);
+    svc.emplace(corpus);
+  } else {
+    svc.emplace(std::make_shared<service::CorpusSession>(MatrixF32(points)));
+  }
   const double ingest_s =
       std::chrono::duration<double>(Clock::now() - ingest_start).count();
-  std::printf("ingest: FP16 + norms prepared in %.3f s (paid once)\n",
-              ingest_s);
+  std::printf("ingest: FP16 + norms prepared for %zu/%zu rows in %.3f s\n",
+              initial, n, ingest_s);
 
   double host_s = 0;
   double modeled_s = 0;
+  std::size_t resident = initial;
+  std::vector<std::uint64_t> last_shard_pairs;
   for (std::size_t b = 0; b < args.serve_batches; ++b) {
+    // Append-driven growth: one slice of the held-back rows per batch, so
+    // the session serves while the corpus fills toward its final size.
+    if (resident < n) {
+      const std::size_t remaining_batches = args.serve_batches - b;
+      const std::size_t take = std::max<std::size_t>(
+          1, (n - resident + remaining_batches - 1) / remaining_batches);
+      const std::size_t end = std::min(n, resident + take);
+      corpus->append(row_slice(points, resident, end));
+      std::printf("appended rows [%zu, %zu): %zu shards resident\n", resident,
+                  end, corpus->shard_count());
+      resident = end;
+    }
     service::EpsQuery request;
     request.points = make_query_batch(args, points, b);
     request.eps = eps;
-    const auto out = svc.eps_join(request);
+    const auto out = svc->eps_join(request);
     host_s += out.host_seconds;
     modeled_s += out.timing.total_s();
+    last_shard_pairs = out.shard_pairs;
     std::printf("batch %-3zu pairs=%-12llu modeled A100=%.6f s   host=%.3f s"
                 "   (%zu x %zu block tiles)\n",
                 b, static_cast<unsigned long long>(out.pair_count),
@@ -167,7 +256,7 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
                 out.perf.corpus_tiles);
   }
 
-  const auto stats = svc.stats();
+  const auto stats = svc->stats();
   const double served = static_cast<double>(stats.queries);
   std::printf("served %llu queries in %llu batches: %llu pairs\n",
               static_cast<unsigned long long>(stats.queries),
@@ -178,6 +267,7 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
                 "A100 (corpus legs amortized)\n",
                 served / host_s, served / modeled_s);
   }
+  if (sharded) print_shard_table(*corpus, last_shard_pairs);
   return 0;
 }
 
@@ -217,7 +307,17 @@ int main(int argc, char** argv) {
   const bool all = args.algo == "all";
   if (all || args.algo == "fasted") {
     FastedEngine engine;
-    const auto out = engine.self_join(points, eps);
+    // --shards N runs the sharded plan composition (per-shard triangular +
+    // shard-pair rectangular tiles); results are bit-identical to the
+    // monolithic self-join.
+    JoinOutput out;
+    if (args.shards > 1) {
+      const PreparedShards set = prepare_shards(points, args.shards);
+      out = engine.self_join(set.span(), eps);
+      std::printf("sharded self-join: %zu shards\n", set.views.size());
+    } else {
+      out = engine.self_join(points, eps);
+    }
     report("FaSTED", out.pair_count, out.result.selectivity(),
            out.timing.total_s(), out.host_seconds);
     std::printf("           kernel %.1f TFLOPS at %.2f GHz\n",

@@ -1,10 +1,12 @@
 #include "apps/knn.hpp"
 
 #include <memory>
+#include <optional>
 
 #include "common/check.hpp"
 #include "service/corpus_session.hpp"
 #include "service/join_service.hpp"
+#include "service/sharded_corpus.hpp"
 
 namespace fasted::apps {
 
@@ -16,16 +18,24 @@ KnnResult knn_all(const FastedEngine& engine, const MatrixF32& data,
   const std::size_t n = data.rows();
   FASTED_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < |D|");
 
-  auto session = std::make_shared<service::CorpusSession>(data);
-  service::JoinService svc(std::move(session), engine);
+  std::optional<service::JoinService> svc;
+  if (options.shards > 1) {
+    service::ShardedCorpusOptions copts;
+    copts.shards = options.shards;
+    svc.emplace(std::make_shared<service::ShardedCorpus>(MatrixF32(data),
+                                                         copts),
+                engine);
+  } else {
+    svc.emplace(std::make_shared<service::CorpusSession>(data), engine);
+  }
 
   service::KnnOptions sopts;
   sopts.initial_growth = options.initial_growth;
   sopts.radius_growth = options.radius_growth;
   sopts.max_rounds = options.max_rounds;
-  // knn_corpus reuses the session's prepared corpus as the query batch —
+  // knn_corpus reuses the backend's prepared corpus as the query batch —
   // no second copy or quantization pass.
-  const service::KnnBatchResult batch = svc.knn_corpus(k + 1, sopts);
+  const service::KnnBatchResult batch = svc->knn_corpus(k + 1, sopts);
 
   KnnResult result;
   result.k = k;

@@ -40,6 +40,11 @@ struct KnnOptions {
   double initial_growth = 3.0;  // initial selectivity target = growth * k
   double radius_growth = 1.6;   // eps multiplier between rounds
   int max_rounds = 8;
+  // > 1 serves the corpus from a ShardedCorpus split this many ways; the
+  // results are bit-identical to the single-session default (the service's
+  // shard-count invariance), so this is a deployment knob, not a quality
+  // trade.
+  std::size_t shards = 1;
 };
 
 // Exact k-NN (w.r.t. the FP16-32 pipeline distance) for every point of the

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -73,6 +74,17 @@ class Matrix {
 using MatrixF32 = Matrix<float>;
 using MatrixF64 = Matrix<double>;
 using MatrixF16 = Matrix<Fp16>;
+
+// Rows [begin, end) of a matrix, copied into a fresh matrix of the same
+// dims (and therefore the same stride — both sides of every slice copy in
+// the codebase rely on that).
+template <typename T>
+Matrix<T> row_slice(const Matrix<T>& m, std::size_t begin, std::size_t end) {
+  assert(begin < end && end <= m.rows());
+  Matrix<T> out(end - begin, m.dims());
+  std::copy_n(m.row(begin), (end - begin) * m.stride(), out.row(0));
+  return out;
+}
 
 // FP32 -> FP16 dataset conversion (round-to-nearest-even), keeping layout.
 MatrixF16 to_fp16(const MatrixF32& m);

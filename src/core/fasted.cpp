@@ -45,6 +45,24 @@ FastedEngine::FastedEngine(FastedConfig config) : config_(std::move(config)) {
   config_.validate();
 }
 
+PreparedShards prepare_shards(const MatrixF32& data, std::size_t shards) {
+  FASTED_CHECK_MSG(data.rows() > 0, "empty dataset");
+  FASTED_CHECK_MSG(shards >= 1, "need at least one shard");
+  PreparedShards out;
+  const std::size_t n = data.rows();
+  const std::size_t chunk = (n + shards - 1) / shards;
+  out.prepared.reserve((n + chunk - 1) / chunk);
+  for (std::size_t base = 0; base < n; base += chunk) {
+    out.prepared.emplace_back(
+        row_slice(data, base, std::min(base + chunk, n)));
+  }
+  for (std::size_t s = 0, base = 0; s < out.prepared.size(); ++s) {
+    out.views.push_back(CorpusShardView{&out.prepared[s], base});
+    base += out.prepared[s].rows();
+  }
+  return out;
+}
+
 PreparedDataset::PreparedDataset(const MatrixF32& data)
     : fp16_(to_fp16(data)),
       dequant_(to_fp32(fp16_)),
@@ -87,31 +105,126 @@ kernels::JoinInputs join_inputs(const PreparedDataset& queries,
   return in;
 }
 
-// Self-join through the unified pipeline: a triangular JoinPlan emits the
-// strict upper triangle once (fast rz_dot kernels or the emulated
-// block-tile data path — bit-identical by construction), the sink mirrors,
-// and the count recovers the mirrored half plus the n always-within-eps
-// self pairs.
+// Validates a shard span — non-empty shards, contiguous global bases — and
+// returns the total logical row count.
+std::size_t sharded_rows(std::span<const CorpusShardView> shards) {
+  FASTED_CHECK_MSG(!shards.empty(), "empty corpus shard span");
+  std::size_t n = 0;
+  for (const CorpusShardView& s : shards) {
+    FASTED_CHECK_MSG(s.prepared != nullptr && s.prepared->rows() > 0,
+                     "empty corpus shard");
+    FASTED_CHECK_MSG(s.base == n,
+                     "corpus shards must be contiguous in global row order");
+    n += s.prepared->rows();
+  }
+  return n;
+}
+
+// A composed sharded plan set: the plans own the tile queues, the entries
+// point at them (entries are built only after `plans` stops growing).
+struct ShardedPlanSet {
+  std::vector<kernels::JoinPlan> plans;
+  std::vector<kernels::ShardJoin> entries;
+
+  std::span<kernels::ShardJoin> span() {
+    return {entries.data(), entries.size()};
+  }
+};
+
+// One rectangular (or full-shard-width query_strip) plan per corpus shard.
+ShardedPlanSet compose_query_plans(const FastedConfig& cfg,
+                                   const PreparedDataset& queries,
+                                   std::span<const CorpusShardView> shards,
+                                   bool strip) {
+  ShardedPlanSet set;
+  set.plans.reserve(shards.size());
+  set.entries.reserve(shards.size());
+  for (const CorpusShardView& s : shards) {
+    const std::size_t nc = s.prepared->rows();
+    set.plans.push_back(
+        strip ? kernels::JoinPlan::query_strip(cfg, queries.rows(), nc)
+              : kernels::JoinPlan::rectangular(cfg, queries.rows(), nc));
+  }
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    kernels::ShardJoin entry;
+    entry.plan = &set.plans[i];
+    entry.in = join_inputs(queries, *shards[i].prepared);
+    entry.corpus_offset = shards[i].base;
+    entry.shard = i;
+    set.entries.push_back(entry);
+  }
+  return set;
+}
+
+// Sharded self-join decomposition: a triangular plan per shard (diagonal
+// blocks, emitting j > i within the shard) plus a rectangular plan per
+// shard pair a < b (off-diagonal blocks; every global pair there has
+// query id < corpus id because bases ascend).  Together the entries cover
+// the global strict upper triangle exactly once.
+ShardedPlanSet compose_self_plans(const FastedConfig& cfg,
+                                  std::span<const CorpusShardView> shards) {
+  ShardedPlanSet set;
+  const std::size_t k = shards.size();
+  set.plans.reserve(k + k * (k - 1) / 2);
+  set.entries.reserve(set.plans.capacity());
+  for (const CorpusShardView& s : shards) {
+    set.plans.push_back(
+        kernels::JoinPlan::triangular_self(cfg, s.prepared->rows()));
+  }
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a + 1; b < k; ++b) {
+      set.plans.push_back(kernels::JoinPlan::rectangular(
+          cfg, shards[a].prepared->rows(), shards[b].prepared->rows()));
+    }
+  }
+  std::size_t p = 0;
+  for (std::size_t a = 0; a < k; ++a, ++p) {
+    kernels::ShardJoin entry;
+    entry.plan = &set.plans[p];
+    entry.in = join_inputs(*shards[a].prepared, *shards[a].prepared);
+    entry.query_offset = shards[a].base;
+    entry.corpus_offset = shards[a].base;
+    entry.shard = a;
+    set.entries.push_back(entry);
+  }
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a + 1; b < k; ++b, ++p) {
+      kernels::ShardJoin entry;
+      entry.plan = &set.plans[p];
+      entry.in = join_inputs(*shards[a].prepared, *shards[b].prepared);
+      entry.query_offset = shards[a].base;
+      entry.corpus_offset = shards[b].base;
+      entry.shard = b;  // hits attributed to the corpus-side shard
+      set.entries.push_back(entry);
+    }
+  }
+  return set;
+}
+
+// Self-join through the unified pipeline: the composed plans emit the
+// global strict upper triangle once (fast rz_dot kernels or the emulated
+// block-tile data path — bit-identical by construction), the sink mirrors
+// (across shard boundaries like any other pair), and the count recovers
+// the mirrored half plus the n always-within-eps self pairs.
 JoinOutput run_self_join(const FastedConfig& cfg,
-                         const PreparedDataset& prepared, float eps2,
+                         std::span<const CorpusShardView> shards, float eps2,
                          const JoinOptions& options) {
-  const std::size_t n = prepared.rows();
+  const std::size_t n = sharded_rows(shards);
   const bool emulated = options.path == ExecutionPath::kEmulated;
-  kernels::JoinPlan plan = kernels::JoinPlan::triangular_self(cfg, n);
-  const kernels::JoinInputs in = join_inputs(prepared, prepared);
+  ShardedPlanSet set = compose_self_plans(cfg, shards);
 
   JoinOutput out;
   if (options.build_result) {
     kernels::SelfJoinCsrSink sink(n, /*mirror=*/true);
     const std::uint64_t hits =
-        kernels::execute_join(cfg, plan, in, eps2, emulated, sink);
+        kernels::execute_join(cfg, set.span(), eps2, emulated, sink);
     out.pair_count = 2 * hits + n;
     out.result = sink.finalize();
     FASTED_CHECK(out.result.pair_count() == out.pair_count);
   } else {
     kernels::CountSink sink;
     const std::uint64_t hits =
-        kernels::execute_join(cfg, plan, in, eps2, emulated, sink);
+        kernels::execute_join(cfg, set.span(), eps2, emulated, sink);
     out.pair_count = 2 * hits + n;
   }
   return out;
@@ -164,32 +277,44 @@ QueryJoinOutput FastedEngine::query_join(const PreparedDataset& queries,
                                          const PreparedDataset& corpus,
                                          float eps,
                                          const JoinOptions& options) const {
-  FASTED_CHECK_MSG(queries.rows() > 0 && corpus.rows() > 0, "empty input");
-  FASTED_CHECK_MSG(queries.dims() == corpus.dims(),
+  const CorpusShardView whole{&corpus, 0};
+  return query_join(queries, std::span<const CorpusShardView>(&whole, 1), eps,
+                    options);
+}
+
+QueryJoinOutput FastedEngine::query_join(const PreparedDataset& queries,
+                                         std::span<const CorpusShardView> shards,
+                                         float eps,
+                                         const JoinOptions& options) const {
+  FASTED_CHECK_MSG(queries.rows() > 0, "empty query batch");
+  const std::size_t nc = sharded_rows(shards);
+  FASTED_CHECK_MSG(queries.dims() == shards.front().prepared->dims(),
                    "query/corpus dimensionality mismatch");
   FASTED_CHECK_MSG(eps >= 0, "negative search radius");
   Timer timer;
 
   const bool emulated = options.path == ExecutionPath::kEmulated;
-  kernels::JoinPlan plan =
-      kernels::JoinPlan::rectangular(config_, queries.rows(), corpus.rows());
-  const kernels::JoinInputs in = join_inputs(queries, corpus);
+  ShardedPlanSet set =
+      compose_query_plans(config_, queries, shards, /*strip=*/false);
 
   QueryJoinOutput out;
+  out.shard_pairs.assign(shards.size(), 0);
   if (options.build_result) {
     kernels::QueryJoinCsrSink sink(queries.rows());
-    out.pair_count =
-        kernels::execute_join(config_, plan, in, eps * eps, emulated, sink);
+    out.pair_count = kernels::execute_join(config_, set.span(), eps * eps,
+                                           emulated, sink,
+                                           out.shard_pairs.data());
     out.result = sink.finalize();
   } else {
     kernels::CountSink sink;
-    out.pair_count =
-        kernels::execute_join(config_, plan, in, eps * eps, emulated, sink);
+    out.pair_count = kernels::execute_join(config_, set.span(), eps * eps,
+                                           emulated, sink,
+                                           out.shard_pairs.data());
   }
   out.host_seconds = timer.seconds();
-  out.perf = estimate_join(queries.rows(), corpus.rows(), queries.dims());
-  out.timing = model_query_response_time(queries.rows(), corpus.rows(),
-                                         queries.dims(), out.pair_count);
+  out.perf = estimate_join(queries.rows(), nc, queries.dims());
+  out.timing = model_query_response_time(queries.rows(), nc, queries.dims(),
+                                         out.pair_count);
   return out;
 }
 
@@ -209,15 +334,25 @@ std::uint64_t FastedEngine::query_join_into(const PreparedDataset& queries,
                                             const PreparedDataset& corpus,
                                             float eps,
                                             kernels::ResultSink& sink) const {
-  FASTED_CHECK_MSG(queries.rows() > 0 && corpus.rows() > 0, "empty input");
-  FASTED_CHECK_MSG(queries.dims() == corpus.dims(),
+  const CorpusShardView whole{&corpus, 0};
+  return query_join_into(queries, std::span<const CorpusShardView>(&whole, 1),
+                         eps, sink);
+}
+
+std::uint64_t FastedEngine::query_join_into(
+    const PreparedDataset& queries, std::span<const CorpusShardView> shards,
+    float eps, kernels::ResultSink& sink) const {
+  FASTED_CHECK_MSG(queries.rows() > 0, "empty query batch");
+  sharded_rows(shards);
+  FASTED_CHECK_MSG(queries.dims() == shards.front().prepared->dims(),
                    "query/corpus dimensionality mismatch");
   FASTED_CHECK_MSG(eps >= 0, "negative search radius");
-  // Full-corpus-width tiles so per-tile sinks see each query complete.
-  kernels::JoinPlan plan =
-      kernels::JoinPlan::query_strip(config_, queries.rows(), corpus.rows());
-  return kernels::execute_join(config_, plan, join_inputs(queries, corpus),
-                               eps * eps, /*emulated=*/false, sink);
+  // Full-shard-width tiles so per-tile sinks see each query complete once
+  // per shard (a merging sink reassembles the shards per query strip).
+  ShardedPlanSet set =
+      compose_query_plans(config_, queries, shards, /*strip=*/true);
+  return kernels::execute_join(config_, set.span(), eps * eps,
+                               /*emulated=*/false, sink);
 }
 
 JoinOutput FastedEngine::self_join(const MatrixF32& data, float eps,
@@ -231,14 +366,22 @@ JoinOutput FastedEngine::self_join(const MatrixF32& data, float eps,
 JoinOutput FastedEngine::self_join(const PreparedDataset& prepared, float eps,
                                    const JoinOptions& options) const {
   FASTED_CHECK_MSG(prepared.rows() > 0, "empty dataset");
+  const CorpusShardView whole{&prepared, 0};
+  return self_join(std::span<const CorpusShardView>(&whole, 1), eps, options);
+}
+
+JoinOutput FastedEngine::self_join(std::span<const CorpusShardView> shards,
+                                   float eps,
+                                   const JoinOptions& options) const {
+  const std::size_t n = sharded_rows(shards);
+  const std::size_t d = shards.front().prepared->dims();
   FASTED_CHECK_MSG(eps >= 0, "negative search radius");
   Timer timer;
 
-  JoinOutput out = run_self_join(config_, prepared, eps * eps, options);
+  JoinOutput out = run_self_join(config_, shards, eps * eps, options);
   out.host_seconds = timer.seconds();
-  out.perf = estimate(prepared.rows(), prepared.dims());
-  out.timing =
-      model_response_time(prepared.rows(), prepared.dims(), out.pair_count);
+  out.perf = estimate(n, d);
+  out.timing = model_response_time(n, d, out.pair_count);
   return out;
 }
 

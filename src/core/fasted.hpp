@@ -19,6 +19,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/matrix.hpp"
@@ -67,6 +68,10 @@ struct JoinOutput {
 struct QueryJoinOutput {
   QueryJoinResult result;
   std::uint64_t pair_count = 0;
+  // Hits per corpus shard (one entry per shard of the sharded overloads;
+  // a single entry for the plain corpus overloads) — the service's per-shard
+  // skew stats read this.
+  std::vector<std::uint64_t> shard_pairs;
   PerfEstimate perf;        // includes query_tiles / corpus_tiles
   TimingBreakdown timing;
   double host_seconds = 0;
@@ -107,6 +112,42 @@ class PreparedDataset {
   std::vector<float> norms_;
 };
 
+// One shard of a sharded corpus as the engine sees it: the shard's prepared
+// rows and the global id of its first row.  A span of these describes the
+// whole logical corpus; shards must be contiguous in global row order
+// (shard k's base is the sum of the preceding shards' row counts).  Because
+// quantization, norms, and pair distances are all per-row, any shard
+// decomposition of a corpus produces results bit-identical to the 1-shard
+// session — the sharded entry points below rely on exactly that.
+struct CorpusShardView {
+  const PreparedDataset* prepared = nullptr;
+  std::size_t base = 0;
+};
+
+// A contiguous N-way split of a dataset with per-shard PreparedDatasets —
+// the engine-facing shape of a sharded corpus without the service layer
+// (benches, tests, embedders that manage their own shard storage).
+// Move-only: `views` points into `prepared` (vector moves keep element
+// addresses, copies would not).
+struct PreparedShards {
+  PreparedShards() = default;
+  PreparedShards(PreparedShards&&) = default;
+  PreparedShards& operator=(PreparedShards&&) = default;
+  PreparedShards(const PreparedShards&) = delete;
+  PreparedShards& operator=(const PreparedShards&) = delete;
+
+  std::vector<PreparedDataset> prepared;
+  std::vector<CorpusShardView> views;  // global row order
+
+  std::span<const CorpusShardView> span() const {
+    return {views.data(), views.size()};
+  }
+};
+
+// Splits `data` into ceil(rows / shards)-row contiguous shards and prepares
+// each; bit-identical inputs to preparing the whole dataset at once.
+PreparedShards prepare_shards(const MatrixF32& data, std::size_t shards);
+
 class FastedEngine {
  public:
   explicit FastedEngine(FastedConfig config = FastedConfig::paper_defaults());
@@ -118,6 +159,16 @@ class FastedEngine {
   // Same, on a prepared dataset (skips quantization + norm precompute;
   // modeled timing excludes the one-off preparation legs accordingly).
   JoinOutput self_join(const PreparedDataset& prepared, float eps,
+                       const JoinOptions& options = {}) const;
+
+  // Sharded self-join: the logical corpus is the concatenation of the
+  // shards, and the plan set composes per-shard triangular plans (diagonal
+  // blocks) with one rectangular plan per shard pair (off-diagonal blocks),
+  // all drained in a single fork-join.  Every emitted hit lands in the
+  // global strict upper triangle, so the CSR sink mirrors across shard
+  // boundaries exactly as within one shard — results are bit-identical to
+  // self_join on the undivided corpus, for any shard count.
+  JoinOutput self_join(std::span<const CorpusShardView> shards, float eps,
                        const JoinOptions& options = {}) const;
 
   // Self-join processed in horizontal strips of `batch_rows` queries so the
@@ -152,6 +203,14 @@ class FastedEngine {
                              const PreparedDataset& corpus, float eps,
                              const JoinOptions& options = {}) const;
 
+  // Sharded resident query join: one rectangular plan per corpus shard,
+  // drained in a single fork-join, hits merged by global corpus id.
+  // Bit-identical to query_join against the undivided corpus; shard_pairs
+  // in the output carries each shard's hit count.
+  QueryJoinOutput query_join(const PreparedDataset& queries,
+                             std::span<const CorpusShardView> shards,
+                             float eps, const JoinOptions& options = {}) const;
+
   // Sink-directed query join: same kernels and numerics as query_join, but
   // matches flow into `sink` instead of a batch-wide CSR (pass a
   // kernels::StreamingSink for bounded-memory per-query delivery — each
@@ -160,6 +219,14 @@ class FastedEngine {
   std::uint64_t query_join_into(const PreparedDataset& queries,
                                 const PreparedDataset& corpus, float eps,
                                 kernels::ResultSink& sink) const;
+
+  // Sharded sink-directed query join: one query_strip plan per shard (each
+  // tile spans its full shard, so a query completes in one tile per shard).
+  // Pair a multi-shard span with a kernels::MergingStreamingSink, which
+  // reassembles each query across shards before delivery.
+  std::uint64_t query_join_into(const PreparedDataset& queries,
+                                std::span<const CorpusShardView> shards,
+                                float eps, kernels::ResultSink& sink) const;
 
   // Modeled response time of a corpus-resident query join: query-batch
   // upload + query-norm precompute + rectangular kernel + match download.

@@ -20,98 +20,150 @@ constexpr std::size_t kFlushThreshold = 1 << 16;
 
 }  // namespace
 
-std::uint64_t execute_join(const FastedConfig& cfg, JoinPlan& plan,
-                           const JoinInputs& in, float eps2, bool emulated,
-                           ResultSink& sink) {
-  const MatrixF32& q = *in.q_values;
-  const MatrixF32& c = *in.c_values;
-  const std::vector<float>& sq = *in.q_norms;
-  const std::vector<float>& sc = *in.c_norms;
-  FASTED_CHECK_MSG(q.stride() == c.stride(),
-                   "query/corpus stride mismatch in join executor");
-  if (emulated) {
-    FASTED_CHECK_MSG(in.q_quant != nullptr && in.c_quant != nullptr,
-                     "emulated path needs quantized inputs");
+std::uint64_t execute_join(const FastedConfig& cfg,
+                           std::span<ShardJoin> entries, float eps2,
+                           bool emulated, ResultSink& sink,
+                           std::uint64_t* per_entry_hits) {
+  FASTED_CHECK_MSG(!entries.empty(), "join executor needs at least one plan");
+  for (const ShardJoin& e : entries) {
+    FASTED_CHECK_MSG(e.plan != nullptr, "null plan in sharded join");
+    FASTED_CHECK_MSG(e.in.q_values->stride() == e.in.c_values->stride(),
+                     "query/corpus stride mismatch in join executor");
+    if (emulated) {
+      FASTED_CHECK_MSG(e.in.q_quant != nullptr && e.in.c_quant != nullptr,
+                       "emulated path needs quantized inputs");
+    }
   }
-  const std::size_t dims = c.stride();
   const bool collect = sink.wants_hits();
   const bool per_tile = collect && sink.per_tile();
+  if (per_tile) {
+    FASTED_CHECK_MSG(entries.size() == 1 || sink.merges_shards(),
+                     "multi-shard joins need a shard-merging per-tile sink "
+                     "(each query completes once per shard)");
+  }
   std::atomic<std::uint64_t> total{0};
+  std::vector<std::atomic<std::uint64_t>> entry_hits(
+      per_entry_hits != nullptr ? entries.size() : 0);
 
   parallel_for(0, ThreadPool::global().size(), [&](std::size_t, std::size_t) {
     const RzDotKernel& kern = rz_dot_dispatch();
     std::optional<BlockTileEngine> engine;
     if (emulated) engine.emplace(cfg);
     // Pre-allocated per-worker scratch: the packed corpus panel, the
-    // kernel's accumulator block, and the hit buffer.
-    std::vector<float> panel(dims * kPanelWidth);
+    // kernel's accumulator block, and the hit buffer.  All entries of one
+    // sharded join share dims, so the panel is sized once.
+    std::vector<float> panel;
     float acc[kQueryBlock * kPanelWidth];
     std::vector<PairHit> hits;
-    std::uint64_t local = 0;
+    std::uint64_t worker_total = 0;
 
-    const auto emit = [&](std::size_t i, std::size_t j, float d2) {
-      if (d2 <= eps2) {
-        ++local;
-        if (collect) {
-          hits.push_back(PairHit{static_cast<std::uint32_t>(i),
-                                 static_cast<std::uint32_t>(j), d2});
-        }
-      }
-    };
+    // Entries drain in order: a worker exhausts shard k's queue, then rolls
+    // into shard k+1 alongside everyone else — one fork-join, no barrier at
+    // shard boundaries.
+    for (std::size_t ei = 0; ei < entries.size(); ++ei) {
+      const ShardJoin& entry = entries[ei];
+      JoinPlan& plan = *entry.plan;
+      const MatrixF32& q = *entry.in.q_values;
+      const MatrixF32& c = *entry.in.c_values;
+      const std::vector<float>& sq = *entry.in.q_norms;
+      const std::vector<float>& sc = *entry.in.c_norms;
+      const std::size_t dims = c.stride();
+      const std::size_t qoff = entry.query_offset;
+      const std::size_t coff = entry.corpus_offset;
+      panel.resize(dims * kPanelWidth);
+      std::uint64_t local = 0;
 
-    TileRange t;
-    while (plan.next(t)) {
-      // Per-tile sinks (streaming) rely on each query completing within one
-      // tile — only full-corpus-width plans (query_strip) qualify.
-      if (per_tile) {
-        FASTED_CHECK_MSG(t.c0 == 0 && t.c1 == plan.corpus_rows(),
-                         "per-tile sinks need a full-corpus-width plan");
-      }
-      if (emulated) {
-        engine->compute(*in.q_quant, *in.c_quant, t.q0, t.c0);
-        for (std::size_t i = t.q0; i < t.q1; ++i) {
-          for (std::size_t j = t.c0; j < t.c1; ++j) {
-            if (t.diagonal && j <= i) continue;
-            const float a = engine->acc(static_cast<int>(i - t.q0),
-                                        static_cast<int>(j - t.c0));
-            emit(i, j, epilogue_dist2(a, sq[i], sc[j]));
+      const auto emit = [&](std::size_t i, std::size_t j, float d2) {
+        if (d2 <= eps2) {
+          ++local;
+          if (collect) {
+            hits.push_back(PairHit{static_cast<std::uint32_t>(i + qoff),
+                                   static_cast<std::uint32_t>(j + coff), d2});
           }
         }
-      } else {
-        for (std::size_t c0 = t.c0; c0 < t.c1; c0 += kPanelWidth) {
-          const std::size_t width = std::min(kPanelWidth, t.c1 - c0);
-          pack_panel(c.row(c0), c.stride(), width, dims, panel.data());
-          for (std::size_t i0 = t.q0; i0 < t.q1; i0 += kQueryBlock) {
-            const std::size_t nq = std::min(kQueryBlock, t.q1 - i0);
-            kern.dot_panel(q.row(i0), q.stride(), nq, panel.data(), dims, acc);
-            for (std::size_t qi = 0; qi < nq; ++qi) {
-              const std::size_t i = i0 + qi;
-              const float si = sq[i];
-              const float* a = acc + qi * kPanelWidth;
-              for (std::size_t r = 0; r < width; ++r) {
-                const std::size_t j = c0 + r;
-                if (t.diagonal && j <= i) continue;
-                emit(i, j, epilogue_dist2(a[r], si, sc[j]));
+      };
+
+      TileRange t;
+      while (plan.next(t)) {
+        // Per-tile sinks (streaming) rely on each query completing within
+        // one tile — only full-corpus-width plans (query_strip) qualify.
+        if (per_tile) {
+          FASTED_CHECK_MSG(t.c0 == 0 && t.c1 == plan.corpus_rows(),
+                           "per-tile sinks need a full-corpus-width plan");
+        }
+        if (emulated) {
+          engine->compute(*entry.in.q_quant, *entry.in.c_quant, t.q0, t.c0);
+          for (std::size_t i = t.q0; i < t.q1; ++i) {
+            for (std::size_t j = t.c0; j < t.c1; ++j) {
+              if (t.diagonal && j <= i) continue;
+              const float a = engine->acc(static_cast<int>(i - t.q0),
+                                          static_cast<int>(j - t.c0));
+              emit(i, j, epilogue_dist2(a, sq[i], sc[j]));
+            }
+          }
+        } else {
+          for (std::size_t c0 = t.c0; c0 < t.c1; c0 += kPanelWidth) {
+            const std::size_t width = std::min(kPanelWidth, t.c1 - c0);
+            pack_panel(c.row(c0), c.stride(), width, dims, panel.data());
+            for (std::size_t i0 = t.q0; i0 < t.q1; i0 += kQueryBlock) {
+              const std::size_t nq = std::min(kQueryBlock, t.q1 - i0);
+              kern.dot_panel(q.row(i0), q.stride(), nq, panel.data(), dims,
+                             acc);
+              for (std::size_t qi = 0; qi < nq; ++qi) {
+                const std::size_t i = i0 + qi;
+                const float si = sq[i];
+                const float* a = acc + qi * kPanelWidth;
+                for (std::size_t r = 0; r < width; ++r) {
+                  const std::size_t j = c0 + r;
+                  if (t.diagonal && j <= i) continue;
+                  emit(i, j, epilogue_dist2(a[r], si, sc[j]));
+                }
               }
             }
           }
         }
+        if (per_tile) {
+          // Merging sinks need the tile's global coordinates and shard tag.
+          TileRange global = t;
+          global.q0 += qoff;
+          global.q1 += qoff;
+          global.c0 += coff;
+          global.c1 += coff;
+          global.shard = entry.shard;
+          sink.consume(global, std::span<const PairHit>(hits));
+          hits.clear();
+        } else if (collect && hits.size() >= kFlushThreshold) {
+          sink.consume(t, std::span<const PairHit>(hits));
+          hits.clear();
+        }
       }
-      if (per_tile) {
-        sink.consume(t, std::span<const PairHit>(hits));
-        hits.clear();
-      } else if (collect && hits.size() >= kFlushThreshold) {
-        sink.consume(t, std::span<const PairHit>(hits));
-        hits.clear();
+      if (!entry_hits.empty() && local != 0) {
+        entry_hits[ei].fetch_add(local, std::memory_order_relaxed);
       }
+      worker_total += local;
     }
     if (collect && !hits.empty()) {
       sink.consume(TileRange{}, std::span<const PairHit>(hits));
     }
-    total.fetch_add(local, std::memory_order_relaxed);
+    total.fetch_add(worker_total, std::memory_order_relaxed);
   });
 
+  if (per_entry_hits != nullptr) {
+    for (std::size_t ei = 0; ei < entries.size(); ++ei) {
+      per_entry_hits[ei] = entry_hits[ei].load();
+    }
+  }
   return total.load();
+}
+
+std::uint64_t execute_join(const FastedConfig& cfg, JoinPlan& plan,
+                           const JoinInputs& in, float eps2, bool emulated,
+                           ResultSink& sink) {
+  ShardJoin one;
+  one.plan = &plan;
+  one.in = in;
+  return execute_join(cfg, std::span<ShardJoin>(&one, 1), eps2, emulated,
+                      sink);
 }
 
 }  // namespace fasted::kernels

@@ -1,12 +1,22 @@
-// The unified join executor: drains a JoinPlan's tiles on the shared
-// ThreadPool, evaluates every (query, corpus) cell with the dispatched
-// rz_dot kernel (or the emulated block-tile data path), and hands within-eps
-// hits to a ResultSink.  All of FastedEngine's joins — self, strip-batched,
-// rectangular, streaming — are thin wrappers around this one loop.
+// The unified join executor: drains JoinPlan tiles on the shared ThreadPool,
+// evaluates every (query, corpus) cell with the dispatched rz_dot kernel (or
+// the emulated block-tile data path), and hands within-eps hits to a
+// ResultSink.  All of FastedEngine's joins — self, strip-batched,
+// rectangular, streaming, sharded — are thin wrappers around this one loop.
+//
+// Sharded corpora compose here rather than in a new driver: a sharded join
+// is a span of ShardJoin entries (one plan per shard, or per shard pair for
+// self-joins), drained back-to-back by the same worker set inside ONE
+// fork-join job.  Workers finish shard k's queue and roll into shard k+1,
+// so load balances across shard boundaries.  Each entry carries the row-id
+// offsets that translate its plan's shard-local coordinates into global row
+// ids; the sink only ever sees global ids, which is what makes the ordinary
+// CSR sinks double as exact merge sinks (see result_sink.hpp).
 
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/matrix.hpp"
@@ -28,11 +38,34 @@ struct JoinInputs {
   const MatrixF16* c_quant = nullptr;
 };
 
-// Evaluates the plan and emits hits with dist2 <= eps2 into `sink`.
-// Triangular plans emit only the strict upper triangle (j > i) — the
-// mirrored half and the n always-within-eps self pairs are the sink's (or
-// the caller's count arithmetic's) business.  Returns the number of hits
-// emitted.
+// One shard's slice of a sharded join: a borrowed plan (drained exactly once
+// by the executor), the shard's data views, and the offsets mapping the
+// plan's local row ids to global ids.  For a cross-shard self-join tile set
+// (shard a's rows joined against shard b's), query_offset is a's base and
+// corpus_offset is b's base, so every emitted hit lands in the global strict
+// upper triangle.
+struct ShardJoin {
+  JoinPlan* plan = nullptr;
+  JoinInputs in;
+  std::size_t query_offset = 0;   // added to hit query ids
+  std::size_t corpus_offset = 0;  // added to hit corpus ids
+  std::size_t shard = 0;          // stamped into per-tile TileRanges
+};
+
+// Evaluates every entry's plan and emits hits with dist2 <= eps2 into
+// `sink`, with hit ids already translated to global rows.  Triangular plans
+// emit only the strict upper triangle (j > i) — the mirrored half and the
+// always-within-eps self pairs are the sink's (or the caller's count
+// arithmetic's) business.  Returns the number of hits emitted; when
+// `per_entry_hits` is non-null it must point at entries.size() slots, which
+// receive each entry's hit count (per-shard skew stats).
+std::uint64_t execute_join(const FastedConfig& cfg,
+                           std::span<ShardJoin> entries, float eps2,
+                           bool emulated, ResultSink& sink,
+                           std::uint64_t* per_entry_hits = nullptr);
+
+// Single-plan convenience: one entry with zero offsets (the pre-sharding
+// signature; every non-sharded join still comes through here).
 std::uint64_t execute_join(const FastedConfig& cfg, JoinPlan& plan,
                            const JoinInputs& in, float eps2, bool emulated,
                            ResultSink& sink);

@@ -28,13 +28,17 @@
 
 namespace fasted::kernels {
 
-// Half-open global row ranges of one tile: queries [q0, q1) x corpus
-// [c0, c1).  `diagonal` marks self-join tiles that straddle i == j.
+// Half-open row ranges of one tile: queries [q0, q1) x corpus [c0, c1).
+// `diagonal` marks self-join tiles that straddle i == j.  Plans emit ranges
+// in their own (shard-local) coordinates; the executor translates to global
+// row ids and stamps `shard` before handing per-tile ranges to a sink, so
+// merging sinks can tell which shard of a sharded corpus a tile came from.
 struct TileRange {
   std::size_t q0 = 0;
   std::size_t q1 = 0;
   std::size_t c0 = 0;
   std::size_t c1 = 0;
+  std::size_t shard = 0;
   bool diagonal = false;
 };
 

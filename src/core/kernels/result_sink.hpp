@@ -15,7 +15,15 @@
 //   StreamingSink      bounded-buffer per-query callback delivery; pair it
 //                      with a query_strip plan so every query's matches
 //                      complete inside one tile.  Peak memory is one tile's
-//                      hits per worker instead of the batch-wide CSR.
+//                      hits per worker instead of the batch-wide CSR.  This
+//                      is the mutex-delivery fallback — RingStreamingSink
+//                      (merging_sink.hpp) is the bounded-MPSC default.
+//
+// Sharded joins reuse the CSR sinks unchanged as their merge sinks: the
+// sharded executor emits hits with global row ids, so each hit lands in its
+// global row and finalize()'s canonical per-row sort makes the merged CSR
+// bit-identical to the 1-shard result (see merging_sink.hpp for the family
+// overview and the streaming merge).
 //
 // consume() must be thread-safe; the executor calls it from pool workers.
 
@@ -62,6 +70,13 @@ class ResultSink {
   // ascend).  False: the executor batches hits across tiles per worker and
   // `range` carries no meaning.
   virtual bool per_tile() const { return false; }
+
+  // Per-tile sinks only: true if the sink reassembles a query's matches
+  // across multiple corpus shards (one tile per shard per query strip).
+  // The executor rejects multi-shard joins into per-tile sinks that do not
+  // merge — a plain streaming sink would fire its callback once per shard
+  // with partial rows, silently breaking the once-per-query contract.
+  virtual bool merges_shards() const { return false; }
 
   virtual void consume(const TileRange& range,
                        std::span<const PairHit> hits) = 0;

@@ -29,6 +29,12 @@ class WorkQueue {
   explicit WorkQueue(std::vector<std::pair<std::uint32_t, std::uint32_t>> order)
       : order_(std::move(order)) {}
 
+  // Movable so plan lists can be composed (sharded joins build one plan per
+  // shard); moving a queue that is being drained concurrently is undefined.
+  WorkQueue(WorkQueue&& other) noexcept
+      : order_(std::move(other.order_)),
+        next_(other.next_.load(std::memory_order_relaxed)) {}
+
   std::size_t size() const { return order_.size(); }
 
   // Thread-safe pop; returns false when the queue is drained.

@@ -10,18 +10,14 @@
 
 namespace fasted::data {
 
-namespace {
-
-double dist2_f64(const float* a, const float* b, std::size_t d) {
+double dist2_f64(const float* a, const float* b, std::size_t dims) {
   double acc = 0;
-  for (std::size_t k = 0; k < d; ++k) {
+  for (std::size_t k = 0; k < dims; ++k) {
     const double diff = static_cast<double>(a[k]) - b[k];
     acc += diff * diff;
   }
   return acc;
 }
-
-}  // namespace
 
 CalibrationResult calibrate_epsilon(const MatrixF32& data,
                                     double target_selectivity,

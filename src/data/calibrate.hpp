@@ -27,6 +27,11 @@ CalibrationResult calibrate_epsilon(const MatrixF32& data,
                                     std::uint64_t seed = 0x5e1ec7ull,
                                     std::size_t sample_points = 256);
 
+// FP64 squared Euclidean distance between two FP32 rows — the reference
+// metric every calibration estimate is built from (the sharded corpus
+// computes its per-shard calibration sample blocks with this too).
+double dist2_f64(const float* a, const float* b, std::size_t dims);
+
 // Exact selectivity at eps (O(n^2 d); use on small datasets / tests).
 double exact_selectivity(const MatrixF32& data, float eps);
 

@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "core/kernels/merging_sink.hpp"
 
 namespace fasted::service {
 
@@ -28,22 +29,64 @@ JoinService::JoinService(std::shared_ptr<CorpusSession> session,
   FASTED_CHECK_MSG(session_ != nullptr, "JoinService needs a corpus session");
 }
 
+JoinService::JoinService(std::shared_ptr<ShardedCorpus> corpus,
+                         FastedEngine engine)
+    : shards_(std::move(corpus)), engine_(std::move(engine)) {
+  FASTED_CHECK_MSG(shards_ != nullptr, "JoinService needs a sharded corpus");
+}
+
+CorpusSession& JoinService::session() {
+  FASTED_CHECK_MSG(session_ != nullptr,
+                   "this JoinService serves a ShardedCorpus");
+  return *session_;
+}
+
+ShardedCorpus& JoinService::sharded() {
+  FASTED_CHECK_MSG(shards_ != nullptr,
+                   "this JoinService serves a CorpusSession");
+  return *shards_;
+}
+
+JoinService::CorpusRef JoinService::corpus_ref() const {
+  CorpusRef ref;
+  if (session_ != nullptr) {
+    ref.views.push_back(CorpusShardView{&session_->prepared(), 0});
+    ref.rows = session_->size();
+  } else {
+    ref.snap = shards_->snapshot();
+    ref.views = ShardedCorpus::shard_views(*ref.snap);
+    ref.rows = ref.snap->back()->base + ref.snap->back()->rows();
+  }
+  return ref;
+}
+
+std::size_t JoinService::corpus_dims() const {
+  return session_ != nullptr ? session_->dims() : shards_->dims();
+}
+
 float JoinService::resolve_eps(const EpsQuery& request) {
-  return request.eps >= 0 ? request.eps
-                          : session_->eps_for_selectivity(request.selectivity);
+  if (request.eps >= 0) return request.eps;
+  return session_ != nullptr
+             ? session_->eps_for_selectivity(request.selectivity)
+             : shards_->eps_for_selectivity(request.selectivity);
 }
 
 QueryJoinOutput JoinService::eps_join(const EpsQuery& request) {
   FASTED_CHECK_MSG(request.points.rows() > 0, "empty query batch");
-  FASTED_CHECK_MSG(request.points.dims() == session_->dims(),
+  FASTED_CHECK_MSG(request.points.dims() == corpus_dims(),
                    "query/corpus dimensionality mismatch");
-  std::lock_guard<std::mutex> serve(serve_mutex_);
+  // Resolve the radius BEFORE admission: first-use calibration is a
+  // sample join, and holding the serve slot across it would serialize
+  // every concurrent cached-radius request behind one cold calibration.
   const float eps = resolve_eps(request);
+  std::lock_guard<std::mutex> serve(serve_mutex_);
+  const CorpusRef ref = corpus_ref();
 
   JoinOptions options;
   options.path = request.path;
-  QueryJoinOutput out =
-      engine_.query_join(request.points, session_->prepared(), eps, options);
+  const PreparedDataset queries(request.points);
+  QueryJoinOutput out = engine_.query_join(
+      queries, std::span<const CorpusShardView>(ref.views), eps, options);
 
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++stats_.eps_batches;
@@ -55,27 +98,44 @@ QueryJoinOutput JoinService::eps_join(const EpsQuery& request) {
 QueryJoinOutput JoinService::eps_join(const EpsQuery& request,
                                       const EpsMatchCallback& callback) {
   FASTED_CHECK_MSG(request.points.rows() > 0, "empty query batch");
-  FASTED_CHECK_MSG(request.points.dims() == session_->dims(),
+  FASTED_CHECK_MSG(request.points.dims() == corpus_dims(),
                    "query/corpus dimensionality mismatch");
   FASTED_CHECK_MSG(callback != nullptr, "streaming join needs a callback");
+  const float eps = resolve_eps(request);  // before admission, see above
   std::lock_guard<std::mutex> serve(serve_mutex_);
-  const float eps = resolve_eps(request);
+  const CorpusRef ref = corpus_ref();
   Timer timer;
 
   const PreparedDataset queries(request.points);
-  const PreparedDataset& corpus = session_->prepared();
   const std::size_t nq = queries.rows();
-  const std::size_t nc = corpus.rows();
+  const std::size_t nc = ref.rows;
+  const std::span<const CorpusShardView> views(ref.views);
 
   // Bounded-buffer streaming through the unified pipeline: a query_strip
-  // plan (block_tile_m queries x the whole corpus per tile) drained into a
-  // StreamingSink, so matches stream out with no batch-wide buffer.
-  // Streaming always runs the fast kernel — it is bit-identical to the
-  // emulated data path, so the requested ExecutionPath does not change the
-  // matches.
-  kernels::StreamingSink sink(callback);
+  // plan per shard (block_tile_m queries x the whole shard per tile)
+  // drained into a streaming sink, so matches stream out with no
+  // batch-wide buffer.  Multi-shard backends merge each strip across
+  // shards before delivery; either delivery mode preserves the per-query
+  // callback contract.  Streaming always runs the fast kernel — it is
+  // bit-identical to the emulated data path, so the requested
+  // ExecutionPath does not change the matches.
   QueryJoinOutput out;
-  out.pair_count = engine_.query_join_into(queries, corpus, eps, sink);
+  if (ref.views.size() > 1) {
+    kernels::MergingStreamingSink sink(
+        callback, ref.views.size(),
+        request.delivery == StreamDelivery::kRing
+            ? kernels::StripDelivery::kRing
+            : kernels::StripDelivery::kMutex);
+    out.pair_count = engine_.query_join_into(queries, views, eps, sink);
+    sink.finish();
+  } else if (request.delivery == StreamDelivery::kRing) {
+    kernels::RingStreamingSink sink(callback);
+    out.pair_count = engine_.query_join_into(queries, views, eps, sink);
+    sink.finish();
+  } else {
+    kernels::StreamingSink sink(callback);
+    out.pair_count = engine_.query_join_into(queries, views, eps, sink);
+  }
   out.host_seconds = timer.seconds();
   out.perf = engine_.estimate_join(nq, nc, queries.dims());
   out.timing =
@@ -91,52 +151,96 @@ QueryJoinOutput JoinService::eps_join(const EpsQuery& request,
 KnnBatchResult JoinService::knn(const KnnQuery& request,
                                 const KnnOptions& options) {
   FASTED_CHECK_MSG(request.points.rows() > 0, "empty query batch");
-  FASTED_CHECK_MSG(request.points.dims() == session_->dims(),
+  FASTED_CHECK_MSG(request.points.dims() == corpus_dims(),
                    "query/corpus dimensionality mismatch");
+  // Like eps_join: resolve the initial radius BEFORE admission so cold
+  // calibration does not serialize concurrent cached-radius requests.
+  const float initial_eps = initial_knn_eps(request.k, options);
   std::lock_guard<std::mutex> serve(serve_mutex_);
+  const CorpusRef ref = corpus_ref();
   const PreparedDataset queries(request.points);
-  return knn_prepared(queries, request.k, options);
+  FASTED_CHECK_MSG(request.k >= 1 && request.k <= ref.rows,
+                   "need 1 <= k <= corpus size");
+
+  KnnBatchResult result;
+  result.k = request.k;
+  result.ids.assign(queries.rows() * request.k, 0);
+  result.distances.assign(queries.rows() * request.k, 0.0f);
+  const std::size_t brute =
+      knn_fill(queries, ref, request.k, options, initial_eps, 0, result);
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.knn_batches;
+  stats_.queries += queries.rows();
+  stats_.knn_brute_force_queries += brute;
+  return result;
 }
 
 KnnBatchResult JoinService::knn_corpus(std::size_t k,
                                        const KnnOptions& options) {
+  const float initial_eps = initial_knn_eps(k, options);  // before admission
   std::lock_guard<std::mutex> serve(serve_mutex_);
-  return knn_prepared(session_->prepared(), k, options);
-}
-
-KnnBatchResult JoinService::knn_prepared(const PreparedDataset& queries,
-                                         std::size_t k,
-                                         const KnnOptions& options) {
-  const std::size_t nq = queries.rows();
-  const std::size_t nc = session_->size();
-  FASTED_CHECK_MSG(k >= 1 && k <= nc, "need 1 <= k <= corpus size");
+  const CorpusRef ref = corpus_ref();
+  FASTED_CHECK_MSG(k >= 1 && k <= ref.rows, "need 1 <= k <= corpus size");
 
   KnnBatchResult result;
   result.k = k;
-  result.ids.assign(nq * k, 0);
-  result.distances.assign(nq * k, 0.0f);
+  result.ids.assign(ref.rows * k, 0);
+  result.distances.assign(ref.rows * k, 0.0f);
 
-  const PreparedDataset& corpus = session_->prepared();
+  // The query set is the corpus itself: serve each shard's prepared rows as
+  // a query batch against the whole sharded corpus, writing into the global
+  // result rows.  Every query's kNN row is exact (adaptive radius + final
+  // brute sweep), so batching by shard changes nothing but the round count.
+  std::size_t brute = 0;
+  std::size_t nq = 0;
+  for (const CorpusShardView& view : ref.views) {
+    brute += knn_fill(*view.prepared, ref, k, options, initial_eps,
+                      view.base, result);
+    nq += view.prepared->rows();
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.knn_batches;
+  stats_.queries += nq;
+  stats_.knn_brute_force_queries += brute;
+  return result;
+}
+
+float JoinService::initial_knn_eps(std::size_t k, const KnnOptions& options) {
+  // The first adaptive-radius round targets ~growth * k neighbors; the
+  // backend's calibration cache amortizes the sampling across batches
+  // asking for similar k.
+  const double initial = options.initial_growth * static_cast<double>(k);
+  return session_ != nullptr ? session_->eps_for_selectivity(initial)
+                             : shards_->eps_for_selectivity(initial);
+}
+
+std::size_t JoinService::knn_fill(const PreparedDataset& queries,
+                                  const CorpusRef& ref, std::size_t k,
+                                  const KnnOptions& options, float initial_eps,
+                                  std::size_t row_base,
+                                  KnnBatchResult& result) {
+  const std::size_t nq = queries.rows();
+  const std::span<const CorpusShardView> views(ref.views);
 
   // Adaptive radius: join the still-deficient queries against the corpus
   // with a growing eps, freezing each query's matches at the first round
   // that yields at least k (the k nearest are then inside the radius, so
-  // the frozen set is complete).  The initial radius comes from the
-  // session's calibration cache, which amortizes the sampling across
-  // batches asking for similar k.
+  // the frozen set is complete).
   std::vector<std::vector<QueryMatch>> matches(nq);
   std::vector<std::uint32_t> active(nq);
   std::iota(active.begin(), active.end(), 0);
 
-  float eps = session_->eps_for_selectivity(
-      options.initial_growth * static_cast<double>(k));
-  for (result.rounds = 1;; ++result.rounds) {
+  float eps = initial_eps;
+  int rounds;
+  for (rounds = 1;; ++rounds) {
     std::optional<PreparedDataset> gathered;
     if (active.size() != nq) {
       gathered = PreparedDataset::gather(queries, active);
     }
     const PreparedDataset& sub = gathered ? *gathered : queries;
-    const QueryJoinOutput out = engine_.query_join(sub, corpus, eps);
+    const QueryJoinOutput out = engine_.query_join(sub, views, eps);
     std::vector<std::uint32_t> still;
     for (std::size_t a = 0; a < active.size(); ++a) {
       if (out.result.degree(a) >= k) {
@@ -147,16 +251,19 @@ KnnBatchResult JoinService::knn_prepared(const PreparedDataset& queries,
       }
     }
     active = std::move(still);
-    if (active.empty() || result.rounds >= options.max_rounds ||
+    if (active.empty() || rounds >= options.max_rounds ||
         static_cast<double>(active.size()) <=
             options.straggler_fraction * static_cast<double>(nq)) {
       break;
     }
     eps *= static_cast<float>(options.radius_growth);
   }
+  result.rounds = std::max(result.rounds, rounds);
 
   // Straggler sweep: rank the whole corpus for queries the radius never
-  // covered (isolated points, tiny corpora).
+  // covered (isolated points, tiny corpora) — shard by shard, appended ids
+  // offset to global rows (shards ascend, so rows come out id-ascending
+  // exactly like the single-corpus sweep).
   if (!active.empty()) {
     const float inf = std::numeric_limits<float>::infinity();
     parallel_for(0, active.size(), [&](std::size_t lo, std::size_t hi) {
@@ -164,8 +271,17 @@ KnnBatchResult JoinService::knn_prepared(const PreparedDataset& queries,
         const std::size_t i = active[a];
         auto& row = matches[i];
         row.clear();
-        query_row_join(queries.values().row(i), queries.norms()[i],
-                       corpus.values(), corpus.norms(), 0, nc, inf, row);
+        for (const CorpusShardView& view : views) {
+          const std::size_t before = row.size();
+          query_row_join(queries.values().row(i), queries.norms()[i],
+                         view.prepared->values(), view.prepared->norms(), 0,
+                         view.prepared->rows(), inf, row);
+          if (view.base != 0) {
+            for (std::size_t r = before; r < row.size(); ++r) {
+              row[r].id += static_cast<std::uint32_t>(view.base);
+            }
+          }
+        }
       }
     });
   }
@@ -178,18 +294,13 @@ KnnBatchResult JoinService::knn_prepared(const PreparedDataset& queries,
                         row.begin() + static_cast<std::ptrdiff_t>(k),
                         row.end(), rank_less);
       for (std::size_t r = 0; r < k; ++r) {
-        result.ids[i * k + r] = row[r].id;
-        result.distances[i * k + r] =
+        result.ids[(row_base + i) * k + r] = row[r].id;
+        result.distances[(row_base + i) * k + r] =
             std::sqrt(std::max(0.0f, row[r].dist2));
       }
     }
   });
-
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.knn_batches;
-  stats_.queries += nq;
-  stats_.knn_brute_force_queries += active.size();
-  return result;
+  return active.size();
 }
 
 ServiceStats JoinService::stats() const {

@@ -1,13 +1,21 @@
 // Query-join front end over a corpus-resident session.
 //
 // Accepts request batches and runs them through the asymmetric query-tile x
-// corpus-tile kernel (FastedEngine::query_join), which chunks the batch
-// into block-tile work items drained from the rectangular WorkQueue on the
-// shared ThreadPool.  Two request shapes:
+// corpus-tile kernels, decomposed into block-tile work items drained from
+// the WorkQueue on the shared ThreadPool.  The service serves either
+// backend:
+//
+//   CorpusSession   one immutable prepared corpus (the PR 2 reference path)
+//   ShardedCorpus   N shards, one JoinPlan per shard composed into a single
+//                   drain, results merged by global row id (bit-identical
+//                   to the 1-shard session for any shard count) — and the
+//                   corpus may grow via append() between requests.
+//
+// Two request shapes:
 //
 //   EpsQuery   all corpus rows within a radius, per query.  The radius can
 //              be given directly or calibrated from a selectivity target
-//              via the session's calibration cache.  Results arrive as a
+//              via the backend's calibration cache.  Results arrive as a
 //              CSR QueryJoinResult or stream through a per-query callback.
 //   KnnQuery   the k nearest corpus rows, per query, under the FP16-32
 //              pipeline distance.  Implemented as an adaptive-radius eps
@@ -29,19 +37,35 @@
 #include "common/matrix.hpp"
 #include "core/fasted.hpp"
 #include "service/corpus_session.hpp"
+#include "service/sharded_corpus.hpp"
 
 namespace fasted::service {
+
+// How streaming eps-join matches travel from the join workers to the user
+// callback (see kernels/merging_sink.hpp for the mechanics).
+enum class StreamDelivery {
+  // Bounded MPSC ring to a dedicated consumer thread: workers only stall
+  // when the ring is full, so a slow callback backpressures instead of
+  // throttling the kernel one mutex hold at a time.  The callback runs on
+  // that consumer thread.
+  kRing,
+  // Legacy fallback: the callback runs inline on pool workers under a
+  // mutex.
+  kMutex,
+};
 
 struct EpsQuery {
   MatrixF32 points;
   // Search radius; negative means "calibrate from `selectivity`" using the
-  // session's cached corpus calibration.
+  // backend's cached corpus calibration.
   float eps = -1.0f;
   double selectivity = 64.0;
   // Honored by the batched eps_join.  The streaming overload always runs
   // the fast kernel (bit-identical to the emulated data path), so `path`
   // does not change its matches.
   ExecutionPath path = ExecutionPath::kFast;
+  // Streaming overload only.
+  StreamDelivery delivery = StreamDelivery::kRing;
 };
 
 struct KnnQuery {
@@ -64,7 +88,7 @@ struct KnnBatchResult {
   std::vector<std::uint32_t> ids;
   std::vector<float> distances;
   std::size_t k = 0;
-  int rounds = 0;  // adaptive-radius rounds used
+  int rounds = 0;  // adaptive-radius rounds used (max over query shards)
 
   std::uint32_t id(std::size_t query, std::size_t rank) const {
     return ids[query * k + rank];
@@ -84,28 +108,34 @@ struct ServiceStats {
 
 // Called once per query (in ascending query order within a work item; work
 // items complete in any order).  The span is only valid for the duration of
-// the call.  This is exactly the kernel layer's streaming-sink callback —
-// the service's streaming path is a StreamingSink over a query_strip plan.
-// The callback executes on ThreadPool workers inside the join's fork-join
-// job: it must not issue further joins or other pool-using calls (that
-// would re-enter parallel_for, which deadlocks); buffer and defer instead.
+// the call.  With StreamDelivery::kMutex the callback executes on
+// ThreadPool workers inside the join's fork-join job; with kRing it runs on
+// the sink's consumer thread while the join is still in flight.  Either
+// way it must not issue further joins or other pool-using calls (that
+// re-enters or deadlocks against the pool); buffer and defer instead.
 using EpsMatchCallback = kernels::QueryMatchCallback;
 
 // Requests may be issued from any number of threads: they are admitted one
 // at a time (each request already saturates the shared ThreadPool, whose
 // fork-join jobs must not overlap), so concurrent callers queue rather
-// than race.
+// than race.  Radius calibration runs BEFORE a request is admitted, so
+// first-use calibration does not serialize concurrent cached-radius
+// queries behind it.
 class JoinService {
  public:
   explicit JoinService(std::shared_ptr<CorpusSession> session,
                        FastedEngine engine = FastedEngine());
+  explicit JoinService(std::shared_ptr<ShardedCorpus> corpus,
+                       FastedEngine engine = FastedEngine());
 
-  // Batched eps join: the full CSR result set.
+  // Batched eps join: the full CSR result set.  Over a sharded backend the
+  // output's shard_pairs carries each shard's hit count.
   QueryJoinOutput eps_join(const EpsQuery& request);
 
   // Streaming eps join: per-query matches are handed to `callback` as the
   // query strips complete, without materializing the batch-wide CSR; the
   // returned output carries counts, perf, and timing but an empty result.
+  // All callbacks have completed by the time this returns.
   QueryJoinOutput eps_join(const EpsQuery& request,
                            const EpsMatchCallback& callback);
 
@@ -113,19 +143,39 @@ class JoinService {
   KnnBatchResult knn(const KnnQuery& request, const KnnOptions& options = {});
 
   // All-points kNN over the resident corpus itself (query set == corpus):
-  // reuses the session's prepared data — no copy, no re-quantization.
+  // reuses the backend's prepared rows — no copy, no re-quantization (a
+  // sharded corpus serves its shards as successive query batches).
   KnnBatchResult knn_corpus(std::size_t k, const KnnOptions& options = {});
 
-  CorpusSession& session() { return *session_; }
+  bool is_sharded() const { return shards_ != nullptr; }
+  CorpusSession& session();   // session-backed services only
+  ShardedCorpus& sharded();   // shard-backed services only
   const FastedEngine& engine() const { return engine_; }
   ServiceStats stats() const;
 
  private:
+  // A request's pinned view of the corpus: the snapshot keeps sharded
+  // backends' shards alive for the request's duration.
+  struct CorpusRef {
+    std::shared_ptr<const ShardedCorpus::Snapshot> snap;
+    std::vector<CorpusShardView> views;
+    std::size_t rows = 0;
+  };
+  CorpusRef corpus_ref() const;
+  std::size_t corpus_dims() const;
   float resolve_eps(const EpsQuery& request);
-  KnnBatchResult knn_prepared(const PreparedDataset& queries, std::size_t k,
-                              const KnnOptions& options);
+  // First adaptive-radius eps for a kNN request (resolved before admission
+  // so cold calibration does not hold the serve slot).
+  float initial_knn_eps(std::size_t k, const KnnOptions& options);
+  // Writes queries' kNN rows into result[row_base ...]; returns the number
+  // of brute-forced stragglers and maxes `rounds` into the result.
+  std::size_t knn_fill(const PreparedDataset& queries, const CorpusRef& ref,
+                       std::size_t k, const KnnOptions& options,
+                       float initial_eps, std::size_t row_base,
+                       KnnBatchResult& result);
 
   std::shared_ptr<CorpusSession> session_;
+  std::shared_ptr<ShardedCorpus> shards_;
   FastedEngine engine_;
 
   std::mutex serve_mutex_;  // admits one request at a time (see above)

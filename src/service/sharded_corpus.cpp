@@ -1,0 +1,351 @@
+#include "service/sharded_corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "data/calibrate.hpp"
+
+namespace fasted::service {
+
+namespace {
+
+constexpr std::uint64_t kSampleSeed = 0x5ca1ab1e5e1ec7ull;
+
+// Per-shard calibration sample size: a fixed 1/16 sampling *rate* (so the
+// pooled estimate stays unbiased without reweighting games across evenly
+// sized shards), floored at 1 and capped so one huge shard cannot make
+// calibration quadratic.  The cap skews the per-shard rate, which is why
+// the pooled quantile is weight-corrected (see calibrate_over).
+std::size_t sample_size(std::size_t rows) {
+  return std::clamp<std::size_t>(rows / 16, 1, 256);
+}
+
+std::vector<std::uint32_t> pick_sample(std::size_t rows, std::size_t base) {
+  const std::size_t m = sample_size(rows);
+  Rng rng(kSampleSeed ^ (static_cast<std::uint64_t>(base) * 0x9e3779b97f4a7c15ull) ^
+          rows);
+  std::vector<std::uint32_t> ids(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    ids[i] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    std::swap(ids[i], ids[i + rng.next_below(rows - i)]);
+  }
+  ids.resize(m);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::size_t div_up(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+ShardedCorpus::Shard::Shard(MatrixF32 pts, std::size_t base_row, bool seal,
+                            std::uint64_t gen)
+    : points(std::move(pts)),
+      prepared(points),
+      base(base_row),
+      sealed(seal),
+      generation(gen),
+      sample_ids(pick_sample(points.rows(), base_row)) {}
+
+ShardedCorpus::ShardedCorpus(MatrixF32 corpus, ShardedCorpusOptions options)
+    : dims_(corpus.dims()) {
+  FASTED_CHECK_MSG(corpus.rows() > 0, "empty corpus");
+  FASTED_CHECK_MSG(options.shards >= 1, "need at least one shard");
+  capacity_ = options.shard_capacity != 0
+                  ? options.shard_capacity
+                  : div_up(corpus.rows(), options.shards);
+
+  // Greedy bulk split: full (sealed) shards of `capacity_` rows, the last
+  // one open iff it is below capacity.
+  auto snap = std::make_shared<Snapshot>();
+  const std::size_t n = corpus.rows();
+  for (std::size_t base = 0; base < n; base += capacity_) {
+    const std::size_t rows = std::min(capacity_, n - base);
+    MatrixF32 pts(rows, dims_);
+    std::copy_n(corpus.row(base), rows * corpus.stride(), pts.row(0));
+    snap->push_back(make_shard(std::move(pts), base, rows == capacity_));
+  }
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const ShardedCorpus::Shard> ShardedCorpus::make_shard(
+    MatrixF32 points, std::size_t base, bool sealed) {
+  return std::make_shared<const Shard>(std::move(points), base, sealed,
+                                       next_generation_++);
+}
+
+std::shared_ptr<const ShardedCorpus::Snapshot> ShardedCorpus::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_;
+}
+
+std::size_t ShardedCorpus::size() const {
+  const auto snap = snapshot();
+  return snap->back()->base + snap->back()->rows();
+}
+
+std::size_t ShardedCorpus::shard_count() const { return snapshot()->size(); }
+
+std::vector<CorpusShardView> ShardedCorpus::shard_views(const Snapshot& snap) {
+  std::vector<CorpusShardView> views;
+  views.reserve(snap.size());
+  for (const auto& shard : snap) {
+    views.push_back(CorpusShardView{&shard->prepared, shard->base});
+  }
+  return views;
+}
+
+const PreparedDataset& ShardedCorpus::prepared(std::size_t shard) const {
+  const auto snap = snapshot();
+  FASTED_CHECK_MSG(shard < snap->size(), "shard index out of range");
+  return (*snap)[shard]->prepared;
+}
+
+const index::GridIndex& ShardedCorpus::grid_on(const Shard& shard, float eps) {
+  {
+    std::lock_guard<std::mutex> lock(shard.cache_mutex);
+    const auto it = shard.grids.find(eps);
+    if (it != shard.grids.end()) return *it->second;
+  }
+  // Build outside the lock; emplace keeps the first build if another
+  // thread raced us here (same discipline as CorpusSession::grid_at).
+  auto grid = std::make_unique<index::GridIndex>(shard.points, eps);
+  bool inserted;
+  const index::GridIndex* out;
+  {
+    std::lock_guard<std::mutex> lock(shard.cache_mutex);
+    const auto [it, fresh] = shard.grids.emplace(eps, std::move(grid));
+    inserted = fresh;
+    out = it->second.get();
+  }
+  if (inserted) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.grids_built;
+  }
+  return *out;
+}
+
+const index::GridIndex& ShardedCorpus::grid_at(std::size_t shard, float eps) {
+  const auto snap = snapshot();
+  FASTED_CHECK_MSG(shard < snap->size(), "shard index out of range");
+  return grid_on(*(*snap)[shard], eps);
+}
+
+void ShardedCorpus::grid_candidates(const float* query, float eps,
+                                    std::vector<std::uint32_t>& out) {
+  const auto snap = snapshot();
+  for (const auto& shard : *snap) {
+    const std::size_t before = out.size();
+    grid_on(*shard, eps).candidates_of(query, out);
+    if (shard->base != 0) {
+      for (std::size_t i = before; i < out.size(); ++i) {
+        out[i] += static_cast<std::uint32_t>(shard->base);
+      }
+    }
+  }
+}
+
+std::shared_ptr<const std::vector<double>> ShardedCorpus::block_of(
+    const Shard& s, const Shard& t) {
+  {
+    std::lock_guard<std::mutex> lock(s.cache_mutex);
+    const auto it = s.calib_blocks.find(t.generation);
+    if (it != s.calib_blocks.end()) return it->second;
+  }
+  // FP64 distances from s's sample rows to every row of t, self-pairs
+  // excluded when s and t are the same shard build.
+  const bool self = s.generation == t.generation;
+  const std::size_t nt = t.rows();
+  const std::size_t per_sample = nt - (self ? 1 : 0);
+  auto block = std::make_shared<std::vector<double>>(s.sample_ids.size() *
+                                                     per_sample);
+  parallel_for(0, s.sample_ids.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t a = lo; a < hi; ++a) {
+      const std::uint32_t sid = s.sample_ids[a];
+      const float* p = s.points.row(sid);
+      std::size_t w = a * per_sample;
+      for (std::size_t j = 0; j < nt; ++j) {
+        if (self && j == sid) continue;
+        (*block)[w++] = data::dist2_f64(p, t.points.row(j), t.points.dims());
+      }
+    }
+  });
+  bool inserted;
+  std::shared_ptr<const std::vector<double>> out;
+  {
+    std::lock_guard<std::mutex> lock(s.cache_mutex);
+    const auto [it, fresh] = s.calib_blocks.emplace(t.generation, block);
+    inserted = fresh;
+    out = it->second;
+  }
+  if (inserted) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.calibration_blocks_built;
+  }
+  return out;
+}
+
+float ShardedCorpus::calibrate_over(const Snapshot& snap, double target) {
+  const std::size_t n = snap.back()->base + snap.back()->rows();
+  FASTED_CHECK_MSG(n >= 2, "calibration needs at least two points");
+  FASTED_CHECK_MSG(target > 0, "selectivity must be positive");
+
+  // Pool every shard's sample blocks under per-shard weights that undo the
+  // (capped) sampling rates: shard s contributes P(dist <= eps | q in s)
+  // estimated from m_s sample rows x (n - 1) candidates, weighted by its
+  // population share n_s / n.  The weighted `frac` quantile of the pooled
+  // distances is then the radius whose mean neighbor count hits `target`,
+  // exactly as in data::calibrate_epsilon.
+  struct Weighted {
+    double d2;
+    double w;
+  };
+  std::vector<Weighted> pool;
+  for (const auto& s : snap) {
+    const double share = static_cast<double>(s->rows()) / static_cast<double>(n);
+    const double per_dist =
+        share / (static_cast<double>(s->sample_ids.size()) *
+                 static_cast<double>(n - 1));
+    for (const auto& t : snap) {
+      const auto block = block_of(*s, *t);
+      pool.reserve(pool.size() + block->size());
+      for (const double d2 : *block) {
+        pool.push_back(Weighted{d2, per_dist});
+      }
+    }
+  }
+  std::sort(pool.begin(), pool.end(),
+            [](const Weighted& a, const Weighted& b) { return a.d2 < b.d2; });
+
+  double total = 0;
+  for (const Weighted& x : pool) total += x.w;
+  const double frac =
+      std::min(1.0, target / static_cast<double>(n - 1));
+  const double cut = frac * total;
+  double cum = 0;
+  for (const Weighted& x : pool) {
+    cum += x.w;
+    if (cum >= cut) return static_cast<float>(std::sqrt(x.d2));
+  }
+  return static_cast<float>(std::sqrt(pool.back().d2));
+}
+
+float ShardedCorpus::eps_for_selectivity(double target) {
+  std::shared_ptr<const Snapshot> snap;
+  std::uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = calibration_.find(target);
+    if (it != calibration_.end()) {
+      ++stats_.calibration_hits;
+      return it->second;
+    }
+    snap = snapshot_;
+    epoch = epoch_;
+  }
+  // Estimate outside the lock: block builds are O(sample * n * d) and must
+  // not serialize concurrent requests for already-cached targets.
+  const float eps = calibrate_over(*snap, target);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.calibration_misses;
+  // Only cache if no append invalidated the snapshot we calibrated on.
+  if (epoch_ == epoch) calibration_.emplace(target, eps);
+  return eps;
+}
+
+void ShardedCorpus::append(const MatrixF32& rows) {
+  FASTED_CHECK_MSG(rows.rows() > 0, "empty append");
+  FASTED_CHECK_MSG(rows.dims() == dims_,
+                   "append dimensionality mismatch");
+  std::lock_guard<std::mutex> append_lock(append_mutex_);
+
+  Snapshot next = *snapshot();
+  std::size_t consumed = 0;
+  std::uint64_t sealed_events = 0;
+  std::uint64_t rebuilds = 0;
+  while (consumed < rows.rows()) {
+    const bool extend = !next.back()->sealed;
+    const Shard& open = *next.back();
+    const std::size_t have = extend ? open.rows() : 0;
+    const std::size_t base = extend ? open.base : open.base + open.rows();
+    const std::size_t take =
+        std::min(capacity_ - have, rows.rows() - consumed);
+
+    // Rebuild (or open) the newest shard with the extra rows.  Sealed
+    // shards are untouched: their Shard objects — and therefore their
+    // prepared data, grids, and calibration blocks — carry over by pointer.
+    MatrixF32 pts(have + take, dims_);
+    if (extend) {
+      std::copy_n(open.points.row(0), have * open.points.stride(),
+                  pts.row(0));
+      ++rebuilds;
+    }
+    std::copy_n(rows.row(consumed), take * rows.stride(), pts.row(have));
+    const bool seal = have + take == capacity_;
+    if (seal) ++sealed_events;
+    auto shard = make_shard(std::move(pts), base, seal);
+    if (extend) {
+      next.back() = std::move(shard);
+    } else {
+      next.push_back(std::move(shard));
+    }
+    consumed += take;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot_ = std::make_shared<const Snapshot>(next);
+    ++epoch_;
+    calibration_.clear();  // targets are corpus-wide; blocks survive below
+    ++stats_.appends;
+    stats_.rows_appended += rows.rows();
+    stats_.shards_sealed += sealed_events;
+    stats_.open_rebuilds += rebuilds;
+  }
+
+  // Prune calibration blocks aimed at shard builds that no longer exist
+  // (the replaced open shard); blocks between surviving shards are kept.
+  std::vector<std::uint64_t> live;
+  live.reserve(next.size());
+  for (const auto& shard : next) live.push_back(shard->generation);
+  for (const auto& shard : next) {
+    std::lock_guard<std::mutex> lock(shard->cache_mutex);
+    std::erase_if(shard->calib_blocks, [&](const auto& entry) {
+      return std::find(live.begin(), live.end(), entry.first) == live.end();
+    });
+  }
+}
+
+ShardedStats ShardedCorpus::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<ShardInfo> ShardedCorpus::shard_infos() const {
+  const auto snap = snapshot();
+  std::vector<ShardInfo> infos;
+  infos.reserve(snap->size());
+  for (const auto& shard : *snap) {
+    ShardInfo info;
+    info.base = shard->base;
+    info.rows = shard->rows();
+    info.sealed = shard->sealed;
+    info.generation = shard->generation;
+    {
+      std::lock_guard<std::mutex> lock(shard->cache_mutex);
+      info.grid_entries = shard->grids.size();
+      info.calibration_blocks = shard->calib_blocks.size();
+    }
+    infos.push_back(info);
+  }
+  return infos;
+}
+
+}  // namespace fasted::service

@@ -1,0 +1,187 @@
+// A sharded, mutable corpus for long-lived serving sessions.
+//
+// CorpusSession (corpus_session.hpp) owns one immutable corpus; a
+// production service cannot re-ingest everything per update nor serve one
+// monolithic session forever.  ShardedCorpus splits the logical corpus into
+// N contiguous shards, each owning exactly the per-corpus artifacts a
+// session caches — original rows, PreparedDataset (FP16 + RZ norms), lazy
+// grid indexes, and a calibration sample — and makes the corpus mutable:
+//
+//   append(rows)  ingests into the newest shard.  Only that shard is
+//                 re-prepared; once a shard reaches `shard_capacity` rows it
+//                 SEALS (its artifacts are immutable from then on) and the
+//                 next append opens a fresh shard.  Sealed shards' grid and
+//                 calibration caches survive every append untouched.
+//
+// Readers never block on growth: the shard list is copy-on-write.  Each
+// query takes a snapshot (a shared_ptr'd vector of shared_ptr'd shards) and
+// serves from it; append builds a replacement open shard on the side and
+// swaps the list pointer.  Sealed shard objects are shared between
+// snapshots, which is what makes cache survival a pointer identity, not a
+// recomputation.
+//
+// The merge invariant that makes sharding safe: global row id = shard base
+// + local row, and every per-row artifact (FP16 quantization, RZ norm,
+// pairwise pipeline distance) depends only on the row itself — so any shard
+// count, and any append history producing the same global row order, yields
+// eps-join/knn results bit-identical to the 1-shard session (the engine's
+// sharded entry points and merging sinks preserve this end to end).
+//
+// Calibration is the one corpus-global artifact.  It is decomposed into
+// per-shard-pair distance blocks: shard s keeps a deterministic sample of
+// its rows, and block (s, t) holds the FP64 distances from s's sample to
+// every row of t.  eps_for_selectivity pools the blocks under a weighted
+// quantile (weights undo the per-shard sampling rates).  An append replaces
+// only the open shard, so exactly the blocks involving that shard (and the
+// cached target -> eps map) are invalidated; blocks between sealed shards
+// are reused forever.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/fasted.hpp"
+#include "index/grid_index.hpp"
+
+namespace fasted::service {
+
+struct ShardedCorpusOptions {
+  // Initial bulk split: the constructor fills shards of `shard_capacity`
+  // rows greedily.  When shard_capacity is 0 it defaults to
+  // ceil(rows / shards), i.e. `shards` says "split the seed corpus N ways"
+  // and capacity follows; an explicit capacity overrides `shards`.
+  std::size_t shards = 1;
+  std::size_t shard_capacity = 0;
+};
+
+struct ShardedStats {
+  std::uint64_t appends = 0;
+  std::uint64_t rows_appended = 0;
+  std::uint64_t shards_sealed = 0;   // seal events during appends
+  std::uint64_t open_rebuilds = 0;   // open-shard re-preparations
+  std::uint64_t grids_built = 0;
+  std::uint64_t calibration_hits = 0;    // target -> eps cache
+  std::uint64_t calibration_misses = 0;
+  std::uint64_t calibration_blocks_built = 0;  // sample x shard blocks
+};
+
+// Operator view of one shard (the CLI's skew table prints these).
+struct ShardInfo {
+  std::size_t base = 0;
+  std::size_t rows = 0;
+  bool sealed = false;
+  std::uint64_t generation = 0;   // unique id of this shard build
+  std::size_t grid_entries = 0;   // cached grid indexes
+  std::size_t calibration_blocks = 0;  // cached sample-distance blocks
+};
+
+class ShardedCorpus {
+ public:
+  class Shard;
+  // An immutable view of the shard list.  Queries pin one snapshot for
+  // their whole execution; shards stay alive as long as any snapshot
+  // references them.
+  using Snapshot = std::vector<std::shared_ptr<const Shard>>;
+
+  explicit ShardedCorpus(MatrixF32 corpus, ShardedCorpusOptions options = {});
+
+  ShardedCorpus(const ShardedCorpus&) = delete;
+  ShardedCorpus& operator=(const ShardedCorpus&) = delete;
+
+  std::size_t size() const;  // total logical rows (current snapshot)
+  std::size_t dims() const { return dims_; }
+  std::size_t shard_count() const;
+  std::size_t shard_capacity() const { return capacity_; }
+
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  // Engine-facing views of a snapshot, in global row order.
+  static std::vector<CorpusShardView> shard_views(const Snapshot& snap);
+
+  // The prepared rows of shard `shard` in the current snapshot.  For sealed
+  // shards the reference is stable for the corpus lifetime; for the open
+  // shard it is invalidated by the next append (hold a snapshot() to pin).
+  const PreparedDataset& prepared(std::size_t shard) const;
+
+  // Grid index of one shard at cell width eps, built on first use and
+  // cached on the shard.  Same lifetime rules as prepared().
+  const index::GridIndex& grid_at(std::size_t shard, float eps);
+
+  // Candidate corpus rows (global ids) for an external query point: the
+  // union of every shard's grid candidates — a superset of the true
+  // eps-neighbors, like CorpusSession::grid_at + candidates_of.
+  void grid_candidates(const float* query, float eps,
+                       std::vector<std::uint32_t>& out);
+
+  // Search radius whose self-join selectivity over the whole logical corpus
+  // hits `target`, estimated from the per-shard calibration samples (see
+  // file header) and cached per distinct target until the next append.
+  float eps_for_selectivity(double target);
+
+  // Ingest rows at the end of the global row order (ids extend past the
+  // current size()).  Re-prepares only the open shard; seals it at
+  // capacity and opens fresh shards as needed.  Safe to call concurrently
+  // with readers; concurrent appends serialize.
+  void append(const MatrixF32& rows);
+
+  ShardedStats stats() const;
+  std::vector<ShardInfo> shard_infos() const;
+
+ private:
+  std::shared_ptr<const Shard> make_shard(MatrixF32 points, std::size_t base,
+                                          bool sealed);
+  const index::GridIndex& grid_on(const Shard& shard, float eps);
+  // The (sample of s) x (rows of t) squared-distance block, cached on s.
+  std::shared_ptr<const std::vector<double>> block_of(const Shard& s,
+                                                      const Shard& t);
+  float calibrate_over(const Snapshot& snap, double target);
+
+  std::size_t dims_ = 0;
+  std::size_t capacity_ = 0;
+
+  mutable std::mutex mutex_;  // guards snapshot_, calibration_, stats_
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::uint64_t epoch_ = 0;   // bumped per append; guards calibration_
+  std::map<double, float> calibration_;  // target -> eps for this epoch
+  ShardedStats stats_;
+
+  std::mutex append_mutex_;  // serializes appends (readers never wait)
+  std::uint64_t next_generation_ = 0;  // guarded by append_mutex_
+};
+
+// One shard: immutable data + artifacts, lazily grown caches.  Created
+// sealed or open; an "open" shard is replaced wholesale by append (the
+// object itself never mutates its data), a sealed shard is shared by every
+// later snapshot.
+class ShardedCorpus::Shard {
+ public:
+  Shard(MatrixF32 pts, std::size_t base_row, bool seal, std::uint64_t gen);
+
+  const MatrixF32 points;          // original FP32 rows (grid + calibration)
+  const PreparedDataset prepared;  // FP16 + dequant + RZ norms
+  const std::size_t base;          // global id of local row 0
+  const bool sealed;
+  const std::uint64_t generation;  // unique per shard build
+  const std::vector<std::uint32_t> sample_ids;  // calibration sample (local)
+
+  std::size_t rows() const { return points.rows(); }
+
+ private:
+  friend class ShardedCorpus;
+  mutable std::mutex cache_mutex;
+  mutable std::map<float, std::unique_ptr<index::GridIndex>> grids;
+  // Calibration blocks keyed by the TARGET shard's generation: distances
+  // from this shard's sample rows to every row of that shard.  Entries for
+  // dead generations are pruned after each append.
+  mutable std::unordered_map<std::uint64_t,
+                             std::shared_ptr<const std::vector<double>>>
+      calib_blocks;
+};
+
+}  // namespace fasted::service

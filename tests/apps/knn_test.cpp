@@ -122,5 +122,17 @@ TEST(Knn, RejectsBadK) {
   EXPECT_THROW(knn_all(engine, data, 10), CheckError);
 }
 
+TEST(Knn, ShardedServiceIsBitIdenticalToDefault) {
+  const auto data = data::uniform(250, 12, 19);
+  FastedEngine engine;
+  const auto expect = knn_all(engine, data, 6);
+  KnnOptions opts;
+  opts.shards = 3;
+  const auto got = knn_all(engine, data, 6, opts);
+  ASSERT_EQ(got.ids.size(), expect.ids.size());
+  EXPECT_EQ(got.ids, expect.ids);
+  EXPECT_EQ(got.distances, expect.distances);
+}
+
 }  // namespace
 }  // namespace fasted::apps

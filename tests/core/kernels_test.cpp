@@ -10,14 +10,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <map>
+#include <span>
+#include <thread>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/fp16.hpp"
 #include "common/rng.hpp"
 #include "core/fasted.hpp"
+#include "core/kernels/merging_sink.hpp"
+#include "core/kernels/mpsc_ring.hpp"
 #include "core/kernels/result_sink.hpp"
 #include "data/calibrate.hpp"
 #include "data/generators.hpp"
@@ -176,6 +182,213 @@ TEST(ResultSinks, SelfJoinCountMatchesCsrOnBothPaths) {
     EXPECT_EQ(a.pair_count, b.pair_count);
     EXPECT_EQ(a.result.pair_count(), a.pair_count);
     EXPECT_EQ(b.result.num_points(), 0u);
+  }
+}
+
+// --- sharded executor + merging sinks ---------------------------------------
+
+TEST(ShardedExecutor, SelfJoinBitIdenticalForAnyShardCount) {
+  const auto data = data::uniform(431, 24, 94);  // prime-ish: uneven splits
+  const float eps = data::calibrate_epsilon(data, 24.0).eps;
+  FastedEngine engine;
+  const PreparedDataset whole(data);
+  const auto expect = engine.self_join(whole, eps);
+
+  for (const std::size_t shards : {2u, 3u, 7u}) {
+    const PreparedShards split = prepare_shards(data, shards);
+    const auto got = engine.self_join(
+        split.span(), eps);
+    ASSERT_EQ(got.pair_count, expect.pair_count) << shards;
+    EXPECT_EQ(got.result.offsets(), expect.result.offsets()) << shards;
+    EXPECT_EQ(got.result.neighbors(), expect.result.neighbors()) << shards;
+  }
+}
+
+TEST(ShardedExecutor, SelfJoinEmulatedPathMatchesFastWhenSharded) {
+  const auto data = data::uniform(150, 8, 95);
+  FastedEngine engine;
+  const PreparedShards split = prepare_shards(data, 3);
+  const std::span<const CorpusShardView> views(split.views);
+
+  JoinOptions emulated;
+  emulated.path = ExecutionPath::kEmulated;
+  const auto fast = engine.self_join(views, 0.8f);
+  const auto emu = engine.self_join(views, 0.8f, emulated);
+  ASSERT_EQ(fast.pair_count, emu.pair_count);
+  EXPECT_EQ(fast.result.offsets(), emu.result.offsets());
+  EXPECT_EQ(fast.result.neighbors(), emu.result.neighbors());
+}
+
+TEST(ShardedExecutor, QueryJoinBitIdenticalWithPerShardCounts) {
+  const auto corpus_data = data::uniform(500, 16, 96);
+  const auto query_data = data::uniform(170, 16, 97);
+  const float eps = data::calibrate_epsilon(corpus_data, 16.0).eps;
+  FastedEngine engine;
+  const PreparedDataset corpus(corpus_data);
+  const PreparedDataset queries(query_data);
+  const auto expect = engine.query_join(queries, corpus, eps);
+
+  for (const std::size_t shards : {2u, 3u, 7u}) {
+    const PreparedShards split = prepare_shards(corpus_data, shards);
+    const auto got = engine.query_join(
+        queries, split.span(), eps);
+    ASSERT_EQ(got.pair_count, expect.pair_count) << shards;
+    ASSERT_EQ(got.shard_pairs.size(), split.views.size()) << shards;
+    std::uint64_t sum = 0;
+    for (const std::uint64_t p : got.shard_pairs) sum += p;
+    EXPECT_EQ(sum, got.pair_count) << shards;
+    ASSERT_EQ(got.result.offsets(), expect.result.offsets()) << shards;
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+      const auto a = expect.result.matches_of(q);
+      const auto b = got.result.matches_of(q);
+      for (std::size_t r = 0; r < a.size(); ++r) {
+        ASSERT_EQ(b[r].id, a[r].id) << shards << " q " << q;
+        ASSERT_EQ(b[r].dist2, a[r].dist2) << shards << " q " << q;
+      }
+    }
+  }
+}
+
+TEST(ShardedExecutor, RejectsNonContiguousShards) {
+  const auto data = data::uniform(100, 8, 98);
+  FastedEngine engine;
+  const PreparedShards split = prepare_shards(data, 2);
+  std::vector<CorpusShardView> bad = split.views;
+  bad[1].base += 3;  // hole in the global row space
+  EXPECT_THROW(engine.self_join(std::span<const CorpusShardView>(bad), 0.5f),
+               CheckError);
+}
+
+// --- streaming delivery: bounded MPSC ring ----------------------------------
+
+TEST(MpscRing, StressedProducersDeliverEveryItemExactlyOnce) {
+  kernels::BoundedMpscRing<std::uint64_t> ring(16);
+  ASSERT_EQ(ring.capacity(), 16u);
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 20000;
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        ring.push(p * kPerProducer + i + 1);  // 0 is the empty payload
+      }
+    });
+  }
+  std::vector<std::uint32_t> seen(kProducers * kPerProducer, 0);
+  std::size_t received = 0;
+  std::uint64_t item = 0;
+  while (received < kProducers * kPerProducer) {
+    if (ring.try_pop(item)) {
+      ASSERT_GE(item, 1u);
+      ASSERT_LE(item, seen.size());
+      ++seen[item - 1];
+      ++received;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_FALSE(ring.try_pop(item));  // drained
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    ASSERT_EQ(seen[i], 1u) << i;
+  }
+}
+
+TEST(ResultSinks, RingStreamingSinkMatchesMutexStreamingSink) {
+  const auto corpus_data = data::uniform(600, 16, 99);
+  const auto query_data = data::uniform(200, 16, 100);
+  const float eps = data::calibrate_epsilon(corpus_data, 16.0).eps;
+  FastedEngine engine;
+  const PreparedDataset corpus(corpus_data);
+  const PreparedDataset queries(query_data);
+
+  std::map<std::size_t, std::vector<QueryMatch>> mutex_rows;
+  kernels::StreamingSink mutex_sink(
+      [&](std::size_t q, std::span<const QueryMatch> matches) {
+        mutex_rows[q].assign(matches.begin(), matches.end());
+      });
+  const std::uint64_t mutex_pairs =
+      engine.query_join_into(queries, corpus, eps, mutex_sink);
+
+  // Small ring (4 strips) so the workers actually hit backpressure.
+  std::map<std::size_t, std::vector<QueryMatch>> ring_rows;
+  kernels::RingStreamingSink ring_sink(
+      [&](std::size_t q, std::span<const QueryMatch> matches) {
+        ASSERT_EQ(ring_rows.count(q), 0u) << "query delivered twice";
+        ring_rows[q].assign(matches.begin(), matches.end());
+      },
+      /*ring_capacity=*/4);
+  const std::uint64_t ring_pairs =
+      engine.query_join_into(queries, corpus, eps, ring_sink);
+  ring_sink.finish();
+
+  EXPECT_EQ(ring_pairs, mutex_pairs);
+  ASSERT_EQ(ring_rows.size(), queries.rows());
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    const auto& a = mutex_rows[q];
+    const auto& b = ring_rows[q];
+    ASSERT_EQ(b.size(), a.size()) << q;
+    for (std::size_t r = 0; r < a.size(); ++r) {
+      ASSERT_EQ(b[r].id, a[r].id) << q;
+      ASSERT_EQ(b[r].dist2, a[r].dist2) << q;
+    }
+  }
+}
+
+TEST(ResultSinks, NonMergingPerTileSinksRejectMultiShardJoins) {
+  // A plain streaming sink over a multi-shard span would fire once per
+  // shard with partial rows; the executor must refuse, not half-deliver.
+  const auto data = data::uniform(100, 8, 103);
+  FastedEngine engine;
+  const PreparedDataset queries(data::uniform(20, 8, 104));
+  const PreparedShards split = prepare_shards(data, 2);
+  kernels::StreamingSink mutex_sink([](std::size_t,
+                                       std::span<const QueryMatch>) {});
+  EXPECT_THROW(engine.query_join_into(queries, split.span(), 0.5f, mutex_sink),
+               CheckError);
+  kernels::RingStreamingSink ring_sink([](std::size_t,
+                                          std::span<const QueryMatch>) {});
+  EXPECT_THROW(engine.query_join_into(queries, split.span(), 0.5f, ring_sink),
+               CheckError);
+}
+
+TEST(ResultSinks, MergingStreamingSinkReassemblesShardsPerQuery) {
+  const auto corpus_data = data::uniform(450, 12, 101);
+  const auto query_data = data::uniform(130, 12, 102);
+  const float eps = data::calibrate_epsilon(corpus_data, 16.0).eps;
+  FastedEngine engine;
+  const PreparedDataset corpus(corpus_data);
+  const PreparedDataset queries(query_data);
+  const auto expect = engine.query_join(queries, corpus, eps);
+
+  for (const std::size_t shards : {2u, 5u}) {
+    const PreparedShards split = prepare_shards(corpus_data, shards);
+    for (const kernels::StripDelivery delivery :
+         {kernels::StripDelivery::kRing, kernels::StripDelivery::kMutex}) {
+      std::map<std::size_t, std::vector<QueryMatch>> rows;
+      kernels::MergingStreamingSink sink(
+          [&](std::size_t q, std::span<const QueryMatch> matches) {
+            ASSERT_EQ(rows.count(q), 0u) << "query delivered twice";
+            rows[q].assign(matches.begin(), matches.end());
+          },
+          split.views.size(), delivery);
+      const std::uint64_t pairs = engine.query_join_into(
+          queries, split.span(), eps, sink);
+      sink.finish();
+
+      EXPECT_EQ(pairs, expect.pair_count) << shards;
+      ASSERT_EQ(rows.size(), queries.rows()) << shards;
+      for (std::size_t q = 0; q < queries.rows(); ++q) {
+        const auto want = expect.result.matches_of(q);
+        const auto& got = rows[q];
+        ASSERT_EQ(got.size(), want.size()) << shards << " q " << q;
+        for (std::size_t r = 0; r < want.size(); ++r) {
+          ASSERT_EQ(got[r].id, want[r].id) << shards << " q " << q;
+          ASSERT_EQ(got[r].dist2, want[r].dist2) << shards << " q " << q;
+        }
+      }
+    }
   }
 }
 

@@ -110,6 +110,53 @@ TEST(JoinService, StreamingCallbackMatchesCsrResult) {
   }
 }
 
+TEST(JoinService, StreamingMutexFallbackMatchesRingDelivery) {
+  const auto corpus = data::uniform(300, 8, 56);
+  const auto queries = data::uniform(100, 8, 57);
+  JoinService svc(make_session(corpus));
+
+  EpsQuery request;
+  request.points = queries;
+  request.eps = 0.7f;
+  const auto batched = svc.eps_join(request);
+
+  for (const StreamDelivery delivery :
+       {StreamDelivery::kRing, StreamDelivery::kMutex}) {
+    request.delivery = delivery;
+    std::vector<std::vector<QueryMatch>> streamed(queries.rows());
+    const auto out = svc.eps_join(
+        request, [&](std::size_t q, std::span<const QueryMatch> m) {
+          streamed[q].assign(m.begin(), m.end());
+        });
+    EXPECT_EQ(out.pair_count, batched.pair_count);
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+      const auto expect = batched.result.matches_of(i);
+      ASSERT_EQ(streamed[i].size(), expect.size()) << i;
+      for (std::size_t r = 0; r < expect.size(); ++r) {
+        EXPECT_EQ(streamed[i][r].id, expect[r].id) << i;
+        EXPECT_EQ(streamed[i][r].dist2, expect[r].dist2) << i;
+      }
+    }
+  }
+}
+
+TEST(JoinService, BackendAccessorsMatchConstruction) {
+  const auto corpus = data::uniform(60, 8, 58);
+  JoinService by_session(make_session(corpus));
+  EXPECT_FALSE(by_session.is_sharded());
+  EXPECT_EQ(by_session.session().size(), 60u);
+  EXPECT_THROW(by_session.sharded(), CheckError);
+
+  ShardedCorpusOptions opts;
+  opts.shards = 2;
+  JoinService by_shards(
+      std::make_shared<ShardedCorpus>(MatrixF32(corpus), opts));
+  EXPECT_TRUE(by_shards.is_sharded());
+  EXPECT_EQ(by_shards.sharded().size(), 60u);
+  EXPECT_EQ(by_shards.sharded().shard_count(), 2u);
+  EXPECT_THROW(by_shards.session(), CheckError);
+}
+
 // Acceptance: KnnQuery results match a brute-force reference of the FP32
 // pipeline distance on small inputs (distance ascending, ties by id).
 TEST(JoinService, KnnMatchesBruteForceReference) {
@@ -263,7 +310,8 @@ TEST(JoinService, RejectsBadRequests) {
   bad_k.k = 0;
   EXPECT_THROW(svc.knn(bad_k), CheckError);
 
-  EXPECT_THROW(JoinService(nullptr), CheckError);
+  EXPECT_THROW(JoinService(std::shared_ptr<CorpusSession>()), CheckError);
+  EXPECT_THROW(JoinService(std::shared_ptr<ShardedCorpus>()), CheckError);
 }
 
 }  // namespace

@@ -1,0 +1,230 @@
+// ShardedCorpus lifecycle contracts: bulk split geometry, append/seal
+// mechanics, and — the property that makes incremental ingest worth having
+// — sealed shards' caches SURVIVING appends (pointer identity for prepared
+// data and grids, stat identity for calibration blocks).
+
+#include "service/sharded_corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <thread>
+
+#include "common/check.hpp"
+#include "data/calibrate.hpp"
+#include "data/generators.hpp"
+
+namespace fasted::service {
+namespace {
+
+TEST(ShardedCorpus, BulkSplitIsContiguousAndSealsFullShards) {
+  const auto data = data::uniform(1000, 8, 71);
+  ShardedCorpusOptions opts;
+  opts.shards = 3;
+  ShardedCorpus corpus{MatrixF32(data), opts};
+
+  EXPECT_EQ(corpus.size(), 1000u);
+  EXPECT_EQ(corpus.dims(), 8u);
+  EXPECT_EQ(corpus.shard_count(), 3u);
+  EXPECT_EQ(corpus.shard_capacity(), 334u);  // ceil(1000 / 3)
+
+  const auto infos = corpus.shard_infos();
+  ASSERT_EQ(infos.size(), 3u);
+  EXPECT_EQ(infos[0].base, 0u);
+  EXPECT_EQ(infos[0].rows, 334u);
+  EXPECT_TRUE(infos[0].sealed);
+  EXPECT_EQ(infos[1].base, 334u);
+  EXPECT_TRUE(infos[1].sealed);
+  EXPECT_EQ(infos[2].base, 668u);
+  EXPECT_EQ(infos[2].rows, 332u);
+  EXPECT_FALSE(infos[2].sealed);  // below capacity -> open
+
+  // Shard rows are exact slices of the logical corpus, and the prepared
+  // data is the per-row pipeline preparation of exactly those rows.
+  const auto snap = corpus.snapshot();
+  for (const auto& shard : *snap) {
+    for (std::size_t i = 0; i < shard->rows(); ++i) {
+      for (std::size_t k = 0; k < data.dims(); ++k) {
+        ASSERT_EQ(shard->points.at(i, k), data.at(shard->base + i, k));
+      }
+    }
+  }
+}
+
+TEST(ShardedCorpus, AppendFillsSealsAndOpensShards) {
+  const auto data = data::uniform(250, 8, 72);
+  ShardedCorpusOptions opts;
+  opts.shard_capacity = 100;
+  ShardedCorpus corpus{row_slice(data, 0, 130), opts};
+  EXPECT_EQ(corpus.shard_count(), 2u);  // 100 sealed + 30 open
+
+  corpus.append(row_slice(data, 130, 250));  // 30 fills + seals, 90 opens
+  EXPECT_EQ(corpus.size(), 250u);
+  EXPECT_EQ(corpus.shard_count(), 3u);
+  const auto infos = corpus.shard_infos();
+  EXPECT_TRUE(infos[0].sealed);
+  EXPECT_TRUE(infos[1].sealed);
+  EXPECT_EQ(infos[1].rows, 100u);
+  EXPECT_FALSE(infos[2].sealed);
+  EXPECT_EQ(infos[2].rows, 50u);
+
+  const auto stats = corpus.stats();
+  EXPECT_EQ(stats.appends, 1u);
+  EXPECT_EQ(stats.rows_appended, 120u);
+  EXPECT_EQ(stats.shards_sealed, 1u);
+  EXPECT_EQ(stats.open_rebuilds, 1u);  // only the 30-row open shard rebuilt
+
+  // Global row order equals ingestion order regardless of shard boundaries.
+  const auto snap = corpus.snapshot();
+  for (const auto& shard : *snap) {
+    for (std::size_t i = 0; i < shard->rows(); ++i) {
+      for (std::size_t k = 0; k < data.dims(); ++k) {
+        ASSERT_EQ(shard->points.at(i, k), data.at(shard->base + i, k));
+      }
+    }
+  }
+}
+
+TEST(ShardedCorpus, SealedShardCachesSurviveAppendByPointerIdentity) {
+  const auto data = data::uniform(300, 8, 73);
+  ShardedCorpusOptions opts;
+  opts.shard_capacity = 100;
+  ShardedCorpus corpus{row_slice(data, 0, 250), opts};
+  ASSERT_EQ(corpus.shard_count(), 3u);  // 100, 100, open 50
+
+  // Touch artifacts on every shard; pin the pre-append snapshot so the
+  // old open shard cannot be freed (and its address reused) under us.
+  const auto pre_append = corpus.snapshot();
+  const PreparedDataset* prep0 = &corpus.prepared(0);
+  const PreparedDataset* prep1 = &corpus.prepared(1);
+  const index::GridIndex* grid0 = &corpus.grid_at(0, 0.5f);
+  const index::GridIndex* grid1 = &corpus.grid_at(1, 0.5f);
+  const index::GridIndex* grid_open = &corpus.grid_at(2, 0.5f);
+  EXPECT_EQ(corpus.stats().grids_built, 3u);
+
+  corpus.append(row_slice(data, 250, 300));  // open shard rebuilt (50 -> 100)
+
+  // Sealed shards: the SAME objects — no re-preparation, no grid rebuild.
+  EXPECT_EQ(&corpus.prepared(0), prep0);
+  EXPECT_EQ(&corpus.prepared(1), prep1);
+  EXPECT_EQ(&corpus.grid_at(0, 0.5f), grid0);
+  EXPECT_EQ(&corpus.grid_at(1, 0.5f), grid1);
+  EXPECT_EQ(corpus.stats().grids_built, 3u);  // no new builds for sealed
+
+  // The open shard was replaced: its grid cache was invalidated, and
+  // asking again builds a fresh one over the grown shard.
+  const index::GridIndex* grid2 = &corpus.grid_at(2, 0.5f);
+  EXPECT_NE(grid2, grid_open);
+  EXPECT_EQ(corpus.stats().grids_built, 4u);
+}
+
+TEST(ShardedCorpus, CalibrationBlocksAreReusedAcrossAppends) {
+  const auto data = data::uniform(300, 8, 74);
+  ShardedCorpusOptions opts;
+  opts.shard_capacity = 100;
+  ShardedCorpus corpus{row_slice(data, 0, 250), opts};
+  const std::size_t k = 3;  // shards: sealed, sealed, open
+
+  // First calibration builds every (sample shard x target shard) block.
+  const float eps1 = corpus.eps_for_selectivity(32.0);
+  EXPECT_GT(eps1, 0.0f);
+  EXPECT_EQ(corpus.stats().calibration_blocks_built, k * k);
+  EXPECT_EQ(corpus.stats().calibration_misses, 1u);
+
+  // Cached target: no new blocks, a hit.
+  EXPECT_EQ(corpus.eps_for_selectivity(32.0), eps1);
+  EXPECT_EQ(corpus.stats().calibration_hits, 1u);
+  EXPECT_EQ(corpus.stats().calibration_blocks_built, k * k);
+
+  // Append replaces only the open shard; recalibration must rebuild ONLY
+  // the blocks involving it: (k-1) sealed->new + new->(k-1) sealed + 1
+  // new->new = 2k - 1.  Blocks between sealed shards are stat-identical.
+  corpus.append(row_slice(data, 250, 300));
+  const float eps2 = corpus.eps_for_selectivity(32.0);
+  EXPECT_GT(eps2, 0.0f);
+  EXPECT_EQ(corpus.stats().calibration_blocks_built, k * k + 2 * k - 1);
+  EXPECT_EQ(corpus.stats().calibration_misses, 2u);
+
+  // The calibrated radius lands near the requested selectivity (it is an
+  // estimate, like CorpusSession's) — verify against the exact count.
+  const MatrixF32 whole = row_slice(data, 0, 300);
+  const double achieved = data::exact_selectivity(whole, eps2);
+  EXPECT_GT(achieved, 32.0 * 0.5);
+  EXPECT_LT(achieved, 32.0 * 2.0);
+}
+
+TEST(ShardedCorpus, GridCandidatesCoverTrueNeighborsAcrossShards) {
+  const auto corpus_data = data::uniform(400, 8, 75);
+  const auto queries = data::uniform(20, 8, 76);
+  ShardedCorpusOptions opts;
+  opts.shards = 3;
+  ShardedCorpus corpus{MatrixF32(corpus_data), opts};
+  const float eps = 0.4f;
+
+  for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+    std::vector<std::uint32_t> cand;
+    corpus.grid_candidates(queries.row(qi), eps, cand);
+    const std::set<std::uint32_t> cset(cand.begin(), cand.end());
+    for (std::size_t j = 0; j < corpus_data.rows(); ++j) {
+      double acc = 0;
+      for (std::size_t k = 0; k < corpus_data.dims(); ++k) {
+        const double d = static_cast<double>(queries.at(qi, k)) -
+                         corpus_data.at(j, k);
+        acc += d * d;
+      }
+      if (std::sqrt(acc) <= eps) {
+        EXPECT_TRUE(cset.count(static_cast<std::uint32_t>(j)))
+            << "query " << qi << " missing corpus neighbor " << j;
+      }
+    }
+  }
+}
+
+TEST(ShardedCorpus, ConcurrentReadersDuringAppendAreSafe) {
+  const auto data = data::uniform(600, 8, 77);
+  ShardedCorpusOptions opts;
+  opts.shard_capacity = 100;
+  ShardedCorpus corpus{row_slice(data, 0, 150), opts};
+
+  // Readers hold snapshots and hammer caches while appends grow the corpus.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20; ++i) {
+        const auto snap = corpus.snapshot();
+        std::size_t rows = 0;
+        for (const auto& shard : *snap) {
+          ASSERT_EQ(shard->base, rows);
+          rows += shard->rows();
+          ASSERT_EQ(shard->prepared.rows(), shard->rows());
+        }
+        std::vector<std::uint32_t> cand;
+        corpus.grid_candidates(data.row((t * 37 + i) % 600), 0.5f, cand);
+      }
+    });
+  }
+  std::thread appender([&] {
+    for (std::size_t begin = 150; begin < 600; begin += 50) {
+      corpus.append(row_slice(data, begin, begin + 50));
+    }
+  });
+  for (auto& th : threads) th.join();
+  appender.join();
+  EXPECT_EQ(corpus.size(), 600u);
+  EXPECT_EQ(corpus.shard_count(), 6u);
+}
+
+TEST(ShardedCorpus, RejectsBadInputs) {
+  EXPECT_THROW(ShardedCorpus{MatrixF32(0, 4)}, CheckError);
+  const auto data = data::uniform(50, 8, 78);
+  ShardedCorpus corpus{MatrixF32(data)};
+  EXPECT_THROW(corpus.append(MatrixF32(0, 8)), CheckError);
+  EXPECT_THROW(corpus.append(MatrixF32(5, 4)), CheckError);  // dims mismatch
+  EXPECT_THROW(corpus.prepared(3), CheckError);
+  EXPECT_THROW(corpus.grid_at(3, 0.5f), CheckError);
+}
+
+}  // namespace
+}  // namespace fasted::service

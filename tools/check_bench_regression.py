@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare BENCH_join.json against the checked-in baseline.
+
+Walks both JSON trees and compares every object carrying a "pairs_per_s"
+field.  By default the current run is first NORMALIZED to the baseline's
+hardware speed using a reference entry (self_join.scalar — the dependency-
+free scalar kernel), so the gate measures relative regressions (a slower CI
+runner does not trip it, a change that slows one workload relative to the
+rest does).  "speedup" fields are dimensionless and compared directly.
+
+    tools/check_bench_regression.py BENCH_baseline.json BENCH_join.json \
+        [--max-regression 0.25] [--no-normalize]
+
+Exit status 1 if any entry regressed by more than --max-regression.
+Refresh the baseline by re-running bench_join_throughput with the CI
+parameters and copying BENCH_join.json over BENCH_baseline.json.
+"""
+
+import argparse
+import json
+import sys
+
+REFERENCE = ("self_join", "scalar", "pairs_per_s")
+
+
+def walk(tree, path=()):
+    """Yield (path, entry) for every dict with a pairs_per_s field, and
+    (path, value) for every scalar 'speedup' field."""
+    if not isinstance(tree, dict):
+        return
+    for key, value in tree.items():
+        if isinstance(value, dict):
+            if "pairs_per_s" in value:
+                yield path + (key,), value
+            yield from walk(value, path + (key,))
+        elif key == "speedup":
+            yield path + (key,), value
+
+
+def lookup(tree, path):
+    node = tree
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="fail when pairs/s drops by more than this "
+                             "fraction (default 0.25)")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="compare absolute pairs/s (same-machine runs)")
+    parser.add_argument("--min-compared", type=int, default=4,
+                        help="fail when fewer than this many entries were "
+                             "actually compared (kernel-mismatch skips must "
+                             "not silently hollow the gate out; default 4)")
+    parser.add_argument("--hollow-ok", action="store_true",
+                        help="downgrade the min-compared breach to a loud "
+                             "warning. For CI on heterogeneous runner "
+                             "fleets: a runner whose dispatched kernel "
+                             "differs from the baseline's still gates the "
+                             "scalar entries deterministically instead of "
+                             "failing by lottery.")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    scale = 1.0
+    if not args.no_normalize:
+        base_ref = lookup(baseline, REFERENCE)
+        cur_ref = lookup(current, REFERENCE)
+        if base_ref and cur_ref:
+            scale = base_ref / cur_ref
+            print(f"hardware normalization: x{scale:.3f} "
+                  f"(baseline ref {base_ref:.3e}, current {cur_ref:.3e})")
+        else:
+            print("warning: reference entry missing; comparing absolute")
+
+    failures = []
+    compared = 0
+    for path, entry in walk(baseline):
+        cur = lookup(current, path)
+        if cur is None:
+            failures.append((path, "missing from current run"))
+            continue
+        if path[-1] == "speedup":
+            base_simd = lookup(baseline, ("config", "simd_kernel"))
+            cur_simd = lookup(current, ("config", "simd_kernel"))
+            if base_simd != cur_simd:
+                print(f"  skip {'.'.join(path):45s} dispatched kernel "
+                      f"{base_simd} (baseline) != {cur_simd} (current)")
+                continue
+            base_v, cur_v = entry, cur
+        else:
+            base_kernel = entry.get("kernel")
+            cur_kernel = cur.get("kernel") if isinstance(cur, dict) else None
+            if base_kernel and cur_kernel and base_kernel != cur_kernel:
+                # Different dispatched SIMD variant (e.g. avx2 runner vs an
+                # avx512 baseline): the comparison is meaningless, skip it.
+                print(f"  skip {'.'.join(path):45s} kernel "
+                      f"{base_kernel} (baseline) != {cur_kernel} (current)")
+                continue
+            base_v = entry["pairs_per_s"]
+            cur_v = cur["pairs_per_s"] * scale
+        if base_v <= 0:
+            continue
+        compared += 1
+        ratio = cur_v / base_v
+        marker = "FAIL" if ratio < 1.0 - args.max_regression else "ok"
+        print(f"  {marker:4s} {'.'.join(path):45s} "
+              f"baseline {base_v:12.3e}  current {cur_v:12.3e}  "
+              f"({(ratio - 1.0) * 100.0:+.1f}%)")
+        if marker == "FAIL":
+            failures.append((path, f"{(1.0 - ratio) * 100.0:.1f}% regression"))
+
+    print(f"compared {compared} entries, {len(failures)} failures "
+          f"(gate: >{args.max_regression * 100.0:.0f}% regression)")
+    for path, why in failures:
+        print(f"REGRESSION {'.'.join(path)}: {why}", file=sys.stderr)
+    if compared < args.min_compared:
+        print(f"GATE HOLLOW: only {compared} entries compared "
+              f"(< {args.min_compared}) — the baseline's dispatched kernel "
+              f"probably differs from this machine's; regenerate "
+              f"BENCH_baseline.json on matching hardware", file=sys.stderr)
+        if not args.hollow_ok:
+            return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
