@@ -7,6 +7,12 @@
 // across PRs; CI gates regressions against BENCH_baseline.json with
 // tools/check_bench_regression.py.
 //
+// Domain-placement configs ride along: the same sharded joins with the
+// pool partitioned into D synthetic execution domains (what
+// FASTED_TOPOLOGY=DxC does), shards placed round-robin and drains routed
+// with cross-domain stealing — the deltas vs domains=1 are the cost of
+// topology routing itself (domains=1 IS the flat pre-topology path).
+//
 //   bench_join_throughput [corpus_n] [dims] [query_batch] [reps]
 //                         (defaults 4096 64 1024 3)
 
@@ -20,6 +26,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "common/topology.hpp"
 #include "core/fasted.hpp"
 #include "core/kernels/rz_dot.hpp"
 #include "data/calibrate.hpp"
@@ -163,6 +171,38 @@ int main(int argc, char** argv) {
     sharded_query.emplace_back(shards, mq);
   }
 
+  // Topology configs: rebuild the pool with D synthetic domains, place 4
+  // shards round-robin, and run the same joins through the locality-routed
+  // drain (stealing on).  Results are bit-identical across D (property-
+  // tested), so pairs/s deltas are pure routing overhead.
+  std::printf("\n");
+  const std::size_t domain_counts[] = {1, 2, 4};
+  const std::size_t placement_shards = 4;
+  std::vector<std::pair<std::size_t, Measurement>> domain_self;
+  std::vector<std::pair<std::size_t, Measurement>> domain_query;
+  for (const std::size_t ndom : domain_counts) {
+    const Topology topo = Topology::synthetic(ndom);
+    ThreadPool::reset_global(0, &topo);
+    // Shards are re-prepared per pool so first-touch placement matches the
+    // layout being measured.
+    const PreparedShards set = prepare_shards(corpus_data, placement_shards);
+    const std::span<const CorpusShardView> views = set.span();
+    char label[32];
+    std::snprintf(label, sizeof label, "self/d=%zu", ndom);
+    const Measurement ms = measure(simd.name, self_evals, reps, [&] {
+      return engine.self_join(views, eps, count_only).pair_count;
+    });
+    print_row(label, ms);
+    domain_self.emplace_back(ndom, ms);
+    std::snprintf(label, sizeof label, "query/d=%zu", ndom);
+    const Measurement mq = measure(simd.name, query_evals, reps, [&] {
+      return engine.query_join(queries, views, eps, count_only).pair_count;
+    });
+    print_row(label, mq);
+    domain_query.emplace_back(ndom, mq);
+  }
+  ThreadPool::reset_global();  // back to the detected topology
+
   FILE* f = std::fopen("BENCH_join.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_join.json\n");
@@ -195,7 +235,21 @@ int main(int argc, char** argv) {
     std::snprintf(label, sizeof label, "shards_%zu", sharded_query[i].first);
     json_entry(f, label, sharded_query[i].second);
   }
-  std::fprintf(f, "    \"shard_counts\": %zu\n  }\n", sharded_query.size());
+  std::fprintf(f, "    \"shard_counts\": %zu\n  },\n", sharded_query.size());
+  std::fprintf(f, "  \"domain_self_join\": {\n");
+  for (std::size_t i = 0; i < domain_self.size(); ++i) {
+    char label[32];
+    std::snprintf(label, sizeof label, "domains_%zu", domain_self[i].first);
+    json_entry(f, label, domain_self[i].second);
+  }
+  std::fprintf(f, "    \"shards\": %zu\n  },\n", placement_shards);
+  std::fprintf(f, "  \"domain_query_join\": {\n");
+  for (std::size_t i = 0; i < domain_query.size(); ++i) {
+    char label[32];
+    std::snprintf(label, sizeof label, "domains_%zu", domain_query[i].first);
+    json_entry(f, label, domain_query[i].second);
+  }
+  std::fprintf(f, "    \"shards\": %zu\n  }\n", placement_shards);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_join.json\n");

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "baselines/gds_join.hpp"
+#include "common/parallel.hpp"
 #include "baselines/mistic_join.hpp"
 #include "baselines/ted_join.hpp"
 #include "core/fasted.hpp"
@@ -58,6 +59,7 @@ struct Args {
   std::size_t serve_batches = 1;  // query batches served per session
   std::size_t shards = 0;         // > 0: ShardedCorpus with N-way split
   double ingest_fraction = 1.0;   // < 1: append the rest between batches
+  std::size_t domains = 0;        // > 0: shard placement over N domains
 };
 
 void usage() {
@@ -78,7 +80,10 @@ void usage() {
       "  --shards N       serve from a ShardedCorpus split N ways\n"
       "                   (bit-identical results; also shards --algo fasted)\n"
       "  --ingest-fraction F  start the service with the first F*n rows and\n"
-      "                   append the rest between batches (needs --shards)\n");
+      "                   append the rest between batches (needs --shards)\n"
+      "  --domains N      place shards round-robin over N execution domains\n"
+      "                   (default: detected topology / FASTED_TOPOLOGY;\n"
+      "                   results are bit-identical for any value)\n");
 }
 
 bool parse(int argc, char** argv, Args& args) {
@@ -115,6 +120,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.shards = std::stoull(v);
     } else if (flag == "--ingest-fraction" && (v = next())) {
       args.ingest_fraction = std::stod(v);
+    } else if (flag == "--domains" && (v = next())) {
+      args.domains = std::stoull(v);
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -157,13 +164,13 @@ void print_shard_table(service::ShardedCorpus& corpus,
                        const std::vector<std::uint64_t>& shard_pairs) {
   const auto infos = corpus.shard_infos();
   std::printf("per-shard stats (skew view):\n");
-  std::printf("  %-6s %-10s %-8s %-7s %-6s %-7s %s\n", "shard", "base",
-              "rows", "state", "grids", "calib", "pairs(last batch)");
+  std::printf("  %-6s %-10s %-8s %-7s %-6s %-6s %-7s %s\n", "shard", "base",
+              "rows", "state", "dom", "grids", "calib", "pairs(last batch)");
   for (std::size_t s = 0; s < infos.size(); ++s) {
     const auto& info = infos[s];
-    std::printf("  %-6zu %-10zu %-8zu %-7s %-6zu %-7zu %llu\n", s, info.base,
-                info.rows, info.sealed ? "sealed" : "open", info.grid_entries,
-                info.calibration_blocks,
+    std::printf("  %-6zu %-10zu %-8zu %-7s %-6zu %-6zu %-7zu %llu\n", s,
+                info.base, info.rows, info.sealed ? "sealed" : "open",
+                info.domain, info.grid_entries, info.calibration_blocks,
                 s < shard_pairs.size()
                     ? static_cast<unsigned long long>(shard_pairs[s])
                     : 0ull);
@@ -191,6 +198,11 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
                  "warning: --ingest-fraction needs --shards; serving the "
                  "whole corpus up front\n");
   }
+  if (!sharded && args.domains > 0) {
+    std::fprintf(stderr,
+                 "warning: --domains needs --shards (placement is "
+                 "per-shard); serving from a single session\n");
+  }
 
   // Incremental ingest plan: start with the first `initial` rows, append
   // the remainder in one slice per served batch.
@@ -214,6 +226,7 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
     // Capacity from the FULL corpus size so the append-driven session seals
     // shards at the same boundaries a bulk N-way split would.
     copts.shard_capacity = (n + args.shards - 1) / args.shards;
+    copts.placement_domains = args.domains;
     corpus = std::make_shared<service::ShardedCorpus>(
         row_slice(points, 0, initial), copts);
     svc.emplace(corpus);
@@ -291,6 +304,17 @@ int main(int argc, char** argv) {
   const MatrixF32 points = make_data(args);
   std::printf("dataset: %zu points x %zu dims\n", points.rows(),
               points.dims());
+  {
+    ThreadPool& pool = ThreadPool::global();
+    std::printf("topology: %zu execution domain%s (%s), slots",
+                pool.domain_count(), pool.domain_count() == 1 ? "" : "s",
+                pool.topology().synthetic_spec() ? "FASTED_TOPOLOGY"
+                                                 : "detected");
+    for (std::size_t d = 0; d < pool.domain_count(); ++d) {
+      std::printf(" %zu", pool.domain_size(d));
+    }
+    std::printf("\n");
+  }
 
   float eps;
   if (args.eps) {
@@ -312,10 +336,16 @@ int main(int argc, char** argv) {
     // monolithic self-join.
     JoinOutput out;
     if (args.shards > 1) {
-      const PreparedShards set = prepare_shards(points, args.shards);
+      const PreparedShards set =
+          prepare_shards(points, args.shards, args.domains);
       out = engine.self_join(set.span(), eps);
       std::printf("sharded self-join: %zu shards\n", set.views.size());
     } else {
+      if (args.domains > 0) {
+        std::fprintf(stderr,
+                     "warning: --domains needs --shards (or service mode); "
+                     "running the monolithic self-join\n");
+      }
       out = engine.self_join(points, eps);
     }
     report("FaSTED", out.pair_count, out.result.selectivity(),

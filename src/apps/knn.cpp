@@ -22,6 +22,7 @@ KnnResult knn_all(const FastedEngine& engine, const MatrixF32& data,
   if (options.shards > 1) {
     service::ShardedCorpusOptions copts;
     copts.shards = options.shards;
+    copts.placement_domains = options.domains;
     svc.emplace(std::make_shared<service::ShardedCorpus>(MatrixF32(data),
                                                          copts),
                 engine);

@@ -45,6 +45,10 @@ struct KnnOptions {
   // shard-count invariance), so this is a deployment knob, not a quality
   // trade.
   std::size_t shards = 1;
+  // Shard -> execution-domain placement modulus for the sharded backend
+  // (0 = the global pool's detected domain count).  Like `shards`, purely a
+  // deployment knob: results are bit-identical for any value.
+  std::size_t domains = 0;
 };
 
 // Exact k-NN (w.r.t. the FP16-32 pipeline distance) for every point of the

@@ -1,9 +1,13 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <utility>
 
@@ -22,120 +26,340 @@ std::size_t default_thread_count() {
   return std::thread::hardware_concurrency();
 }
 
+// Thread-local pool identity.  t_domain is the worker's group (0 for
+// outside threads, which drain domain 0 when they participate); t_in_job
+// marks "currently executing a chunk body", which makes nested fork-joins
+// run inline instead of deadlocking on the group job locks; t_route is the
+// DomainGuard redirection (-1: none).
+thread_local std::size_t t_domain = 0;
+thread_local bool t_worker = false;
+thread_local bool t_in_job = false;
+thread_local long t_route = -1;
+
 }  // namespace
 
-// A simple fork-join pool: each parallel_for publishes one job, workers grab
-// chunk indices under the pool mutex, and the caller participates too.
+// One fork-join group per execution domain.  Each group is exactly the old
+// flat pool: a published body + chunk list drained under the group mutex,
+// one job admitted at a time (job_mutex).  parallel_for spans all groups by
+// locking their job mutexes in index order (run_on_domain locks one), so
+// the two entry points cannot deadlock against each other.
 struct ThreadPool::Impl {
-  std::mutex job_mutex;  // admits one fork-join job at a time (see below)
-  std::mutex mutex;
-  std::condition_variable cv_work;
-  std::condition_variable cv_done;
-  std::function<void(std::size_t, std::size_t)> body;
-  std::vector<std::pair<std::size_t, std::size_t>> chunks;
-  std::size_t next_chunk = 0;  // guarded by mutex
-  std::size_t pending = 0;     // chunks not yet completed
-  std::uint64_t epoch = 0;     // bumped per job so workers notice new work
-  bool stop = false;
+  struct Group {
+    std::mutex job_mutex;  // admits one fork-join job at a time
+    std::mutex mutex;
+    std::condition_variable cv_work;
+    std::condition_variable cv_done;
+    std::function<void(std::size_t, std::size_t)> body;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    std::size_t next_chunk = 0;  // guarded by mutex
+    std::size_t pending = 0;     // chunks not yet completed
+    std::uint64_t epoch = 0;     // bumped per job so workers notice new work
+    bool stop = false;
+    std::vector<std::thread> workers;
+    std::size_t slots = 0;  // workers + (group 0 only) the caller
+    std::unique_ptr<DomainArena> arena;
 
-  void run_chunks() {
-    for (;;) {
-      std::pair<std::size_t, std::size_t> chunk;
-      {
-        // Chunks are grabbed under the mutex: a straggler from the previous
-        // job that races the next job's publication either sees the old
-        // drained list (returns) or a fully published new one (helps drain
-        // it) — never a torn vector.  `body` is only reassigned once
-        // pending hits zero, and a grabbed-but-unfinished chunk keeps
-        // pending nonzero, so the unlocked body call below is stable.
+    void run_chunks() {
+      for (;;) {
+        std::pair<std::size_t, std::size_t> chunk;
+        {
+          // Chunks are grabbed under the mutex: a straggler from the
+          // previous job that races the next job's publication either sees
+          // the old drained list (returns) or a fully published new one
+          // (helps drain it) — never a torn vector.  `body` is only
+          // reassigned once pending hits zero, and a grabbed-but-unfinished
+          // chunk keeps pending nonzero, so the unlocked body call below is
+          // stable.
+          std::lock_guard<std::mutex> lock(mutex);
+          if (next_chunk >= chunks.size()) return;
+          chunk = chunks[next_chunk++];
+        }
+        body(chunk.first, chunk.second);
         std::lock_guard<std::mutex> lock(mutex);
-        if (next_chunk >= chunks.size()) return;
-        chunk = chunks[next_chunk++];
+        if (--pending == 0) cv_done.notify_all();
       }
-      body(chunk.first, chunk.second);
-      std::lock_guard<std::mutex> lock(mutex);
-      if (--pending == 0) cv_done.notify_all();
     }
-  }
+
+    // Publishes one job (job_mutex must be held) without blocking.
+    void publish(std::size_t begin, std::size_t end, std::size_t nchunks,
+                 const std::function<void(std::size_t, std::size_t)>& b) {
+      std::lock_guard<std::mutex> lock(mutex);
+      body = b;
+      chunks.clear();
+      const std::size_t n = end - begin;
+      const std::size_t step = (n + nchunks - 1) / nchunks;
+      for (std::size_t s = begin; s < end; s += step) {
+        chunks.emplace_back(s, std::min(s + step, end));
+      }
+      next_chunk = 0;
+      pending = chunks.size();
+      ++epoch;
+    }
+
+    void wait_done() {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv_done.wait(lock, [&] { return pending == 0; });
+    }
+  };
+
+  // Each arena commit carries its owning pool + domain so the zero-touch
+  // runs on that domain's pinned workers.
+  struct ArenaCtx {
+    ThreadPool* pool;
+    std::size_t domain;
+  };
+
+  Topology topo;
+  std::uint64_t id = 0;
+  std::deque<Group> groups;  // stable addresses (workers hold pointers)
+  std::deque<ArenaCtx> arena_ctxs;
+
+  static void arena_commit(void* ptr, std::size_t bytes, void* ctx);
 };
 
-ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+namespace {
+
+std::uint64_t next_pool_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1);
+}
+
+}  // namespace
+
+void ThreadPool::Impl::arena_commit(void* ptr, std::size_t bytes, void* ctx) {
+  auto* ac = static_cast<ArenaCtx*>(ctx);
+  std::byte* base = static_cast<std::byte*>(ptr);
+  ac->pool->run_on_domain(ac->domain, 0, bytes, [&](std::size_t lo,
+                                                    std::size_t hi) {
+    std::memset(base + lo, 0, hi - lo);
+  });
+}
+
+ThreadPool::ThreadPool(std::size_t threads, const Topology* topology)
+    : impl_(new Impl) {
+  impl_->topo = topology != nullptr ? *topology : Topology::detect();
+  impl_->id = next_pool_id();
   std::size_t n = threads ? threads : default_thread_count();
   if (n == 0) n = 1;
-  workers_.reserve(n - 1);
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    workers_.emplace_back([this] {
-      std::uint64_t seen = 0;
-      for (;;) {
-        {
-          std::unique_lock<std::mutex> lock(impl_->mutex);
-          impl_->cv_work.wait(lock, [&] {
-            return impl_->stop || impl_->epoch != seen;
-          });
-          if (impl_->stop) return;
-          seen = impl_->epoch;
+
+  // Clamp domains to the slot count so every group owns at least one slot
+  // (an empty group could never drain its share of a parallel_for).
+  const std::size_t ndom = std::min(impl_->topo.domain_count(), n);
+  impl_->groups.resize(ndom);
+  const std::size_t base = n / ndom;
+  const std::size_t extra = n % ndom;
+  for (std::size_t d = 0; d < ndom; ++d) {
+    Impl::Group& g = impl_->groups[d];
+    g.slots = base + (d < extra ? 1 : 0);
+    // The caller occupies one of domain 0's slots; every other slot is a
+    // spawned worker pinned to its domain's cpus.
+    const std::size_t spawn = d == 0 ? g.slots - 1 : g.slots;
+    g.workers.reserve(spawn);
+    for (std::size_t w = 0; w < spawn; ++w) {
+      g.workers.emplace_back([this, d, &g] {
+        t_domain = d;
+        t_worker = true;
+        Topology::pin_current_thread(impl_->topo.domain(d));
+        std::uint64_t seen = 0;
+        for (;;) {
+          {
+            std::unique_lock<std::mutex> lock(g.mutex);
+            g.cv_work.wait(lock, [&] { return g.stop || g.epoch != seen; });
+            if (g.stop) return;
+            seen = g.epoch;
+          }
+          t_in_job = true;
+          g.run_chunks();
+          t_in_job = false;
         }
-        impl_->run_chunks();
-      }
-    });
+      });
+    }
+  }
+  for (std::size_t d = 0; d < ndom; ++d) {
+    impl_->arena_ctxs.push_back(Impl::ArenaCtx{this, d});
+    impl_->groups[d].arena = std::make_unique<DomainArena>(
+        &Impl::arena_commit, &impl_->arena_ctxs.back());
   }
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->stop = true;
+  for (auto& g : impl_->groups) {
+    {
+      std::lock_guard<std::mutex> lock(g.mutex);
+      g.stop = true;
+    }
+    g.cv_work.notify_all();
   }
-  impl_->cv_work.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& g : impl_->groups) {
+    for (auto& w : g.workers) w.join();
+  }
   delete impl_;
+}
+
+std::size_t ThreadPool::size() const {
+  std::size_t slots = 0;
+  for (const auto& g : impl_->groups) slots += g.slots;
+  return slots;
+}
+
+std::size_t ThreadPool::domain_count() const { return impl_->groups.size(); }
+
+std::size_t ThreadPool::domain_size(std::size_t domain) const {
+  return impl_->groups[domain % impl_->groups.size()].slots;
+}
+
+const Topology& ThreadPool::topology() const { return impl_->topo; }
+
+std::size_t ThreadPool::current_domain() { return t_domain; }
+
+bool ThreadPool::current_is_worker() { return t_worker; }
+
+bool ThreadPool::dispatch_confined() { return t_in_job || t_route >= 0; }
+
+std::uint64_t ThreadPool::instance_id() const { return impl_->id; }
+
+DomainArena& ThreadPool::domain_arena(std::size_t domain) {
+  return *impl_->groups[domain % impl_->groups.size()].arena;
 }
 
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (begin >= end) return;
+  if (t_route >= 0 && !t_in_job) {
+    // DomainGuard routing: the historical API lands on one domain.
+    run_on_domain(static_cast<std::size_t>(t_route), begin, end, body);
+    return;
+  }
+  if (t_in_job) {
+    // Nested fork-join from a pool worker (or a participating caller):
+    // degrade to inline serial execution instead of deadlocking on the
+    // group job locks.
+    body(begin, end);
+    return;
+  }
   const std::size_t n = end - begin;
   const std::size_t nthreads = size();
   if (nthreads == 1 || n == 1) {
     body(begin, end);
     return;
   }
-  // One fork-join job at a time: the pool publishes a single body/chunk
-  // set, so a second concurrent caller must wait for the first job to
-  // drain completely (otherwise the two jobs clobber each other's chunks —
-  // exactly what happened when raw threads calibrated a session
-  // concurrently).  Callers queue here; bodies must not call parallel_for
-  // re-entrantly.
-  std::lock_guard<std::mutex> job(impl_->job_mutex);
-  // Over-decompose 4x for load balance; chunks are grabbed dynamically.
-  const std::size_t nchunks = std::min(n, nthreads * 4);
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->body = body;
-    impl_->chunks.clear();
-    const std::size_t step = (n + nchunks - 1) / nchunks;
-    for (std::size_t s = begin; s < end; s += step) {
-      impl_->chunks.emplace_back(s, std::min(s + step, end));
-    }
-    impl_->next_chunk = 0;
-    impl_->pending = impl_->chunks.size();
-    ++impl_->epoch;
+
+  if (impl_->groups.size() == 1) {
+    // Flat fast path (single-domain machines): exactly the historical
+    // fork-join — one admission lock, one publish, caller participates.
+    // No per-call allocations.
+    Impl::Group& g = impl_->groups.front();
+    std::lock_guard<std::mutex> job(g.job_mutex);
+    g.publish(begin, end, std::min(n, nthreads * 4), body);
+    g.cv_work.notify_all();
+    t_in_job = true;
+    g.run_chunks();
+    t_in_job = false;
+    g.wait_done();
+    return;
   }
-  impl_->cv_work.notify_all();
-  impl_->run_chunks();
-  std::unique_lock<std::mutex> lock(impl_->mutex);
-  impl_->cv_done.wait(lock, [&] { return impl_->pending == 0; });
+
+  // One fork-join job at a time per group: lock every group's admission
+  // mutex in index order (run_on_domain locks a single one with the same
+  // ordering, so the two cannot deadlock), publish each group's contiguous
+  // sub-range, and participate in domain 0's drain.
+  auto& groups = impl_->groups;
+  std::vector<std::unique_lock<std::mutex>> jobs;
+  jobs.reserve(groups.size());
+  for (auto& g : groups) jobs.emplace_back(g.job_mutex);
+
+  // Contiguous split proportional to slot counts, remainder to the front.
+  const std::size_t total = size();
+  std::size_t at = begin;
+  std::size_t given = 0;
+  std::vector<bool> published(groups.size(), false);
+  for (std::size_t d = 0; d < groups.size(); ++d) {
+    Impl::Group& g = groups[d];
+    // Largest-remainder split that always sums to n.
+    given += g.slots;
+    const std::size_t upto = begin + (n * given + total - 1) / total;
+    const std::size_t hi = std::min(end, std::max(at, upto));
+    if (hi > at) {
+      g.publish(at, hi, std::min(hi - at, g.slots * 4), body);
+      published[d] = true;
+      g.cv_work.notify_all();
+      at = hi;
+    }
+  }
+  t_in_job = true;
+  groups[0].run_chunks();
+  t_in_job = false;
+  for (std::size_t d = 0; d < groups.size(); ++d) {
+    if (published[d]) groups[d].wait_done();
+  }
 }
 
+void ThreadPool::run_on_domain(
+    std::size_t domain, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  Impl::Group& g = impl_->groups[domain % impl_->groups.size()];
+  if (t_in_job || g.workers.empty()) {
+    // Nested call, or a domain with no spawned workers (1-thread pools,
+    // more domains than threads): inline on the caller.
+    body(begin, end);
+    return;
+  }
+  std::lock_guard<std::mutex> job(g.job_mutex);
+  // The caller does NOT participate: chunks must run on the domain's pinned
+  // workers so first-touch placement follows the domain, not the caller.
+  g.publish(begin, end, std::min(end - begin, g.workers.size() * 4), body);
+  g.cv_work.notify_all();
+  g.wait_done();
+}
+
+ThreadPool::DomainGuard::DomainGuard(std::size_t domain)
+    : previous_(t_route) {
+  t_route = static_cast<long>(domain);
+}
+
+ThreadPool::DomainGuard::~DomainGuard() { t_route = previous_; }
+
+namespace {
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+// Lock-free fast path for global(): published with release after
+// construction, cleared (under the mutex) before a reset tears the pool
+// down.  Resetting while jobs are in flight is documented UB either way.
+std::atomic<ThreadPool*> g_global_ptr{nullptr};
+
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  if (ThreadPool* pool = g_global_ptr.load(std::memory_order_acquire)) {
+    return *pool;
+  }
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>();
+    g_global_ptr.store(g_global_pool.get(), std::memory_order_release);
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::reset_global(std::size_t threads, const Topology* topology) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_ptr.store(nullptr, std::memory_order_release);
+  g_global_pool.reset();  // join the old workers before the new pool spawns
+  g_global_pool = std::make_unique<ThreadPool>(threads, topology);
+  g_global_ptr.store(g_global_pool.get(), std::memory_order_release);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& body) {
   ThreadPool::global().parallel_for(begin, end, body);
+}
+
+void run_on_domain(std::size_t domain, std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool::global().run_on_domain(domain, begin, end, body);
 }
 
 }  // namespace fasted

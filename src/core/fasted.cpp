@@ -1,9 +1,11 @@
 #include "core/fasted.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "core/kernels/join_executor.hpp"
 #include "core/kernels/join_plan.hpp"
@@ -45,19 +47,35 @@ FastedEngine::FastedEngine(FastedConfig config) : config_(std::move(config)) {
   config_.validate();
 }
 
-PreparedShards prepare_shards(const MatrixF32& data, std::size_t shards) {
+PreparedShards prepare_shards(const MatrixF32& data, std::size_t shards,
+                              std::size_t placement_domains) {
   FASTED_CHECK_MSG(data.rows() > 0, "empty dataset");
   FASTED_CHECK_MSG(shards >= 1, "need at least one shard");
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t ndom =
+      placement_domains != 0 ? placement_domains : pool.domain_count();
   PreparedShards out;
   const std::size_t n = data.rows();
   const std::size_t chunk = (n + shards - 1) / shards;
   out.prepared.reserve((n + chunk - 1) / chunk);
   for (std::size_t base = 0; base < n; base += chunk) {
-    out.prepared.emplace_back(
-        row_slice(data, base, std::min(base + chunk, n)));
+    // Round-robin placement: build (and therefore first-touch) each shard's
+    // slice and prepared panels on the domain that will drain its joins.
+    // On flat pools this is today's direct construction.
+    const std::size_t domain = (base / chunk) % ndom;
+    if (ndom > 1) {
+      std::optional<PreparedDataset> built;
+      pool.run_on_domain(domain, 0, 1, [&](std::size_t, std::size_t) {
+        built.emplace(row_slice(data, base, std::min(base + chunk, n)));
+      });
+      out.prepared.push_back(std::move(*built));
+    } else {
+      out.prepared.emplace_back(
+          row_slice(data, base, std::min(base + chunk, n)));
+    }
   }
   for (std::size_t s = 0, base = 0; s < out.prepared.size(); ++s) {
-    out.views.push_back(CorpusShardView{&out.prepared[s], base});
+    out.views.push_back(CorpusShardView{&out.prepared[s], base, s % ndom});
     base += out.prepared[s].rows();
   }
   return out;
@@ -151,6 +169,7 @@ ShardedPlanSet compose_query_plans(const FastedConfig& cfg,
     entry.in = join_inputs(queries, *shards[i].prepared);
     entry.corpus_offset = shards[i].base;
     entry.shard = i;
+    entry.domain = shards[i].domain;
     set.entries.push_back(entry);
   }
   return set;
@@ -185,6 +204,7 @@ ShardedPlanSet compose_self_plans(const FastedConfig& cfg,
     entry.query_offset = shards[a].base;
     entry.corpus_offset = shards[a].base;
     entry.shard = a;
+    entry.domain = shards[a].domain;
     set.entries.push_back(entry);
   }
   for (std::size_t a = 0; a < k; ++a) {
@@ -195,6 +215,7 @@ ShardedPlanSet compose_self_plans(const FastedConfig& cfg,
       entry.query_offset = shards[a].base;
       entry.corpus_offset = shards[b].base;
       entry.shard = b;  // hits attributed to the corpus-side shard
+      entry.domain = shards[b].domain;  // routed with the corpus-side shard
       set.entries.push_back(entry);
     }
   }

@@ -122,6 +122,10 @@ class PreparedDataset {
 struct CorpusShardView {
   const PreparedDataset* prepared = nullptr;
   std::size_t base = 0;
+  // Execution domain owning the shard's memory (common/topology.hpp); the
+  // join executor routes this shard's drains to that domain's workers.
+  // 0 everywhere on flat machines — placement degrades to a no-op.
+  std::size_t domain = 0;
 };
 
 // A contiguous N-way split of a dataset with per-shard PreparedDatasets —
@@ -146,7 +150,11 @@ struct PreparedShards {
 
 // Splits `data` into ceil(rows / shards)-row contiguous shards and prepares
 // each; bit-identical inputs to preparing the whole dataset at once.
-PreparedShards prepare_shards(const MatrixF32& data, std::size_t shards);
+// Shards are placed round-robin over `placement_domains` execution domains
+// (0 = the global pool's detected domain count) and each is prepared
+// (first-touched) on its owning domain.
+PreparedShards prepare_shards(const MatrixF32& data, std::size_t shards,
+                              std::size_t placement_domains = 0);
 
 class FastedEngine {
  public:

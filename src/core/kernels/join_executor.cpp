@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <optional>
 
 #include "common/check.hpp"
@@ -18,6 +20,46 @@ namespace {
 // second copy of the whole result set.
 constexpr std::size_t kFlushThreshold = 1 << 16;
 
+// Cross-domain stealing is on unless FASTED_STEAL says 0/off/false — the
+// topology property tests exercise both modes, and operators can demand
+// strict placement when profiling per-domain bandwidth.
+bool steal_enabled() {
+  const char* env = std::getenv("FASTED_STEAL");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "false") == 0);
+}
+
+// Per-thread panel scratch.  Pool workers (long-lived, bounded count, die
+// with the pool) cache an arena slice from their own domain, so packed
+// corpus panels live in node-local first-touched pages; the slice is
+// re-acquired when the global pool was rebuilt (the arena died with it) or
+// a bigger panel is needed.  Caller threads participating in a drain may
+// be short-lived (thread-per-request servers), so they use an ordinary
+// thread-local vector that frees at thread exit instead of stranding bump
+// allocations in the arena.
+float* panel_scratch(ThreadPool& pool, std::size_t floats) {
+  if (!ThreadPool::current_is_worker()) {
+    thread_local std::vector<float> caller_panel;
+    if (caller_panel.size() < floats) caller_panel.resize(floats);
+    return caller_panel.data();
+  }
+  struct Cache {
+    std::uint64_t pool_id = 0;
+    std::size_t capacity = 0;
+    float* data = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.pool_id != pool.instance_id() || cache.capacity < floats) {
+    cache.data = static_cast<float*>(
+        pool.domain_arena(ThreadPool::current_domain())
+            .allocate(floats * sizeof(float), alignof(float) * 16));
+    cache.capacity = floats;
+    cache.pool_id = pool.instance_id();
+  }
+  return cache.data;
+}
+
 }  // namespace
 
 std::uint64_t execute_join(const FastedConfig& cfg,
@@ -29,6 +71,10 @@ std::uint64_t execute_join(const FastedConfig& cfg,
     FASTED_CHECK_MSG(e.plan != nullptr, "null plan in sharded join");
     FASTED_CHECK_MSG(e.in.q_values->stride() == e.in.c_values->stride(),
                      "query/corpus stride mismatch in join executor");
+    // The per-worker panel scratch is sized once for the whole span.
+    FASTED_CHECK_MSG(
+        e.in.c_values->stride() == entries.front().in.c_values->stride(),
+        "all entries of one sharded join must share corpus dims");
     if (emulated) {
       FASTED_CHECK_MSG(e.in.q_quant != nullptr && e.in.c_quant != nullptr,
                        "emulated path needs quantized inputs");
@@ -41,26 +87,46 @@ std::uint64_t execute_join(const FastedConfig& cfg,
                      "multi-shard joins need a shard-merging per-tile sink "
                      "(each query completes once per shard)");
   }
+  ThreadPool& pool = ThreadPool::global();
+  // Confined dispatch (a DomainGuard on this thread, or a nested call from
+  // inside a pool job) runs every body with the same home domain — treat
+  // the drain as flat so no partition is orphaned when stealing is off.
+  const std::size_t ndom =
+      ThreadPool::dispatch_confined() ? 1 : pool.domain_count();
+  const bool steal = ndom > 1 && steal_enabled();
+
+  // Route each entry to the domain owning its corpus-side shard.  On the
+  // flat single-domain pool everything lands in one list and the loop below
+  // is exactly the historical in-order drain.
+  std::vector<std::vector<std::size_t>> domain_entries(ndom);
+  for (std::size_t ei = 0; ei < entries.size(); ++ei) {
+    domain_entries[entries[ei].domain % ndom].push_back(ei);
+  }
+
   std::atomic<std::uint64_t> total{0};
   std::vector<std::atomic<std::uint64_t>> entry_hits(
       per_entry_hits != nullptr ? entries.size() : 0);
 
-  parallel_for(0, ThreadPool::global().size(), [&](std::size_t, std::size_t) {
+  parallel_for(0, pool.size(), [&](std::size_t, std::size_t) {
     const RzDotKernel& kern = rz_dot_dispatch();
+    // Clamped so a confined (flat) drain from a non-zero-domain worker
+    // still indexes the single entry list.
+    const std::size_t home = ThreadPool::current_domain() % ndom;
     std::optional<BlockTileEngine> engine;
     if (emulated) engine.emplace(cfg);
-    // Pre-allocated per-worker scratch: the packed corpus panel, the
-    // kernel's accumulator block, and the hit buffer.  All entries of one
-    // sharded join share dims, so the panel is sized once.
-    std::vector<float> panel;
+    // Per-worker scratch: the packed corpus panel (domain-arena slice, see
+    // panel_scratch), the kernel's accumulator block, and the hit buffer.
+    // All entries of one sharded join share dims, so the panel is sized
+    // once.
+    const std::size_t dims_all = entries.front().in.c_values->stride();
+    float* panel = panel_scratch(pool, dims_all * kPanelWidth);
     float acc[kQueryBlock * kPanelWidth];
     std::vector<PairHit> hits;
     std::uint64_t worker_total = 0;
 
-    // Entries drain in order: a worker exhausts shard k's queue, then rolls
-    // into shard k+1 alongside everyone else — one fork-join, no barrier at
-    // shard boundaries.
-    for (std::size_t ei = 0; ei < entries.size(); ++ei) {
+    // Drains one entry's plan — from the head for the owning domain, from
+    // the tail when stealing — and emits its hits.
+    const auto drain_entry = [&](std::size_t ei, bool from_tail) {
       const ShardJoin& entry = entries[ei];
       JoinPlan& plan = *entry.plan;
       const MatrixF32& q = *entry.in.q_values;
@@ -70,7 +136,6 @@ std::uint64_t execute_join(const FastedConfig& cfg,
       const std::size_t dims = c.stride();
       const std::size_t qoff = entry.query_offset;
       const std::size_t coff = entry.corpus_offset;
-      panel.resize(dims * kPanelWidth);
       std::uint64_t local = 0;
 
       const auto emit = [&](std::size_t i, std::size_t j, float d2) {
@@ -84,7 +149,7 @@ std::uint64_t execute_join(const FastedConfig& cfg,
       };
 
       TileRange t;
-      while (plan.next(t)) {
+      while (from_tail ? plan.steal_next(t) : plan.next(t)) {
         // Per-tile sinks (streaming) rely on each query completing within
         // one tile — only full-corpus-width plans (query_strip) qualify.
         if (per_tile) {
@@ -104,11 +169,10 @@ std::uint64_t execute_join(const FastedConfig& cfg,
         } else {
           for (std::size_t c0 = t.c0; c0 < t.c1; c0 += kPanelWidth) {
             const std::size_t width = std::min(kPanelWidth, t.c1 - c0);
-            pack_panel(c.row(c0), c.stride(), width, dims, panel.data());
+            pack_panel(c.row(c0), c.stride(), width, dims, panel);
             for (std::size_t i0 = t.q0; i0 < t.q1; i0 += kQueryBlock) {
               const std::size_t nq = std::min(kQueryBlock, t.q1 - i0);
-              kern.dot_panel(q.row(i0), q.stride(), nq, panel.data(), dims,
-                             acc);
+              kern.dot_panel(q.row(i0), q.stride(), nq, panel, dims, acc);
               for (std::size_t qi = 0; qi < nq; ++qi) {
                 const std::size_t i = i0 + qi;
                 const float si = sq[i];
@@ -141,7 +205,26 @@ std::uint64_t execute_join(const FastedConfig& cfg,
         entry_hits[ei].fetch_add(local, std::memory_order_relaxed);
       }
       worker_total += local;
+    };
+
+    // Own domain first, in composition order: a worker exhausts entry k's
+    // queue, then rolls into entry k+1 alongside its domain peers — one
+    // fork-join, no barrier at shard boundaries.
+    for (const std::size_t ei : domain_entries[home]) {
+      drain_entry(ei, /*from_tail=*/false);
     }
+    // Then help the other domains, farthest-from-their-cursor first: victim
+    // lists are walked back-to-front and their plans drained from the tail,
+    // so owners keep streaming the head's L2 squares.
+    if (steal) {
+      for (std::size_t hop = 1; hop < ndom; ++hop) {
+        const auto& victim = domain_entries[(home + hop) % ndom];
+        for (auto it = victim.rbegin(); it != victim.rend(); ++it) {
+          drain_entry(*it, /*from_tail=*/true);
+        }
+      }
+    }
+
     if (collect && !hits.empty()) {
       sink.consume(TileRange{}, std::span<const PairHit>(hits));
     }

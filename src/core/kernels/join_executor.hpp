@@ -12,6 +12,17 @@
 // offsets that translate its plan's shard-local coordinates into global row
 // ids; the sink only ever sees global ids, which is what makes the ordinary
 // CSR sinks double as exact merge sinks (see result_sink.hpp).
+//
+// On a topology-partitioned pool (common/parallel.hpp) the drain is
+// locality-routed: each entry carries the execution domain that owns its
+// corpus-side shard's memory, and a worker drains its OWN domain's entries
+// (in order, from the head of each plan's L2-square dispatch order) before
+// stealing from other domains — tail-first at both granularities: the
+// farthest entry of the victim's list, and within a plan the tail of its
+// tile order (WorkQueue::steal), so the victim's head ordering survives.
+// FASTED_STEAL=0 disables stealing (strict placement; the topology
+// property tests run both).  Results are bit-identical either way: hits are
+// per-pair deterministic and every sink merges by global row id.
 
 #pragma once
 
@@ -50,6 +61,10 @@ struct ShardJoin {
   std::size_t query_offset = 0;   // added to hit query ids
   std::size_t corpus_offset = 0;  // added to hit corpus ids
   std::size_t shard = 0;          // stamped into per-tile TileRanges
+  // Execution domain owning the corpus-side shard's memory; the executor
+  // routes the entry to that domain's workers (modulo the pool's domain
+  // count, so placement policies may over-provision domains).
+  std::size_t domain = 0;
 };
 
 // Evaluates every entry's plan and emits hits with dist2 <= eps2 into

@@ -64,12 +64,24 @@ JoinPlan JoinPlan::query_strip(const FastedConfig& cfg, std::size_t nq,
 bool JoinPlan::next(TileRange& out) {
   std::pair<std::uint32_t, std::uint32_t> tile;
   if (!queue_.pop(tile)) return false;
+  fill_range(tile, out);
+  return true;
+}
+
+bool JoinPlan::steal_next(TileRange& out) {
+  std::pair<std::uint32_t, std::uint32_t> tile;
+  if (!queue_.steal(tile)) return false;
+  fill_range(tile, out);
+  return true;
+}
+
+void JoinPlan::fill_range(const std::pair<std::uint32_t, std::uint32_t>& tile,
+                          TileRange& out) const {
   out.q0 = query_base_ + static_cast<std::size_t>(tile.first) * tile_m_;
   out.q1 = std::min(out.q0 + tile_m_, nq_);
   out.c0 = static_cast<std::size_t>(tile.second) * tile_n_;
   out.c1 = std::min(out.c0 + tile_n_, nc_);
   out.diagonal = triangular_ && tile.first == tile.second;
-  return true;
 }
 
 }  // namespace fasted::kernels

@@ -55,12 +55,21 @@ class JoinPlan {
   // Thread-safe drain (backed by WorkQueue); false once exhausted.
   bool next(TileRange& out);
 
+  // Thread-safe tail drain for cross-domain work stealing: claims tiles
+  // from the END of the dispatch order, so the owning domain's workers keep
+  // consuming the head's L2-locality squares undisturbed.  Safe to mix with
+  // next() on the same plan; every tile is handed out exactly once.
+  bool steal_next(TileRange& out);
+
   std::size_t tile_count() const { return queue_.size(); }
   bool triangular() const { return triangular_; }
   std::size_t query_rows() const { return nq_; }
   std::size_t corpus_rows() const { return nc_; }
 
  private:
+  void fill_range(const std::pair<std::uint32_t, std::uint32_t>& tile,
+                  TileRange& out) const;
+
   JoinPlan(std::vector<std::pair<std::uint32_t, std::uint32_t>> order,
            std::size_t tile_m, std::size_t tile_n, std::size_t query_base,
            std::size_t nq, std::size_t nc, bool triangular)

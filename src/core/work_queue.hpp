@@ -1,6 +1,14 @@
 // Block-tile work queue (paper Sec. 3.3.1, Fig. 4): orders block tiles into
 // small squares so concurrently executing blocks read overlapping point
 // fragments, maximizing L2 spatial locality.
+//
+// The queue is drained from both ends: owners pop from the head (the
+// policy's locality order), cross-domain stealers pop from the tail — so a
+// stolen tile is the one farthest from what the owning domain's workers are
+// streaming through their L2 right now, and the head order the paper's
+// model depends on survives stealing untouched.  Claims go through one
+// packed head/tail counter word, so a tile is handed out exactly once no
+// matter how pops and steals interleave.
 
 #pragma once
 
@@ -31,18 +39,47 @@ class WorkQueue {
 
   // Movable so plan lists can be composed (sharded joins build one plan per
   // shard); moving a queue that is being drained concurrently is undefined.
+  // The moved-from queue is reset to drained: its (moved-out) tile list and
+  // its live cursor must not disagree, or a pop on the husk could hand out
+  // a tile the new owner also hands out.
   WorkQueue(WorkQueue&& other) noexcept
       : order_(std::move(other.order_)),
-        next_(other.next_.load(std::memory_order_relaxed)) {}
+        state_(other.state_.load(std::memory_order_relaxed)) {
+    other.order_.clear();
+    other.state_.store(0, std::memory_order_relaxed);
+  }
 
   std::size_t size() const { return order_.size(); }
 
-  // Thread-safe pop; returns false when the queue is drained.
+  // Thread-safe head pop in dispatch order; false when the queue is drained
+  // (head and tail cursors have met).
   bool pop(std::pair<std::uint32_t, std::uint32_t>& tile) {
-    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= order_.size()) return false;
-    tile = order_[i];
-    return true;
+    std::uint64_t s = state_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint64_t head = s & 0xffffffffu;
+      const std::uint64_t tail = s >> 32;
+      if (head + tail >= order_.size()) return false;
+      if (state_.compare_exchange_weak(s, s + 1, std::memory_order_relaxed)) {
+        tile = order_[head];
+        return true;
+      }
+    }
+  }
+
+  // Thread-safe tail pop (work stealing): claims tiles from the END of the
+  // dispatch order, leaving the head order to the owning drain.
+  bool steal(std::pair<std::uint32_t, std::uint32_t>& tile) {
+    std::uint64_t s = state_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint64_t head = s & 0xffffffffu;
+      const std::uint64_t tail = s >> 32;
+      if (head + tail >= order_.size()) return false;
+      if (state_.compare_exchange_weak(s, s + (std::uint64_t{1} << 32),
+                                       std::memory_order_relaxed)) {
+        tile = order_[order_.size() - 1 - tail];
+        return true;
+      }
+    }
   }
 
   const std::vector<std::pair<std::uint32_t, std::uint32_t>>& order() const {
@@ -51,7 +88,10 @@ class WorkQueue {
 
  private:
   std::vector<std::pair<std::uint32_t, std::uint32_t>> order_;
-  std::atomic<std::size_t> next_{0};
+  // Low 32 bits: head cursor (pop), high 32: tail cursor (steal).  Drained
+  // when they meet; one CAS word keeps the two ends from double-claiming
+  // the crossover tile.
+  std::atomic<std::uint64_t> state_{0};
 };
 
 }  // namespace fasted

@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/topology.hpp"
 #include "data/calibrate.hpp"
 
 namespace fasted::service {
@@ -45,12 +46,13 @@ std::size_t div_up(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
 }  // namespace
 
 ShardedCorpus::Shard::Shard(MatrixF32 pts, std::size_t base_row, bool seal,
-                            std::uint64_t gen)
+                            std::uint64_t gen, std::size_t owning_domain)
     : points(std::move(pts)),
       prepared(points),
       base(base_row),
       sealed(seal),
       generation(gen),
+      domain(owning_domain),
       sample_ids(pick_sample(points.rows(), base_row)) {}
 
 ShardedCorpus::ShardedCorpus(MatrixF32 corpus, ShardedCorpusOptions options)
@@ -60,6 +62,9 @@ ShardedCorpus::ShardedCorpus(MatrixF32 corpus, ShardedCorpusOptions options)
   capacity_ = options.shard_capacity != 0
                   ? options.shard_capacity
                   : div_up(corpus.rows(), options.shards);
+  domains_ = options.placement_domains != 0
+                 ? options.placement_domains
+                 : ThreadPool::global().domain_count();
 
   // Greedy bulk split: full (sealed) shards of `capacity_` rows, the last
   // one open iff it is below capacity.
@@ -67,17 +72,47 @@ ShardedCorpus::ShardedCorpus(MatrixF32 corpus, ShardedCorpusOptions options)
   const std::size_t n = corpus.rows();
   for (std::size_t base = 0; base < n; base += capacity_) {
     const std::size_t rows = std::min(capacity_, n - base);
-    MatrixF32 pts(rows, dims_);
-    std::copy_n(corpus.row(base), rows * corpus.stride(), pts.row(0));
-    snap->push_back(make_shard(std::move(pts), base, rows == capacity_));
+    // The copy happens inside make_shard's build closure, on the shard's
+    // owning domain.
+    snap->push_back(make_shard(
+        [&] {
+          MatrixF32 pts(rows, dims_);
+          std::copy_n(corpus.row(base), rows * corpus.stride(), pts.row(0));
+          return pts;
+        },
+        base, rows == capacity_));
   }
   snapshot_ = std::move(snap);
 }
 
 std::shared_ptr<const ShardedCorpus::Shard> ShardedCorpus::make_shard(
-    MatrixF32 points, std::size_t base, bool sealed) {
-  return std::make_shared<const Shard>(std::move(points), base, sealed,
-                                       next_generation_++);
+    const std::function<MatrixF32()>& build_points, std::size_t base,
+    bool sealed) {
+  // Round-robin placement by shard ordinal (shards are capacity-sized and
+  // contiguous, so base / capacity IS the ordinal — append rebuilds of the
+  // open shard land back on the same domain).
+  const std::size_t domain = (base / capacity_) % domains_;
+  const std::uint64_t gen = next_generation_++;
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.domain_count() <= 1) {
+    return std::make_shared<const Shard>(build_points(), base, sealed, gen,
+                                         domain);
+  }
+  // Build the shard ON its owning domain: the row copy and every
+  // allocation and fill loop of the prepared panels run on a worker pinned
+  // there, so the pages are first-touched — physically placed — where the
+  // shard's joins will drain.  Nested parallel_fors inside the build
+  // inline onto that worker: the build is one-worker-serial, a deliberate
+  // trade — placement must follow the ALLOCATING thread (vector zero-fill
+  // is the first touch), and a rebuild is bounded by shard_capacity while
+  // the joins it accelerates are not.  (ROADMAP: rebalancing will want a
+  // parallel two-phase build.)
+  std::shared_ptr<const Shard> shard;
+  pool.run_on_domain(domain, 0, 1, [&](std::size_t, std::size_t) {
+    shard = std::make_shared<const Shard>(build_points(), base, sealed, gen,
+                                          domain);
+  });
+  return shard;
 }
 
 std::shared_ptr<const ShardedCorpus::Snapshot> ShardedCorpus::snapshot()
@@ -97,7 +132,8 @@ std::vector<CorpusShardView> ShardedCorpus::shard_views(const Snapshot& snap) {
   std::vector<CorpusShardView> views;
   views.reserve(snap.size());
   for (const auto& shard : snap) {
-    views.push_back(CorpusShardView{&shard->prepared, shard->base});
+    views.push_back(CorpusShardView{&shard->prepared, shard->base,
+                                    shard->domain});
   }
   return views;
 }
@@ -115,8 +151,18 @@ const index::GridIndex& ShardedCorpus::grid_on(const Shard& shard, float eps) {
     if (it != shard.grids.end()) return *it->second;
   }
   // Build outside the lock; emplace keeps the first build if another
-  // thread raced us here (same discipline as CorpusSession::grid_at).
-  auto grid = std::make_unique<index::GridIndex>(shard.points, eps);
+  // thread raced us here (same discipline as CorpusSession::grid_at).  The
+  // build runs on the shard's owning domain so the grid's cell lists are
+  // first-touched next to the points they index (flat pools build inline).
+  std::unique_ptr<index::GridIndex> grid;
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.domain_count() > 1) {
+    pool.run_on_domain(shard.domain, 0, 1, [&](std::size_t, std::size_t) {
+      grid = std::make_unique<index::GridIndex>(shard.points, eps);
+    });
+  } else {
+    grid = std::make_unique<index::GridIndex>(shard.points, eps);
+  }
   bool inserted;
   const index::GridIndex* out;
   {
@@ -160,23 +206,28 @@ std::shared_ptr<const std::vector<double>> ShardedCorpus::block_of(
     if (it != s.calib_blocks.end()) return it->second;
   }
   // FP64 distances from s's sample rows to every row of t, self-pairs
-  // excluded when s and t are the same shard build.
+  // excluded when s and t are the same shard build.  The scan streams every
+  // row of t, so the guard routes it to t's owning domain — the existing
+  // parallel_for becomes domain-resident without changing its shape.
   const bool self = s.generation == t.generation;
   const std::size_t nt = t.rows();
   const std::size_t per_sample = nt - (self ? 1 : 0);
   auto block = std::make_shared<std::vector<double>>(s.sample_ids.size() *
                                                      per_sample);
-  parallel_for(0, s.sample_ids.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t a = lo; a < hi; ++a) {
-      const std::uint32_t sid = s.sample_ids[a];
-      const float* p = s.points.row(sid);
-      std::size_t w = a * per_sample;
-      for (std::size_t j = 0; j < nt; ++j) {
-        if (self && j == sid) continue;
-        (*block)[w++] = data::dist2_f64(p, t.points.row(j), t.points.dims());
+  {
+    ThreadPool::DomainGuard route(t.domain);
+    parallel_for(0, s.sample_ids.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t a = lo; a < hi; ++a) {
+        const std::uint32_t sid = s.sample_ids[a];
+        const float* p = s.points.row(sid);
+        std::size_t w = a * per_sample;
+        for (std::size_t j = 0; j < nt; ++j) {
+          if (self && j == sid) continue;
+          (*block)[w++] = data::dist2_f64(p, t.points.row(j), t.points.dims());
+        }
       }
-    }
-  });
+    });
+  }
   bool inserted;
   std::shared_ptr<const std::vector<double>> out;
   {
@@ -281,16 +332,22 @@ void ShardedCorpus::append(const MatrixF32& rows) {
     // Rebuild (or open) the newest shard with the extra rows.  Sealed
     // shards are untouched: their Shard objects — and therefore their
     // prepared data, grids, and calibration blocks — carry over by pointer.
-    MatrixF32 pts(have + take, dims_);
-    if (extend) {
-      std::copy_n(open.points.row(0), have * open.points.stride(),
-                  pts.row(0));
-      ++rebuilds;
-    }
-    std::copy_n(rows.row(consumed), take * rows.stride(), pts.row(have));
+    // Both copies run inside the build closure, on the owning domain.
+    if (extend) ++rebuilds;
     const bool seal = have + take == capacity_;
     if (seal) ++sealed_events;
-    auto shard = make_shard(std::move(pts), base, seal);
+    auto shard = make_shard(
+        [&] {
+          MatrixF32 pts(have + take, dims_);
+          if (extend) {
+            std::copy_n(open.points.row(0), have * open.points.stride(),
+                        pts.row(0));
+          }
+          std::copy_n(rows.row(consumed), take * rows.stride(),
+                      pts.row(have));
+          return pts;
+        },
+        base, seal);
     if (extend) {
       next.back() = std::move(shard);
     } else {
@@ -338,6 +395,7 @@ std::vector<ShardInfo> ShardedCorpus::shard_infos() const {
     info.rows = shard->rows();
     info.sealed = shard->sealed;
     info.generation = shard->generation;
+    info.domain = shard->domain;
     {
       std::lock_guard<std::mutex> lock(shard->cache_mutex);
       info.grid_entries = shard->grids.size();

@@ -27,6 +27,13 @@
 // eps-join/knn results bit-identical to the 1-shard session (the engine's
 // sharded entry points and merging sinks preserve this end to end).
 //
+// Shards are also the unit of PLACEMENT (common/topology.hpp): each shard
+// is assigned an execution domain round-robin by ordinal, its artifacts are
+// built — first-touched — on that domain's pinned workers (append rebuilds
+// included), and the engine's join executor routes the shard's drains to
+// the same domain.  Placement never changes results; it only decides which
+// socket's memory controller serves which tiles.
+//
 // Calibration is the one corpus-global artifact.  It is decomposed into
 // per-shard-pair distance blocks: shard s keeps a deterministic sample of
 // its rows, and block (s, t) holds the FP64 distances from s's sample to
@@ -39,6 +46,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -58,6 +66,14 @@ struct ShardedCorpusOptions {
   // and capacity follows; an explicit capacity overrides `shards`.
   std::size_t shards = 1;
   std::size_t shard_capacity = 0;
+  // Shard -> execution-domain placement: shard ordinal k lives on domain
+  // k % D (round-robin), where D is `placement_domains` if nonzero, else
+  // the global ThreadPool's domain count at construction.  Each shard's
+  // rows, prepared panels, and grids are built — first-touched — on its
+  // owning domain, and the join executor routes the shard's drains there.
+  // On flat single-domain machines every shard lands on domain 0 and
+  // placement is a no-op.
+  std::size_t placement_domains = 0;
 };
 
 struct ShardedStats {
@@ -77,6 +93,7 @@ struct ShardInfo {
   std::size_t rows = 0;
   bool sealed = false;
   std::uint64_t generation = 0;   // unique id of this shard build
+  std::size_t domain = 0;         // owning execution domain (placement)
   std::size_t grid_entries = 0;   // cached grid indexes
   std::size_t calibration_blocks = 0;  // cached sample-distance blocks
 };
@@ -98,6 +115,7 @@ class ShardedCorpus {
   std::size_t dims() const { return dims_; }
   std::size_t shard_count() const;
   std::size_t shard_capacity() const { return capacity_; }
+  std::size_t placement_domains() const { return domains_; }
 
   std::shared_ptr<const Snapshot> snapshot() const;
 
@@ -134,8 +152,12 @@ class ShardedCorpus {
   std::vector<ShardInfo> shard_infos() const;
 
  private:
-  std::shared_ptr<const Shard> make_shard(MatrixF32 points, std::size_t base,
-                                          bool sealed);
+  // `build_points` materializes the shard's FP32 rows; it runs ON the
+  // owning domain (multi-domain pools), so the rows are copied exactly once
+  // and first-touched in place.
+  std::shared_ptr<const Shard> make_shard(
+      const std::function<MatrixF32()>& build_points, std::size_t base,
+      bool sealed);
   const index::GridIndex& grid_on(const Shard& shard, float eps);
   // The (sample of s) x (rows of t) squared-distance block, cached on s.
   std::shared_ptr<const std::vector<double>> block_of(const Shard& s,
@@ -144,6 +166,7 @@ class ShardedCorpus {
 
   std::size_t dims_ = 0;
   std::size_t capacity_ = 0;
+  std::size_t domains_ = 1;  // placement modulus (see Options)
 
   mutable std::mutex mutex_;  // guards snapshot_, calibration_, stats_
   std::shared_ptr<const Snapshot> snapshot_;
@@ -161,13 +184,15 @@ class ShardedCorpus {
 // later snapshot.
 class ShardedCorpus::Shard {
  public:
-  Shard(MatrixF32 pts, std::size_t base_row, bool seal, std::uint64_t gen);
+  Shard(MatrixF32 pts, std::size_t base_row, bool seal, std::uint64_t gen,
+        std::size_t owning_domain);
 
   const MatrixF32 points;          // original FP32 rows (grid + calibration)
   const PreparedDataset prepared;  // FP16 + dequant + RZ norms
   const std::size_t base;          // global id of local row 0
   const bool sealed;
   const std::uint64_t generation;  // unique per shard build
+  const std::size_t domain;        // owning execution domain (placement)
   const std::vector<std::uint32_t> sample_ids;  // calibration sample (local)
 
   std::size_t rows() const { return points.rows(); }

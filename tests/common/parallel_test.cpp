@@ -155,6 +155,152 @@ TEST(ThreadPool, HonorsFastedThreadsEnv) {
 }
 
 
+TEST(ThreadPool, PartitionsSlotsAcrossDomains) {
+  const Topology topo = Topology::synthetic(3);
+  ThreadPool pool(8, &topo);
+  EXPECT_EQ(pool.size(), 8u);
+  ASSERT_EQ(pool.domain_count(), 3u);
+  std::size_t slots = 0;
+  for (std::size_t d = 0; d < pool.domain_count(); ++d) {
+    EXPECT_GE(pool.domain_size(d), 1u);
+    slots += pool.domain_size(d);
+  }
+  EXPECT_EQ(slots, 8u);
+}
+
+TEST(ThreadPool, DomainsClampToSlotCount) {
+  // More domains than threads: every surviving domain still owns a slot.
+  const Topology topo = Topology::synthetic(8);
+  ThreadPool pool(3, &topo);
+  EXPECT_EQ(pool.domain_count(), 3u);
+  for (std::size_t d = 0; d < 3; ++d) EXPECT_EQ(pool.domain_size(d), 1u);
+}
+
+TEST(ThreadPool, MultiDomainParallelForCoversFullRangeOnce) {
+  const Topology topo = Topology::synthetic(2);
+  ThreadPool pool(4, &topo);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, MultiDomainBodiesReportValidDomains) {
+  const Topology topo = Topology::synthetic(2);
+  ThreadPool pool(4, &topo);
+  std::vector<std::atomic<int>> per_domain(2);
+  // One index per slot, like the join executor's dispatch: both domains
+  // must execute bodies.
+  pool.parallel_for(0, pool.size(), [&](std::size_t, std::size_t) {
+    const std::size_t d = ThreadPool::current_domain();
+    ASSERT_LT(d, 2u);
+    per_domain[d].fetch_add(1);
+  });
+  EXPECT_GT(per_domain[0].load(), 0);
+  EXPECT_GT(per_domain[1].load(), 0);
+}
+
+TEST(ThreadPool, RunOnDomainCoversRangeOnWorkersOnly) {
+  const Topology topo = Topology::synthetic(2);
+  ThreadPool pool(6, &topo);
+  for (std::size_t target = 0; target < 2; ++target) {
+    std::vector<std::atomic<int>> hits(500);
+    const auto caller = std::this_thread::get_id();
+    std::atomic<bool> caller_ran{false};
+    pool.run_on_domain(target, 0, hits.size(),
+                       [&](std::size_t b, std::size_t e) {
+                         EXPECT_EQ(ThreadPool::current_domain(), target);
+                         if (std::this_thread::get_id() == caller) {
+                           caller_ran = true;
+                         }
+                         for (std::size_t i = b; i < e; ++i) {
+                           hits[i].fetch_add(1);
+                         }
+                       });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+    // First-touch placement: the caller must never execute chunks itself.
+    EXPECT_FALSE(caller_ran.load()) << "domain " << target;
+  }
+}
+
+TEST(ThreadPool, RunOnDomainFallsBackInlineWithoutWorkers) {
+  // A 1-thread pool has no spawned workers anywhere: run_on_domain must
+  // degrade to the caller instead of hanging.
+  ThreadPool pool(1);
+  int sum = 0;
+  pool.run_on_domain(0, 0, 10, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // Fork-join from inside a chunk body must degrade to serial inline
+  // execution (shard builds rely on this), not deadlock.
+  const Topology topo = Topology::synthetic(2);
+  ThreadPool pool(4, &topo);
+  std::atomic<int> inner_total{0};
+  pool.run_on_domain(1, 0, 1, [&](std::size_t, std::size_t) {
+    pool.parallel_for(0, 100, [&](std::size_t b, std::size_t e) {
+      EXPECT_EQ(ThreadPool::current_domain(), 1u);
+      inner_total.fetch_add(static_cast<int>(e - b));
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 100);
+}
+
+TEST(ThreadPool, DomainGuardRoutesPlainParallelFor) {
+  const Topology topo = Topology::synthetic(2);
+  ThreadPool pool(4, &topo);
+  std::atomic<int> wrong_domain{0};
+  {
+    ThreadPool::DomainGuard guard(1);
+    pool.parallel_for(0, 200, [&](std::size_t b, std::size_t e) {
+      if (ThreadPool::current_domain() != 1) wrong_domain.fetch_add(1);
+      (void)b;
+      (void)e;
+    });
+  }
+  EXPECT_EQ(wrong_domain.load(), 0);
+  // Guard gone: both domains participate again.
+  std::vector<std::atomic<int>> per_domain(2);
+  pool.parallel_for(0, pool.size(), [&](std::size_t, std::size_t) {
+    per_domain[ThreadPool::current_domain()].fetch_add(1);
+  });
+  EXPECT_GT(per_domain[0].load(), 0);
+  EXPECT_GT(per_domain[1].load(), 0);
+}
+
+TEST(ThreadPool, DomainArenaCommitsOnOwningDomain) {
+  const Topology topo = Topology::synthetic(2);
+  ThreadPool pool(4, &topo);
+  // Allocations from each domain's arena are zeroed by that domain's
+  // workers (can't observe placement here, but the commit path must run
+  // and return usable memory from any thread).
+  for (std::size_t d = 0; d < 2; ++d) {
+    auto* p = static_cast<unsigned char*>(
+        pool.domain_arena(d).allocate(1 << 12));
+    ASSERT_NE(p, nullptr);
+    for (std::size_t i = 0; i < (1u << 12); i += 257) EXPECT_EQ(p[i], 0);
+  }
+}
+
+TEST(ThreadPool, ResetGlobalRebuildsTopology) {
+  const Topology two = Topology::synthetic(2);
+  ThreadPool::reset_global(4, &two);
+  EXPECT_EQ(ThreadPool::global().domain_count(), 2u);
+  EXPECT_EQ(ThreadPool::global().size(), 4u);
+  std::atomic<int> total{0};
+  parallel_for(0, 777, [&](std::size_t b, std::size_t e) {
+    total.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(total.load(), 777);
+  const std::uint64_t id = ThreadPool::global().instance_id();
+  ThreadPool::reset_global();  // back to the environment defaults
+  EXPECT_NE(ThreadPool::global().instance_id(), id);
+}
+
 TEST(ThreadPool, ConcurrentCallersEachSeeTheirOwnJobComplete) {
   // Two fork-join jobs issued from different threads must not clobber each
   // other's chunk state: every element of both arrays gets written exactly

@@ -59,6 +59,73 @@ TEST(WorkQueue, ConcurrentPopsPartitionTheWork) {
   EXPECT_EQ(total, 400u);
 }
 
+TEST(WorkQueue, MovedFromQueueIsDrainedRegression) {
+  // Regression: the move constructor used to copy the cursor but leave the
+  // moved-from queue's state live — a pop on the husk could disagree with
+  // the new owner.  Moved-from queues must read as fully drained.
+  WorkQueue q(sim::DispatchPolicy::kRowMajor, 4, 8);
+  std::pair<std::uint32_t, std::uint32_t> tile;
+  ASSERT_TRUE(q.pop(tile));  // a live cursor, mid-drain
+  ASSERT_TRUE(q.pop(tile));
+
+  WorkQueue moved(std::move(q));
+  EXPECT_EQ(q.size(), 0u);  // NOLINT(bugprone-use-after-move): on purpose
+  EXPECT_FALSE(q.pop(tile));
+  EXPECT_FALSE(q.steal(tile));
+
+  // The new owner resumes exactly where the source stopped.
+  std::size_t remaining = 0;
+  while (moved.pop(tile)) ++remaining;
+  EXPECT_EQ(remaining, 16u - 2u);
+}
+
+TEST(WorkQueue, StealTakesFromTheTail) {
+  WorkQueue q(sim::DispatchPolicy::kRowMajor, 2, 3, 8);  // row-major 2x3
+  std::pair<std::uint32_t, std::uint32_t> tile;
+  ASSERT_TRUE(q.steal(tile));
+  EXPECT_EQ(tile, (std::pair<std::uint32_t, std::uint32_t>{1, 2}));
+  ASSERT_TRUE(q.steal(tile));
+  EXPECT_EQ(tile, (std::pair<std::uint32_t, std::uint32_t>{1, 1}));
+  // The head order is untouched by steals.
+  ASSERT_TRUE(q.pop(tile));
+  EXPECT_EQ(tile, (std::pair<std::uint32_t, std::uint32_t>{0, 0}));
+  // 3 tiles left: pops and steals meet without double-claiming.
+  std::size_t remaining = 0;
+  while (q.pop(tile) || q.steal(tile)) ++remaining;
+  EXPECT_EQ(remaining, 3u);
+  EXPECT_FALSE(q.steal(tile));
+}
+
+TEST(WorkQueue, ConcurrentPopsAndStealsPartitionTheWork) {
+  // Half the threads pop the head, half steal the tail: the union is still
+  // exactly the tile set, each handed out once — the two cursors may never
+  // cross.
+  WorkQueue q(sim::DispatchPolicy::kSquares, 24, 17, 8);
+  constexpr int kThreads = 8;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> got(
+      kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::pair<std::uint32_t, std::uint32_t> tile;
+      if (t % 2 == 0) {
+        while (q.pop(tile)) got[static_cast<std::size_t>(t)].push_back(tile);
+      } else {
+        while (q.steal(tile)) got[static_cast<std::size_t>(t)].push_back(tile);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::set<std::pair<std::uint32_t, std::uint32_t>> all;
+  std::size_t total = 0;
+  for (const auto& v : got) {
+    total += v.size();
+    for (auto p : v) EXPECT_TRUE(all.insert(p).second);
+  }
+  EXPECT_EQ(total, 24u * 17u);
+  EXPECT_EQ(all.size(), 24u * 17u);
+}
+
 TEST(WorkQueue, RectangularGridCoversAllTilesInBounds) {
   // 3 query tiles x 7 corpus tiles: the square dispatch order is filtered
   // to the rectangle without dropping or duplicating tiles.

@@ -121,6 +121,14 @@ def main():
         if marker == "FAIL":
             failures.append((path, f"{(1.0 - ratio) * 100.0:.1f}% regression"))
 
+    # Configs only present in the current run (a bench gained a workload —
+    # e.g. new shard/domain sweeps) are skipped loudly, never failed: the
+    # gate compares what the baseline knows, and the baseline is refreshed
+    # when the new configs should start gating.
+    for path, _ in walk(current):
+        if lookup(baseline, path) is None:
+            print(f"  new  {'.'.join(path):45s} (no baseline entry, skipped)")
+
     print(f"compared {compared} entries, {len(failures)} failures "
           f"(gate: >{args.max_regression * 100.0:.0f}% regression)")
     for path, why in failures:
