@@ -203,6 +203,35 @@ int main(int argc, char** argv) {
   }
   ThreadPool::reset_global();  // back to the detected topology
 
+  // Tombstone config: the same 4-shard resident query join with 20% of the
+  // corpus delete-masked (every 5th row).  The kernel still evaluates every
+  // pair — filtering is sink-side — so evals/s measures the filter's
+  // overhead on the drain and pairs/s counts SURVIVING pairs.
+  std::printf("\n");
+  Measurement tomb_query;
+  {
+    const PreparedShards set = prepare_shards(corpus_data, 4);
+    std::vector<std::vector<std::uint64_t>> masks(set.views.size());
+    std::vector<kernels::TombstoneSpan> spans;
+    for (std::size_t s = 0; s < set.views.size(); ++s) {
+      const std::size_t rows = set.views[s].prepared->rows();
+      masks[s].assign((rows + 63) / 64, 0);
+      for (std::size_t r = (5 - set.views[s].base % 5) % 5; r < rows; r += 5) {
+        masks[s][r >> 6] |= 1ull << (r & 63);
+      }
+      spans.push_back(kernels::TombstoneSpan{set.views[s].base, rows,
+                                             masks[s].data()});
+    }
+    const kernels::TombstoneFilter filter(std::move(spans));
+    JoinOptions tomb_only = count_only;
+    tomb_only.tombstones = &filter;
+    tomb_query = measure(simd.name, query_evals, reps, [&] {
+      return engine.query_join(queries, set.span(), eps, tomb_only)
+          .pair_count;
+    });
+    print_row("query/tomb20", tomb_query);
+  }
+
   FILE* f = std::fopen("BENCH_join.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_join.json\n");
@@ -249,7 +278,10 @@ int main(int argc, char** argv) {
     std::snprintf(label, sizeof label, "domains_%zu", domain_query[i].first);
     json_entry(f, label, domain_query[i].second);
   }
-  std::fprintf(f, "    \"shards\": %zu\n  }\n", placement_shards);
+  std::fprintf(f, "    \"shards\": %zu\n  },\n", placement_shards);
+  std::fprintf(f, "  \"tombstone_query_join\": {\n");
+  json_entry(f, "tombstones_20", tomb_query);
+  std::fprintf(f, "    \"dead_fraction\": 0.2\n  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_join.json\n");

@@ -20,7 +20,9 @@
 //   fasted_cli --n 10000 --queries 256 --serve-batches 8 --shards 4 \
 //              --ingest-fraction 0.5
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -60,6 +62,9 @@ struct Args {
   std::size_t shards = 0;         // > 0: ShardedCorpus with N-way split
   double ingest_fraction = 1.0;   // < 1: append the rest between batches
   std::size_t domains = 0;        // > 0: shard placement over N domains
+  double delete_fraction = 0.0;   // > 0: tombstone this share of the corpus
+  bool compact = false;           // compact mid-serve (drops tombstones)
+  bool rebalance = false;         // run a drain/steal-driven rebalance pass
 };
 
 void usage() {
@@ -83,7 +88,14 @@ void usage() {
       "                   append the rest between batches (needs --shards)\n"
       "  --domains N      place shards round-robin over N execution domains\n"
       "                   (default: detected topology / FASTED_TOPOLOGY;\n"
-      "                   results are bit-identical for any value)\n");
+      "                   results are bit-identical for any value)\n"
+      "  --delete-fraction F  service mode: tombstone every round(1/F)-th\n"
+      "                   resident row after the initial ingest (needs\n"
+      "                   --shards; matches of dead rows are filtered out)\n"
+      "  --compact        run ShardedCorpus::compact() halfway through the\n"
+      "                   serve loop, physically dropping tombstoned rows\n"
+      "  --rebalance      after serving, migrate shards off the domain the\n"
+      "                   drain/steal counters show as overloaded\n");
 }
 
 bool parse(int argc, char** argv, Args& args) {
@@ -122,6 +134,12 @@ bool parse(int argc, char** argv, Args& args) {
       args.ingest_fraction = std::stod(v);
     } else if (flag == "--domains" && (v = next())) {
       args.domains = std::stoull(v);
+    } else if (flag == "--delete-fraction" && (v = next())) {
+      args.delete_fraction = std::stod(v);
+    } else if (flag == "--compact") {
+      args.compact = true;
+    } else if (flag == "--rebalance") {
+      args.rebalance = true;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -163,17 +181,29 @@ MatrixF32 make_query_batch(const Args& args, const MatrixF32& corpus,
 void print_shard_table(service::ShardedCorpus& corpus,
                        const std::vector<std::uint64_t>& shard_pairs) {
   const auto infos = corpus.shard_infos();
+  std::uint64_t total_pairs = 0;
+  for (const std::uint64_t p : shard_pairs) total_pairs += p;
   std::printf("per-shard stats (skew view):\n");
-  std::printf("  %-6s %-10s %-8s %-7s %-6s %-6s %-7s %s\n", "shard", "base",
-              "rows", "state", "dom", "grids", "calib", "pairs(last batch)");
+  std::printf("  %-6s %-10s %-8s %-6s %-7s %-6s %-6s %-7s %-14s %s\n",
+              "shard", "base", "rows", "dead", "state", "dom", "grids",
+              "calib", "pairs(last)", "share");
   for (std::size_t s = 0; s < infos.size(); ++s) {
     const auto& info = infos[s];
-    std::printf("  %-6zu %-10zu %-8zu %-7s %-6zu %-6zu %-7zu %llu\n", s,
-                info.base, info.rows, info.sealed ? "sealed" : "open",
-                info.domain, info.grid_entries, info.calibration_blocks,
-                s < shard_pairs.size()
-                    ? static_cast<unsigned long long>(shard_pairs[s])
-                    : 0ull);
+    const std::uint64_t pairs =
+        s < shard_pairs.size() ? shard_pairs[s] : 0;
+    // A zero-pair batch (eps below the closest pair) must print 0%, not
+    // divide by the empty total.
+    const double share =
+        total_pairs != 0
+            ? 100.0 * static_cast<double>(pairs) /
+                  static_cast<double>(total_pairs)
+            : 0.0;
+    std::printf("  %-6zu %-10zu %-8zu %-6zu %-7s %-6zu %-6zu %-7zu %-14llu "
+                "%5.1f%%\n",
+                s, info.base, info.rows, info.dead,
+                info.sealed ? "sealed" : "open", info.domain,
+                info.grid_entries, info.calibration_blocks,
+                static_cast<unsigned long long>(pairs), share);
   }
   const auto stats = corpus.stats();
   std::printf("  appends=%llu rows_appended=%llu seals=%llu open_rebuilds=%llu "
@@ -183,6 +213,29 @@ void print_shard_table(service::ShardedCorpus& corpus,
               static_cast<unsigned long long>(stats.shards_sealed),
               static_cast<unsigned long long>(stats.open_rebuilds),
               static_cast<unsigned long long>(stats.calibration_blocks_built));
+  std::printf("  erases=%llu rows_erased=%llu compactions=%llu "
+              "rows_dropped=%llu shards_rebuilt=%llu migrations=%llu\n",
+              static_cast<unsigned long long>(stats.erases),
+              static_cast<unsigned long long>(stats.rows_erased),
+              static_cast<unsigned long long>(stats.compactions),
+              static_cast<unsigned long long>(stats.compaction_rows_dropped),
+              static_cast<unsigned long long>(
+                  stats.compaction_shards_rebuilt),
+              static_cast<unsigned long long>(stats.shards_migrated));
+}
+
+// The rebalance signal, as the operator sees it: tiles each domain's own
+// workers drained vs. tiles other domains had to steal from it.
+void print_domain_loads(const service::ServiceStats& stats) {
+  std::printf("per-domain load (drain/steal tiles):");
+  for (std::size_t d = 0; d < stats.domain_loads.size(); ++d) {
+    std::printf(" d%zu=%llu/%llu", d,
+                static_cast<unsigned long long>(
+                    stats.domain_loads[d].tiles_drained),
+                static_cast<unsigned long long>(
+                    stats.domain_loads[d].tiles_stolen));
+  }
+  std::printf("\n");
 }
 
 int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
@@ -193,6 +246,13 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
                  "ignoring\n");
   }
   const bool sharded = args.shards > 0;
+  if (!sharded &&
+      (args.delete_fraction > 0 || args.compact || args.rebalance)) {
+    std::fprintf(stderr,
+                 "warning: --delete-fraction/--compact/--rebalance need "
+                 "--shards (lifecycle lives on the sharded backend); "
+                 "ignoring\n");
+  }
   if (!sharded && args.ingest_fraction < 1.0) {
     std::fprintf(stderr,
                  "warning: --ingest-fraction needs --shards; serving the "
@@ -238,11 +298,41 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
   std::printf("ingest: FP16 + norms prepared for %zu/%zu rows in %.3f s\n",
               initial, n, ingest_s);
 
+  // Sustained-mutation traffic: tombstone a deterministic stride of the
+  // initially resident rows, so the serve loop runs with delete masks
+  // active from the first batch.
+  if (sharded && args.delete_fraction > 0) {
+    const auto stride = static_cast<std::size_t>(
+        std::max<long long>(1, std::llround(1.0 / args.delete_fraction)));
+    std::vector<std::uint32_t> dead;
+    for (std::size_t i = 0; i < initial; i += stride) {
+      dead.push_back(static_cast<std::uint32_t>(i));
+    }
+    // Never kill the whole corpus (--delete-fraction 1.0 + a later
+    // --compact would otherwise have nothing left to re-chunk).
+    if (dead.size() >= initial) dead.pop_back();
+    const std::size_t erased = corpus->erase(dead);
+    std::printf("tombstoned %zu/%zu resident rows (every %zu-th)\n", erased,
+                initial, stride);
+  }
+
   double host_s = 0;
   double modeled_s = 0;
   std::size_t resident = initial;
   std::vector<std::uint64_t> last_shard_pairs;
   for (std::size_t b = 0; b < args.serve_batches; ++b) {
+    if (sharded && args.compact && b == args.serve_batches / 2) {
+      // Mid-serve compaction: re-chunk and physically drop the tombstones
+      // (threshold 0 drops any dead row); readers pinned to earlier
+      // snapshots are unaffected.
+      service::CompactOptions copts;
+      copts.dead_fraction = 0.0;
+      const auto report = corpus->compact(copts);
+      std::printf("compacted: %zu -> %zu shards, %zu rows dropped, %zu "
+                  "rebuilt\n",
+                  report.shards_before, report.shards_after,
+                  report.rows_dropped, report.shards_rebuilt);
+    }
     // Append-driven growth: one slice of the held-back rows per batch, so
     // the session serves while the corpus fills toward its final size.
     if (resident < n) {
@@ -271,15 +361,28 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
 
   const auto stats = svc->stats();
   const double served = static_cast<double>(stats.queries);
-  std::printf("served %llu queries in %llu batches: %llu pairs\n",
+  std::printf("served %llu queries in %llu batches: %llu pairs "
+              "(%llu tombstone-filtered)\n",
               static_cast<unsigned long long>(stats.queries),
               static_cast<unsigned long long>(stats.eps_batches),
-              static_cast<unsigned long long>(stats.pairs));
+              static_cast<unsigned long long>(stats.pairs),
+              static_cast<unsigned long long>(stats.pairs_tombstoned));
   if (host_s > 0 && modeled_s > 0) {
     std::printf("throughput: %.0f queries/s host, %.0f queries/s modeled "
                 "A100 (corpus legs amortized)\n",
                 served / host_s, served / modeled_s);
   }
+  if (sharded && args.rebalance) {
+    const auto report = corpus->rebalance();
+    if (report.moved != 0) {
+      std::printf("rebalanced: moved %zu shard%s from domain %zu to %zu\n",
+                  report.moved, report.moved == 1 ? "" : "s",
+                  report.from_domain, report.to_domain);
+    } else {
+      std::printf("rebalance: no move (domain loads within threshold)\n");
+    }
+  }
+  print_domain_loads(stats);
   if (sharded) print_shard_table(*corpus, last_shard_pairs);
   return 0;
 }

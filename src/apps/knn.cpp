@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "common/check.hpp"
 #include "service/corpus_session.hpp"
@@ -19,13 +20,20 @@ KnnResult knn_all(const FastedEngine& engine, const MatrixF32& data,
   FASTED_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < |D|");
 
   std::optional<service::JoinService> svc;
-  if (options.shards > 1) {
+  if (options.shards > 1 || !options.tombstones.empty()) {
     service::ShardedCorpusOptions copts;
-    copts.shards = options.shards;
+    copts.shards = std::max<std::size_t>(1, options.shards);
     copts.placement_domains = options.domains;
-    svc.emplace(std::make_shared<service::ShardedCorpus>(MatrixF32(data),
-                                                         copts),
-                engine);
+    auto corpus =
+        std::make_shared<service::ShardedCorpus>(MatrixF32(data), copts);
+    if (!options.tombstones.empty()) {
+      corpus->erase(std::span<const std::uint32_t>(options.tombstones));
+      // The k+1 request below needs that many ALIVE rows (duplicate ids in
+      // `tombstones` would make this check conservative, which is fine).
+      FASTED_CHECK_MSG(k + 1 <= corpus->alive(),
+                       "need k < alive rows after tombstoning");
+    }
+    svc.emplace(std::move(corpus), engine);
   } else {
     svc.emplace(std::make_shared<service::CorpusSession>(data), engine);
   }

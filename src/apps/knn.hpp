@@ -49,6 +49,13 @@ struct KnnOptions {
   // (0 = the global pool's detected domain count).  Like `shards`, purely a
   // deployment knob: results are bit-identical for any value.
   std::size_t domains = 0;
+  // Rows to tombstone before serving (global ids into `data`).  Dead rows
+  // never appear as anyone's neighbor — each point's row holds its k
+  // nearest SURVIVING points (dead points' own rows included: they stay
+  // valid query locations, e.g. for "what replaced this outlier" lookups).
+  // Non-empty forces the ShardedCorpus backend, which owns the delete
+  // machinery; requires k < alive rows.
+  std::vector<std::uint32_t> tombstones;
 };
 
 // Exact k-NN (w.r.t. the FP16-32 pipeline distance) for every point of the

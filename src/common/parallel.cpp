@@ -58,6 +58,10 @@ struct ThreadPool::Impl {
     std::vector<std::thread> workers;
     std::size_t slots = 0;  // workers + (group 0 only) the caller
     std::unique_ptr<DomainArena> arena;
+    // Drain/steal accounting for work OWNED by this domain (join executor
+    // tiles); padded out of the hot job-state line by position at the end.
+    std::atomic<std::uint64_t> tiles_drained{0};
+    std::atomic<std::uint64_t> tiles_stolen{0};
 
     void run_chunks() {
       for (;;) {
@@ -220,6 +224,28 @@ std::uint64_t ThreadPool::instance_id() const { return impl_->id; }
 
 DomainArena& ThreadPool::domain_arena(std::size_t domain) {
   return *impl_->groups[domain % impl_->groups.size()].arena;
+}
+
+void ThreadPool::add_domain_load(std::size_t domain, std::uint64_t drained,
+                                 std::uint64_t stolen) {
+  Impl::Group& g = impl_->groups[domain % impl_->groups.size()];
+  if (drained != 0) {
+    g.tiles_drained.fetch_add(drained, std::memory_order_relaxed);
+  }
+  if (stolen != 0) {
+    g.tiles_stolen.fetch_add(stolen, std::memory_order_relaxed);
+  }
+}
+
+std::vector<DomainLoad> ThreadPool::domain_loads() const {
+  std::vector<DomainLoad> loads(impl_->groups.size());
+  for (std::size_t d = 0; d < loads.size(); ++d) {
+    loads[d].tiles_drained =
+        impl_->groups[d].tiles_drained.load(std::memory_order_relaxed);
+    loads[d].tiles_stolen =
+        impl_->groups[d].tiles_stolen.load(std::memory_order_relaxed);
+  }
+  return loads;
 }
 
 void ThreadPool::parallel_for(

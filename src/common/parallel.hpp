@@ -38,6 +38,18 @@
 
 namespace fasted {
 
+// Cumulative per-domain work accounting, maintained by the join executor:
+// tiles of a domain's entries drained by the domain's OWN workers vs. tiles
+// stolen by other domains' workers.  A domain whose work keeps getting
+// stolen is overloaded relative to its worker set — the service layer's
+// shard rebalancing consults exactly this signal (and ServiceStats surfaces
+// it to operators).
+struct DomainLoad {
+  std::uint64_t tiles_drained = 0;  // by the owning domain's workers
+  std::uint64_t tiles_stolen = 0;   // by other domains' workers
+  std::uint64_t total() const { return tiles_drained + tiles_stolen; }
+};
+
 class ThreadPool {
  public:
   // `threads == 0` picks the FASTED_THREADS environment variable if it is a
@@ -101,6 +113,14 @@ class ThreadPool {
   // Monotonically increasing per-construction id — caches keyed on pool
   // memory (thread-local arena slices) use it to notice reset_global().
   std::uint64_t instance_id() const;
+
+  // Per-domain drain/steal accounting (see DomainLoad).  add_domain_load is
+  // relaxed-atomic and safe from any thread; the executor flushes one call
+  // per worker per join.  domain_loads() snapshots all domains (cumulative
+  // since pool construction; consumers diff successive snapshots).
+  void add_domain_load(std::size_t domain, std::uint64_t drained,
+                       std::uint64_t stolen);
+  std::vector<DomainLoad> domain_loads() const;
 
   // Global pool shared by the library (lazily constructed).
   static ThreadPool& global();

@@ -234,19 +234,28 @@ JoinOutput run_self_join(const FastedConfig& cfg,
   const bool emulated = options.path == ExecutionPath::kEmulated;
   ShardedPlanSet set = compose_self_plans(cfg, shards);
 
+  // Tombstoned rows contribute no pairs and no self pair: the sink drops
+  // any upper-triangle hit touching a dead row, and the count arithmetic
+  // recovers the mirrored half over the ALIVE diagonal only.
+  const std::size_t alive =
+      options.tombstones != nullptr
+          ? n - static_cast<std::size_t>(options.tombstones->dead_count())
+          : n;
   JoinOutput out;
   if (options.build_result) {
     kernels::SelfJoinCsrSink sink(n, /*mirror=*/true);
+    sink.filter_tombstones(options.tombstones);
     const std::uint64_t hits =
         kernels::execute_join(cfg, set.span(), eps2, emulated, sink);
-    out.pair_count = 2 * hits + n;
+    out.pair_count = 2 * (hits - sink.dropped()) + alive;
     out.result = sink.finalize();
     FASTED_CHECK(out.result.pair_count() == out.pair_count);
   } else {
-    kernels::CountSink sink;
+    kernels::CountSink sink(/*self_ends=*/true);
+    sink.filter_tombstones(options.tombstones);
     const std::uint64_t hits =
         kernels::execute_join(cfg, set.span(), eps2, emulated, sink);
-    out.pair_count = 2 * hits + n;
+    out.pair_count = 2 * (hits - sink.dropped()) + alive;
   }
   return out;
 }
@@ -272,6 +281,16 @@ JoinOutput run_join(const FastedConfig& cfg, const PreparedDataset& queries,
   return out;
 }
 
+// The direct-mode SelfJoinCsrSink (run_join) treats both hit ids as corpus
+// rows; a query-side filter there would be wrong, so the general A x B join
+// simply rejects tombstones — the query-service paths (query_join*) are the
+// delete-aware ones.
+void check_no_tombstones(const JoinOptions& options, const char* api) {
+  FASTED_CHECK_MSG(options.tombstones == nullptr,
+                   "tombstone filtering is not supported by this join API");
+  (void)api;
+}
+
 }  // namespace
 
 JoinOutput FastedEngine::join(const MatrixF32& queries,
@@ -281,6 +300,7 @@ JoinOutput FastedEngine::join(const MatrixF32& queries,
   FASTED_CHECK_MSG(queries.dims() == corpus.dims(),
                    "query/corpus dimensionality mismatch");
   FASTED_CHECK_MSG(eps >= 0, "negative search radius");
+  check_no_tombstones(options, "join");
   Timer timer;
 
   const PreparedDataset q(queries);
@@ -318,19 +338,27 @@ QueryJoinOutput FastedEngine::query_join(const PreparedDataset& queries,
   ShardedPlanSet set =
       compose_query_plans(config_, queries, shards, /*strip=*/false);
 
+  // With a tombstone filter, pair_count is the SURVIVING match count (raw
+  // kernel emissions minus the sink's drops); shard_pairs stays raw — it
+  // measures per-shard drain work, which is what the skew table and the
+  // rebalance policy want to see.
   QueryJoinOutput out;
   out.shard_pairs.assign(shards.size(), 0);
   if (options.build_result) {
     kernels::QueryJoinCsrSink sink(queries.rows());
-    out.pair_count = kernels::execute_join(config_, set.span(), eps * eps,
-                                           emulated, sink,
-                                           out.shard_pairs.data());
+    sink.filter_tombstones(options.tombstones);
+    const std::uint64_t raw = kernels::execute_join(config_, set.span(),
+                                                    eps * eps, emulated, sink,
+                                                    out.shard_pairs.data());
+    out.pair_count = raw - sink.dropped();
     out.result = sink.finalize();
   } else {
     kernels::CountSink sink;
-    out.pair_count = kernels::execute_join(config_, set.span(), eps * eps,
-                                           emulated, sink,
-                                           out.shard_pairs.data());
+    sink.filter_tombstones(options.tombstones);
+    const std::uint64_t raw = kernels::execute_join(config_, set.span(),
+                                                    eps * eps, emulated, sink,
+                                                    out.shard_pairs.data());
+    out.pair_count = raw - sink.dropped();
   }
   out.host_seconds = timer.seconds();
   out.perf = estimate_join(queries.rows(), nc, queries.dims());
@@ -411,6 +439,7 @@ JoinOutput FastedEngine::batched_self_join(const MatrixF32& data, float eps,
                                            const JoinOptions& options) const {
   FASTED_CHECK_MSG(data.rows() > 0, "empty dataset");
   FASTED_CHECK_MSG(batch_rows > 0, "batch size must be positive");
+  check_no_tombstones(options, "batched_self_join");
   Timer timer;
   const PreparedDataset prepared(data);
   const std::size_t n = prepared.rows();

@@ -51,6 +51,12 @@ enum class ExecutionPath {
 struct JoinOptions {
   ExecutionPath path = ExecutionPath::kFast;
   bool build_result = true;  // false: count pairs only
+  // Optional corpus tombstone filter (kernels/result_sink.hpp): matches
+  // whose corpus row is dead are dropped SINK-side, so surviving rows keep
+  // bit-exact distances — results equal physically removing the rows and
+  // re-running.  Self-joins drop pairs with either endpoint dead.  Borrowed
+  // for the duration of the call; null = no deletes.
+  const kernels::TombstoneFilter* tombstones = nullptr;
 };
 
 struct JoinOutput {

@@ -123,6 +123,12 @@ std::uint64_t execute_join(const FastedConfig& cfg,
     float acc[kQueryBlock * kPanelWidth];
     std::vector<PairHit> hits;
     std::uint64_t worker_total = 0;
+    // Per-domain drain/steal tile tallies, attributed to the domain OWNING
+    // the entry (not the executing worker) and flushed to the pool once per
+    // worker — the rebalancing policy's load signal.
+    const std::size_t dcount = pool.domain_count();
+    std::vector<std::uint64_t> tiles_drained(dcount, 0);
+    std::vector<std::uint64_t> tiles_stolen(dcount, 0);
 
     // Drains one entry's plan — from the head for the owning domain, from
     // the tail when stealing — and emits its hits.
@@ -148,8 +154,10 @@ std::uint64_t execute_join(const FastedConfig& cfg,
         }
       };
 
+      std::uint64_t tiles = 0;
       TileRange t;
       while (from_tail ? plan.steal_next(t) : plan.next(t)) {
+        ++tiles;
         // Per-tile sinks (streaming) rely on each query completing within
         // one tile — only full-corpus-width plans (query_strip) qualify.
         if (per_tile) {
@@ -204,6 +212,8 @@ std::uint64_t execute_join(const FastedConfig& cfg,
       if (!entry_hits.empty() && local != 0) {
         entry_hits[ei].fetch_add(local, std::memory_order_relaxed);
       }
+      (from_tail ? tiles_stolen : tiles_drained)[entry.domain % dcount] +=
+          tiles;
       worker_total += local;
     };
 
@@ -227,6 +237,11 @@ std::uint64_t execute_join(const FastedConfig& cfg,
 
     if (collect && !hits.empty()) {
       sink.consume(TileRange{}, std::span<const PairHit>(hits));
+    }
+    for (std::size_t d = 0; d < dcount; ++d) {
+      if (tiles_drained[d] != 0 || tiles_stolen[d] != 0) {
+        pool.add_domain_load(d, tiles_drained[d], tiles_stolen[d]);
+      }
     }
     total.fetch_add(worker_total, std::memory_order_relaxed);
   });

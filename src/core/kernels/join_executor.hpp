@@ -73,7 +73,11 @@ struct ShardJoin {
 // always-within-eps self pairs are the sink's (or the caller's count
 // arithmetic's) business.  Returns the number of hits emitted; when
 // `per_entry_hits` is non-null it must point at entries.size() slots, which
-// receive each entry's hit count (per-shard skew stats).
+// receive each entry's hit count (per-shard skew stats).  Counts are RAW
+// kernel emissions: when the sink carries a tombstone filter it drops dead
+// rows' hits on its side, so callers subtract sink.dropped() to get the
+// surviving pair count (per-entry counts stay raw — they measure drain
+// work, which is what the skew/rebalance consumers want).
 std::uint64_t execute_join(const FastedConfig& cfg,
                            std::span<ShardJoin> entries, float eps2,
                            bool emulated, ResultSink& sink,

@@ -11,8 +11,21 @@ namespace {
 // Regroup one tile's hits (corpus-block-major, per-query ascending corpus
 // id) into a QueryStrip via a stable counting scatter — the same
 // canonicalization StreamingSink does, but into a worker-private strip so
-// no lock is needed.
-QueryStrip regroup(const TileRange& range, std::span<const PairHit> hits) {
+// no lock is needed.  A tombstone filter drops dead-corpus hits here,
+// before grouping, so delivered rows only ever hold surviving matches;
+// `dropped` receives the tally.
+QueryStrip regroup(const TileRange& range, std::span<const PairHit> hits,
+                   const TombstoneFilter* filter, std::uint64_t& dropped) {
+  dropped = 0;
+  thread_local std::vector<PairHit> live;
+  if (filter != nullptr) {
+    live.clear();
+    for (const PairHit& h : hits) {
+      if (!filter->dead(h.corpus)) live.push_back(h);
+    }
+    dropped = hits.size() - live.size();
+    hits = std::span<const PairHit>(live);
+  }
   QueryStrip strip;
   strip.q0 = range.q0;
   const std::size_t nq = range.q1 - range.q0;
@@ -91,7 +104,10 @@ RingStreamingSink::RingStreamingSink(QueryMatchCallback callback,
 
 void RingStreamingSink::consume(const TileRange& range,
                                 std::span<const PairHit> hits) {
-  deliverer_.deliver(regroup(range, hits));
+  std::uint64_t drops = 0;
+  QueryStrip strip = regroup(range, hits, filter_, drops);
+  note_dropped(drops);
+  deliverer_.deliver(std::move(strip));
 }
 
 MergingStreamingSink::MergingStreamingSink(QueryMatchCallback callback,
@@ -110,7 +126,9 @@ void MergingStreamingSink::consume(const TileRange& range,
   // Regroup worker-privately (no lock), splice the grouped strip in under
   // the mutex, and do the cross-shard merge outside it again — the
   // critical section is a few vector moves, not an O(hits) scatter.
-  QueryStrip grouped = regroup(range, hits);
+  std::uint64_t drops = 0;
+  QueryStrip grouped = regroup(range, hits, filter_, drops);
+  note_dropped(drops);
   PendingStrip done;
   bool complete = false;
   {

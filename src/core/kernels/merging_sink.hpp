@@ -33,6 +33,11 @@
 //           under a mutex (zero extra threads; kernel throughput couples to
 //           callback latency).
 //
+// Tombstone filtering (ResultSink::filter_tombstones) happens in the
+// per-tile regroup, BEFORE strips are assembled or merged: delivered rows
+// only ever hold surviving matches, and dropped() tallies the dead ones
+// for the caller's pair-count correction.
+//
 // Either way the callback contract matches kernels::QueryMatchCallback:
 // once per query, ascending query order within a strip, strips in any
 // order, span valid only for the duration of the call.  The callback must

@@ -1,12 +1,40 @@
 #include "core/kernels/result_sink.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 
 namespace fasted::kernels {
+
+TombstoneFilter::TombstoneFilter(std::vector<TombstoneSpan> spans)
+    : spans_(std::move(spans)) {
+  for (const TombstoneSpan& s : spans_) {
+    if (s.bits == nullptr) continue;
+    any_ = true;
+    const std::size_t words = (s.rows + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+      dead_count_ += static_cast<std::uint64_t>(std::popcount(s.bits[w]));
+    }
+  }
+}
+
+bool TombstoneFilter::dead(std::uint32_t global_row) const {
+  if (!any_) return false;
+  // First span whose base is > row, minus one: spans are contiguous and
+  // ascend by base, so this is the span holding the row.
+  const auto it = std::upper_bound(
+      spans_.begin(), spans_.end(), global_row,
+      [](std::uint32_t r, const TombstoneSpan& s) { return r < s.base; });
+  FASTED_CHECK_MSG(it != spans_.begin(), "row below the first tombstone span");
+  const TombstoneSpan& span = *(it - 1);
+  if (span.bits == nullptr) return false;
+  const std::size_t local = global_row - span.base;
+  FASTED_CHECK_MSG(local < span.rows, "row beyond the tombstone spans");
+  return (span.bits[local >> 6] >> (local & 63)) & 1u;
+}
 
 SelfJoinCsrSink::SelfJoinCsrSink(std::size_t n, bool mirror)
     : mirror_(mirror), rows_(n) {}
@@ -33,10 +61,37 @@ void consume_striped(std::array<std::mutex, kSinkStripes>& stripes,
   }
 }
 
+// Tombstone filtering compacts the surviving hits into worker-local
+// scratch BEFORE the striped append, so the counting pass and the append
+// walk the same hit set.  The predicate decides which row ids a dead row
+// poisons (corpus side only for query joins, either end for self-joins).
+template <typename Alive>
+std::span<const PairHit> compact_live(std::span<const PairHit> hits,
+                                      const Alive& alive,
+                                      std::uint64_t& dropped) {
+  thread_local std::vector<PairHit> live;
+  live.clear();
+  for (const PairHit& h : hits) {
+    if (alive(h)) live.push_back(h);
+  }
+  dropped = hits.size() - live.size();
+  return std::span<const PairHit>(live);
+}
+
 }  // namespace
 
 void SelfJoinCsrSink::consume(const TileRange&,
                               std::span<const PairHit> hits) {
+  if (filtered()) {
+    std::uint64_t drops = 0;
+    hits = compact_live(
+        hits,
+        [&](const PairHit& h) {
+          return !filter_->dead(h.query) && !filter_->dead(h.corpus);
+        },
+        drops);
+    note_dropped(drops);
+  }
   consume_striped(stripes_, hits, [&](const PairHit& h) {
     rows_[h.query].push_back(h.corpus);
   });
@@ -53,7 +108,9 @@ SelfJoinResult SelfJoinCsrSink::finalize() {
   if (!mirror_) return SelfJoinResult::from_rows(std::move(rows_));
 
   // rows_ holds each point's j > i neighbors, sorted.  Ascending final rows
-  // are below-neighbors (mirrored), then self, then above-neighbors.
+  // are below-neighbors (mirrored), then self, then above-neighbors.  Dead
+  // rows (tombstone filter) never received or produced a hit, and their
+  // always-within-eps self pair is skipped too — their rows stay empty.
   std::vector<std::uint64_t> below_count(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::uint32_t j : rows_[i]) ++below_count[j];
@@ -68,6 +125,7 @@ SelfJoinResult SelfJoinCsrSink::finalize() {
     }
   }
   for (std::size_t i = 0; i < n; ++i) {
+    if (filtered() && filter_->dead(static_cast<std::uint32_t>(i))) continue;
     full[i].push_back(static_cast<std::uint32_t>(i));
     full[i].insert(full[i].end(), rows_[i].begin(), rows_[i].end());
     rows_[i].clear();
@@ -81,6 +139,12 @@ QueryJoinCsrSink::QueryJoinCsrSink(std::size_t num_queries)
 
 void QueryJoinCsrSink::consume(const TileRange&,
                                std::span<const PairHit> hits) {
+  if (filtered()) {
+    std::uint64_t drops = 0;
+    hits = compact_live(hits, [&](const PairHit& h) { return keep(h); },
+                        drops);
+    note_dropped(drops);
+  }
   consume_striped(stripes_, hits, [&](const PairHit& h) {
     rows_[h.query].push_back(QueryMatch{h.corpus, h.dist2});
   });
@@ -109,6 +173,12 @@ void StreamingSink::consume(const TileRange& range,
   // match of queries [q0, q1), so each query is delivered complete exactly
   // once.  Hits arrive corpus-block-major; a stable counting scatter
   // regroups them per query, preserving ascending corpus ids.
+  if (filtered()) {
+    std::uint64_t drops = 0;
+    hits = compact_live(hits, [&](const PairHit& h) { return keep(h); },
+                        drops);
+    note_dropped(drops);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t nq = range.q1 - range.q0;
   offsets_.assign(nq + 1, 0);

@@ -52,10 +52,14 @@ JoinService::CorpusRef JoinService::corpus_ref() const {
   if (session_ != nullptr) {
     ref.views.push_back(CorpusShardView{&session_->prepared(), 0});
     ref.rows = session_->size();
+    ref.alive = ref.rows;
   } else {
     ref.snap = shards_->snapshot();
     ref.views = ShardedCorpus::shard_views(*ref.snap);
-    ref.rows = ref.snap->back()->base + ref.snap->back()->rows();
+    ref.rows =
+        ref.snap->back().shard->base + ref.snap->back().shard->rows();
+    ref.filter = ShardedCorpus::tombstone_filter(*ref.snap);
+    ref.alive = ShardedCorpus::alive_rows(*ref.snap);
   }
   return ref;
 }
@@ -84,14 +88,20 @@ QueryJoinOutput JoinService::eps_join(const EpsQuery& request) {
 
   JoinOptions options;
   options.path = request.path;
+  // Dead rows are filtered sink-side: surviving matches are bit-exact, and
+  // the no-delete path passes no filter at all (byte-identical to before).
+  options.tombstones = ref.filter.any() ? &ref.filter : nullptr;
   const PreparedDataset queries(request.points);
   QueryJoinOutput out = engine_.query_join(
       queries, std::span<const CorpusShardView>(ref.views), eps, options);
 
+  std::uint64_t raw = 0;
+  for (const std::uint64_t p : out.shard_pairs) raw += p;
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++stats_.eps_batches;
   stats_.queries += request.points.rows();
   stats_.pairs += out.pair_count;
+  stats_.pairs_tombstoned += raw - out.pair_count;
   return out;
 }
 
@@ -119,6 +129,12 @@ QueryJoinOutput JoinService::eps_join(const EpsQuery& request,
   // callback contract.  Streaming always runs the fast kernel — it is
   // bit-identical to the emulated data path, so the requested
   // ExecutionPath does not change the matches.
+  // Tombstone filtering is sink-side (the sinks drop dead-corpus matches
+  // before regrouping), so the executor's raw count is corrected by the
+  // sink's drop tally and every delivered row holds only surviving rows.
+  const kernels::TombstoneFilter* tombstones =
+      ref.filter.any() ? &ref.filter : nullptr;
+  std::uint64_t dropped = 0;
   QueryJoinOutput out;
   if (ref.views.size() > 1) {
     kernels::MergingStreamingSink sink(
@@ -126,16 +142,23 @@ QueryJoinOutput JoinService::eps_join(const EpsQuery& request,
         request.delivery == StreamDelivery::kRing
             ? kernels::StripDelivery::kRing
             : kernels::StripDelivery::kMutex);
+    sink.filter_tombstones(tombstones);
     out.pair_count = engine_.query_join_into(queries, views, eps, sink);
     sink.finish();
+    dropped = sink.dropped();
   } else if (request.delivery == StreamDelivery::kRing) {
     kernels::RingStreamingSink sink(callback);
+    sink.filter_tombstones(tombstones);
     out.pair_count = engine_.query_join_into(queries, views, eps, sink);
     sink.finish();
+    dropped = sink.dropped();
   } else {
     kernels::StreamingSink sink(callback);
+    sink.filter_tombstones(tombstones);
     out.pair_count = engine_.query_join_into(queries, views, eps, sink);
+    dropped = sink.dropped();
   }
+  out.pair_count -= dropped;
   out.host_seconds = timer.seconds();
   out.perf = engine_.estimate_join(nq, nc, queries.dims());
   out.timing =
@@ -145,6 +168,7 @@ QueryJoinOutput JoinService::eps_join(const EpsQuery& request,
   ++stats_.eps_batches;
   stats_.queries += nq;
   stats_.pairs += out.pair_count;
+  stats_.pairs_tombstoned += dropped;
   return out;
 }
 
@@ -159,8 +183,8 @@ KnnBatchResult JoinService::knn(const KnnQuery& request,
   std::lock_guard<std::mutex> serve(serve_mutex_);
   const CorpusRef ref = corpus_ref();
   const PreparedDataset queries(request.points);
-  FASTED_CHECK_MSG(request.k >= 1 && request.k <= ref.rows,
-                   "need 1 <= k <= corpus size");
+  FASTED_CHECK_MSG(request.k >= 1 && request.k <= ref.alive,
+                   "need 1 <= k <= alive corpus size");
 
   KnnBatchResult result;
   result.k = request.k;
@@ -181,7 +205,8 @@ KnnBatchResult JoinService::knn_corpus(std::size_t k,
   const float initial_eps = initial_knn_eps(k, options);  // before admission
   std::lock_guard<std::mutex> serve(serve_mutex_);
   const CorpusRef ref = corpus_ref();
-  FASTED_CHECK_MSG(k >= 1 && k <= ref.rows, "need 1 <= k <= corpus size");
+  FASTED_CHECK_MSG(k >= 1 && k <= ref.alive,
+                   "need 1 <= k <= alive corpus size");
 
   KnnBatchResult result;
   result.k = k;
@@ -223,6 +248,10 @@ std::size_t JoinService::knn_fill(const PreparedDataset& queries,
                                   KnnBatchResult& result) {
   const std::size_t nq = queries.rows();
   const std::span<const CorpusShardView> views(ref.views);
+  // Every join and sweep of this request filters the snapshot's tombstones:
+  // dead rows are never counted toward k and never returned.
+  JoinOptions round_options;
+  round_options.tombstones = ref.filter.any() ? &ref.filter : nullptr;
 
   // Adaptive radius: join the still-deficient queries against the corpus
   // with a growing eps, freezing each query's matches at the first round
@@ -240,7 +269,8 @@ std::size_t JoinService::knn_fill(const PreparedDataset& queries,
       gathered = PreparedDataset::gather(queries, active);
     }
     const PreparedDataset& sub = gathered ? *gathered : queries;
-    const QueryJoinOutput out = engine_.query_join(sub, views, eps);
+    const QueryJoinOutput out = engine_.query_join(sub, views, eps,
+                                                  round_options);
     std::vector<std::uint32_t> still;
     for (std::size_t a = 0; a < active.size(); ++a) {
       if (out.result.degree(a) >= k) {
@@ -282,6 +312,13 @@ std::size_t JoinService::knn_fill(const PreparedDataset& queries,
             }
           }
         }
+        if (round_options.tombstones != nullptr) {
+          // The sweep ranked every physical row; drop the dead ones (ids
+          // are already global) so the top k is over survivors only.
+          std::erase_if(row, [&](const QueryMatch& m) {
+            return round_options.tombstones->dead(m.id);
+          });
+        }
       }
     });
   }
@@ -304,8 +341,15 @@ std::size_t JoinService::knn_fill(const PreparedDataset& queries,
 }
 
 ServiceStats JoinService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+  }
+  // Snapshot the pool's drain/steal counters outside our lock (they are
+  // relaxed atomics with their own discipline).
+  out.domain_loads = ThreadPool::global().domain_loads();
+  return out;
 }
 
 }  // namespace fasted::service

@@ -102,8 +102,15 @@ struct ServiceStats {
   std::uint64_t eps_batches = 0;
   std::uint64_t knn_batches = 0;
   std::uint64_t queries = 0;
-  std::uint64_t pairs = 0;                  // matches emitted
+  std::uint64_t pairs = 0;                  // surviving matches emitted
+  std::uint64_t pairs_tombstoned = 0;       // matches dropped by delete masks
   std::uint64_t knn_brute_force_queries = 0;  // straggler sweeps
+  // Per-domain drain/steal tile counters (cumulative for the process's
+  // global pool — the executor attributes every tile to the domain OWNING
+  // the corpus shard it came from).  tiles_stolen[d] rising faster than
+  // tiles_drained[d] means domain d cannot keep up with its own shards:
+  // exactly the signal ShardedCorpus::rebalance() acts on.
+  std::vector<DomainLoad> domain_loads;
 };
 
 // Called once per query (in ascending query order within a work item; work
@@ -139,12 +146,16 @@ class JoinService {
   QueryJoinOutput eps_join(const EpsQuery& request,
                            const EpsMatchCallback& callback);
 
-  // Batched k-nearest-neighbor lookup.  Requires 1 <= k <= corpus size.
+  // Batched k-nearest-neighbor lookup.  Requires 1 <= k <= the ALIVE
+  // corpus size (tombstoned rows are never returned as neighbors).
   KnnBatchResult knn(const KnnQuery& request, const KnnOptions& options = {});
 
   // All-points kNN over the resident corpus itself (query set == corpus):
   // reuses the backend's prepared rows — no copy, no re-quantization (a
   // sharded corpus serves its shards as successive query batches).
+  // Tombstoned rows still get a result row (they remain valid query
+  // points) but are never returned as anyone's neighbor — including their
+  // own: a dead row's self-match is filtered like any other dead match.
   KnnBatchResult knn_corpus(std::size_t k, const KnnOptions& options = {});
 
   bool is_sharded() const { return shards_ != nullptr; }
@@ -155,11 +166,15 @@ class JoinService {
 
  private:
   // A request's pinned view of the corpus: the snapshot keeps sharded
-  // backends' shards alive for the request's duration.
+  // backends' shards alive for the request's duration, and `filter` carries
+  // its tombstone masks (borrowed from the snapshot) so every join of the
+  // request filters the exact row set the snapshot was taken with.
   struct CorpusRef {
     std::shared_ptr<const ShardedCorpus::Snapshot> snap;
     std::vector<CorpusShardView> views;
-    std::size_t rows = 0;
+    kernels::TombstoneFilter filter;
+    std::size_t rows = 0;   // logical rows incl. tombstoned (id space)
+    std::size_t alive = 0;  // rows a query can actually match
   };
   CorpusRef corpus_ref() const;
   std::size_t corpus_dims() const;

@@ -43,18 +43,49 @@
 // cached target -> eps map) are invalidated; blocks between sealed shards
 // are reused forever.
 
+// Lifecycle beyond growth (the PR 5 additions):
+//
+//   erase(ids)    tombstones global rows.  The per-shard delete masks ride
+//                 in the SNAPSHOT (not the shard), copy-on-write like the
+//                 shard list itself, so a pinned snapshot keeps serving the
+//                 exact row set it was taken with.  Joins filter dead rows
+//                 sink-side (kernels::TombstoneFilter) — surviving rows'
+//                 matches stay bit-exact, equal to physically removing the
+//                 dead rows and re-running.
+//   compact()     re-chunks the corpus: merges undersized sealed shards,
+//                 splits oversized ones to a (possibly new) shard_capacity,
+//                 and physically drops tombstoned rows from shards whose
+//                 dead fraction passes a threshold (renumbering survivors
+//                 in order).  Chunks that come out identical to an existing
+//                 shard are reused by POINTER — their grids and calibration
+//                 blocks survive exactly like sealed shards across appends;
+//                 only touched chunks rebuild, through the same
+//                 build-on-owning-domain path appends use.
+//   rebalance()   domain migration as policy: diffs the pool's per-domain
+//                 drain/steal tile counters since the last pass and rebuilds
+//                 the heaviest-loaded domain's shards on the least-loaded
+//                 domain (migrate() is the policy-free building block).
+//                 Migration preserves the shard's generation and calibration
+//                 blocks — the rows are unchanged, only their pages move —
+//                 so results and calibration stay bit-identical.
+
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/parallel.hpp"
 #include "core/fasted.hpp"
+#include "core/kernels/result_sink.hpp"
 #include "index/grid_index.hpp"
 
 namespace fasted::service {
@@ -85,12 +116,54 @@ struct ShardedStats {
   std::uint64_t calibration_hits = 0;    // target -> eps cache
   std::uint64_t calibration_misses = 0;
   std::uint64_t calibration_blocks_built = 0;  // sample x shard blocks
+  std::uint64_t erases = 0;
+  std::uint64_t rows_erased = 0;        // newly tombstoned rows
+  std::uint64_t compactions = 0;
+  std::uint64_t compaction_rows_dropped = 0;   // tombstones made physical
+  std::uint64_t compaction_shards_rebuilt = 0;
+  std::uint64_t rebalances = 0;         // passes that moved >= 1 shard
+  std::uint64_t shards_migrated = 0;
+};
+
+// compact(): re-chunk the corpus to `shard_capacity`-row shards (0 keeps
+// the current capacity), physically dropping the tombstoned rows of any
+// shard whose dead fraction is >= `dead_fraction`.  Shards the re-chunking
+// leaves byte-identical (same base, same rows, no drops) carry over by
+// pointer; everything else rebuilds on its owning domain.  Dropping rows
+// RENUMBERS the survivors (global ids compact in order) — results over the
+// survivors stay bit-exact, only their ids shift.
+struct CompactOptions {
+  std::size_t shard_capacity = 0;  // 0 = keep the current capacity
+  double dead_fraction = 0.25;     // drop threshold; > 1 never drops
+};
+
+struct CompactReport {
+  std::size_t shards_before = 0;
+  std::size_t shards_after = 0;
+  std::size_t shards_rebuilt = 0;   // chunks that could not reuse a shard
+  std::size_t rows_dropped = 0;     // tombstoned rows physically removed
+};
+
+// rebalance(): consult the pool's per-domain drain/steal tile counters
+// (deltas since this corpus's previous pass), and if the heaviest domain's
+// load exceeds `min_imbalance` x the lightest's, migrate up to `max_moves`
+// of its largest shards to the lightest domain.
+struct RebalanceOptions {
+  double min_imbalance = 1.25;
+  std::size_t max_moves = 1;
+};
+
+struct RebalanceReport {
+  std::size_t moved = 0;
+  std::size_t from_domain = 0;  // meaningful when moved > 0
+  std::size_t to_domain = 0;
 };
 
 // Operator view of one shard (the CLI's skew table prints these).
 struct ShardInfo {
   std::size_t base = 0;
   std::size_t rows = 0;
+  std::size_t dead = 0;           // tombstoned rows awaiting compaction
   bool sealed = false;
   std::uint64_t generation = 0;   // unique id of this shard build
   std::size_t domain = 0;         // owning execution domain (placement)
@@ -101,26 +174,50 @@ struct ShardInfo {
 class ShardedCorpus {
  public:
   class Shard;
+
+  // One snapshot entry: the (heavy, shared) shard plus its tombstone mask.
+  // The mask lives in the SLOT, not the shard, because deletes must be
+  // snapshot-consistent while shard artifacts stay shared: erase() swaps in
+  // a new mask vector (copy-on-write) without touching the shard object, so
+  // older pinned snapshots keep the row set they started with and sealed
+  // shards' caches still survive by pointer identity.
+  struct ShardSlot {
+    std::shared_ptr<const Shard> shard;
+    // Bit r set = local row r tombstoned; null = no dead rows.  Always
+    // sized ceil(rows / 64) words for the slot's shard.
+    std::shared_ptr<const std::vector<std::uint64_t>> dead;
+    std::size_t dead_count = 0;
+  };
+
   // An immutable view of the shard list.  Queries pin one snapshot for
   // their whole execution; shards stay alive as long as any snapshot
   // references them.
-  using Snapshot = std::vector<std::shared_ptr<const Shard>>;
+  using Snapshot = std::vector<ShardSlot>;
 
   explicit ShardedCorpus(MatrixF32 corpus, ShardedCorpusOptions options = {});
 
   ShardedCorpus(const ShardedCorpus&) = delete;
   ShardedCorpus& operator=(const ShardedCorpus&) = delete;
 
-  std::size_t size() const;  // total logical rows (current snapshot)
+  std::size_t size() const;   // total logical rows incl. tombstoned
+  std::size_t alive() const;  // size() minus tombstoned rows
   std::size_t dims() const { return dims_; }
   std::size_t shard_count() const;
-  std::size_t shard_capacity() const { return capacity_; }
+  std::size_t shard_capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
   std::size_t placement_domains() const { return domains_; }
 
   std::shared_ptr<const Snapshot> snapshot() const;
 
   // Engine-facing views of a snapshot, in global row order.
   static std::vector<CorpusShardView> shard_views(const Snapshot& snap);
+
+  // Sink-side delete filter over a snapshot's tombstone masks.  The filter
+  // BORROWS the masks: keep the snapshot alive while any join uses it.
+  // filter.any() is false when the snapshot has no dead rows.
+  static kernels::TombstoneFilter tombstone_filter(const Snapshot& snap);
+  static std::size_t alive_rows(const Snapshot& snap);
 
   // The prepared rows of shard `shard` in the current snapshot.  For sealed
   // shards the reference is stable for the corpus lifetime; for the open
@@ -145,8 +242,32 @@ class ShardedCorpus {
   // Ingest rows at the end of the global row order (ids extend past the
   // current size()).  Re-prepares only the open shard; seals it at
   // capacity and opens fresh shards as needed.  Safe to call concurrently
-  // with readers; concurrent appends serialize.
+  // with readers; concurrent mutators (append/erase/compact/rebalance)
+  // serialize.
   void append(const MatrixF32& rows);
+
+  // Tombstone global rows (ids must be < size(); re-erasing is a no-op).
+  // O(affected shards) — only the masks copy, never shard data.  Returns
+  // the number of NEWLY dead rows.  Deleting every row is legal: joins
+  // then return no matches (compact() however refuses to produce an empty
+  // corpus).  Calibration deliberately keeps serving the physical-row
+  // estimate (refreshed on the next append/compact) — eps targets are
+  // statistical, not exact.
+  std::size_t erase(std::span<const std::uint32_t> ids);
+
+  // See CompactOptions.  Serializes with the other mutators; readers keep
+  // serving their pinned snapshots throughout.
+  CompactReport compact(const CompactOptions& options = {});
+
+  // Rebuild shard `ordinal`'s artifacts on `target_domain` (the append
+  // rebuild path, pointed at a different domain).  Rows, generation,
+  // sample, and calibration blocks are preserved — placement never changes
+  // results; grids rebuild lazily so their pages land on the new domain.
+  void migrate(std::size_t ordinal, std::size_t target_domain);
+
+  // See RebalanceOptions.  No-op (moved = 0) on single-domain pools or
+  // when the load imbalance since the last pass is under the threshold.
+  RebalanceReport rebalance(const RebalanceOptions& options = {});
 
   ShardedStats stats() const;
   std::vector<ShardInfo> shard_infos() const;
@@ -154,10 +275,25 @@ class ShardedCorpus {
  private:
   // `build_points` materializes the shard's FP32 rows; it runs ON the
   // owning domain (multi-domain pools), so the rows are copied exactly once
-  // and first-touched in place.
+  // and first-touched in place.  `domain` overrides the round-robin
+  // placement formula (compaction chunks, migration targets); `generation`
+  // overrides the fresh id (migration keeps the old one so calibration
+  // blocks keyed on it stay valid).
+  std::shared_ptr<const Shard> build_shard(
+      const std::function<MatrixF32()>& build_points, std::size_t base,
+      bool sealed, std::size_t domain,
+      std::optional<std::uint64_t> generation = std::nullopt);
   std::shared_ptr<const Shard> make_shard(
       const std::function<MatrixF32()>& build_points, std::size_t base,
       bool sealed);
+  // Rebuild `next[ordinal]`'s shard on `target_domain` in place (see
+  // migrate()); false when it already lives there.  Caller holds
+  // append_mutex_ and publishes `next`.
+  bool migrate_in(Snapshot& next, std::size_t ordinal,
+                  std::size_t target_domain);
+  // Swap in a new snapshot and drop calibration blocks keyed to shard
+  // generations it no longer contains.  Callers hold append_mutex_.
+  void publish(Snapshot next, bool invalidate_calibration);
   const index::GridIndex& grid_on(const Shard& shard, float eps);
   // The (sample of s) x (rows of t) squared-distance block, cached on s.
   std::shared_ptr<const std::vector<double>> block_of(const Shard& s,
@@ -165,17 +301,22 @@ class ShardedCorpus {
   float calibrate_over(const Snapshot& snap, double target);
 
   std::size_t dims_ = 0;
-  std::size_t capacity_ = 0;
+  // Relaxed-atomic: compact() may change the capacity while unsynchronized
+  // readers (shard_capacity()) look on.
+  std::atomic<std::size_t> capacity_{0};
   std::size_t domains_ = 1;  // placement modulus (see Options)
 
   mutable std::mutex mutex_;  // guards snapshot_, calibration_, stats_
   std::shared_ptr<const Snapshot> snapshot_;
-  std::uint64_t epoch_ = 0;   // bumped per append; guards calibration_
+  std::uint64_t epoch_ = 0;   // bumped per mutation; guards calibration_
   std::map<double, float> calibration_;  // target -> eps for this epoch
   ShardedStats stats_;
 
-  std::mutex append_mutex_;  // serializes appends (readers never wait)
+  // Serializes mutators — append/erase/compact/migrate/rebalance (readers
+  // never wait).
+  std::mutex append_mutex_;
   std::uint64_t next_generation_ = 0;  // guarded by append_mutex_
+  std::vector<DomainLoad> rebalance_baseline_;  // guarded by append_mutex_
 };
 
 // One shard: immutable data + artifacts, lazily grown caches.  Created

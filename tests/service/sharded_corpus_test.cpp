@@ -44,7 +44,8 @@ TEST(ShardedCorpus, BulkSplitIsContiguousAndSealsFullShards) {
   // Shard rows are exact slices of the logical corpus, and the prepared
   // data is the per-row pipeline preparation of exactly those rows.
   const auto snap = corpus.snapshot();
-  for (const auto& shard : *snap) {
+  for (const auto& slot : *snap) {
+    const auto& shard = slot.shard;
     for (std::size_t i = 0; i < shard->rows(); ++i) {
       for (std::size_t k = 0; k < data.dims(); ++k) {
         ASSERT_EQ(shard->points.at(i, k), data.at(shard->base + i, k));
@@ -78,7 +79,8 @@ TEST(ShardedCorpus, AppendFillsSealsAndOpensShards) {
 
   // Global row order equals ingestion order regardless of shard boundaries.
   const auto snap = corpus.snapshot();
-  for (const auto& shard : *snap) {
+  for (const auto& slot : *snap) {
+    const auto& shard = slot.shard;
     for (std::size_t i = 0; i < shard->rows(); ++i) {
       for (std::size_t k = 0; k < data.dims(); ++k) {
         ASSERT_EQ(shard->points.at(i, k), data.at(shard->base + i, k));
@@ -195,7 +197,8 @@ TEST(ShardedCorpus, ConcurrentReadersDuringAppendAreSafe) {
       for (int i = 0; i < 20; ++i) {
         const auto snap = corpus.snapshot();
         std::size_t rows = 0;
-        for (const auto& shard : *snap) {
+        for (const auto& slot : *snap) {
+          const auto& shard = slot.shard;
           ASSERT_EQ(shard->base, rows);
           rows += shard->rows();
           ASSERT_EQ(shard->prepared.rows(), shard->rows());

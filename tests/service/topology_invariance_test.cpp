@@ -219,6 +219,119 @@ TEST(TopologyInvariance, AppendDrivenGrowthKeepsPlacementAndResults) {
   expect_same_eps(expect, svc.eps_join(request), "appended, domains=2");
 }
 
+// The lifecycle invariance matrix (delete/compact/rebalance across
+// topologies): for every domain count x shard count x steal mode, the
+// SURVIVING rows' eps and knn results are bit-identical whether the dead
+// rows are (a) absent from a fresh flat-pool session, (b) tombstone-masked,
+// or (c) physically dropped by compaction — and a rebalance() pass between
+// serves changes nothing but placement.
+TEST(TopologyInvariance, DeleteCompactRebalanceBitIdenticalAcrossTopologies) {
+  const auto data = data::uniform(380, 12, 827);
+  const auto queries = data::uniform(60, 12, 828);
+  const float eps = data::calibrate_epsilon(data, 22.0).eps;
+  const std::size_t k = 4;
+
+  // Every 5th row dies; `survivors` maps reference (survivor-space) ids
+  // back to the tombstoned corpus's global ids.
+  std::vector<std::uint32_t> dead;
+  std::vector<std::uint32_t> survivors;
+  MatrixF32 removed(data.rows() - (data.rows() + 4) / 5, data.dims());
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    if (i % 5 == 0) {
+      dead.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      survivors.push_back(static_cast<std::uint32_t>(i));
+      std::copy_n(data.row(i), data.stride(), removed.row(w++));
+    }
+  }
+
+  EpsQuery eps_request;
+  eps_request.points = MatrixF32(queries);
+  eps_request.eps = eps;
+  KnnQuery knn_request;
+  knn_request.points = MatrixF32(queries);
+  knn_request.k = k;
+
+  // Reference: flat pool, dead rows never existed.
+  QueryJoinOutput eps_expect;
+  KnnBatchResult knn_expect;
+  {
+    ScopedTopology flat(1);
+    JoinService ref(std::make_shared<CorpusSession>(MatrixF32(removed)));
+    eps_expect = ref.eps_join(eps_request);
+    knn_expect = ref.knn(knn_request);
+  }
+
+  const auto check_eps = [&](JoinService& svc, const std::uint32_t* remap,
+                             const std::string& label) {
+    const QueryJoinOutput got = svc.eps_join(eps_request);
+    ASSERT_EQ(got.pair_count, eps_expect.pair_count) << label;
+    for (std::size_t q = 0; q < eps_expect.result.num_queries(); ++q) {
+      const auto a = eps_expect.result.matches_of(q);
+      const auto b = got.result.matches_of(q);
+      ASSERT_EQ(b.size(), a.size()) << label << " query " << q;
+      for (std::size_t r = 0; r < a.size(); ++r) {
+        ASSERT_EQ(b[r].id, remap != nullptr ? remap[a[r].id] : a[r].id)
+            << label << " query " << q;
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(b[r].dist2),
+                  std::bit_cast<std::uint32_t>(a[r].dist2))
+            << label << " query " << q;
+      }
+    }
+  };
+  const auto check_knn = [&](JoinService& svc, const std::uint32_t* remap,
+                             const std::string& label) {
+    const KnnBatchResult got = svc.knn(knn_request);
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+      for (std::size_t r = 0; r < k; ++r) {
+        ASSERT_EQ(got.id(q, r), remap != nullptr ? remap[knn_expect.id(q, r)]
+                                                 : knn_expect.id(q, r))
+            << label << " q " << q;
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(got.distance(q, r)),
+                  std::bit_cast<std::uint32_t>(knn_expect.distance(q, r)))
+            << label << " q " << q;
+      }
+    }
+  };
+
+  for (const std::size_t domains : {std::size_t{1}, std::size_t{2}}) {
+    for (const std::size_t shards : kShardCounts) {
+      for (const bool steal : {true, false}) {
+        const std::string label = "domains=" + std::to_string(domains) +
+                                  " shards=" + std::to_string(shards) +
+                                  (steal ? " steal" : " no-steal");
+        ScopedTopology topo(domains);
+        ScopedSteal steal_pin(steal);
+        ShardedCorpusOptions opts;
+        opts.shards = shards;
+        auto corpus = std::make_shared<ShardedCorpus>(MatrixF32(data), opts);
+        JoinService svc(corpus);
+
+        // Phase 1: tombstones (ids stay in pre-delete space).
+        ASSERT_EQ(corpus->erase(dead), dead.size()) << label;
+        check_eps(svc, survivors.data(), label + " tombstoned");
+        check_knn(svc, survivors.data(), label + " tombstoned knn");
+
+        // Phase 2: rebalance between serves — placement only.
+        RebalanceOptions ropts;
+        ropts.min_imbalance = 1.0;
+        corpus->rebalance(ropts);
+        check_eps(svc, survivors.data(), label + " rebalanced");
+
+        // Phase 3: physical compaction (survivors renumber to exactly the
+        // reference's id space).
+        CompactOptions copts;
+        copts.dead_fraction = 0.0;
+        const auto report = corpus->compact(copts);
+        ASSERT_EQ(report.rows_dropped, dead.size()) << label;
+        check_eps(svc, nullptr, label + " compacted");
+        check_knn(svc, nullptr, label + " compacted knn");
+      }
+    }
+  }
+}
+
 TEST(TopologyInvariance, RestrictedCpusetDegradesGracefully) {
   const auto data = data::uniform(260, 8, 817);
   const auto queries = data::uniform(40, 8, 818);
