@@ -32,6 +32,7 @@
 #include "core/kernels/rz_dot.hpp"
 #include "data/calibrate.hpp"
 #include "data/generators.hpp"
+#include "obs/histogram.hpp"
 
 using namespace fasted;
 
@@ -49,6 +50,11 @@ struct Measurement {
   double evals_per_s = 0;   // candidate distance evaluations / second
   double pairs_per_s = 0;   // result pairs / second
   std::uint64_t pairs = 0;
+  // Per-rep latency distribution (throughput above keys on the BEST rep;
+  // the histogram keeps the tail so BENCH_history.jsonl can trend p95 —
+  // with the default 3 reps the quantiles are coarse, but run-to-run jitter
+  // still shows as p95 pulling away from p50).
+  obs::LatencyHistogram latency;
 };
 
 template <typename Fn>
@@ -60,7 +66,9 @@ Measurement measure(const char* kernel_name, double evals, std::size_t reps,
   for (std::size_t r = 0; r < reps; ++r) {
     const double t0 = now_s();
     m.pairs = run();
-    best = std::min(best, now_s() - t0);
+    const double rep_s = now_s() - t0;
+    m.latency.record(static_cast<std::uint64_t>(rep_s * 1e9));
+    best = std::min(best, rep_s);
   }
   m.seconds = best;
   m.evals_per_s = evals / best;
@@ -74,12 +82,19 @@ void print_row(const char* workload, const Measurement& m) {
 }
 
 void json_entry(FILE* f, const char* label, const Measurement& m) {
+  // The latency keys are ignored by check_bench_regression.py (it only
+  // reads pairs_per_s/speedup); bench_history.py picks them up for the
+  // tail-latency columns.
   std::fprintf(f,
                "    \"%s\": {\"kernel\": \"%s\", \"seconds\": %.6f, "
                "\"evals_per_s\": %.1f, \"pairs_per_s\": %.1f, "
-               "\"pairs\": %llu},\n",
+               "\"pairs\": %llu, \"p50_ns\": %llu, \"p95_ns\": %llu, "
+               "\"p99_ns\": %llu},\n",
                label, m.kernel.c_str(), m.seconds, m.evals_per_s,
-               m.pairs_per_s, static_cast<unsigned long long>(m.pairs));
+               m.pairs_per_s, static_cast<unsigned long long>(m.pairs),
+               static_cast<unsigned long long>(m.latency.quantile_ns(0.50)),
+               static_cast<unsigned long long>(m.latency.quantile_ns(0.95)),
+               static_cast<unsigned long long>(m.latency.quantile_ns(0.99)));
 }
 
 }  // namespace

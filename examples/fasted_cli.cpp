@@ -39,6 +39,8 @@
 #include "data/calibrate.hpp"
 #include "data/generators.hpp"
 #include "data/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/corpus_session.hpp"
 #include "service/join_service.hpp"
 #include "service/sharded_corpus.hpp"
@@ -65,6 +67,8 @@ struct Args {
   double delete_fraction = 0.0;   // > 0: tombstone this share of the corpus
   bool compact = false;           // compact mid-serve (drops tombstones)
   bool rebalance = false;         // run a drain/steal-driven rebalance pass
+  std::string trace_path;         // write a Chrome trace-event JSON here
+  std::string stats_json;         // write service + registry metrics here
 };
 
 void usage() {
@@ -95,7 +99,12 @@ void usage() {
       "  --compact        run ShardedCorpus::compact() halfway through the\n"
       "                   serve loop, physically dropping tombstoned rows\n"
       "  --rebalance      after serving, migrate shards off the domain the\n"
-      "                   drain/steal counters show as overloaded\n");
+      "                   drain/steal counters show as overloaded\n"
+      "  --trace FILE     record per-worker spans and write a Chrome\n"
+      "                   trace-event JSON (chrome://tracing / Perfetto);\n"
+      "                   FASTED_TRACE=FILE does the same without the flag\n"
+      "  --stats-json FILE  write serve-phase latency percentiles, domain\n"
+      "                   loads, and registry histograms as JSON\n");
 }
 
 bool parse(int argc, char** argv, Args& args) {
@@ -140,6 +149,10 @@ bool parse(int argc, char** argv, Args& args) {
       args.compact = true;
     } else if (flag == "--rebalance") {
       args.rebalance = true;
+    } else if (flag == "--trace" && (v = next())) {
+      args.trace_path = v;
+    } else if (flag == "--stats-json" && (v = next())) {
+      args.stats_json = v;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -225,17 +238,52 @@ void print_shard_table(service::ShardedCorpus& corpus,
 }
 
 // The rebalance signal, as the operator sees it: tiles each domain's own
-// workers drained vs. tiles other domains had to steal from it.
+// workers drained vs. tiles other domains had to steal from it, and the
+// wall time spent in each (summed over workers).
 void print_domain_loads(const service::ServiceStats& stats) {
-  std::printf("per-domain load (drain/steal tiles):");
+  std::printf("per-domain load (drain/steal tiles, time):");
   for (std::size_t d = 0; d < stats.domain_loads.size(); ++d) {
-    std::printf(" d%zu=%llu/%llu", d,
-                static_cast<unsigned long long>(
-                    stats.domain_loads[d].tiles_drained),
-                static_cast<unsigned long long>(
-                    stats.domain_loads[d].tiles_stolen));
+    const DomainLoad& l = stats.domain_loads[d];
+    std::printf(" d%zu=%llu/%llu %.1f/%.1fms", d,
+                static_cast<unsigned long long>(l.tiles_drained),
+                static_cast<unsigned long long>(l.tiles_stolen),
+                static_cast<double>(l.drain_ns) * 1e-6,
+                static_cast<double>(l.steal_ns) * 1e-6);
   }
   std::printf("\n");
+}
+
+void print_phase_latencies(const service::ServiceStats& stats) {
+  if (stats.phase_latencies.empty()) return;
+  std::printf("serve-phase latency (microseconds):\n");
+  std::printf("  %-15s %-8s %-10s %-10s %-10s %-10s\n", "phase", "count",
+              "p50", "p95", "p99", "max");
+  for (const auto& p : stats.phase_latencies) {
+    std::printf("  %-15s %-8llu %-10.1f %-10.1f %-10.1f %-10.1f\n", p.phase,
+                static_cast<unsigned long long>(p.count),
+                static_cast<double>(p.p50_ns) * 1e-3,
+                static_cast<double>(p.p95_ns) * 1e-3,
+                static_cast<double>(p.p99_ns) * 1e-3,
+                static_cast<double>(p.max_ns) * 1e-3);
+  }
+}
+
+// --stats-json payload: the service's phase/counter view (when serving)
+// plus the process-global registry (engine, baseline, lifecycle metrics).
+bool write_stats_json(const std::string& path,
+                      const service::JoinService* svc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::string payload = "{";
+  if (svc != nullptr) payload += "\"service\":" + svc->stats_json() + ",";
+  payload += "\"registry\":" + obs::Registry::global().json() + "}\n";
+  std::fputs(payload.c_str(), f);
+  std::fclose(f);
+  std::printf("stats written to %s\n", path.c_str());
+  return true;
 }
 
 int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
@@ -383,7 +431,11 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
     }
   }
   print_domain_loads(stats);
+  print_phase_latencies(stats);
   if (sharded) print_shard_table(*corpus, last_shard_pairs);
+  if (!args.stats_json.empty() && !write_stats_json(args.stats_json, &*svc)) {
+    return 1;
+  }
   return 0;
 }
 
@@ -402,6 +454,11 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, args)) {
     usage();
     return 1;
+  }
+  if (!args.trace_path.empty()) {
+    // Spans flush to the file at exit (same machinery as FASTED_TRACE).
+    obs::trace_enable(args.trace_path);
+    std::printf("tracing to %s\n", args.trace_path.c_str());
   }
 
   const MatrixF32 points = make_data(args);
@@ -423,6 +480,10 @@ int main(int argc, char** argv) {
   if (args.eps) {
     eps = *args.eps;
   } else {
+    // Traced under the same span name as the service-side calibration: in
+    // serve mode the CLI resolves eps up front, so this IS the calibrate
+    // phase of the run.
+    obs::TraceSpan span("calibrate", "cli");
     const auto cal = data::calibrate_epsilon(points, args.selectivity);
     eps = cal.eps;
     std::printf("calibrated eps=%.5g for selectivity %.0f\n", eps,
@@ -479,6 +540,10 @@ int main(int argc, char** argv) {
       report("TED-Join", out.pair_count, out.result.selectivity(),
              out.timing.total_s(), out.host_seconds);
     }
+  }
+  if (!args.stats_json.empty() &&
+      !write_stats_json(args.stats_json, nullptr)) {
+    return 1;
   }
   return 0;
 }

@@ -7,8 +7,8 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
-#include "common/timer.hpp"
 #include "index/grid_index.hpp"
+#include "obs/metrics.hpp"
 
 namespace fasted::baselines {
 
@@ -56,7 +56,9 @@ Matrix<T> permuted(const MatrixF32& data,
 GdsOutput gds_self_join(const MatrixF32& data, float eps,
                         const GdsOptions& options) {
   FASTED_CHECK_MSG(data.rows() > 0, "empty dataset");
-  Timer timer;
+  static obs::ConcurrentHistogram& hist =
+      obs::Registry::global().histogram("baseline.gds_join");
+  obs::PhaseTimer timer(hist);
   const std::size_t n = data.rows();
   const std::size_t d = data.dims();
 

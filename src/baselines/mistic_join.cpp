@@ -7,14 +7,16 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
-#include "common/timer.hpp"
+#include "obs/metrics.hpp"
 
 namespace fasted::baselines {
 
 MisticOutput mistic_self_join(const MatrixF32& data, float eps,
                               const MisticOptions& options) {
   FASTED_CHECK_MSG(data.rows() > 0, "empty dataset");
-  Timer timer;
+  static obs::ConcurrentHistogram& hist =
+      obs::Registry::global().histogram("baseline.mistic_join");
+  obs::PhaseTimer timer(hist);
   const std::size_t n = data.rows();
   const std::size_t d = data.dims();
 

@@ -6,9 +6,9 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
-#include "common/timer.hpp"
 #include "core/sums.hpp"
 #include "index/grid_index.hpp"
+#include "obs/metrics.hpp"
 
 namespace fasted::baselines {
 
@@ -108,7 +108,11 @@ TedOutput ted_self_join(const MatrixF32& data, float eps,
     return out;
   }
 
-  Timer timer;
+  // Baselines record into the same registry/export path as the engine, so
+  // one bench JSON compares their latency distributions directly.
+  static obs::ConcurrentHistogram& hist =
+      obs::Registry::global().histogram("baseline.ted_join");
+  obs::PhaseTimer timer(hist);
   const MatrixF64 data64 = to_fp64(data);
   const std::vector<double> s = squared_norms_fp64(data64);
   const double eps2 = static_cast<double>(eps) * eps;

@@ -62,6 +62,8 @@ struct ThreadPool::Impl {
     // tiles); padded out of the hot job-state line by position at the end.
     std::atomic<std::uint64_t> tiles_drained{0};
     std::atomic<std::uint64_t> tiles_stolen{0};
+    std::atomic<std::uint64_t> drain_ns{0};
+    std::atomic<std::uint64_t> steal_ns{0};
 
     void run_chunks() {
       for (;;) {
@@ -227,13 +229,20 @@ DomainArena& ThreadPool::domain_arena(std::size_t domain) {
 }
 
 void ThreadPool::add_domain_load(std::size_t domain, std::uint64_t drained,
-                                 std::uint64_t stolen) {
+                                 std::uint64_t stolen, std::uint64_t drain_ns,
+                                 std::uint64_t steal_ns) {
   Impl::Group& g = impl_->groups[domain % impl_->groups.size()];
   if (drained != 0) {
     g.tiles_drained.fetch_add(drained, std::memory_order_relaxed);
   }
   if (stolen != 0) {
     g.tiles_stolen.fetch_add(stolen, std::memory_order_relaxed);
+  }
+  if (drain_ns != 0) {
+    g.drain_ns.fetch_add(drain_ns, std::memory_order_relaxed);
+  }
+  if (steal_ns != 0) {
+    g.steal_ns.fetch_add(steal_ns, std::memory_order_relaxed);
   }
 }
 
@@ -244,8 +253,35 @@ std::vector<DomainLoad> ThreadPool::domain_loads() const {
         impl_->groups[d].tiles_drained.load(std::memory_order_relaxed);
     loads[d].tiles_stolen =
         impl_->groups[d].tiles_stolen.load(std::memory_order_relaxed);
+    loads[d].drain_ns =
+        impl_->groups[d].drain_ns.load(std::memory_order_relaxed);
+    loads[d].steal_ns =
+        impl_->groups[d].steal_ns.load(std::memory_order_relaxed);
   }
   return loads;
+}
+
+DomainLoadSnapshot ThreadPool::domain_load_snapshot() const {
+  return DomainLoadSnapshot{instance_id(), domain_loads()};
+}
+
+std::vector<DomainLoad> ThreadPool::domain_loads_since(
+    const DomainLoadSnapshot& baseline) const {
+  std::vector<DomainLoad> now = domain_loads();
+  if (baseline.pool_instance != impl_->id) {
+    // Baseline from a pool that no longer exists: this pool's counters
+    // started from zero after it, so the cumulative reading IS the delta.
+    return now;
+  }
+  for (std::size_t d = 0; d < now.size() && d < baseline.loads.size(); ++d) {
+    const DomainLoad& b = baseline.loads[d];
+    DomainLoad& n = now[d];
+    n.tiles_drained -= std::min(n.tiles_drained, b.tiles_drained);
+    n.tiles_stolen -= std::min(n.tiles_stolen, b.tiles_stolen);
+    n.drain_ns -= std::min(n.drain_ns, b.drain_ns);
+    n.steal_ns -= std::min(n.steal_ns, b.steal_ns);
+  }
+  return now;
 }
 
 void ThreadPool::parallel_for(

@@ -47,7 +47,23 @@ namespace fasted {
 struct DomainLoad {
   std::uint64_t tiles_drained = 0;  // by the owning domain's workers
   std::uint64_t tiles_stolen = 0;   // by other domains' workers
+  // Wall time spent inside those tiles (summed across workers, so a value
+  // can exceed elapsed time).  Not part of total(): the rebalance policy
+  // keys on tile counts; time-in-phase is the operator/autotuner signal.
+  std::uint64_t drain_ns = 0;
+  std::uint64_t steal_ns = 0;
   std::uint64_t total() const { return tiles_drained + tiles_stolen; }
+};
+
+// A domain_loads() reading bound to the pool instance that produced it.
+// Consumers that want "load caused by MY work" (JoinService::stats(),
+// ShardedCorpus::rebalance()) keep a baseline snapshot and diff against it
+// with ThreadPool::domain_loads_since — the instance id makes a baseline
+// from a torn-down pool (reset_global) detectably stale instead of
+// producing nonsense negative deltas.
+struct DomainLoadSnapshot {
+  std::uint64_t pool_instance = 0;
+  std::vector<DomainLoad> loads;
 };
 
 class ThreadPool {
@@ -119,8 +135,17 @@ class ThreadPool {
   // per worker per join.  domain_loads() snapshots all domains (cumulative
   // since pool construction; consumers diff successive snapshots).
   void add_domain_load(std::size_t domain, std::uint64_t drained,
-                       std::uint64_t stolen);
+                       std::uint64_t stolen, std::uint64_t drain_ns = 0,
+                       std::uint64_t steal_ns = 0);
   std::vector<DomainLoad> domain_loads() const;
+
+  // Scoped accounting: capture a baseline now, and later ask for the load
+  // accrued since it.  If the baseline came from a different pool instance
+  // (reset_global happened in between) the full cumulative reading is
+  // returned — the old pool's counters died with it.
+  DomainLoadSnapshot domain_load_snapshot() const;
+  std::vector<DomainLoad> domain_loads_since(
+      const DomainLoadSnapshot& baseline) const;
 
   // Global pool shared by the library (lazily constructed).
   static ThreadPool& global();

@@ -6,12 +6,23 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
-#include "common/timer.hpp"
 #include "core/kernels/join_executor.hpp"
 #include "core/kernels/join_plan.hpp"
 #include "core/sums.hpp"
+#include "obs/metrics.hpp"
 
 namespace fasted {
+
+namespace {
+
+// Engine entry points record into the global registry under engine.<op>,
+// the same export path the service phases and baselines feed — one
+// --stats-json / bench JSON carries them all.
+obs::ConcurrentHistogram& engine_histogram(const char* op) {
+  return obs::Registry::global().histogram(std::string("engine.") + op);
+}
+
+}  // namespace
 
 float fasted_pair_dist2(const float* pi, const float* pj, std::size_t dims,
                         float si, float sj) {
@@ -301,7 +312,8 @@ JoinOutput FastedEngine::join(const MatrixF32& queries,
                    "query/corpus dimensionality mismatch");
   FASTED_CHECK_MSG(eps >= 0, "negative search radius");
   check_no_tombstones(options, "join");
-  Timer timer;
+  static obs::ConcurrentHistogram& hist = engine_histogram("join");
+  obs::PhaseTimer timer(hist);
 
   const PreparedDataset q(queries);
   const PreparedDataset c(corpus);
@@ -332,7 +344,8 @@ QueryJoinOutput FastedEngine::query_join(const PreparedDataset& queries,
   FASTED_CHECK_MSG(queries.dims() == shards.front().prepared->dims(),
                    "query/corpus dimensionality mismatch");
   FASTED_CHECK_MSG(eps >= 0, "negative search radius");
-  Timer timer;
+  static obs::ConcurrentHistogram& hist = engine_histogram("query_join");
+  obs::PhaseTimer timer(hist);
 
   const bool emulated = options.path == ExecutionPath::kEmulated;
   ShardedPlanSet set =
@@ -372,7 +385,10 @@ QueryJoinOutput FastedEngine::query_join(const MatrixF32& queries,
                                          float eps,
                                          const JoinOptions& options) const {
   FASTED_CHECK_MSG(queries.rows() > 0, "empty query batch");
-  Timer timer;
+  // Separate name from the prepared-input overload: this one includes the
+  // query batch's FP16 preparation.
+  static obs::ConcurrentHistogram& hist = engine_histogram("query_join_prep");
+  obs::PhaseTimer timer(hist);
   const PreparedDataset prepared(queries);
   QueryJoinOutput out = query_join(prepared, corpus, eps, options);
   out.host_seconds = timer.seconds();
@@ -425,7 +441,8 @@ JoinOutput FastedEngine::self_join(std::span<const CorpusShardView> shards,
   const std::size_t n = sharded_rows(shards);
   const std::size_t d = shards.front().prepared->dims();
   FASTED_CHECK_MSG(eps >= 0, "negative search radius");
-  Timer timer;
+  static obs::ConcurrentHistogram& hist = engine_histogram("self_join");
+  obs::PhaseTimer timer(hist);
 
   JoinOutput out = run_self_join(config_, shards, eps * eps, options);
   out.host_seconds = timer.seconds();
@@ -440,7 +457,9 @@ JoinOutput FastedEngine::batched_self_join(const MatrixF32& data, float eps,
   FASTED_CHECK_MSG(data.rows() > 0, "empty dataset");
   FASTED_CHECK_MSG(batch_rows > 0, "batch size must be positive");
   check_no_tombstones(options, "batched_self_join");
-  Timer timer;
+  static obs::ConcurrentHistogram& hist =
+      engine_histogram("batched_self_join");
+  obs::PhaseTimer timer(hist);
   const PreparedDataset prepared(data);
   const std::size_t n = prepared.rows();
   const float eps2 = eps * eps;

@@ -10,6 +10,8 @@
 #include "common/parallel.hpp"
 #include "core/block_tile.hpp"
 #include "core/kernels/rz_dot.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fasted::kernels {
 
@@ -129,6 +131,8 @@ std::uint64_t execute_join(const FastedConfig& cfg,
     const std::size_t dcount = pool.domain_count();
     std::vector<std::uint64_t> tiles_drained(dcount, 0);
     std::vector<std::uint64_t> tiles_stolen(dcount, 0);
+    std::vector<std::uint64_t> drain_ns(dcount, 0);
+    std::vector<std::uint64_t> steal_ns(dcount, 0);
 
     // Drains one entry's plan — from the head for the owning domain, from
     // the tail when stealing — and emits its hits.
@@ -154,6 +158,7 @@ std::uint64_t execute_join(const FastedConfig& cfg,
         }
       };
 
+      const std::uint64_t t_start = obs::now_ns();
       std::uint64_t tiles = 0;
       TileRange t;
       while (from_tail ? plan.steal_next(t) : plan.next(t)) {
@@ -212,8 +217,20 @@ std::uint64_t execute_join(const FastedConfig& cfg,
       if (!entry_hits.empty() && local != 0) {
         entry_hits[ei].fetch_add(local, std::memory_order_relaxed);
       }
-      (from_tail ? tiles_stolen : tiles_drained)[entry.domain % dcount] +=
-          tiles;
+      const std::size_t owner = entry.domain % dcount;
+      (from_tail ? tiles_stolen : tiles_drained)[owner] += tiles;
+      if (tiles != 0) {
+        // Time is attributed only when the pass actually ran tiles — a
+        // steal sweep over an already-exhausted plan costs two clock reads
+        // and should not pollute the steal timing (or the trace).
+        const std::uint64_t t_end = obs::now_ns();
+        (from_tail ? steal_ns : drain_ns)[owner] += t_end - t_start;
+        if (obs::trace_enabled()) {
+          obs::trace_complete(from_tail ? "steal" : "drain", "executor",
+                              t_start, t_end, static_cast<int>(entry.domain),
+                              static_cast<int>(entry.shard));
+        }
+      }
       worker_total += local;
     };
 
@@ -240,7 +257,8 @@ std::uint64_t execute_join(const FastedConfig& cfg,
     }
     for (std::size_t d = 0; d < dcount; ++d) {
       if (tiles_drained[d] != 0 || tiles_stolen[d] != 0) {
-        pool.add_domain_load(d, tiles_drained[d], tiles_stolen[d]);
+        pool.add_domain_load(d, tiles_drained[d], tiles_stolen[d], drain_ns[d],
+                             steal_ns[d]);
       }
     }
     total.fetch_add(worker_total, std::memory_order_relaxed);

@@ -1,0 +1,72 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fasted::obs {
+
+std::size_t thread_stripe() {
+  static std::atomic<std::size_t> next_ordinal{0};
+  thread_local std::size_t stripe =
+      next_ordinal.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+std::uint64_t LatencyHistogram::quantile_ns(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets_[i];
+    if (n == 0) continue;
+    if (seen + n >= rank) {
+      const std::uint64_t lo = bucket_lower_bound(i);
+      const std::uint64_t hi = i + 1 < kBuckets
+                                   ? bucket_lower_bound(i + 1)
+                                   : std::min(max_ + 1, kMaxTracked);
+      // Interpolate the rank's position within the bucket; never report
+      // beyond the observed max.
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(n);
+      const std::uint64_t v =
+          lo + static_cast<std::uint64_t>(
+                   frac * static_cast<double>(hi - 1 - lo));
+      return std::min(v, max_);
+    }
+    seen += n;
+  }
+  return max_;
+}
+
+LatencyHistogram ConcurrentHistogram::snapshot() const {
+  LatencyHistogram out;
+  for (const Stripe& s : stripes_) {
+    LatencyHistogram part;
+    std::uint64_t stripe_count = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      const std::uint64_t n = s.buckets[i].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      part.buckets_[i] = n;
+      stripe_count += n;
+    }
+    part.count_ = stripe_count;
+    part.sum_ = s.sum.load(std::memory_order_relaxed);
+    part.max_ = s.max.load(std::memory_order_relaxed);
+    out.merge(part);
+  }
+  return out;
+}
+
+}  // namespace fasted::obs

@@ -1,0 +1,162 @@
+// Log-linear (HDR-style) latency histograms for the serve path.
+//
+// Values are durations in NANOSECONDS.  The bucket scheme is log-linear:
+// each power-of-two range is split into kSubBuckets linear sub-buckets, so
+// the recorded value is preserved to a relative error of at most
+// 1/kSubBuckets (6.25%) across the whole tracked range — sub-microsecond
+// kernel phases and multi-second compactions land in the same histogram
+// with the same relative resolution.  Values below kSubBuckets ns are
+// exact; values at or beyond the tracked maximum (~4.8 hours) clamp into
+// the top bucket.
+//
+// Two types:
+//
+//   LatencyHistogram     a plain value type: the snapshot/merge/quantile
+//                        half.  Merging is associative and commutative
+//                        (bucket-wise addition), which is what makes
+//                        per-worker recording safe to aggregate in any
+//                        order.
+//   ConcurrentHistogram  the recording half: per-worker cache-line-padded
+//                        bucket stripes, written with relaxed atomic adds
+//                        (no locks, no CAS loops — recording never blocks
+//                        and never makes a worker wait on another).
+//                        snapshot() merges the stripes into a
+//                        LatencyHistogram.
+//
+// ConcurrentCounter is the scalar sibling: one padded cell per worker
+// stripe, summed on read.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace fasted::obs {
+
+// Stable small ordinal for the calling thread, used to pick a stripe.
+// Threads are assigned ordinals on first use; the first kStripes distinct
+// threads get distinct stripes (pool workers are long-lived, so in practice
+// every worker owns its stripe outright).
+inline constexpr std::size_t kStripes = 16;
+std::size_t thread_stripe();
+
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 4;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;
+  // Exponent ranges tracked past the linear prefix; the top bucket absorbs
+  // everything at or beyond kMaxTracked.
+  static constexpr std::size_t kRanges = 40;
+  static constexpr std::size_t kBuckets = (kRanges + 1) * kSubBuckets;
+  static constexpr std::uint64_t kMaxTracked = std::uint64_t{1}
+                                               << (kRanges + kSubBits);
+
+  // Bucket of a value: values < kSubBuckets map to themselves; above that,
+  // the top kSubBits bits below the leading bit pick the sub-bucket.
+  static constexpr std::size_t bucket_index(std::uint64_t ns) {
+    if (ns < kSubBuckets) return static_cast<std::size_t>(ns);
+    const unsigned e = std::bit_width(ns) - 1 - kSubBits;
+    const std::size_t i =
+        (static_cast<std::size_t>(e + 1) << kSubBits) +
+        static_cast<std::size_t>((ns >> e) - kSubBuckets);
+    return i < kBuckets ? i : kBuckets - 1;
+  }
+
+  // Smallest value mapping to bucket `index` (buckets are the half-open
+  // ranges [lower_bound(i), lower_bound(i + 1))).
+  static constexpr std::uint64_t bucket_lower_bound(std::size_t index) {
+    if (index < kSubBuckets) return index;
+    const unsigned e = static_cast<unsigned>((index >> kSubBits) - 1);
+    return ((static_cast<std::uint64_t>(index) & (kSubBuckets - 1)) +
+            kSubBuckets)
+           << e;
+  }
+
+  void record(std::uint64_t ns) {
+    ++buckets_[bucket_index(ns)];
+    ++count_;
+    sum_ += ns;
+    if (ns > max_) max_ = ns;
+  }
+
+  // Bucket-wise addition; associative and commutative.
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum_ns() const { return sum_; }
+  std::uint64_t max_ns() const { return max_; }
+  double mean_ns() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  // Value at quantile q in (0, 1]: the bucket where the cumulative count
+  // crosses ceil(q * count), linearly interpolated within the bucket.
+  // Returns 0 for an empty histogram.
+  std::uint64_t quantile_ns(double q) const;
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  friend class ConcurrentHistogram;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+class ConcurrentHistogram {
+ public:
+  // Lock-free: one relaxed fetch_add on the caller's own stripe per field.
+  void record(std::uint64_t ns) {
+    Stripe& s = stripes_[thread_stripe()];
+    s.buckets[LatencyHistogram::bucket_index(ns)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.sum.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t seen = s.max.load(std::memory_order_relaxed);
+    while (ns > seen &&
+           !s.max.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  // Merge every stripe into a value-type snapshot.  Concurrent record()
+  // calls may or may not be included (each field is read individually;
+  // counts are never lost, a racing snapshot just draws the line somewhere
+  // inside the in-flight record).
+  LatencyHistogram snapshot() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+class ConcurrentCounter {
+ public:
+  void add(std::uint64_t n) {
+    cells_[thread_stripe()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) {
+      total += c.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Cell, kStripes> cells_{};
+};
+
+}  // namespace fasted::obs

@@ -1,0 +1,95 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+namespace fasted::obs {
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked: outlives atexit users
+  return *instance;
+}
+
+ConcurrentHistogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<ConcurrentHistogram>();
+  return *slot;
+}
+
+ConcurrentCounter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<ConcurrentCounter>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, LatencyHistogram>>
+Registry::snapshot_histograms() const {
+  std::vector<std::pair<std::string, const ConcurrentHistogram*>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live.reserve(histograms_.size());
+    for (const auto& [name, hist] : histograms_) {
+      live.emplace_back(name, hist.get());
+    }
+  }
+  // Snapshot outside the lock: entries are never erased, so the pointers
+  // stay valid and recording threads are never blocked by a reader.
+  std::vector<std::pair<std::string, LatencyHistogram>> out;
+  out.reserve(live.size());
+  for (const auto& [name, hist] : live) {
+    out.emplace_back(name, hist->snapshot());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Registry::snapshot_counters() const {
+  std::vector<std::pair<std::string, const ConcurrentCounter*>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live.reserve(counters_.size());
+    for (const auto& [name, ctr] : counters_) {
+      live.emplace_back(name, ctr.get());
+    }
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(live.size());
+  for (const auto& [name, ctr] : live) {
+    out.emplace_back(name, ctr->value());
+  }
+  return out;
+}
+
+std::string histogram_json(const LatencyHistogram& h) {
+  std::ostringstream os;
+  os << "{\"count\":" << h.count() << ",\"mean_ns\":"
+     << static_cast<std::uint64_t>(h.mean_ns())
+     << ",\"p50_ns\":" << h.quantile_ns(0.50)
+     << ",\"p95_ns\":" << h.quantile_ns(0.95)
+     << ",\"p99_ns\":" << h.quantile_ns(0.99)
+     << ",\"max_ns\":" << h.max_ns() << "}";
+  return os.str();
+}
+
+std::string Registry::json() const {
+  std::ostringstream os;
+  os << "{\"histograms\":{";
+  bool first = true;
+  for (const auto& [name, hist] : snapshot_histograms()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << histogram_json(hist);
+  }
+  os << "},\"counters\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot_counters()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << value;
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace fasted::obs

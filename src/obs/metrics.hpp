@@ -1,0 +1,96 @@
+// Process-wide metrics registry and phase timing.
+//
+// Registry::global() maps dotted metric names ("engine.query_join",
+// "lifecycle.compact") to ConcurrentHistograms / ConcurrentCounters.
+// Registration takes a mutex once per name; recording is the lock-free
+// histogram path — call sites cache the returned reference (typically in a
+// function-local static) so the steady state is mutex-free.
+//
+// PhaseTimer is the RAII recorder: reads the clock on construction,
+// records elapsed nanoseconds into its histogram on destruction, and
+// exposes seconds() so call sites that also report wall time (e.g.
+// JoinResult::host_seconds) read the same measurement.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace fasted::obs {
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class Registry {
+ public:
+  static Registry& global();
+
+  // Find-or-create; the returned reference is stable for the registry's
+  // lifetime (entries are heap-allocated and never erased).
+  ConcurrentHistogram& histogram(const std::string& name);
+  ConcurrentCounter& counter(const std::string& name);
+
+  std::vector<std::pair<std::string, LatencyHistogram>> snapshot_histograms()
+      const;
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot_counters() const;
+
+  // {"histograms": {name: {count, mean_ns, p50_ns, p95_ns, p99_ns, max_ns}},
+  //  "counters": {name: value}}
+  std::string json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ConcurrentHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<ConcurrentCounter>> counters_;
+};
+
+// Latency summary of one histogram as a JSON object (no trailing newline).
+std::string histogram_json(const LatencyHistogram& h);
+
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(ConcurrentHistogram& hist)
+      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  ~PhaseTimer() {
+    if (hist_ != nullptr) hist_->record(elapsed_ns());
+  }
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  double seconds() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+  // Record now instead of at scope exit (idempotent: detaches the
+  // histogram so the destructor becomes a no-op).
+  void stop() {
+    if (hist_ != nullptr) {
+      hist_->record(elapsed_ns());
+      hist_ = nullptr;
+    }
+  }
+
+ private:
+  ConcurrentHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fasted::obs

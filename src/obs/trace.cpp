@@ -1,0 +1,189 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace fasted::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct Event {
+  const char* name;
+  const char* category;
+  std::uint64_t start_ns;
+  std::uint64_t end_ns;
+  int domain;
+  int shard;
+  std::uint32_t tid;
+};
+
+constexpr std::size_t kRingCapacity = std::size_t{1} << 14;
+
+// One ring per thread; registered globally so flush can reach buffers of
+// threads that have already exited (shared_ptr keeps them alive).
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> ring;
+  std::size_t next = 0;       // write cursor
+  std::uint64_t recorded = 0; // total spans ever recorded (>= ring size)
+  std::uint32_t tid = 0;
+
+  void push(const Event& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (ring.size() < kRingCapacity) {
+      ring.push_back(e);
+    } else {
+      ring[next] = e;
+      next = (next + 1) % kRingCapacity;
+    }
+    ++recorded;
+  }
+
+  // Move out everything buffered, oldest-first.
+  std::vector<Event> drain() {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<Event> out;
+    out.reserve(ring.size());
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      out.push_back(ring[(next + i) % ring.size()]);
+    }
+    ring.clear();
+    next = 0;
+    return out;
+  }
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+  std::string path;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: used from atexit
+  return *s;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    b->tid = s.next_tid++;
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void flush_at_exit() { trace_flush(); }
+
+// Adopt FASTED_TRACE before main() so spans from static-init work are
+// captured too; registers the atexit flush exactly once.
+[[maybe_unused]] const bool g_env_adopted = [] {
+  if (const char* env = std::getenv("FASTED_TRACE");
+      env != nullptr && env[0] != '\0') {
+    trace_enable(env);
+  }
+  return true;
+}();
+
+}  // namespace
+
+void trace_enable(const std::string& path) {
+  TraceState& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    static bool atexit_registered = false;
+    if (!atexit_registered) {
+      std::atexit(flush_at_exit);
+      atexit_registered = true;
+    }
+    s.path = path;
+  }
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_disable() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::string trace_path() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.path;
+}
+
+void trace_complete(const char* name, const char* category,
+                    std::uint64_t start_ns, std::uint64_t end_ns,
+                    int domain, int shard) {
+  if (!trace_enabled()) return;
+  ThreadBuffer& buf = thread_buffer();
+  buf.push(Event{name, category, start_ns, end_ns, domain, shard, buf.tid});
+}
+
+bool trace_flush() {
+  const std::string path = trace_path();
+  if (path.empty()) return true;
+  return trace_flush(path);
+}
+
+bool trace_flush(const std::string& path) {
+  TraceState& s = state();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    buffers = s.buffers;
+  }
+  std::vector<Event> events;
+  for (const auto& buf : buffers) {
+    std::vector<Event> part = buf->drain();
+    events.insert(events.end(), part.begin(), part.end());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                     // Longer span first so nesting renders parent-first.
+                     return a.end_ns > b.end_ns;
+                   });
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  // One event per line: trivially greppable, and test code can parse
+  // events without a JSON library.
+  std::fputs("{\"traceEvents\":[\n", f);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    const double ts_us = static_cast<double>(e.start_ns) / 1000.0;
+    const double dur_us =
+        static_cast<double>(e.end_ns - e.start_ns) / 1000.0;
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
+                 "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                 e.name, e.category, e.tid, ts_us, dur_us);
+    if (e.domain >= 0 || e.shard >= 0) {
+      std::fputs(",\"args\":{", f);
+      if (e.domain >= 0) std::fprintf(f, "\"domain\":%d", e.domain);
+      if (e.shard >= 0) {
+        std::fprintf(f, "%s\"shard\":%d", e.domain >= 0 ? "," : "", e.shard);
+      }
+      std::fputc('}', f);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < events.size() ? "," : "");
+  }
+  std::fputs("]}\n", f);
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+}  // namespace fasted::obs

@@ -1,0 +1,85 @@
+// Per-worker span tracing with Chrome trace-event JSON export.
+//
+// Each thread owns a ring buffer of completed spans (overwrite-oldest, so
+// a long run keeps the most recent window).  trace_flush() merges every
+// thread's buffer, sorts by (tid, start time), and writes Chrome
+// trace-event "complete" events ("ph":"X") — load the file in
+// chrome://tracing or Perfetto and each worker appears as its own track
+// with nested spans.
+//
+// Gating: trace_enabled() is a single relaxed atomic-bool load, so the
+// disabled path costs one predictable branch.  The switch comes on either
+// from the FASTED_TRACE=<path> environment variable (flushed to <path>
+// at process exit) or programmatically via trace_enable() (e.g. the CLI's
+// --trace flag).
+//
+// Span names and categories must be string literals (or otherwise outlive
+// the flush): the ring stores the pointers, not copies — recording a span
+// is a clock read plus a few stores, never an allocation.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace fasted::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// Turn tracing on; spans recorded from now on are flushed to `path` (at
+// trace_flush() or process exit, whichever comes first).
+void trace_enable(const std::string& path);
+void trace_disable();
+
+// Path tracing will flush to ("" when tracing never enabled).
+std::string trace_path();
+
+// Write all buffered spans as Chrome trace-event JSON.  One event per
+// line inside the "traceEvents" array, sorted by (tid, start).  Buffers
+// are drained, so consecutive flushes don't duplicate spans.  Returns
+// false if the file could not be written.  The no-argument overload uses
+// trace_path() and is a no-op when tracing was never enabled.
+bool trace_flush(const std::string& path);
+bool trace_flush();
+
+// Record one completed span.  `start_ns`/`end_ns` are obs::now_ns()
+// readings; domain/shard < 0 mean "not applicable" and are omitted from
+// the event's args.
+void trace_complete(const char* name, const char* category,
+                    std::uint64_t start_ns, std::uint64_t end_ns,
+                    int domain = -1, int shard = -1);
+
+// RAII span: captures the clock at construction, records at destruction.
+// Construction is a single branch when tracing is disabled.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category, int domain = -1,
+            int shard = -1)
+      : name_(name), category_(category), domain_(domain), shard_(shard),
+        start_ns_(trace_enabled() ? now_ns() : 0) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (start_ns_ != 0 && trace_enabled()) {
+      trace_complete(name_, category_, start_ns_, now_ns(), domain_, shard_);
+    }
+  }
+
+ private:
+  const char* name_;
+  const char* category_;
+  int domain_;
+  int shard_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace fasted::obs

@@ -5,12 +5,14 @@
 #include <limits>
 #include <numeric>
 #include <optional>
+#include <sstream>
 #include <utility>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
-#include "common/timer.hpp"
 #include "core/kernels/merging_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fasted::service {
 
@@ -25,14 +27,24 @@ bool rank_less(const QueryMatch& a, const QueryMatch& b) {
 
 JoinService::JoinService(std::shared_ptr<CorpusSession> session,
                          FastedEngine engine)
-    : session_(std::move(session)), engine_(std::move(engine)) {
+    : session_(std::move(session)), engine_(std::move(engine)),
+      pool_baseline_(ThreadPool::global().domain_load_snapshot()) {
   FASTED_CHECK_MSG(session_ != nullptr, "JoinService needs a corpus session");
 }
 
 JoinService::JoinService(std::shared_ptr<ShardedCorpus> corpus,
                          FastedEngine engine)
-    : shards_(std::move(corpus)), engine_(std::move(engine)) {
+    : shards_(std::move(corpus)), engine_(std::move(engine)),
+      pool_baseline_(ThreadPool::global().domain_load_snapshot()) {
   FASTED_CHECK_MSG(shards_ != nullptr, "JoinService needs a sharded corpus");
+}
+
+std::unique_lock<std::mutex> JoinService::admit() {
+  obs::PhaseTimer wait(phases_->admission_wait);
+  obs::TraceSpan span("admit", "service");
+  // The lock is acquired while constructing the return value; `wait` and
+  // `span` are destroyed after it, so both record the full queueing time.
+  return std::unique_lock<std::mutex>(serve_mutex_);
 }
 
 CorpusSession& JoinService::session() {
@@ -70,6 +82,8 @@ std::size_t JoinService::corpus_dims() const {
 
 float JoinService::resolve_eps(const EpsQuery& request) {
   if (request.eps >= 0) return request.eps;
+  obs::PhaseTimer timer(phases_->calibrate);
+  obs::TraceSpan span("calibrate", "service");
   return session_ != nullptr
              ? session_->eps_for_selectivity(request.selectivity)
              : shards_->eps_for_selectivity(request.selectivity);
@@ -83,7 +97,7 @@ QueryJoinOutput JoinService::eps_join(const EpsQuery& request) {
   // sample join, and holding the serve slot across it would serialize
   // every concurrent cached-radius request behind one cold calibration.
   const float eps = resolve_eps(request);
-  std::lock_guard<std::mutex> serve(serve_mutex_);
+  std::unique_lock<std::mutex> serve = admit();
   const CorpusRef ref = corpus_ref();
 
   JoinOptions options;
@@ -92,8 +106,13 @@ QueryJoinOutput JoinService::eps_join(const EpsQuery& request) {
   // the no-delete path passes no filter at all (byte-identical to before).
   options.tombstones = ref.filter.any() ? &ref.filter : nullptr;
   const PreparedDataset queries(request.points);
-  QueryJoinOutput out = engine_.query_join(
-      queries, std::span<const CorpusShardView>(ref.views), eps, options);
+  QueryJoinOutput out;
+  {
+    obs::PhaseTimer drain(phases_->eps_drain);
+    obs::TraceSpan span("eps_join", "service");
+    out = engine_.query_join(
+        queries, std::span<const CorpusShardView>(ref.views), eps, options);
+  }
 
   std::uint64_t raw = 0;
   for (const std::uint64_t p : out.shard_pairs) raw += p;
@@ -112,9 +131,10 @@ QueryJoinOutput JoinService::eps_join(const EpsQuery& request,
                    "query/corpus dimensionality mismatch");
   FASTED_CHECK_MSG(callback != nullptr, "streaming join needs a callback");
   const float eps = resolve_eps(request);  // before admission, see above
-  std::lock_guard<std::mutex> serve(serve_mutex_);
+  std::unique_lock<std::mutex> serve = admit();
   const CorpusRef ref = corpus_ref();
-  Timer timer;
+  obs::PhaseTimer drain(phases_->eps_drain);
+  obs::TraceSpan drain_span("eps_join_stream", "service");
 
   const PreparedDataset queries(request.points);
   const std::size_t nq = queries.rows();
@@ -144,13 +164,23 @@ QueryJoinOutput JoinService::eps_join(const EpsQuery& request,
             : kernels::StripDelivery::kMutex);
     sink.filter_tombstones(tombstones);
     out.pair_count = engine_.query_join_into(queries, views, eps, sink);
-    sink.finish();
+    {
+      // finish() drains the ring / flushes pending strips: what is left of
+      // delivery after the join itself stops producing.
+      obs::PhaseTimer deliver(phases_->stream_deliver);
+      obs::TraceSpan span("stream_finish", "service");
+      sink.finish();
+    }
     dropped = sink.dropped();
   } else if (request.delivery == StreamDelivery::kRing) {
     kernels::RingStreamingSink sink(callback);
     sink.filter_tombstones(tombstones);
     out.pair_count = engine_.query_join_into(queries, views, eps, sink);
-    sink.finish();
+    {
+      obs::PhaseTimer deliver(phases_->stream_deliver);
+      obs::TraceSpan span("stream_finish", "service");
+      sink.finish();
+    }
     dropped = sink.dropped();
   } else {
     kernels::StreamingSink sink(callback);
@@ -159,7 +189,8 @@ QueryJoinOutput JoinService::eps_join(const EpsQuery& request,
     dropped = sink.dropped();
   }
   out.pair_count -= dropped;
-  out.host_seconds = timer.seconds();
+  out.host_seconds = drain.seconds();
+  drain.stop();
   out.perf = engine_.estimate_join(nq, nc, queries.dims());
   out.timing =
       engine_.model_query_response_time(nq, nc, queries.dims(), out.pair_count);
@@ -180,7 +211,7 @@ KnnBatchResult JoinService::knn(const KnnQuery& request,
   // Like eps_join: resolve the initial radius BEFORE admission so cold
   // calibration does not serialize concurrent cached-radius requests.
   const float initial_eps = initial_knn_eps(request.k, options);
-  std::lock_guard<std::mutex> serve(serve_mutex_);
+  std::unique_lock<std::mutex> serve = admit();
   const CorpusRef ref = corpus_ref();
   const PreparedDataset queries(request.points);
   FASTED_CHECK_MSG(request.k >= 1 && request.k <= ref.alive,
@@ -203,7 +234,7 @@ KnnBatchResult JoinService::knn(const KnnQuery& request,
 KnnBatchResult JoinService::knn_corpus(std::size_t k,
                                        const KnnOptions& options) {
   const float initial_eps = initial_knn_eps(k, options);  // before admission
-  std::lock_guard<std::mutex> serve(serve_mutex_);
+  std::unique_lock<std::mutex> serve = admit();
   const CorpusRef ref = corpus_ref();
   FASTED_CHECK_MSG(k >= 1 && k <= ref.alive,
                    "need 1 <= k <= alive corpus size");
@@ -236,6 +267,8 @@ float JoinService::initial_knn_eps(std::size_t k, const KnnOptions& options) {
   // The first adaptive-radius round targets ~growth * k neighbors; the
   // backend's calibration cache amortizes the sampling across batches
   // asking for similar k.
+  obs::PhaseTimer timer(phases_->calibrate);
+  obs::TraceSpan span("calibrate", "service");
   const double initial = options.initial_growth * static_cast<double>(k);
   return session_ != nullptr ? session_->eps_for_selectivity(initial)
                              : shards_->eps_for_selectivity(initial);
@@ -269,8 +302,11 @@ std::size_t JoinService::knn_fill(const PreparedDataset& queries,
       gathered = PreparedDataset::gather(queries, active);
     }
     const PreparedDataset& sub = gathered ? *gathered : queries;
+    obs::PhaseTimer round_timer(phases_->knn_round);
+    obs::TraceSpan round_span("knn_round", "service");
     const QueryJoinOutput out = engine_.query_join(sub, views, eps,
                                                   round_options);
+    round_timer.stop();
     std::vector<std::uint32_t> still;
     for (std::size_t a = 0; a < active.size(); ++a) {
       if (out.result.degree(a) >= k) {
@@ -295,6 +331,8 @@ std::size_t JoinService::knn_fill(const PreparedDataset& queries,
   // offset to global rows (shards ascend, so rows come out id-ascending
   // exactly like the single-corpus sweep).
   if (!active.empty()) {
+    obs::PhaseTimer brute_timer(phases_->knn_brute);
+    obs::TraceSpan brute_span("knn_brute", "service");
     const float inf = std::numeric_limits<float>::infinity();
     parallel_for(0, active.size(), [&](std::size_t lo, std::size_t hi) {
       for (std::size_t a = lo; a < hi; ++a) {
@@ -340,6 +378,24 @@ std::size_t JoinService::knn_fill(const PreparedDataset& queries,
   return active.size();
 }
 
+namespace {
+
+PhaseLatency phase_latency(const char* name,
+                           const obs::ConcurrentHistogram& hist) {
+  const obs::LatencyHistogram h = hist.snapshot();
+  PhaseLatency out;
+  out.phase = name;
+  out.count = h.count();
+  out.p50_ns = h.quantile_ns(0.50);
+  out.p95_ns = h.quantile_ns(0.95);
+  out.p99_ns = h.quantile_ns(0.99);
+  out.max_ns = h.max_ns();
+  out.mean_ns = h.mean_ns();
+  return out;
+}
+
+}  // namespace
+
 ServiceStats JoinService::stats() const {
   ServiceStats out;
   {
@@ -347,9 +403,52 @@ ServiceStats JoinService::stats() const {
     out = stats_;
   }
   // Snapshot the pool's drain/steal counters outside our lock (they are
-  // relaxed atomics with their own discipline).
-  out.domain_loads = ThreadPool::global().domain_loads();
+  // relaxed atomics with their own discipline), as a delta against the
+  // construction-time baseline: only tiles THIS service caused — another
+  // service sharing the pool never shows up here.
+  out.domain_loads =
+      ThreadPool::global().domain_loads_since(pool_baseline_);
+  const std::pair<const char*, const obs::ConcurrentHistogram*> phases[] = {
+      {"admission_wait", &phases_->admission_wait},
+      {"calibrate", &phases_->calibrate},
+      {"eps_drain", &phases_->eps_drain},
+      {"stream_deliver", &phases_->stream_deliver},
+      {"knn_round", &phases_->knn_round},
+      {"knn_brute", &phases_->knn_brute},
+  };
+  for (const auto& [name, hist] : phases) {
+    PhaseLatency lat = phase_latency(name, *hist);
+    if (lat.count != 0) out.phase_latencies.push_back(lat);
+  }
   return out;
+}
+
+std::string ServiceStats::json() const {
+  std::ostringstream os;
+  os << "{\"eps_batches\":" << eps_batches
+     << ",\"knn_batches\":" << knn_batches << ",\"queries\":" << queries
+     << ",\"pairs\":" << pairs << ",\"pairs_tombstoned\":" << pairs_tombstoned
+     << ",\"knn_brute_force_queries\":" << knn_brute_force_queries;
+  os << ",\"phases\":{";
+  for (std::size_t i = 0; i < phase_latencies.size(); ++i) {
+    const PhaseLatency& p = phase_latencies[i];
+    if (i != 0) os << ",";
+    os << "\"" << p.phase << "\":{\"count\":" << p.count << ",\"mean_ns\":"
+       << static_cast<std::uint64_t>(p.mean_ns)
+       << ",\"p50_ns\":" << p.p50_ns << ",\"p95_ns\":" << p.p95_ns
+       << ",\"p99_ns\":" << p.p99_ns << ",\"max_ns\":" << p.max_ns << "}";
+  }
+  os << "},\"domain_loads\":[";
+  for (std::size_t d = 0; d < domain_loads.size(); ++d) {
+    const DomainLoad& l = domain_loads[d];
+    if (d != 0) os << ",";
+    os << "{\"domain\":" << d << ",\"tiles_drained\":" << l.tiles_drained
+       << ",\"tiles_stolen\":" << l.tiles_stolen
+       << ",\"drain_ns\":" << l.drain_ns << ",\"steal_ns\":" << l.steal_ns
+       << "}";
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace fasted::service

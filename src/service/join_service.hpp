@@ -32,10 +32,12 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/matrix.hpp"
 #include "core/fasted.hpp"
+#include "obs/histogram.hpp"
 #include "service/corpus_session.hpp"
 #include "service/sharded_corpus.hpp"
 
@@ -98,6 +100,18 @@ struct KnnBatchResult {
   }
 };
 
+// Latency summary of one serve phase, extracted from the service's
+// per-worker histograms (see obs/histogram.hpp for the bucket scheme).
+struct PhaseLatency {
+  const char* phase = "";
+  std::uint64_t count = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p95_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t max_ns = 0;
+  double mean_ns = 0.0;
+};
+
 struct ServiceStats {
   std::uint64_t eps_batches = 0;
   std::uint64_t knn_batches = 0;
@@ -105,12 +119,20 @@ struct ServiceStats {
   std::uint64_t pairs = 0;                  // surviving matches emitted
   std::uint64_t pairs_tombstoned = 0;       // matches dropped by delete masks
   std::uint64_t knn_brute_force_queries = 0;  // straggler sweeps
-  // Per-domain drain/steal tile counters (cumulative for the process's
-  // global pool — the executor attributes every tile to the domain OWNING
-  // the corpus shard it came from).  tiles_stolen[d] rising faster than
-  // tiles_drained[d] means domain d cannot keep up with its own shards:
-  // exactly the signal ShardedCorpus::rebalance() acts on.
+  // Per-domain drain/steal tile counters and time-in-phase, scoped to THIS
+  // service's lifetime (delta since construction against the shared pool's
+  // cumulative counters, so two services on one pool don't attribute each
+  // other's tiles).  The executor attributes every tile to the domain
+  // OWNING the corpus shard it came from: tiles_stolen[d] rising faster
+  // than tiles_drained[d] means domain d cannot keep up with its own
+  // shards — exactly the signal ShardedCorpus::rebalance() acts on.
   std::vector<DomainLoad> domain_loads;
+  // One entry per serve phase with recorded samples (admission_wait,
+  // calibrate, eps_drain, stream_deliver, knn_round, knn_brute).
+  std::vector<PhaseLatency> phase_latencies;
+
+  // The whole struct as one JSON object (counters, phases, domain loads).
+  std::string json() const;
 };
 
 // Called once per query (in ascending query order within a work item; work
@@ -163,6 +185,8 @@ class JoinService {
   ShardedCorpus& sharded();   // shard-backed services only
   const FastedEngine& engine() const { return engine_; }
   ServiceStats stats() const;
+  // stats().json() — the CLI's --stats-json payload.
+  std::string stats_json() const { return stats().json(); }
 
  private:
   // A request's pinned view of the corpus: the snapshot keeps sharded
@@ -189,9 +213,30 @@ class JoinService {
                        float initial_eps, std::size_t row_base,
                        KnnBatchResult& result);
 
+  // Blocks until this request owns the serve slot, recording the wait in
+  // the admission_wait histogram (and as an "admit" trace span).
+  std::unique_lock<std::mutex> admit();
+
   std::shared_ptr<CorpusSession> session_;
   std::shared_ptr<ShardedCorpus> shards_;
   FastedEngine engine_;
+
+  // Serve-phase latency histograms, owned PER SERVICE (two services on the
+  // shared pool must not blend each other's tail latencies — same scoping
+  // rule as domain_loads).  Recording is lock-free; stats() snapshots.
+  struct PhaseSet {
+    obs::ConcurrentHistogram admission_wait;  // serve-slot queueing
+    obs::ConcurrentHistogram calibrate;       // selectivity -> eps resolution
+    obs::ConcurrentHistogram eps_drain;       // join execution in eps_join
+    obs::ConcurrentHistogram stream_deliver;  // streaming sink finish/flush
+    obs::ConcurrentHistogram knn_round;       // one adaptive-radius round
+    obs::ConcurrentHistogram knn_brute;       // straggler brute-force sweep
+  };
+  std::unique_ptr<PhaseSet> phases_ = std::make_unique<PhaseSet>();
+  // Pool counters at construction: stats() reports the delta since, so a
+  // service never claims tiles another service (or an earlier life of this
+  // one) drained.
+  DomainLoadSnapshot pool_baseline_;
 
   std::mutex serve_mutex_;  // admits one request at a time (see above)
   mutable std::mutex stats_mutex_;

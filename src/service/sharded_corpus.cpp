@@ -9,10 +9,19 @@
 #include "common/rng.hpp"
 #include "common/topology.hpp"
 #include "data/calibrate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fasted::service {
 
 namespace {
+
+// Lifecycle ops record into the process-global registry (unlike serve
+// phases, which are per-service): the corpus is the shared resource, and
+// the autotuner wants maintenance cost wherever it was paid.
+obs::ConcurrentHistogram& lifecycle_histogram(const char* op) {
+  return obs::Registry::global().histogram(std::string("lifecycle.") + op);
+}
 
 constexpr std::uint64_t kSampleSeed = 0x5ca1ab1e5e1ec7ull;
 
@@ -400,6 +409,9 @@ void ShardedCorpus::append(const MatrixF32& rows) {
   FASTED_CHECK_MSG(rows.rows() > 0, "empty append");
   FASTED_CHECK_MSG(rows.dims() == dims_,
                    "append dimensionality mismatch");
+  static obs::ConcurrentHistogram& hist = lifecycle_histogram("append");
+  obs::PhaseTimer timer(hist);
+  obs::TraceSpan span("append", "lifecycle");
   std::lock_guard<std::mutex> append_lock(append_mutex_);
   const std::size_t cap = capacity_.load(std::memory_order_relaxed);
 
@@ -463,6 +475,9 @@ void ShardedCorpus::append(const MatrixF32& rows) {
 
 std::size_t ShardedCorpus::erase(std::span<const std::uint32_t> ids) {
   if (ids.empty()) return 0;
+  static obs::ConcurrentHistogram& hist = lifecycle_histogram("erase");
+  obs::PhaseTimer timer(hist);
+  obs::TraceSpan span("erase", "lifecycle");
   std::lock_guard<std::mutex> append_lock(append_mutex_);
   Snapshot next = *snapshot();
   const std::size_t total = next.back().shard->base + next.back().shard->rows();
@@ -504,6 +519,9 @@ std::size_t ShardedCorpus::erase(std::span<const std::uint32_t> ids) {
 }
 
 CompactReport ShardedCorpus::compact(const CompactOptions& options) {
+  static obs::ConcurrentHistogram& hist = lifecycle_histogram("compact");
+  obs::PhaseTimer timer(hist);
+  obs::TraceSpan span("compact", "lifecycle");
   std::lock_guard<std::mutex> append_lock(append_mutex_);
   const auto snap = snapshot();
   const std::size_t cap = options.shard_capacity != 0
@@ -639,6 +657,10 @@ bool ShardedCorpus::migrate_in(Snapshot& next, std::size_t ordinal,
 }
 
 void ShardedCorpus::migrate(std::size_t ordinal, std::size_t target_domain) {
+  static obs::ConcurrentHistogram& hist = lifecycle_histogram("migrate");
+  obs::PhaseTimer timer(hist);
+  obs::TraceSpan span("migrate", "lifecycle", static_cast<int>(target_domain),
+                      static_cast<int>(ordinal));
   std::lock_guard<std::mutex> append_lock(append_mutex_);
   Snapshot next = *snapshot();
   if (!migrate_in(next, ordinal, target_domain)) return;
@@ -648,25 +670,27 @@ void ShardedCorpus::migrate(std::size_t ordinal, std::size_t target_domain) {
 }
 
 RebalanceReport ShardedCorpus::rebalance(const RebalanceOptions& options) {
+  static obs::ConcurrentHistogram& hist = lifecycle_histogram("rebalance");
+  obs::PhaseTimer timer(hist);
+  obs::TraceSpan span("rebalance", "lifecycle");
   RebalanceReport report;
   ThreadPool& pool = ThreadPool::global();
-  const std::vector<DomainLoad> loads = pool.domain_loads();
 
   // One mutator hold for the whole pass — selection and migration must see
   // the same snapshot, or a concurrent compact() could renumber the
   // ordinals out from under the moves.
   std::lock_guard<std::mutex> append_lock(append_mutex_);
-  // Load generated per domain since OUR last pass (the counters are pool-
-  // cumulative and shared; a pool reset makes them restart, so clamp).
-  std::vector<std::uint64_t> delta(loads.size(), 0);
-  for (std::size_t d = 0; d < loads.size(); ++d) {
-    const std::uint64_t before = d < rebalance_baseline_.size()
-                                     ? rebalance_baseline_[d].total()
-                                     : 0;
-    delta[d] = loads[d].total() > before ? loads[d].total() - before : 0;
+  // Load generated per domain since OUR last pass, via the pool's
+  // instance-aware delta helper (a baseline from before a reset_global is
+  // detected and the new pool's cumulative reading used as-is).
+  const std::vector<DomainLoad> since =
+      pool.domain_loads_since(rebalance_baseline_);
+  rebalance_baseline_ = pool.domain_load_snapshot();
+  std::vector<std::uint64_t> delta(since.size(), 0);
+  for (std::size_t d = 0; d < since.size(); ++d) {
+    delta[d] = since[d].total();
   }
-  rebalance_baseline_ = loads;
-  if (loads.size() <= 1) return report;
+  if (since.size() <= 1) return report;
 
   const std::size_t from = static_cast<std::size_t>(
       std::max_element(delta.begin(), delta.end()) - delta.begin());
@@ -691,7 +715,7 @@ RebalanceReport ShardedCorpus::rebalance(const RebalanceOptions& options) {
   Snapshot next = *snapshot();
   std::vector<std::size_t> owned;
   for (std::size_t i = 0; i < next.size(); ++i) {
-    if (next[i].shard->domain % loads.size() == from) owned.push_back(i);
+    if (next[i].shard->domain % since.size() == from) owned.push_back(i);
   }
   std::sort(owned.begin(), owned.end(), [&](std::size_t a, std::size_t b) {
     return next[a].shard->rows() > next[b].shard->rows();

@@ -316,7 +316,10 @@ class ShardedCorpus {
   // never wait).
   std::mutex append_mutex_;
   std::uint64_t next_generation_ = 0;  // guarded by append_mutex_
-  std::vector<DomainLoad> rebalance_baseline_;  // guarded by append_mutex_
+  // Pool reading at our last rebalance pass (instance-aware; guarded by
+  // append_mutex_) — rebalance() diffs against it so each pass acts on the
+  // load generated since the previous one.
+  DomainLoadSnapshot rebalance_baseline_;
 };
 
 // One shard: immutable data + artifacts, lazily grown caches.  Created

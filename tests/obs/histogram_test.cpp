@@ -1,0 +1,152 @@
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace fasted::obs {
+namespace {
+
+using Hist = LatencyHistogram;
+
+TEST(LatencyHistogram, BucketBoundariesAreExact) {
+  // Every bucket's lower bound must map back to that bucket, and the value
+  // one below the next bucket's lower bound must still be in this bucket —
+  // i.e. buckets tile the value space with no gaps or overlaps.
+  for (std::size_t i = 0; i + 1 < Hist::kBuckets; ++i) {
+    const std::uint64_t lo = Hist::bucket_lower_bound(i);
+    const std::uint64_t next = Hist::bucket_lower_bound(i + 1);
+    ASSERT_LT(lo, next) << "bucket " << i;
+    EXPECT_EQ(Hist::bucket_index(lo), i) << "lower bound of bucket " << i;
+    EXPECT_EQ(Hist::bucket_index(next - 1), i)
+        << "last value of bucket " << i;
+  }
+  // The top bucket clamps everything at or beyond the tracked maximum.
+  EXPECT_EQ(Hist::bucket_index(Hist::kMaxTracked), Hist::kBuckets - 1);
+  EXPECT_EQ(Hist::bucket_index(~std::uint64_t{0}), Hist::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  for (std::uint64_t ns = 0; ns < Hist::kSubBuckets; ++ns) {
+    EXPECT_EQ(Hist::bucket_index(ns), ns);
+    EXPECT_EQ(Hist::bucket_lower_bound(ns), ns);
+  }
+}
+
+TEST(LatencyHistogram, RelativeErrorBounded) {
+  // Log-linear promise: bucket width / lower bound <= 1 / kSubBuckets.
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const std::uint64_t ns = rng() % (Hist::kMaxTracked - 1) + 1;
+    const std::size_t i = Hist::bucket_index(ns);
+    const std::uint64_t lo = Hist::bucket_lower_bound(i);
+    const std::uint64_t hi = Hist::bucket_lower_bound(i + 1);
+    ASSERT_GE(ns, lo);
+    ASSERT_LT(ns, hi);
+    EXPECT_LE(static_cast<double>(hi - lo), static_cast<double>(lo) /
+                                                Hist::kSubBuckets +
+                                                1.0);
+  }
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeAndCommutative) {
+  std::mt19937_64 rng(42);
+  Hist a, b, c;
+  for (int i = 0; i < 500; ++i) a.record(rng() % 1000000);
+  for (int i = 0; i < 300; ++i) b.record(rng() % 50);
+  for (int i = 0; i < 200; ++i) c.record(rng() % (1u << 30));
+
+  Hist ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+
+  Hist a_bc = b;  // (b + c) + a — different order, same result
+  a_bc.merge(c);
+  a_bc.merge(a);
+
+  EXPECT_EQ(ab_c.count(), a_bc.count());
+  EXPECT_EQ(ab_c.sum_ns(), a_bc.sum_ns());
+  EXPECT_EQ(ab_c.max_ns(), a_bc.max_ns());
+  EXPECT_EQ(ab_c.buckets(), a_bc.buckets());
+  EXPECT_EQ(ab_c.count(), 1000u);
+}
+
+TEST(LatencyHistogram, QuantilesOfUniformRamp) {
+  Hist h;
+  for (std::uint64_t ns = 1; ns <= 1000; ++ns) h.record(ns);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.max_ns(), 1000u);
+  // Quantiles must land within one bucket width (6.25%) of the true value.
+  EXPECT_NEAR(static_cast<double>(h.quantile_ns(0.50)), 500.0, 500.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(h.quantile_ns(0.95)), 950.0, 950.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(h.quantile_ns(0.99)), 990.0, 990.0 * 0.07);
+  // p100 is clamped to the observed max, not the bucket upper bound.
+  EXPECT_EQ(h.quantile_ns(1.0), 1000u);
+}
+
+TEST(LatencyHistogram, EmptyHistogramIsZero) {
+  Hist h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_ns(0.5), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(ConcurrentHistogram, ConcurrentRecordingConservesCounts) {
+  // N threads each record a known set; the merged snapshot must account for
+  // every sample with an exact sum and max.
+  auto hist = std::make_unique<ConcurrentHistogram>();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        hist->record(static_cast<std::uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const Hist snap = hist->snapshot();
+  constexpr std::uint64_t total = kThreads * kPerThread;
+  EXPECT_EQ(snap.count(), total);
+  EXPECT_EQ(snap.sum_ns(), total * (total - 1) / 2);
+  EXPECT_EQ(snap.max_ns(), total - 1);
+}
+
+TEST(ConcurrentHistogram, SnapshotMatchesSerialRecording) {
+  auto conc = std::make_unique<ConcurrentHistogram>();
+  Hist serial;
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t ns = rng() % (1u << 24);
+    conc->record(ns);
+    serial.record(ns);
+  }
+  const Hist snap = conc->snapshot();
+  EXPECT_EQ(snap.buckets(), serial.buckets());
+  EXPECT_EQ(snap.count(), serial.count());
+  EXPECT_EQ(snap.sum_ns(), serial.sum_ns());
+  EXPECT_EQ(snap.max_ns(), serial.max_ns());
+  EXPECT_EQ(snap.quantile_ns(0.95), serial.quantile_ns(0.95));
+}
+
+TEST(ConcurrentCounter, ConcurrentAddsSum) {
+  ConcurrentCounter counter;
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 10000; ++i) counter.add(3);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(), kThreads * 10000u * 3u);
+}
+
+}  // namespace
+}  // namespace fasted::obs

@@ -1,0 +1,188 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+
+namespace fasted::obs {
+namespace {
+
+struct ParsedEvent {
+  std::string name;
+  std::string cat;
+  unsigned tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::string raw;
+};
+
+std::string string_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  return line.substr(start, line.find('"', start) - start);
+}
+
+double number_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return -1.0;
+  return std::stod(line.substr(at + needle.size()));
+}
+
+// The writer emits one event per line, so the file parses without a JSON
+// library: header line, one object per event line, footer line.
+std::vector<ParsedEvent> parse_trace(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<ParsedEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"ph\":\"X\"") == std::string::npos) continue;
+    ParsedEvent e;
+    e.name = string_field(line, "name");
+    e.cat = string_field(line, "cat");
+    e.tid = static_cast<unsigned>(number_field(line, "tid"));
+    e.ts_us = number_field(line, "ts");
+    e.dur_us = number_field(line, "dur");
+    e.raw = line;
+    events.push_back(e);
+  }
+  return events;
+}
+
+std::string temp_trace_path(const char* name) {
+  return testing::TempDir() + "/fasted_" + name + ".trace.json";
+}
+
+class TraceTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // Drain any spans left over from earlier tests in this process so each
+    // test observes only its own events.
+    trace_disable();
+    trace_flush(temp_trace_path("drain"));
+  }
+  void TearDown() override { trace_disable(); }
+};
+
+TEST_F(TraceTest, DisabledRecordingIsDropped) {
+  ASSERT_FALSE(trace_enabled());
+  trace_complete("ghost", "test", now_ns(), now_ns() + 10);
+  { TraceSpan span("ghost_span", "test"); }
+  const std::string path = temp_trace_path("disabled");
+  ASSERT_TRUE(trace_flush(path));
+  EXPECT_TRUE(parse_trace(path).empty());
+}
+
+TEST_F(TraceTest, FlushWritesValidEventsAndDrains) {
+  const std::string path = temp_trace_path("basic");
+  trace_enable(path);
+  {
+    TraceSpan outer("outer", "test", 2, 5);
+    TraceSpan inner("inner", "test");
+  }
+  trace_disable();
+  ASSERT_TRUE(trace_flush(path));
+
+  const std::vector<ParsedEvent> events = parse_trace(path);
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time, longer span first: outer before inner.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[0].cat, "test");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // domain/shard ride along in args; the span without them omits args.
+  EXPECT_NE(events[0].raw.find("\"args\":{\"domain\":2,\"shard\":5}"),
+            std::string::npos);
+  EXPECT_EQ(events[1].raw.find("\"args\""), std::string::npos);
+
+  // Buffers were drained: a second flush writes no events.
+  const std::string again = temp_trace_path("basic_again");
+  ASSERT_TRUE(trace_flush(again));
+  EXPECT_TRUE(parse_trace(again).empty());
+}
+
+TEST_F(TraceTest, SpansNestPerWorkerTrack) {
+  const std::string path = temp_trace_path("nesting");
+  trace_enable(path);
+
+  // Nested RAII spans from several threads at once, plus spans recorded
+  // from inside a pool task (the serve path's actual recording site).
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 8; ++i) {
+        TraceSpan outer("outer", "test");
+        TraceSpan mid("mid", "test");
+        TraceSpan leaf("leaf", "test");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ThreadPool pool(3);
+  pool.parallel_for(0, 16, [](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      TraceSpan span("pool_task", "test");
+    }
+  });
+
+  trace_disable();
+  ASSERT_TRUE(trace_flush(path));
+  const std::vector<ParsedEvent> events = parse_trace(path);
+  EXPECT_GE(events.size(), 4u * 8u * 3u + 16u);
+
+  // Group into per-tid tracks and check stack discipline: within a track,
+  // any two spans are either disjoint or properly nested — RAII recording
+  // on one thread can never produce partial overlap.
+  std::map<unsigned, std::vector<ParsedEvent>> tracks;
+  double prev_ts = -1.0;
+  unsigned prev_tid = 0;
+  for (const ParsedEvent& e : events) {
+    if (e.tid == prev_tid) {
+      EXPECT_GE(e.ts_us, prev_ts) << "events not sorted within track";
+    }
+    prev_tid = e.tid;
+    prev_ts = e.ts_us;
+    tracks[e.tid].push_back(e);
+  }
+  EXPECT_GE(tracks.size(), 4u);
+  for (const auto& [tid, track] : tracks) {
+    for (std::size_t i = 0; i < track.size(); ++i) {
+      for (std::size_t j = i + 1; j < track.size(); ++j) {
+        const ParsedEvent& a = track[i];
+        const ParsedEvent& b = track[j];
+        const double a_end = a.ts_us + a.dur_us;
+        const double b_end = b.ts_us + b.dur_us;
+        const bool disjoint = b.ts_us >= a_end || a.ts_us >= b_end;
+        const bool a_contains_b = a.ts_us <= b.ts_us && b_end <= a_end;
+        const bool b_contains_a = b.ts_us <= a.ts_us && a_end <= b_end;
+        EXPECT_TRUE(disjoint || a_contains_b || b_contains_a)
+            << "partial overlap on tid " << tid << ": " << a.raw << " vs "
+            << b.raw;
+      }
+    }
+  }
+}
+
+TEST_F(TraceTest, PathIsRemembered) {
+  const std::string path = temp_trace_path("remembered");
+  trace_enable(path);
+  EXPECT_TRUE(trace_enabled());
+  EXPECT_EQ(trace_path(), path);
+  trace_disable();
+  EXPECT_FALSE(trace_enabled());
+  // Disabling stops recording but keeps the flush target.
+  EXPECT_EQ(trace_path(), path);
+}
+
+}  // namespace
+}  // namespace fasted::obs

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "data/calibrate.hpp"
 #include "data/generators.hpp"
 
@@ -288,6 +289,105 @@ TEST(JoinService, StatsAccumulateAcrossBatches) {
   EXPECT_EQ(stats.knn_batches, 1u);
   EXPECT_EQ(stats.queries, 120u);
   EXPECT_EQ(stats.pairs, out.pair_count);
+}
+
+// Regression for the double-attribution bug: domain-load tallies are
+// deltas since service construction, so two services sharing the global
+// pool never report each other's tiles.
+TEST(JoinService, DomainLoadsAreScopedToTheService) {
+  class ScopedTopology {
+   public:
+    explicit ScopedTopology(std::size_t domains) {
+      const Topology topo = Topology::synthetic(domains);
+      ThreadPool::reset_global(4, &topo);
+    }
+    ~ScopedTopology() { ThreadPool::reset_global(); }
+  } topo(2);
+
+  const auto data = data::uniform(700, 8, 70);
+  const auto queries = data::uniform(24, 8, 71);
+  const float eps = data::calibrate_epsilon(data, 20.0).eps;
+  ShardedCorpusOptions opts;
+  opts.shards = 4;
+  auto corpus = std::make_shared<ShardedCorpus>(MatrixF32(data), opts);
+
+  EpsQuery request;
+  request.points = MatrixF32(queries);
+  request.eps = eps;
+
+  const auto total_tiles = [](const ServiceStats& stats) {
+    std::uint64_t tiles = 0;
+    for (const auto& load : stats.domain_loads) {
+      tiles += load.tiles_drained + load.tiles_stolen;
+    }
+    return tiles;
+  };
+
+  JoinService first(corpus);
+  first.eps_join(request);
+  const std::uint64_t first_tiles = total_tiles(first.stats());
+  EXPECT_GT(first_tiles, 0u);
+
+  // A second service on the same pool starts from zero — the first
+  // service's tiles must not leak into its stats.
+  JoinService second(corpus);
+  EXPECT_EQ(total_tiles(second.stats()), 0u);
+
+  second.eps_join(request);
+  const std::uint64_t second_tiles = total_tiles(second.stats());
+  EXPECT_GT(second_tiles, 0u);
+  // The first service's window covers both joins; the tallies must add up
+  // exactly (same pool counters, different baselines).
+  EXPECT_EQ(total_tiles(first.stats()), first_tiles + second_tiles);
+}
+
+TEST(JoinService, PhaseLatenciesPopulateWithNonZeroQuantiles) {
+  const auto corpus = data::uniform(200, 8, 72);
+  const auto queries = data::uniform(50, 8, 73);
+  JoinService svc(make_session(corpus));
+
+  EpsQuery eq;
+  eq.points = queries;
+  eq.eps = 0.7f;
+  svc.eps_join(eq);
+  KnnQuery kq;
+  kq.points = queries;
+  kq.k = 3;
+  svc.knn(kq);
+
+  const auto stats = svc.stats();
+  const auto find = [&](const char* phase) -> const PhaseLatency* {
+    for (const auto& p : stats.phase_latencies) {
+      if (std::strcmp(p.phase, phase) == 0) return &p;
+    }
+    return nullptr;
+  };
+
+  const PhaseLatency* drain = find("eps_drain");
+  ASSERT_NE(drain, nullptr);
+  EXPECT_GE(drain->count, 1u);
+  EXPECT_GT(drain->p50_ns, 0u);
+  EXPECT_GE(drain->p95_ns, drain->p50_ns);
+  EXPECT_GE(drain->p99_ns, drain->p95_ns);
+  EXPECT_GE(drain->max_ns, drain->p99_ns);
+
+  const PhaseLatency* round = find("knn_round");
+  ASSERT_NE(round, nullptr);
+  EXPECT_GE(round->count, 1u);
+  EXPECT_GT(round->p50_ns, 0u);
+
+  const PhaseLatency* wait = find("admission_wait");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_GE(wait->count, 2u);  // one eps batch + one knn batch
+
+  // Phases this service never exercised are omitted, not zero-filled.
+  EXPECT_EQ(find("stream_deliver"), nullptr);
+
+  // The JSON export carries the same phases.
+  const std::string json = svc.stats_json();
+  EXPECT_NE(json.find("\"eps_drain\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"domain_loads\""), std::string::npos);
 }
 
 TEST(JoinService, RejectsBadRequests) {

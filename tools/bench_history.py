@@ -34,6 +34,13 @@ OVERHEADS = [
     ("shard ovh", "sharded_self_join.shards_4", "sharded_self_join.shards_1"),
     ("domain ovh", "domain_self_join.domains_4", "domain_self_join.domains_1"),
 ]
+# Tail-latency columns: per-rep latency quantiles the bench embeds since the
+# obs layer landed.  History rows from before then lack the field and
+# render as "—".
+LATENCIES = [
+    ("query p50 ms", "query_join.simd", "p50_ns"),
+    ("query p95 ms", "query_join.simd", "p95_ns"),
+]
 
 
 def lookup(tree, dotted):
@@ -60,6 +67,16 @@ def flatten(bench):
     return out
 
 
+def flatten_latencies(bench):
+    """The tail-latency fields, keyed "<path>.<field>" in nanoseconds."""
+    out = {}
+    for _, path, field in LATENCIES:
+        entry = lookup(bench, path)
+        if isinstance(entry, dict) and field in entry:
+            out[path + "." + field] = entry[field]
+    return out
+
+
 def default_label():
     try:
         return subprocess.check_output(
@@ -79,25 +96,36 @@ def fmt_overhead(slow, fast):
     return f"{(1.0 - slow / fast) * 100.0:+.1f}%"
 
 
+def fmt_latency_ms(ns):
+    return f"{ns / 1e6:.2f}" if ns is not None else "—"
+
+
 def render_table(runs):
     header = ["run", "kernel"]
     header += [name for name, _ in COLUMNS]
     header += [name for name, _, _ in OVERHEADS]
+    header += [name for name, _, _ in LATENCIES]
     lines = ["| " + " | ".join(header) + " |",
              "|" + "---|" * len(header)]
     for run in runs:
         rates = run.get("pairs_per_s", {})
+        lats = run.get("latency_ns", {})
         row = [run.get("label", "?"), run.get("simd_kernel", "?")]
         row += [fmt_rate(rates.get(path)) for _, path in COLUMNS]
         row += [fmt_overhead(rates.get(slow), rates.get(fast))
                 for _, slow, fast in OVERHEADS]
+        row += [fmt_latency_ms(lats.get(path + "." + field))
+                for _, path, field in LATENCIES]
         lines.append("| " + " | ".join(row) + " |")
     lines.append("")
     lines.append("*pairs/s on the dispatched SIMD kernel; overheads compare "
                  "4-shard / 4-domain runs against their 1-shard / 1-domain "
                  "twins (negative = the partitioned run was faster). "
-                 "Absolute rates are per-machine — trend within one machine, "
-                 "don't compare across rows from different hardware.*")
+                 "Latency columns are per-rep quantiles of the SIMD "
+                 "query-join (p95 pulling away from p50 = run-to-run "
+                 "jitter). Absolute rates are per-machine — trend within "
+                 "one machine, don't compare across rows from different "
+                 "hardware.*")
     return "\n".join(lines)
 
 
@@ -121,6 +149,7 @@ def main():
         "simd_kernel": lookup(bench, "config.simd_kernel"),
         "config": bench.get("config", {}),
         "pairs_per_s": flatten(bench),
+        "latency_ns": flatten_latencies(bench),
     }
 
     try:
