@@ -44,6 +44,7 @@
 #include "service/corpus_session.hpp"
 #include "service/join_service.hpp"
 #include "service/sharded_corpus.hpp"
+#include "tune/autotuner.hpp"
 
 using namespace fasted;
 
@@ -67,6 +68,8 @@ struct Args {
   double delete_fraction = 0.0;   // > 0: tombstone this share of the corpus
   bool compact = false;           // compact mid-serve (drops tombstones)
   bool rebalance = false;         // run a drain/steal-driven rebalance pass
+  bool autotune = false;          // perf-model + probe schedule search
+  std::size_t probe_rows = 65536; // autotune probe sample size
   std::string trace_path;         // write a Chrome trace-event JSON here
   std::string stats_json;         // write service + registry metrics here
 };
@@ -100,6 +103,12 @@ void usage() {
       "                   serve loop, physically dropping tombstoned rows\n"
       "  --rebalance      after serving, migrate shards off the domain the\n"
       "                   drain/steal counters show as overloaded\n"
+      "  --autotune       search tile shape / dispatch order / shard\n"
+      "                   capacity / steal policy: perf-model pruning, then\n"
+      "                   measured probes on a corpus sample; prints the\n"
+      "                   predicted-vs-measured table and runs the chosen\n"
+      "                   schedule (results are bit-identical to default)\n"
+      "  --probe-rows N   autotune probe sample size (default 65536)\n"
       "  --trace FILE     record per-worker spans and write a Chrome\n"
       "                   trace-event JSON (chrome://tracing / Perfetto);\n"
       "                   FASTED_TRACE=FILE does the same without the flag\n"
@@ -149,6 +158,10 @@ bool parse(int argc, char** argv, Args& args) {
       args.compact = true;
     } else if (flag == "--rebalance") {
       args.rebalance = true;
+    } else if (flag == "--autotune") {
+      args.autotune = true;
+    } else if (flag == "--probe-rows" && (v = next())) {
+      args.probe_rows = std::stoull(v);
     } else if (flag == "--trace" && (v = next())) {
       args.trace_path = v;
     } else if (flag == "--stats-json" && (v = next())) {
@@ -286,7 +299,8 @@ bool write_stats_json(const std::string& path,
   return true;
 }
 
-int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
+int run_service_mode(const Args& args, const MatrixF32& points, float eps,
+                     const tune::TuneReport* tuned) {
   using Clock = std::chrono::steady_clock;
   if (!args.save_result.empty()) {
     std::fprintf(stderr,
@@ -345,6 +359,15 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps) {
       std::chrono::duration<double>(Clock::now() - ingest_start).count();
   std::printf("ingest: FP16 + norms prepared for %zu/%zu rows in %.3f s\n",
               initial, n, ingest_s);
+
+  if (tuned != nullptr) {
+    // Adopt the tuned schedule through the service's own swap path; the
+    // sharded backend is re-chunked to the tuned capacity (results are
+    // bit-identical either way — only throughput changes).
+    svc->set_schedule(tuned->best, /*rechunk_shards=*/true);
+    std::printf("serving with tuned schedule: %s\n",
+                svc->schedule().describe().c_str());
+  }
 
   // Sustained-mutation traffic: tombstone a deterministic stride of the
   // initially resident rows, so the serve loop runs with delete masks
@@ -490,11 +513,46 @@ int main(int argc, char** argv) {
                 args.selectivity);
   }
 
-  if (args.queries > 0) return run_service_mode(args, points, eps);
+  // Schedule search before any serving or joining: model-pruned, then
+  // probe-refined on a sample of the actual corpus (tune/autotuner.hpp).
+  std::optional<tune::TuneReport> tuned;
+  if (args.autotune) {
+    ThreadPool& pool = ThreadPool::global();
+    const std::size_t domains =
+        args.domains > 0 ? args.domains : pool.domain_count();
+    tune::TuneOptions topts;
+    topts.probe_rows = args.probe_rows;
+    tune::AutoTuner tuner(FastedConfig::paper_defaults(), topts);
+    const auto tune_start = std::chrono::steady_clock::now();
+    tuned = tuner.tune(points, points.rows(), domains, eps);
+    const double tune_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - tune_start)
+                              .count();
+    std::printf("autotune: %zu schedules, %zu model-scored combos, %zu "
+                "probes in %.2f s\n",
+                tuned->space_size, tuned->model_scored, tuned->probes,
+                tune_s);
+    std::printf("%s", tuned->table().c_str());
+    const double speedup =
+        tuned->default_pairs_per_s > 0
+            ? tuned->best_pairs_per_s / tuned->default_pairs_per_s
+            : 1.0;
+    std::printf("chosen schedule: %s (measured %.2fx vs default)\n",
+                tuned->best.describe().c_str(), speedup);
+  }
+
+  if (args.queries > 0) {
+    return run_service_mode(args, points, eps, tuned ? &*tuned : nullptr);
+  }
 
   const bool all = args.algo == "all";
   if (all || args.algo == "fasted") {
-    FastedEngine engine;
+    FastedEngine engine(tuned ? tuned->best.apply(FastedConfig::paper_defaults())
+                              : FastedConfig::paper_defaults());
+    if (tuned) {
+      std::printf("self-join on tuned schedule: %s\n",
+                  engine.config().describe().c_str());
+    }
     // --shards N runs the sharded plan composition (per-shard triangular +
     // shard-pair rectangular tiles); results are bit-identical to the
     // monolithic self-join.

@@ -30,14 +30,22 @@ void FastedConfig::validate() const {
 
 std::string FastedConfig::describe() const {
   std::ostringstream os;
+  const char* policy = "row-major";
+  switch (dispatch_policy()) {
+    case sim::DispatchPolicy::kSquares: policy = "squares"; break;
+    case sim::DispatchPolicy::kRowMajor: policy = "row-major"; break;
+    case sim::DispatchPolicy::kColumnMajor: policy = "column-major"; break;
+  }
   os << "FaSTED config: block " << block_tile_m << "x" << block_tile_n << "x"
      << block_tile_k << ", warp " << effective_warp_tile_m() << "x"
      << effective_warp_tile_n() << "x" << warp_tile_k << ", "
      << warps_per_block << " warps, pipeline "
      << effective_pipeline_stages() << ", residency " << residency()
-     << ", dispatch "
-     << (opt_block_tile_ordering ? "squares" : "row-major") << " ("
+     << ", dispatch " << policy << " ("
      << dispatch_square << "x" << dispatch_square << ")";
+  if (steal_mode != StealMode::kEnv) {
+    os << ", steal " << (steal_mode == StealMode::kOn ? "on" : "off");
+  }
   return os.str();
 }
 

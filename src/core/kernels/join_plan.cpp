@@ -1,6 +1,9 @@
 #include "core/kernels/join_plan.hpp"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
+#include <tuple>
 
 #include "common/check.hpp"
 
@@ -9,6 +12,36 @@ namespace fasted::kernels {
 namespace {
 
 std::size_t div_up(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+// Upper-triangle filter of the policy order, memoized like
+// sim::dispatch_order_cached: the serve path re-plans the same self-join
+// grid on every query batch, and at 1e6 rows the triangular order holds
+// ~3e7 tile pairs — worth deriving once, not per plan.
+std::shared_ptr<const WorkQueue::Order> triangular_order_cached(
+    sim::DispatchPolicy policy, std::size_t tiles, int square) {
+  using Key = std::tuple<int, std::size_t, int>;
+  constexpr std::size_t kMaxEntries = 64;
+  static std::mutex mutex;
+  static std::map<Key, std::shared_ptr<const WorkQueue::Order>> cache;
+
+  const Key key{static_cast<int>(policy), tiles, square};
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  auto order = sim::dispatch_order(policy, tiles, square);
+  // Keep the upper triangle (tc >= tr) in policy order; the mirrored half
+  // is recovered by the sink (RZ distances are exactly symmetric).
+  order.erase(std::remove_if(order.begin(), order.end(),
+                             [](const auto& t) { return t.second < t.first; }),
+              order.end());
+  auto shared = std::make_shared<const WorkQueue::Order>(std::move(order));
+  std::lock_guard<std::mutex> lock(mutex);
+  if (cache.size() < kMaxEntries) cache.emplace(key, shared);
+  const auto it = cache.find(key);  // a racing insert wins; share its copy
+  return it != cache.end() ? it->second : shared;
+}
 
 }  // namespace
 
@@ -19,13 +52,8 @@ JoinPlan JoinPlan::triangular_self(const FastedConfig& cfg, std::size_t n) {
   const std::size_t bm = std::min(static_cast<std::size_t>(cfg.block_tile_m),
                                   static_cast<std::size_t>(cfg.block_tile_n));
   const std::size_t tiles = div_up(n, bm);
-  auto order =
-      sim::dispatch_order(cfg.dispatch_policy(), tiles, cfg.dispatch_square);
-  // Keep the upper triangle (tc >= tr) in policy order; the mirrored half
-  // is recovered by the sink (RZ distances are exactly symmetric).
-  order.erase(std::remove_if(order.begin(), order.end(),
-                             [](const auto& t) { return t.second < t.first; }),
-              order.end());
+  auto order = triangular_order_cached(cfg.dispatch_policy(), tiles,
+                                       cfg.dispatch_square);
   return JoinPlan(std::move(order), bm, bm, 0, n, n, /*triangular=*/true);
 }
 
@@ -34,8 +62,8 @@ JoinPlan JoinPlan::rectangular(const FastedConfig& cfg, std::size_t nq,
   FASTED_CHECK_MSG(nq > 0 && nc > 0, "empty join");
   const auto bm = static_cast<std::size_t>(cfg.block_tile_m);
   const auto bn = static_cast<std::size_t>(cfg.block_tile_n);
-  auto order = sim::dispatch_order(cfg.dispatch_policy(), div_up(nq, bm),
-                                   div_up(nc, bn), cfg.dispatch_square);
+  auto order = sim::dispatch_order_cached(cfg.dispatch_policy(), div_up(nq, bm),
+                                          div_up(nc, bn), cfg.dispatch_square);
   return JoinPlan(std::move(order), bm, bn, 0, nq, nc, /*triangular=*/false);
 }
 
@@ -44,8 +72,9 @@ JoinPlan JoinPlan::self_strip(const FastedConfig& cfg, std::size_t row0,
   FASTED_CHECK_MSG(row0 < row1 && row1 <= n, "bad strip bounds");
   const auto bm = static_cast<std::size_t>(cfg.block_tile_m);
   const auto bn = static_cast<std::size_t>(cfg.block_tile_n);
-  auto order = sim::dispatch_order(cfg.dispatch_policy(), div_up(row1 - row0, bm),
-                                   div_up(n, bn), cfg.dispatch_square);
+  auto order = sim::dispatch_order_cached(cfg.dispatch_policy(),
+                                          div_up(row1 - row0, bm),
+                                          div_up(n, bn), cfg.dispatch_square);
   return JoinPlan(std::move(order), bm, bn, row0, row1, n,
                   /*triangular=*/false);
 }
@@ -56,8 +85,8 @@ JoinPlan JoinPlan::query_strip(const FastedConfig& cfg, std::size_t nq,
   const auto bm = static_cast<std::size_t>(cfg.block_tile_m);
   // One tile per strip of bm queries, spanning the whole corpus: a query's
   // matches complete within a single tile (streaming sinks rely on this).
-  auto order = sim::dispatch_order(cfg.dispatch_policy(), div_up(nq, bm), 1,
-                                   cfg.dispatch_square);
+  auto order = sim::dispatch_order_cached(cfg.dispatch_policy(), div_up(nq, bm),
+                                          1, cfg.dispatch_square);
   return JoinPlan(std::move(order), bm, nc, 0, nq, nc, /*triangular=*/false);
 }
 

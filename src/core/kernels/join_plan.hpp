@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "core/config.hpp"
 #include "core/work_queue.hpp"
@@ -70,9 +71,9 @@ class JoinPlan {
   void fill_range(const std::pair<std::uint32_t, std::uint32_t>& tile,
                   TileRange& out) const;
 
-  JoinPlan(std::vector<std::pair<std::uint32_t, std::uint32_t>> order,
-           std::size_t tile_m, std::size_t tile_n, std::size_t query_base,
-           std::size_t nq, std::size_t nc, bool triangular)
+  JoinPlan(std::shared_ptr<const WorkQueue::Order> order, std::size_t tile_m,
+           std::size_t tile_n, std::size_t query_base, std::size_t nq,
+           std::size_t nc, bool triangular)
       : queue_(std::move(order)),
         tile_m_(tile_m),
         tile_n_(tile_n),

@@ -9,11 +9,16 @@
 // model depends on survives stealing untouched.  Claims go through one
 // packed head/tail counter word, so a tile is handed out exactly once no
 // matter how pops and steals interleave.
+//
+// The tile order is immutable and SHARED: policy-generated orders come from
+// sim::dispatch_order_cached, so a serve loop rebuilding the same grid per
+// query strip reuses one materialized order instead of re-deriving it.
 
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -23,18 +28,27 @@ namespace fasted {
 
 class WorkQueue {
  public:
+  using Order = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
   WorkQueue(sim::DispatchPolicy policy, std::size_t tiles_per_side, int square)
-      : order_(sim::dispatch_order(policy, tiles_per_side, square)) {}
+      : order_(sim::dispatch_order_cached(policy, tiles_per_side,
+                                          tiles_per_side, square)) {}
 
   // Rectangular grid (query tiles x corpus tiles) for asymmetric joins,
   // preserving the policy's L2-locality ordering clipped to the bounds.
   WorkQueue(sim::DispatchPolicy policy, std::size_t tile_rows,
             std::size_t tile_cols, int square)
-      : order_(sim::dispatch_order(policy, tile_rows, tile_cols, square)) {}
+      : order_(sim::dispatch_order_cached(policy, tile_rows, tile_cols,
+                                          square)) {}
 
   // Explicit tile order (the JoinPlan layer filters policy orders, e.g. to
   // the upper triangle of a self-join grid).
-  explicit WorkQueue(std::vector<std::pair<std::uint32_t, std::uint32_t>> order)
+  explicit WorkQueue(Order order)
+      : order_(std::make_shared<const Order>(std::move(order))) {}
+
+  // Pre-shared order (caches of filtered orders); the vector must never be
+  // mutated while any queue references it.
+  explicit WorkQueue(std::shared_ptr<const Order> order)
       : order_(std::move(order)) {}
 
   // Movable so plan lists can be composed (sharded joins build one plan per
@@ -45,11 +59,11 @@ class WorkQueue {
   WorkQueue(WorkQueue&& other) noexcept
       : order_(std::move(other.order_)),
         state_(other.state_.load(std::memory_order_relaxed)) {
-    other.order_.clear();
+    other.order_ = empty_order();
     other.state_.store(0, std::memory_order_relaxed);
   }
 
-  std::size_t size() const { return order_.size(); }
+  std::size_t size() const { return order_->size(); }
 
   // Thread-safe head pop in dispatch order; false when the queue is drained
   // (head and tail cursors have met).
@@ -58,9 +72,9 @@ class WorkQueue {
     for (;;) {
       const std::uint64_t head = s & 0xffffffffu;
       const std::uint64_t tail = s >> 32;
-      if (head + tail >= order_.size()) return false;
+      if (head + tail >= order_->size()) return false;
       if (state_.compare_exchange_weak(s, s + 1, std::memory_order_relaxed)) {
-        tile = order_[head];
+        tile = (*order_)[head];
         return true;
       }
     }
@@ -73,21 +87,27 @@ class WorkQueue {
     for (;;) {
       const std::uint64_t head = s & 0xffffffffu;
       const std::uint64_t tail = s >> 32;
-      if (head + tail >= order_.size()) return false;
+      if (head + tail >= order_->size()) return false;
       if (state_.compare_exchange_weak(s, s + (std::uint64_t{1} << 32),
                                        std::memory_order_relaxed)) {
-        tile = order_[order_.size() - 1 - tail];
+        tile = (*order_)[order_->size() - 1 - tail];
         return true;
       }
     }
   }
 
-  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& order() const {
-    return order_;
-  }
+  const Order& order() const { return *order_; }
 
  private:
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> order_;
+  // The moved-from husk must stay safe to pop (returns false), so it points
+  // at one shared empty order instead of a null pointer.
+  static const std::shared_ptr<const Order>& empty_order() {
+    static const std::shared_ptr<const Order> empty =
+        std::make_shared<const Order>();
+    return empty;
+  }
+
+  std::shared_ptr<const Order> order_;
   // Low 32 bits: head cursor (pop), high 32: tail cursor (steal).  Drained
   // when they meet; one CAS word keeps the two ends from double-claiming
   // the crossover tile.

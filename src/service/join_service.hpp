@@ -40,6 +40,7 @@
 #include "obs/histogram.hpp"
 #include "service/corpus_session.hpp"
 #include "service/sharded_corpus.hpp"
+#include "tune/schedule.hpp"
 
 namespace fasted::service {
 
@@ -119,6 +120,9 @@ struct ServiceStats {
   std::uint64_t pairs = 0;                  // surviving matches emitted
   std::uint64_t pairs_tombstoned = 0;       // matches dropped by delete masks
   std::uint64_t knn_brute_force_queries = 0;  // straggler sweeps
+  // Automatic schedule re-tunes triggered by corpus-size regime changes
+  // (see JoinService::enable_regime_retune).
+  std::uint64_t schedule_retunes = 0;
   // Per-domain drain/steal tile counters and time-in-phase, scoped to THIS
   // service's lifetime (delta since construction against the shared pool's
   // cumulative counters, so two services on one pool don't attribute each
@@ -180,6 +184,28 @@ class JoinService {
   // own: a dead row's self-match is filtered like any other dead match.
   KnnBatchResult knn_corpus(std::size_t k, const KnnOptions& options = {});
 
+  // --- Schedule control (src/tune/) ---
+  // Swaps the serving engine onto `schedule` (tune/schedule.hpp).  A
+  // schedule is pure execution policy, so results before and after are
+  // bit-identical; only throughput and latency change.  Waits for the
+  // serve slot: in-flight requests finish on the old schedule, later ones
+  // run the new one.  With `rechunk_shards`, a sharded backend is also
+  // compacted to the schedule's shard capacity (tombstones are left in
+  // place — ids never shift under a re-tune).
+  void set_schedule(const tune::Schedule& schedule,
+                    bool rechunk_shards = false);
+  // The schedule currently serving (the engine-config defaults until
+  // set_schedule or a regime retune replaces them).
+  tune::Schedule schedule() const;
+
+  // When enabled, each request checks whether the corpus row count has
+  // drifted by more than `factor`x (either direction) since the schedule
+  // was last chosen; if so the service re-ranks the schedule space with
+  // the perf model ALONE (AutoTuner::predict — no probe joins, cheap
+  // enough to run inline) and swaps to the winner.  Measured tuning stays
+  // an explicit operator action (the CLI's --autotune).
+  void enable_regime_retune(bool on = true, double factor = 4.0);
+
   bool is_sharded() const { return shards_ != nullptr; }
   CorpusSession& session();   // session-backed services only
   ShardedCorpus& sharded();   // shard-backed services only
@@ -217,9 +243,18 @@ class JoinService {
   // the admission_wait histogram (and as an "admit" trace span).
   std::unique_lock<std::mutex> admit();
 
+  // Regime check + model-only retune (see enable_regime_retune).  Caller
+  // holds the serve slot; `rows` is the request's pinned corpus size.
+  void maybe_retune(std::size_t rows);
+
   std::shared_ptr<CorpusSession> session_;
   std::shared_ptr<ShardedCorpus> shards_;
   FastedEngine engine_;
+  // The engine config as constructed, BEFORE any schedule was applied —
+  // every set_schedule/retune applies to this pristine base so successive
+  // schedules never compound (a residency shrink from one schedule must
+  // not leak into the next).
+  FastedConfig base_config_;
 
   // Serve-phase latency histograms, owned PER SERVICE (two services on the
   // shared pool must not blend each other's tail latencies — same scoping
@@ -241,6 +276,12 @@ class JoinService {
   std::mutex serve_mutex_;  // admits one request at a time (see above)
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;
+  // Schedule state, guarded by stats_mutex_ (schedule() must not block
+  // behind a serving request; the engine swap itself holds serve_mutex_).
+  tune::Schedule schedule_;
+  std::size_t last_tuned_rows_ = 0;  // corpus size when schedule_ was chosen
+  bool retune_enabled_ = false;
+  double retune_factor_ = 4.0;
 };
 
 }  // namespace fasted::service

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <tuple>
 #include <utility>
 
 namespace fasted::sim {
@@ -147,6 +150,32 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> dispatch_order(
     }
   }
   return order;
+}
+
+std::shared_ptr<const std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+dispatch_order_cached(DispatchPolicy policy, std::size_t tile_rows,
+                      std::size_t tile_cols, int square) {
+  using Key = std::tuple<int, std::size_t, std::size_t, int>;
+  using Order = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+  // A handful of grid shapes are live at once (one per serve workload /
+  // schedule); the cap only guards against a pathological caller sweeping
+  // thousands of distinct shapes through the cache.
+  constexpr std::size_t kMaxEntries = 64;
+  static std::mutex mutex;
+  static std::map<Key, std::shared_ptr<const Order>> cache;
+
+  const Key key{static_cast<int>(policy), tile_rows, tile_cols, square};
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  auto order = std::make_shared<const Order>(
+      dispatch_order(policy, tile_rows, tile_cols, square));
+  std::lock_guard<std::mutex> lock(mutex);
+  if (cache.size() < kMaxEntries) cache.emplace(key, order);
+  const auto it = cache.find(key);  // a racing insert wins; share its copy
+  return it != cache.end() ? it->second : order;
 }
 
 }  // namespace fasted::sim

@@ -18,6 +18,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace fasted::sim {
@@ -94,5 +96,14 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> dispatch_order(
 std::vector<std::pair<std::uint32_t, std::uint32_t>> dispatch_order(
     DispatchPolicy policy, std::size_t tile_rows, std::size_t tile_cols,
     int square);
+
+// Memoized variant: the serve path rebuilds a WorkQueue per query strip
+// over the SAME (policy, rows, cols, square) grid, so the order is computed
+// once and shared immutably from then on (thread-safe; the cache holds a
+// bounded number of distinct grids and falls back to a fresh allocation
+// when full).  The returned vector is never mutated.
+std::shared_ptr<const std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+dispatch_order_cached(DispatchPolicy policy, std::size_t tile_rows,
+                      std::size_t tile_cols, int square);
 
 }  // namespace fasted::sim

@@ -1,0 +1,342 @@
+#include "tune/autotuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "core/fasted.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+
+namespace fasted::tune {
+
+namespace {
+
+std::size_t div_up(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+const char* policy_name(sim::DispatchPolicy p) {
+  switch (p) {
+    case sim::DispatchPolicy::kSquares: return "squares";
+    case sim::DispatchPolicy::kRowMajor: return "row-major";
+    case sim::DispatchPolicy::kColumnMajor: return "column-major";
+  }
+  return "?";
+}
+
+const char* steal_name(StealMode m) {
+  switch (m) {
+    case StealMode::kEnv: return "env";
+    case StealMode::kOn: return "on";
+    case StealMode::kOff: return "off";
+  }
+  return "?";
+}
+
+// Two schedules share a (tile, order) combo when only capacity/steal —
+// the dimensions the model cannot see — differ.
+bool same_combo(const Schedule& a, const Schedule& b) {
+  return a.tile_m == b.tile_m && a.tile_n == b.tile_n &&
+         a.policy == b.policy && a.square == b.square;
+}
+
+// Strided row sample: `take` rows spread evenly over the matrix, in row
+// order — deterministic, clustering-preserving enough for relative probes.
+MatrixF32 strided_sample(const MatrixF32& m, std::size_t take) {
+  take = std::min(take, m.rows());
+  MatrixF32 out(take, m.dims());
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t src = i * m.rows() / take;
+    std::copy_n(m.row(src), m.stride(), out.row(i));
+  }
+  return out;
+}
+
+struct ProbeContext {
+  const MatrixF32* sample = nullptr;
+  const PreparedDataset* queries = nullptr;
+  std::size_t target_rows = 0;
+  std::size_t domains = 0;
+  float eps = 0;
+  std::size_t reps = 1;
+};
+
+// Shard count the schedule's capacity implies for the probe sample: the
+// capacity is scaled by sample/target so the probe exercises the same
+// shard COUNT (and thus the same plan/merge structure) as the full corpus.
+std::size_t probe_shard_count(const Schedule& s, const ProbeContext& ctx) {
+  const std::size_t n = ctx.sample->rows();
+  if (s.shard_capacity == 0 || ctx.target_rows == 0) return 1;
+  const auto scaled = static_cast<std::size_t>(
+      static_cast<double>(s.shard_capacity) * static_cast<double>(n) /
+      static_cast<double>(ctx.target_rows));
+  const std::size_t cap = std::max<std::size_t>(1, scaled);
+  return std::min(n, div_up(n, cap));
+}
+
+ProbeStats run_probe(const FastedConfig& base, const Schedule& s,
+                     const ProbeContext& ctx) {
+  FastedEngine engine(s.apply(base));
+  PreparedShards shards =
+      prepare_shards(*ctx.sample, probe_shard_count(s, ctx), ctx.domains);
+  JoinOptions jopts;
+  jopts.build_result = false;  // the probe objective is throughput, not hits
+
+  ThreadPool& pool = ThreadPool::global();
+  const DomainLoadSnapshot baseline = pool.domain_load_snapshot();
+  obs::LatencyHistogram latency;
+  ProbeStats stats;
+  stats.seconds = std::numeric_limits<double>::infinity();
+  for (std::size_t rep = 0; rep < std::max<std::size_t>(1, ctx.reps); ++rep) {
+    const std::uint64_t t0 = obs::now_ns();
+    const QueryJoinOutput out =
+        engine.query_join(*ctx.queries, shards.span(), ctx.eps, jopts);
+    const std::uint64_t dt = obs::now_ns() - t0;
+    latency.record(dt);
+    stats.seconds = std::min(stats.seconds, static_cast<double>(dt) / 1e9);
+    stats.pairs = out.pair_count;
+  }
+  // Every schedule yields the SAME pair count (bit-exact numerics), so
+  // pairs/s comparisons between candidates are pure speed comparisons.
+  stats.pairs_per_s =
+      stats.seconds > 0 ? static_cast<double>(stats.pairs) / stats.seconds : 0;
+  stats.p95_ns = latency.quantile_ns(0.95);
+  for (const DomainLoad& l : pool.domain_loads_since(baseline)) {
+    stats.tiles_drained += l.tiles_drained;
+    stats.tiles_stolen += l.tiles_stolen;
+    stats.drain_ns += l.drain_ns;
+    stats.steal_ns += l.steal_ns;
+  }
+  return stats;
+}
+
+// Candidate ordering for reports: measured throughput first (descending),
+// un-probed candidates after, by predicted time.
+void rank_candidates(std::vector<Candidate>& c) {
+  std::stable_sort(c.begin(), c.end(), [](const Candidate& a,
+                                          const Candidate& b) {
+    if (a.probed != b.probed) return a.probed;
+    if (a.probed) return a.measured.pairs_per_s > b.measured.pairs_per_s;
+    return a.predicted_s < b.predicted_s;
+  });
+}
+
+// `a` beats `b` under the tuning objective: higher measured pairs/s, with
+// ties within `tiebreak` going to the lower p95 probe latency.
+bool beats(const ProbeStats& a, const ProbeStats& b, double tiebreak) {
+  if (b.pairs_per_s <= 0) return a.pairs_per_s > 0;
+  const double ratio = a.pairs_per_s / b.pairs_per_s;
+  if (ratio > 1.0 + tiebreak) return true;
+  if (ratio < 1.0 - tiebreak) return false;
+  return a.p95_ns < b.p95_ns;
+}
+
+}  // namespace
+
+AutoTuner::AutoTuner(FastedConfig base, TuneOptions options)
+    : base_(std::move(base)), options_(std::move(options)) {}
+
+std::vector<Candidate> AutoTuner::model_rank(const std::vector<Schedule>& space,
+                                             std::size_t target_rows,
+                                             std::size_t dims,
+                                             std::size_t domains) const {
+  // Collapse the space to distinct (tile, order) combos, carried with the
+  // default capacity/steal so stage-A probes compare orders apples-to-
+  // apples; capacity/steal are refined in stage B.
+  const Schedule def = Schedule::defaults(base_, target_rows, domains);
+  std::vector<Candidate> combos;
+  auto add_combo = [&](Schedule s) {
+    s.shard_capacity = def.shard_capacity;
+    s.steal = StealMode::kEnv;
+    for (const Candidate& c : combos) {
+      if (same_combo(c.schedule, s)) return;
+    }
+    combos.push_back(Candidate{s, 0, 1, false, {}});
+  };
+  add_combo(def);  // the fallback is always scored and probed
+  for (const Schedule& s : space) add_combo(s);
+
+  const std::size_t nq = std::max<std::size_t>(1, options_.probe_queries);
+  const std::size_t nc = std::max<std::size_t>(1, target_rows);
+  double default_s = 0;
+  for (Candidate& c : combos) {
+    const PerfEstimate est =
+        estimate_fasted_join_kernel(c.schedule.apply(base_), nq, nc, dims);
+    c.predicted_s = est.kernel_seconds;
+    if (same_combo(c.schedule, def)) default_s = est.kernel_seconds;
+  }
+  for (Candidate& c : combos) {
+    c.predicted_speedup =
+        c.predicted_s > 0 && default_s > 0 ? default_s / c.predicted_s : 1.0;
+  }
+  // Default combo first among equals, then ascending predicted time.
+  std::stable_sort(combos.begin(), combos.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.predicted_s < b.predicted_s;
+                   });
+  return combos;
+}
+
+TuneReport AutoTuner::tune(const MatrixF32& corpus, std::size_t target_rows,
+                           std::size_t domains, float eps) {
+  FASTED_CHECK_MSG(corpus.rows() > 0, "autotuner needs a non-empty corpus");
+  if (target_rows == 0) target_rows = corpus.rows();
+  const std::size_t dims = corpus.dims();
+
+  TuneReport report;
+  report.measured = true;
+  report.fallback = Schedule::defaults(base_, target_rows, domains);
+
+  const std::vector<Schedule> space =
+      ScheduleSpace::enumerate(base_, target_rows, domains, options_.space);
+  report.space_size = space.size();
+  std::vector<Candidate> combos =
+      model_rank(space, target_rows, dims, domains);
+  report.model_scored = combos.size();
+
+  // Survivors: best-predicted model_keep combos, plus the default combo
+  // wherever it ranked (the measured floor must always be probed).
+  std::vector<Candidate> survivors;
+  for (Candidate& c : combos) {
+    const bool is_default = same_combo(c.schedule, report.fallback);
+    if (survivors.size() < std::max<std::size_t>(1, options_.model_keep) ||
+        is_default) {
+      survivors.push_back(c);
+    }
+  }
+
+  const MatrixF32 sample = strided_sample(corpus, options_.probe_rows);
+  const MatrixF32 query_rows =
+      strided_sample(sample, std::max<std::size_t>(1, options_.probe_queries));
+  const PreparedDataset queries(query_rows);
+  ProbeContext ctx;
+  ctx.sample = &sample;
+  ctx.queries = &queries;
+  ctx.target_rows = target_rows;
+  ctx.domains = domains;
+  ctx.eps = eps;
+  ctx.reps = options_.probe_reps;
+
+  // Stage A: measure the surviving tile/order combos at default
+  // capacity/steal; find the winner and remember the default's numbers.
+  std::size_t best_ix = 0;
+  std::size_t default_ix = 0;
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    survivors[i].measured = run_probe(base_, survivors[i].schedule, ctx);
+    survivors[i].probed = true;
+    ++report.probes;
+    if (same_combo(survivors[i].schedule, report.fallback)) default_ix = i;
+    if (i != best_ix && beats(survivors[i].measured,
+                              survivors[best_ix].measured,
+                              options_.p95_tiebreak)) {
+      best_ix = i;
+    }
+  }
+
+  // Stage B: refine capacity and steal pinning for the winning combo —
+  // probe every space member sharing its tiles and order.
+  Candidate best = survivors[best_ix];
+  for (const Schedule& s : space) {
+    if (!same_combo(s, best.schedule)) continue;
+    if (s.shard_capacity == best.schedule.shard_capacity &&
+        s.steal == best.schedule.steal) {
+      continue;  // already measured in stage A
+    }
+    Candidate c;
+    c.schedule = s;
+    c.predicted_s = best.predicted_s;
+    c.predicted_speedup = best.predicted_speedup;
+    c.measured = run_probe(base_, s, ctx);
+    c.probed = true;
+    ++report.probes;
+    survivors.push_back(c);
+    if (beats(c.measured, best.measured, options_.p95_tiebreak)) best = c;
+  }
+
+  // The tuner is monotone: never hand back a schedule that measured slower
+  // than the default it is replacing.
+  const Candidate& def = survivors[default_ix];
+  report.default_pairs_per_s = def.measured.pairs_per_s;
+  if (!beats(best.measured, def.measured, /*tiebreak=*/0.0) &&
+      !same_combo(best.schedule, def.schedule)) {
+    best = def;
+  }
+  report.best = best.schedule;
+  report.best_pairs_per_s = best.measured.pairs_per_s;
+  report.candidates = std::move(survivors);
+  rank_candidates(report.candidates);
+  return report;
+}
+
+TuneReport AutoTuner::predict(std::size_t target_rows, std::size_t dims,
+                              std::size_t domains) const {
+  TuneReport report;
+  report.measured = false;
+  report.fallback = Schedule::defaults(base_, target_rows, domains);
+  const std::vector<Schedule> space =
+      ScheduleSpace::enumerate(base_, target_rows, domains, options_.space);
+  report.space_size = space.size();
+  report.candidates = model_rank(space, target_rows, dims, domains);
+  report.model_scored = report.candidates.size();
+  report.best = report.candidates.empty() ? report.fallback
+                                          : report.candidates.front().schedule;
+  return report;
+}
+
+std::string TuneReport::table() const {
+  std::ostringstream os;
+  os << std::left << std::setw(44) << "schedule" << std::right
+     << std::setw(12) << "pred_s" << std::setw(8) << "pred_x" << std::setw(14)
+     << "pairs/s" << std::setw(8) << "meas_x" << std::setw(12) << "p95_ms"
+     << "\n";
+  for (const Candidate& c : candidates) {
+    os << std::left << std::setw(44) << c.schedule.describe() << std::right
+       << std::setw(12) << std::scientific << std::setprecision(2)
+       << c.predicted_s << std::fixed << std::setprecision(2) << std::setw(8)
+       << c.predicted_speedup;
+    if (c.probed) {
+      const double meas_x = default_pairs_per_s > 0
+                                ? c.measured.pairs_per_s / default_pairs_per_s
+                                : 0.0;
+      os << std::setw(14) << std::scientific << std::setprecision(3)
+         << c.measured.pairs_per_s << std::fixed << std::setprecision(2)
+         << std::setw(8) << meas_x << std::setw(12) << std::setprecision(3)
+         << static_cast<double>(c.measured.p95_ns) / 1e6;
+    } else {
+      os << std::setw(14) << "-" << std::setw(8) << "-" << std::setw(12)
+         << "-";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string TuneReport::json() const {
+  std::ostringstream os;
+  const auto schedule_json = [](const Schedule& s) {
+    std::ostringstream o;
+    o << "{\"tile_m\": " << s.tile_m << ", \"tile_n\": " << s.tile_n
+      << ", \"policy\": \"" << policy_name(s.policy)
+      << "\", \"square\": " << s.square
+      << ", \"shard_capacity\": " << s.shard_capacity << ", \"steal\": \""
+      << steal_name(s.steal) << "\"}";
+    return o.str();
+  };
+  os << "{\n  \"schedule\": " << schedule_json(best)
+     << ",\n  \"default\": " << schedule_json(fallback)
+     << ",\n  \"measured\": " << (measured ? "true" : "false")
+     << ",\n  \"best_pairs_per_s\": " << best_pairs_per_s
+     << ",\n  \"default_pairs_per_s\": " << default_pairs_per_s
+     << ",\n  \"speedup\": "
+     << (default_pairs_per_s > 0 ? best_pairs_per_s / default_pairs_per_s
+                                 : 1.0)
+     << ",\n  \"space_size\": " << space_size
+     << ",\n  \"model_scored\": " << model_scored
+     << ",\n  \"probes\": " << probes << "\n}";
+  return os.str();
+}
+
+}  // namespace fasted::tune

@@ -1,0 +1,128 @@
+// AutoTuner: perf-model-pruned, probe-refined schedule search.
+//
+// Exhaustively measuring the ScheduleSpace would cost hundreds of join
+// runs, so the tuner works in two stages:
+//
+//   1. PRUNE with the analytic model.  Every distinct (tile shape,
+//      dispatch order) combination is scored with
+//      estimate_fasted_join_kernel at the TARGET corpus scale — no data is
+//      touched.  Only the top `model_keep` combinations (plus the default,
+//      always) survive.  The model's absolute seconds describe the modeled
+//      A100, not this host, but the RANKING transfers: both are driven by
+//      the same tile-count / L2-reuse structure.
+//   2. REFINE with measured probes.  Survivors run short count-only query
+//      joins on a strided sample of the real corpus (so probe cost is
+//      bounded regardless of corpus size), first to pick the tile/order
+//      combination, then to pick shard capacity and steal pinning for the
+//      winner.  The objective is measured pairs/s; within `p95_tiebreak`
+//      of the best, the lower p95 probe latency wins.  Probe shard
+//      capacities are scaled down proportionally (capacity * sample/target)
+//      so the probe exercises the same shard COUNT the full corpus would.
+//
+// The default schedule is always probed, and the tuner never returns a
+// schedule that measured slower than the default — worst case it hands the
+// default back, so adopting the tuner is monotone.  Results are unaffected
+// by construction: schedules change only execution policy (see
+// tune/schedule.hpp), so tuning never changes a single emitted pair.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/config.hpp"
+#include "tune/schedule.hpp"
+#include "tune/schedule_space.hpp"
+
+namespace fasted::tune {
+
+struct TuneOptions {
+  // Probe workload: `probe_rows` corpus rows sampled by stride from the
+  // real corpus, joined against `probe_queries` queries drawn from it.
+  std::size_t probe_rows = 65536;
+  std::size_t probe_queries = 256;
+  std::size_t probe_reps = 2;   // best-of-N wall time per candidate
+  // Survivors of the model pruning (distinct tile/order combinations).
+  std::size_t model_keep = 4;
+  // Measured pairs/s within this fraction of the best tie-break on the
+  // lower p95 probe latency instead.
+  double p95_tiebreak = 0.02;
+  ScheduleSpaceOptions space;
+};
+
+// Measured outcome of one candidate's probe runs.
+struct ProbeStats {
+  double seconds = 0;           // best-of-reps wall time of one probe join
+  double pairs_per_s = 0;       // probe pairs / best seconds
+  std::uint64_t pairs = 0;
+  std::uint64_t p95_ns = 0;     // p95 over the per-rep probe latencies
+  // Executor drain/steal deltas over the probes (summed across domains).
+  std::uint64_t tiles_drained = 0;
+  std::uint64_t tiles_stolen = 0;
+  std::uint64_t drain_ns = 0;
+  std::uint64_t steal_ns = 0;
+};
+
+struct Candidate {
+  Schedule schedule;
+  double predicted_s = 0;        // model kernel seconds at target scale
+  double predicted_speedup = 1;  // default's predicted_s / this predicted_s
+  bool probed = false;
+  ProbeStats measured;
+};
+
+struct TuneReport {
+  Schedule best;
+  Schedule fallback;               // the default schedule (always probed)
+  double best_pairs_per_s = 0;     // 0 in model-only reports
+  double default_pairs_per_s = 0;
+  std::size_t space_size = 0;      // valid schedules enumerated
+  std::size_t model_scored = 0;    // distinct tile/order combos scored
+  std::size_t probes = 0;          // measured probe joins run
+  bool measured = false;           // false: model-only ranking (predict())
+  std::vector<Candidate> candidates;  // ranked, best first
+
+  // Human-readable predicted-vs-measured table (one row per candidate).
+  std::string table() const;
+  // The chosen schedule + headline numbers as one JSON object.
+  std::string json() const;
+};
+
+class AutoTuner {
+ public:
+  explicit AutoTuner(FastedConfig base = FastedConfig::paper_defaults(),
+                     TuneOptions options = {});
+
+  // Full tune for a corpus of `target_rows` rows shaped like `corpus`
+  // (probes sample it by stride; `corpus` may be the full corpus or any
+  // representative subset — pass target_rows = corpus.rows() when it is
+  // the real thing).  `eps` is the probe radius; pick one near the serving
+  // selectivity so probe hit rates resemble production.
+  TuneReport tune(const MatrixF32& corpus, std::size_t target_rows,
+                  std::size_t domains, float eps);
+
+  // Model-only ranking: no corpus, no probes — picks the best-predicted
+  // tile/order combination with the default capacity/steal policy.  The
+  // regime-retune path (JoinService) uses this because it must be cheap
+  // enough to run inline on a corpus-size change.
+  TuneReport predict(std::size_t target_rows, std::size_t dims,
+                     std::size_t domains) const;
+
+  const FastedConfig& base() const { return base_; }
+  const TuneOptions& options() const { return options_; }
+
+ private:
+  // Distinct (tile, order) combos of `space`, model-scored and ranked;
+  // the default combo is always included.
+  std::vector<Candidate> model_rank(const std::vector<Schedule>& space,
+                                    std::size_t target_rows, std::size_t dims,
+                                    std::size_t domains) const;
+
+  FastedConfig base_;
+  TuneOptions options_;
+};
+
+}  // namespace fasted::tune

@@ -1,0 +1,83 @@
+#include "tune/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace fasted::tune {
+
+FastedConfig Schedule::apply(const FastedConfig& base) const {
+  FastedConfig cfg = base;
+  cfg.block_tile_m = tile_m;
+  cfg.block_tile_n = tile_n;
+  // Warp tiles cover the block tile in a (m/wm) x (n/wn) grid; 64 is the
+  // paper's register-pressure ceiling, smaller blocks take the whole tile.
+  cfg.warp_tile_m = std::min(64, tile_m);
+  cfg.warp_tile_n = std::min(64, tile_n);
+  cfg.warps_per_block = (cfg.block_tile_m / cfg.warp_tile_m) *
+                        (cfg.block_tile_n / cfg.warp_tile_n);
+  cfg.dispatch_override = policy;
+  cfg.dispatch_square = square;
+  cfg.steal_mode = steal;
+  // Large tiles stage more shared memory per block; shed residency before
+  // the smem capacity check would reject the schedule outright.
+  while (cfg.blocks_per_sm > 1 &&
+         cfg.smem_bytes_per_block() *
+                 static_cast<std::size_t>(cfg.residency()) >
+             cfg.device.smem_bytes_per_sm) {
+    --cfg.blocks_per_sm;
+  }
+  return cfg;
+}
+
+bool Schedule::valid(const FastedConfig& base) const {
+  if (tile_m <= 0 || tile_n <= 0 || square < 1) return false;
+  try {
+    apply(base).validate();
+  } catch (const CheckError&) {
+    return false;
+  }
+  return true;
+}
+
+bool Schedule::operator==(const Schedule& other) const {
+  return tile_m == other.tile_m && tile_n == other.tile_n &&
+         policy == other.policy && square == other.square &&
+         shard_capacity == other.shard_capacity && steal == other.steal;
+}
+
+std::string Schedule::describe() const {
+  std::ostringstream os;
+  os << "tile " << tile_m << "x" << tile_n << ", ";
+  switch (policy) {
+    case sim::DispatchPolicy::kSquares:
+      os << "squares " << square << "x" << square;
+      break;
+    case sim::DispatchPolicy::kRowMajor:
+      os << "row-major";
+      break;
+    case sim::DispatchPolicy::kColumnMajor:
+      os << "column-major";
+      break;
+  }
+  if (shard_capacity != 0) os << ", capacity " << shard_capacity;
+  if (steal == StealMode::kOn) os << ", steal on";
+  if (steal == StealMode::kOff) os << ", steal off";
+  return os.str();
+}
+
+Schedule Schedule::defaults(const FastedConfig& base, std::size_t corpus_rows,
+                            std::size_t domains) {
+  Schedule s;
+  s.tile_m = base.block_tile_m;
+  s.tile_n = base.block_tile_n;
+  s.policy = base.dispatch_policy();
+  s.square = base.dispatch_square;
+  const std::size_t d = std::max<std::size_t>(1, domains);
+  s.shard_capacity = corpus_rows == 0 ? 0 : (corpus_rows + d - 1) / d;
+  s.steal = base.steal_mode;
+  return s;
+}
+
+}  // namespace fasted::tune

@@ -1,0 +1,55 @@
+// A Schedule is the execution-policy half of a join: which block-tile
+// shape the kernel runs, in what dispatch order the tiles are drained,
+// how large the corpus shards are, and whether cross-domain stealing is
+// pinned on or off.  It deliberately carries NO numerics: applying any
+// schedule leaves the FP16/RZ distance chain untouched, so every schedule
+// produces bit-identical join results (the schedule property tests pin
+// exactly this).  That algorithm/schedule split is what makes autotuning
+// safe — the tuner searches schedules, never answers.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/config.hpp"
+#include "sim/l2_model.hpp"
+
+namespace fasted::tune {
+
+struct Schedule {
+  // Block-tile shape: query rows x corpus columns per tile.
+  int tile_m = 128;
+  int tile_n = 128;
+  // Tile dispatch order and (for kSquares) the square side (paper Fig. 4).
+  sim::DispatchPolicy policy = sim::DispatchPolicy::kSquares;
+  int square = 8;
+  // Rows per corpus shard; 0 keeps the corpus' existing sharding untouched.
+  std::size_t shard_capacity = 0;
+  // Cross-domain work stealing; kEnv defers to FASTED_STEAL.
+  StealMode steal = StealMode::kEnv;
+
+  // Rewrites the execution knobs of `base` to this schedule: block tiles,
+  // warp tiles re-derived to cover them (64-capped, so the warp-tile grid
+  // and warps_per_block stay consistent), dispatch override, and steal
+  // mode.  SM residency is lowered toward 1 when a large tile's staged
+  // shared memory would not fit at the base residency — tall schedules
+  // trade occupancy for tile reuse rather than becoming invalid.
+  FastedConfig apply(const FastedConfig& base) const;
+
+  // True iff apply(base) yields a config passing FastedConfig::validate().
+  bool valid(const FastedConfig& base) const;
+
+  // Equality on the search key (everything the tuner enumerates over).
+  bool operator==(const Schedule& other) const;
+
+  // e.g. "tile 128x128, squares 8x8, capacity 250000, steal on"
+  std::string describe() const;
+
+  // The pre-tuning behavior: paper tile shape and dispatch, one shard per
+  // execution domain (`domains` >= 1), stealing left to the environment.
+  static Schedule defaults(const FastedConfig& base, std::size_t corpus_rows,
+                           std::size_t domains);
+};
+
+}  // namespace fasted::tune

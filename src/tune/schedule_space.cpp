@@ -1,0 +1,85 @@
+#include "tune/schedule_space.hpp"
+
+#include <algorithm>
+
+namespace fasted::tune {
+
+namespace {
+
+// Distinct candidate shard capacities for the corpus: fractions of the
+// even per-domain split, clamped to [min_capacity, rows] and deduped.
+std::vector<std::size_t> capacity_candidates(std::size_t rows,
+                                             std::size_t domains,
+                                             const ScheduleSpaceOptions& o) {
+  std::vector<std::size_t> caps;
+  if (rows == 0) {
+    caps.push_back(0);
+    return caps;
+  }
+  const std::size_t d = std::max<std::size_t>(1, domains);
+  const std::size_t even = (rows + d - 1) / d;
+  const std::size_t floor_cap = std::min(rows, o.min_shard_capacity);
+  for (const double frac : o.capacity_fractions) {
+    if (frac <= 0.0) continue;
+    auto cap = static_cast<std::size_t>(static_cast<double>(even) * frac);
+    cap = std::clamp(cap, floor_cap, rows);
+    caps.push_back(cap);
+  }
+  std::sort(caps.begin(), caps.end(), std::greater<>());
+  caps.erase(std::unique(caps.begin(), caps.end()), caps.end());
+  return caps;
+}
+
+}  // namespace
+
+std::vector<Schedule> ScheduleSpace::enumerate(
+    const FastedConfig& base, std::size_t corpus_rows, std::size_t domains,
+    const ScheduleSpaceOptions& opts) {
+  // (policy, square) axis; square is meaningless for linear orders, so
+  // row-major appears once with the base square (keeps the key canonical).
+  std::vector<std::pair<sim::DispatchPolicy, int>> orders;
+  for (const int s : opts.squares) {
+    if (s >= 1) orders.emplace_back(sim::DispatchPolicy::kSquares, s);
+  }
+  if (opts.include_row_major) {
+    orders.emplace_back(sim::DispatchPolicy::kRowMajor, base.dispatch_square);
+  }
+
+  const std::vector<std::size_t> caps =
+      capacity_candidates(corpus_rows, domains, opts);
+  std::vector<StealMode> steals;
+  if (domains > 1) {
+    steals = {StealMode::kOn, StealMode::kOff};
+  } else {
+    steals = {StealMode::kEnv};
+  }
+
+  std::vector<Schedule> out;
+  for (const int tm : opts.tile_sides) {
+    for (const int tn : opts.tile_sides) {
+      for (const auto& [policy, square] : orders) {
+        for (const std::size_t cap : caps) {
+          for (const StealMode steal : steals) {
+            Schedule s;
+            s.tile_m = tm;
+            s.tile_n = tn;
+            s.policy = policy;
+            s.square = square;
+            s.shard_capacity = cap;
+            s.steal = steal;
+            if (s.valid(base)) out.push_back(s);
+          }
+        }
+      }
+    }
+  }
+
+  const Schedule def = Schedule::defaults(base, corpus_rows, domains);
+  if (def.valid(base) &&
+      std::find(out.begin(), out.end(), def) == out.end()) {
+    out.push_back(def);
+  }
+  return out;
+}
+
+}  // namespace fasted::tune

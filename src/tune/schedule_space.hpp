@@ -1,0 +1,50 @@
+// ScheduleSpace: the search space the autotuner ranges over — every valid
+// combination of block-tile shape, dispatch policy (squares of several
+// sides, plus linear orders), shard capacity (fractions of the per-domain
+// even split), and steal pinning.  Enumeration is cheap (a few hundred
+// candidates); the expensive part — deciding which ones to actually run —
+// belongs to the AutoTuner, which prunes this space with the perf model
+// before measuring anything.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+#include "tune/schedule.hpp"
+
+namespace fasted::tune {
+
+struct ScheduleSpaceOptions {
+  // Block-tile sides tried for both tile_m and tile_n (the full cross
+  // product, so tall/wide rectangles are in the space).
+  std::vector<int> tile_sides = {64, 128, 256};
+  // Dispatch-square sides for the kSquares policy.
+  std::vector<int> squares = {4, 8, 16};
+  // Also try the naive linear order (the paper's 3.3.1 ablation arm; on
+  // some CPU cache hierarchies it is genuinely competitive for thin grids).
+  bool include_row_major = true;
+  // Shard capacities tried, as fractions of the even per-domain split
+  // ceil(rows / domains).  1.0 is the PR 4 default placement.
+  std::vector<double> capacity_fractions = {1.0, 0.5, 0.25};
+  // Capacities never shrink below this many rows (tiny shards drown the
+  // executor in per-shard plan overhead).
+  std::size_t min_shard_capacity = 4096;
+};
+
+class ScheduleSpace {
+ public:
+  // Every valid schedule for a corpus of `corpus_rows` rows served by
+  // `domains` execution domains.  Steal pinning {on, off} is enumerated
+  // only when domains > 1 (with one domain there is nobody to steal from,
+  // so the dimension would just duplicate candidates).  The default
+  // schedule is always present.  Invalid combinations (shared memory,
+  // warp-tile divisibility) are filtered via Schedule::valid.
+  static std::vector<Schedule> enumerate(const FastedConfig& base,
+                                         std::size_t corpus_rows,
+                                         std::size_t domains,
+                                         const ScheduleSpaceOptions& opts = {});
+};
+
+}  // namespace fasted::tune

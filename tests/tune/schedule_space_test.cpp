@@ -1,0 +1,105 @@
+// ScheduleSpace enumeration invariants: every candidate is valid against
+// the base config, the default schedule is always present, the steal
+// dimension exists only when there is more than one execution domain, and
+// capacities respect the clamp rails.
+
+#include "tune/schedule_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fasted::tune {
+namespace {
+
+TEST(ScheduleSpace, EveryCandidateIsValid) {
+  const FastedConfig base = FastedConfig::paper_defaults();
+  const auto space = ScheduleSpace::enumerate(base, 100000, 2);
+  ASSERT_FALSE(space.empty());
+  for (const Schedule& s : space) {
+    EXPECT_TRUE(s.valid(base)) << s.describe();
+    // valid() promises apply() does not throw; exercise it.
+    EXPECT_NO_THROW(s.apply(base).validate()) << s.describe();
+  }
+}
+
+TEST(ScheduleSpace, DefaultScheduleAlwaysPresent) {
+  const FastedConfig base = FastedConfig::paper_defaults();
+  for (const std::size_t domains : {std::size_t{1}, std::size_t{4}}) {
+    const auto space = ScheduleSpace::enumerate(base, 50000, domains);
+    const Schedule def = Schedule::defaults(base, 50000, domains);
+    EXPECT_NE(std::find(space.begin(), space.end(), def), space.end())
+        << "domains=" << domains;
+  }
+}
+
+TEST(ScheduleSpace, NoCandidateDuplicated) {
+  const FastedConfig base = FastedConfig::paper_defaults();
+  const auto space = ScheduleSpace::enumerate(base, 100000, 2);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    for (std::size_t j = i + 1; j < space.size(); ++j) {
+      EXPECT_FALSE(space[i] == space[j])
+          << i << " and " << j << ": " << space[i].describe();
+    }
+  }
+}
+
+TEST(ScheduleSpace, StealDimensionOnlyWithMultipleDomains) {
+  const FastedConfig base = FastedConfig::paper_defaults();
+  const auto flat = ScheduleSpace::enumerate(base, 100000, 1);
+  for (const Schedule& s : flat) {
+    EXPECT_EQ(s.steal, StealMode::kEnv) << s.describe();
+  }
+  const auto multi = ScheduleSpace::enumerate(base, 100000, 2);
+  const auto has_steal = [&](StealMode m) {
+    return std::any_of(multi.begin(), multi.end(),
+                       [&](const Schedule& s) { return s.steal == m; });
+  };
+  EXPECT_TRUE(has_steal(StealMode::kOn));
+  EXPECT_TRUE(has_steal(StealMode::kOff));
+  EXPECT_GT(multi.size(), flat.size());
+}
+
+TEST(ScheduleSpace, CapacitiesClampedToRails) {
+  const FastedConfig base = FastedConfig::paper_defaults();
+  ScheduleSpaceOptions opts;
+  opts.min_shard_capacity = 4096;
+  const std::size_t rows = 100000;
+  const auto space = ScheduleSpace::enumerate(base, rows, 4, opts);
+  for (const Schedule& s : space) {
+    EXPECT_GE(s.shard_capacity, opts.min_shard_capacity) << s.describe();
+    EXPECT_LE(s.shard_capacity, rows) << s.describe();
+  }
+  // A corpus smaller than the floor clamps to the corpus itself.
+  const auto tiny = ScheduleSpace::enumerate(base, 512, 2, opts);
+  for (const Schedule& s : tiny) {
+    EXPECT_LE(s.shard_capacity, 512u) << s.describe();
+  }
+}
+
+TEST(ScheduleSpace, LargeTilesShedResidencyInsteadOfVanishing) {
+  // A 256x256 tile at pipeline depth 2 wants 256 KB more smem than the
+  // paper residency of 2 allows; apply() sheds blocks_per_sm toward 1 so
+  // the shape stays in the space.
+  const FastedConfig base = FastedConfig::paper_defaults();
+  ScheduleSpaceOptions opts;
+  opts.tile_sides = {256};
+  opts.squares = {8};
+  const auto space = ScheduleSpace::enumerate(base, 100000, 1, opts);
+  ASSERT_FALSE(space.empty());
+  bool found_shed = false;
+  for (const Schedule& s : space) {
+    const FastedConfig cfg = s.apply(base);
+    if (s.tile_m == 256 && s.tile_n == 256) {
+      found_shed = true;
+      EXPECT_LT(cfg.residency(), base.residency()) << s.describe();
+    }
+    EXPECT_LE(cfg.smem_bytes_per_block() * cfg.residency(),
+              cfg.device.smem_bytes_per_sm)
+        << s.describe();
+  }
+  EXPECT_TRUE(found_shed);
+}
+
+}  // namespace
+}  // namespace fasted::tune
