@@ -31,12 +31,15 @@
 // records it into the history dashboard instead.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -47,6 +50,9 @@
 #include "data/calibrate.hpp"
 #include "data/generators.hpp"
 #include "obs/histogram.hpp"
+#include "serve/batch_gateway.hpp"
+#include "service/corpus_session.hpp"
+#include "service/join_service.hpp"
 #include "tune/autotuner.hpp"
 
 using namespace fasted;
@@ -400,6 +406,83 @@ int main(int argc, char** argv) {
     print_row("query/tomb20", tomb_query);
   }
 
+  // Coalesced-serve config: 8 concurrent point-query clients through the
+  // BatchGateway (all 8 requests coalesce into ONE shared drain per round)
+  // vs the same 8 requests served back-to-back through JoinService.
+  // Results are bit-identical (property-tested in tests/serve/); the delta
+  // is what coalescing actually amortizes on the serving path: the dense
+  // tile kernels sweep the corpus in multi-row query granules, so a
+  // request below the granule pays the full granule's sweep — eight 1-row
+  // point queries drained separately cost eight granule sweeps, coalesced
+  // into one 8-row strip they cost two — plus the per-request admission /
+  // preparation / sink setup paid once per window instead of once per
+  // request.  (Point queries are the case cross-request coalescing exists
+  // for: a client with a large batch already amortizes the corpus sweep
+  // by itself.)
+  std::printf("\n");
+  Measurement serve_seq;
+  Measurement serve_gw;
+  double serve_speedup = 1.0;
+  const std::size_t serve_clients = 8;
+  const std::size_t serve_rows = 1;
+  // Twice the self-join corpus: each point query sweeps it whole, so the
+  // granule effect (not client-thread jitter) dominates the measurement.
+  const std::size_t serve_n = 2 * n;
+  {
+    std::vector<MatrixF32> client_queries;
+    client_queries.reserve(serve_clients);
+    for (std::size_t c = 0; c < serve_clients; ++c) {
+      client_queries.push_back(data::uniform(serve_rows, d, 9000 + c));
+    }
+    auto svc = std::make_shared<service::JoinService>(
+        std::make_shared<service::CorpusSession>(data::uniform(serve_n, d, 43)));
+    const double serve_evals = static_cast<double>(serve_clients) *
+                               static_cast<double>(serve_rows) *
+                               static_cast<double>(serve_n);
+    serve_seq = measure(simd.name, serve_evals, reps, [&] {
+      std::uint64_t pairs = 0;
+      for (std::size_t c = 0; c < serve_clients; ++c) {
+        service::EpsQuery request;
+        request.points = MatrixF32(client_queries[c]);
+        request.eps = eps;
+        pairs += svc->eps_join(request).pair_count;
+      }
+      return pairs;
+    });
+    print_row("serve/seq8", serve_seq);
+
+    serve::GatewayOptions gopts;
+    gopts.window_max_requests = serve_clients;
+    gopts.window_wait = std::chrono::microseconds(20000);
+    serve::BatchGateway gateway(svc, gopts);
+    serve_gw = measure(simd.name, serve_evals, reps, [&] {
+      std::atomic<std::uint64_t> pairs{0};
+      std::vector<std::thread> clients;
+      clients.reserve(serve_clients);
+      for (std::size_t c = 0; c < serve_clients; ++c) {
+        clients.emplace_back([&, c] {
+          service::EpsQuery request;
+          request.points = MatrixF32(client_queries[c]);
+          request.eps = eps;
+          serve::BatchGateway::TicketPtr t;
+          while ((t = gateway.try_submit(request)) == nullptr) {
+            std::this_thread::yield();
+          }
+          pairs += t->wait().eps.pair_count;
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      return pairs.load();
+    });
+    print_row("serve/gw8", serve_gw);
+    serve_speedup = serve_seq.seconds / serve_gw.seconds;
+    const auto gstats = gateway.stats();
+    std::printf("\ncoalesced serve: %.2fx over sequential (%zu clients x %zu "
+                "queries, coalescing factor %.2f)\n",
+                serve_speedup, serve_clients, serve_rows,
+                gstats.coalescing_factor);
+  }
+
   FILE* f = std::fopen("BENCH_join.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_join.json\n");
@@ -449,7 +532,14 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"shards\": %zu\n  },\n", placement_shards);
   std::fprintf(f, "  \"tombstone_query_join\": {\n");
   json_entry(f, "tombstones_20", tomb_query);
-  std::fprintf(f, "    \"dead_fraction\": 0.2\n  }\n");
+  std::fprintf(f, "    \"dead_fraction\": 0.2\n  },\n");
+  std::fprintf(f, "  \"coalesced_serve\": {\n");
+  json_entry(f, "sequential_8", serve_seq);
+  json_entry(f, "gateway_8", serve_gw);
+  std::fprintf(f,
+               "    \"clients\": %zu, \"rows_per_client\": %zu, "
+               "\"corpus_n\": %zu, \"speedup\": %.3f\n  }\n",
+               serve_clients, serve_rows, serve_n, serve_speedup);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_join.json\n");

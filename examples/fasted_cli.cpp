@@ -28,9 +28,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/gds_join.hpp"
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "baselines/mistic_join.hpp"
 #include "baselines/ted_join.hpp"
@@ -41,6 +43,7 @@
 #include "data/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/batch_gateway.hpp"
 #include "service/corpus_session.hpp"
 #include "service/join_service.hpp"
 #include "service/sharded_corpus.hpp"
@@ -70,6 +73,10 @@ struct Args {
   bool rebalance = false;         // run a drain/steal-driven rebalance pass
   bool autotune = false;          // perf-model + probe schedule search
   std::size_t probe_rows = 65536; // autotune probe sample size
+  std::size_t gateway = 0;        // > 0: N concurrent clients through a
+                                  // coalescing BatchGateway
+  std::string save_schedule;      // write the tuned schedule JSON here
+  std::string load_schedule;      // adopt a saved schedule, no re-probing
   std::string trace_path;         // write a Chrome trace-event JSON here
   std::string stats_json;         // write service + registry metrics here
 };
@@ -109,6 +116,14 @@ void usage() {
       "                   predicted-vs-measured table and runs the chosen\n"
       "                   schedule (results are bit-identical to default)\n"
       "  --probe-rows N   autotune probe sample size (default 65536)\n"
+      "  --gateway N      service mode: each batch round is served by N\n"
+      "                   concurrent clients submitting through a coalescing\n"
+      "                   BatchGateway (one shared drain per admission\n"
+      "                   window; results bit-identical to sequential)\n"
+      "  --save-schedule F  write the autotuned schedule as JSON (needs\n"
+      "                   --autotune)\n"
+      "  --load-schedule F  adopt a schedule saved with --save-schedule,\n"
+      "                   skipping the search/probes entirely\n"
       "  --trace FILE     record per-worker spans and write a Chrome\n"
       "                   trace-event JSON (chrome://tracing / Perfetto);\n"
       "                   FASTED_TRACE=FILE does the same without the flag\n"
@@ -162,6 +177,12 @@ bool parse(int argc, char** argv, Args& args) {
       args.autotune = true;
     } else if (flag == "--probe-rows" && (v = next())) {
       args.probe_rows = std::stoull(v);
+    } else if (flag == "--gateway" && (v = next())) {
+      args.gateway = std::stoull(v);
+    } else if (flag == "--save-schedule" && (v = next())) {
+      args.save_schedule = v;
+    } else if (flag == "--load-schedule" && (v = next())) {
+      args.load_schedule = v;
     } else if (flag == "--trace" && (v = next())) {
       args.trace_path = v;
     } else if (flag == "--stats-json" && (v = next())) {
@@ -266,12 +287,13 @@ void print_domain_loads(const service::ServiceStats& stats) {
   std::printf("\n");
 }
 
-void print_phase_latencies(const service::ServiceStats& stats) {
-  if (stats.phase_latencies.empty()) return;
-  std::printf("serve-phase latency (microseconds):\n");
+void print_phase_table(const char* title,
+                       const std::vector<service::PhaseLatency>& phases) {
+  if (phases.empty()) return;
+  std::printf("%s (microseconds):\n", title);
   std::printf("  %-15s %-8s %-10s %-10s %-10s %-10s\n", "phase", "count",
               "p50", "p95", "p99", "max");
-  for (const auto& p : stats.phase_latencies) {
+  for (const auto& p : phases) {
     std::printf("  %-15s %-8llu %-10.1f %-10.1f %-10.1f %-10.1f\n", p.phase,
                 static_cast<unsigned long long>(p.count),
                 static_cast<double>(p.p50_ns) * 1e-3,
@@ -281,10 +303,16 @@ void print_phase_latencies(const service::ServiceStats& stats) {
   }
 }
 
-// --stats-json payload: the service's phase/counter view (when serving)
-// plus the process-global registry (engine, baseline, lifecycle metrics).
+void print_phase_latencies(const service::ServiceStats& stats) {
+  print_phase_table("serve-phase latency", stats.phase_latencies);
+}
+
+// --stats-json payload: the service's phase/counter view (when serving),
+// the gateway's admission/coalescing view (when --gateway), plus the
+// process-global registry (engine, baseline, lifecycle metrics).
 bool write_stats_json(const std::string& path,
-                      const service::JoinService* svc) {
+                      const service::JoinService* svc,
+                      const serve::BatchGateway* gateway = nullptr) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -292,6 +320,7 @@ bool write_stats_json(const std::string& path,
   }
   std::string payload = "{";
   if (svc != nullptr) payload += "\"service\":" + svc->stats_json() + ",";
+  if (gateway != nullptr) payload += "\"gateway\":" + gateway->stats_json() + ",";
   payload += "\"registry\":" + obs::Registry::global().json() + "}\n";
   std::fputs(payload.c_str(), f);
   std::fclose(f);
@@ -300,7 +329,7 @@ bool write_stats_json(const std::string& path,
 }
 
 int run_service_mode(const Args& args, const MatrixF32& points, float eps,
-                     const tune::TuneReport* tuned) {
+                     const tune::Schedule* schedule) {
   using Clock = std::chrono::steady_clock;
   if (!args.save_result.empty()) {
     std::fprintf(stderr,
@@ -342,7 +371,7 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps,
 
   const auto ingest_start = Clock::now();
   std::shared_ptr<service::ShardedCorpus> corpus;
-  std::optional<service::JoinService> svc;
+  std::shared_ptr<service::JoinService> svc;
   if (sharded) {
     service::ShardedCorpusOptions copts;
     // Capacity from the FULL corpus size so the append-driven session seals
@@ -351,20 +380,21 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps,
     copts.placement_domains = args.domains;
     corpus = std::make_shared<service::ShardedCorpus>(
         row_slice(points, 0, initial), copts);
-    svc.emplace(corpus);
+    svc = std::make_shared<service::JoinService>(corpus);
   } else {
-    svc.emplace(std::make_shared<service::CorpusSession>(MatrixF32(points)));
+    svc = std::make_shared<service::JoinService>(
+        std::make_shared<service::CorpusSession>(MatrixF32(points)));
   }
   const double ingest_s =
       std::chrono::duration<double>(Clock::now() - ingest_start).count();
   std::printf("ingest: FP16 + norms prepared for %zu/%zu rows in %.3f s\n",
               initial, n, ingest_s);
 
-  if (tuned != nullptr) {
-    // Adopt the tuned schedule through the service's own swap path; the
-    // sharded backend is re-chunked to the tuned capacity (results are
-    // bit-identical either way — only throughput changes).
-    svc->set_schedule(tuned->best, /*rechunk_shards=*/true);
+  if (schedule != nullptr) {
+    // Adopt the tuned (or loaded) schedule through the service's own swap
+    // path; the sharded backend is re-chunked to the tuned capacity
+    // (results are bit-identical either way — only throughput changes).
+    svc->set_schedule(*schedule, /*rechunk_shards=*/true);
     std::printf("serving with tuned schedule: %s\n",
                 svc->schedule().describe().c_str());
   }
@@ -387,8 +417,26 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps,
                 initial, stride);
   }
 
+  // Gateway mode: each batch round is N concurrent clients submitting
+  // their own query batch; the gateway coalesces the round into shared
+  // admission windows (size trigger = N, so a fully gathered round drains
+  // the corpus ONCE).  Kept alive past the loop so --stats-json can embed
+  // its stats.
+  std::unique_ptr<serve::BatchGateway> gateway;
+  if (args.gateway > 0) {
+    serve::GatewayOptions gopts;
+    gopts.window_max_requests = args.gateway;
+    gopts.window_wait = std::chrono::microseconds(5000);
+    gateway = std::make_unique<serve::BatchGateway>(svc, gopts);
+    std::printf("gateway: %zu concurrent clients/round, window %zu reqs / "
+                "%lld us\n",
+                args.gateway, gopts.window_max_requests,
+                static_cast<long long>(gopts.window_wait.count()));
+  }
+
   double host_s = 0;
   double modeled_s = 0;
+  double gateway_wall_s = 0;
   std::size_t resident = initial;
   std::vector<std::uint64_t> last_shard_pairs;
   for (std::size_t b = 0; b < args.serve_batches; ++b) {
@@ -415,6 +463,56 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps,
       std::printf("appended rows [%zu, %zu): %zu shards resident\n", resident,
                   end, corpus->shard_count());
       resident = end;
+    }
+    if (gateway != nullptr) {
+      const auto round_start = Clock::now();
+      std::vector<serve::BatchGateway::TicketPtr> tickets(args.gateway);
+      std::vector<std::thread> clients;
+      clients.reserve(args.gateway);
+      for (std::size_t c = 0; c < args.gateway; ++c) {
+        clients.emplace_back([&, c] {
+          service::EpsQuery request;
+          request.points =
+              make_query_batch(args, points, b * args.gateway + c);
+          request.eps = eps;
+          serve::BatchGateway::TicketPtr t;
+          // Ring-full is backpressure, not failure: retry until admitted.
+          while ((t = gateway->try_submit(request)) == nullptr) {
+            std::this_thread::yield();
+          }
+          t->wait();
+          tickets[c] = std::move(t);
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      gateway_wall_s +=
+          std::chrono::duration<double>(Clock::now() - round_start).count();
+
+      // Every request in a window shares one drain and reports the same
+      // host_seconds — take the per-round max instead of summing, so the
+      // printed host time stays the corpus-side cost, not N copies of it.
+      std::uint64_t round_pairs = 0;
+      double round_host = 0;
+      double round_modeled = 0;
+      for (const auto& t : tickets) {
+        const auto& resp = t->wait();
+        if (resp.state != serve::RequestState::kDone) {
+          std::fprintf(stderr, "gateway request failed: %s\n",
+                       resp.error.c_str());
+          return 1;
+        }
+        round_pairs += resp.eps.pair_count;
+        round_host = std::max(round_host, resp.eps.host_seconds);
+        round_modeled = std::max(round_modeled, resp.eps.timing.total_s());
+        last_shard_pairs = resp.eps.shard_pairs;
+      }
+      host_s += round_host;
+      modeled_s += round_modeled;
+      std::printf("round %-3zu clients=%zu pairs=%-12llu shared-drain "
+                  "host=%.3f s\n",
+                  b, args.gateway,
+                  static_cast<unsigned long long>(round_pairs), round_host);
+      continue;
     }
     service::EpsQuery request;
     request.points = make_query_batch(args, points, b);
@@ -455,8 +553,30 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps,
   }
   print_domain_loads(stats);
   print_phase_latencies(stats);
+  if (gateway != nullptr) {
+    gateway->stop();
+    const auto gstats = gateway->stats();
+    std::printf("gateway: %llu served / %llu submitted (%llu rejected, "
+                "%llu expired, %llu failed) in %llu windows, coalescing "
+                "factor %.2f\n",
+                static_cast<unsigned long long>(gstats.served),
+                static_cast<unsigned long long>(gstats.submitted),
+                static_cast<unsigned long long>(gstats.rejected),
+                static_cast<unsigned long long>(gstats.expired),
+                static_cast<unsigned long long>(gstats.failed),
+                static_cast<unsigned long long>(gstats.windows),
+                gstats.coalescing_factor);
+    if (gateway_wall_s > 0) {
+      std::printf("gateway wall throughput: %.0f queries/s over %zu "
+                  "rounds\n",
+                  static_cast<double>(stats.queries) / gateway_wall_s,
+                  args.serve_batches);
+    }
+    print_phase_table("gateway-phase latency", gstats.phase_latencies);
+  }
   if (sharded) print_shard_table(*corpus, last_shard_pairs);
-  if (!args.stats_json.empty() && !write_stats_json(args.stats_json, &*svc)) {
+  if (!args.stats_json.empty() &&
+      !write_stats_json(args.stats_json, svc.get(), gateway.get())) {
     return 1;
   }
   return 0;
@@ -515,7 +635,10 @@ int main(int argc, char** argv) {
 
   // Schedule search before any serving or joining: model-pruned, then
   // probe-refined on a sample of the actual corpus (tune/autotuner.hpp).
-  std::optional<tune::TuneReport> tuned;
+  // A schedule can come from this search (--autotune) or a file saved by a
+  // previous run (--load-schedule, no re-probing); either way it flows to
+  // service and self-join modes identically.
+  std::optional<tune::Schedule> schedule;
   if (args.autotune) {
     ThreadPool& pool = ThreadPool::global();
     const std::size_t domains =
@@ -524,32 +647,87 @@ int main(int argc, char** argv) {
     topts.probe_rows = args.probe_rows;
     tune::AutoTuner tuner(FastedConfig::paper_defaults(), topts);
     const auto tune_start = std::chrono::steady_clock::now();
-    tuned = tuner.tune(points, points.rows(), domains, eps);
+    const auto tuned = tuner.tune(points, points.rows(), domains, eps);
     const double tune_s = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - tune_start)
                               .count();
     std::printf("autotune: %zu schedules, %zu model-scored combos, %zu "
                 "probes in %.2f s\n",
-                tuned->space_size, tuned->model_scored, tuned->probes,
-                tune_s);
-    std::printf("%s", tuned->table().c_str());
+                tuned.space_size, tuned.model_scored, tuned.probes, tune_s);
+    std::printf("%s", tuned.table().c_str());
     const double speedup =
-        tuned->default_pairs_per_s > 0
-            ? tuned->best_pairs_per_s / tuned->default_pairs_per_s
+        tuned.default_pairs_per_s > 0
+            ? tuned.best_pairs_per_s / tuned.default_pairs_per_s
             : 1.0;
     std::printf("chosen schedule: %s (measured %.2fx vs default)\n",
-                tuned->best.describe().c_str(), speedup);
+                tuned.best.describe().c_str(), speedup);
+    schedule = tuned.best;
+    if (!args.save_schedule.empty()) {
+      std::FILE* f = std::fopen(args.save_schedule.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", args.save_schedule.c_str());
+        return 1;
+      }
+      const std::string text = tuned.best.json() + "\n";
+      std::fputs(text.c_str(), f);
+      std::fclose(f);
+      std::printf("schedule saved to %s\n", args.save_schedule.c_str());
+    }
+  } else if (!args.save_schedule.empty()) {
+    std::fprintf(stderr,
+                 "warning: --save-schedule needs --autotune; nothing saved\n");
+  }
+  if (!args.load_schedule.empty()) {
+    if (args.autotune) {
+      std::fprintf(stderr,
+                   "warning: --load-schedule ignored, --autotune searched a "
+                   "fresh schedule\n");
+    } else {
+      std::FILE* f = std::fopen(args.load_schedule.c_str(), "r");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot read %s\n", args.load_schedule.c_str());
+        return 1;
+      }
+      std::string text;
+      char buf[4096];
+      std::size_t got;
+      while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        text.append(buf, got);
+      }
+      std::fclose(f);
+      try {
+        tune::Schedule loaded = tune::Schedule::from_json(text);
+        if (!loaded.valid(FastedConfig::paper_defaults())) {
+          std::fprintf(stderr, "loaded schedule is invalid: %s\n",
+                       loaded.describe().c_str());
+          return 1;
+        }
+        schedule = loaded;
+      } catch (const CheckError& e) {
+        std::fprintf(stderr, "cannot parse %s: %s\n",
+                     args.load_schedule.c_str(), e.what());
+        return 1;
+      }
+      std::printf("loaded schedule: %s\n", schedule->describe().c_str());
+    }
   }
 
+  if (args.gateway > 0 && args.queries == 0) {
+    std::fprintf(stderr,
+                 "warning: --gateway needs service mode (--queries N); "
+                 "ignoring\n");
+  }
   if (args.queries > 0) {
-    return run_service_mode(args, points, eps, tuned ? &*tuned : nullptr);
+    return run_service_mode(args, points, eps,
+                            schedule ? &*schedule : nullptr);
   }
 
   const bool all = args.algo == "all";
   if (all || args.algo == "fasted") {
-    FastedEngine engine(tuned ? tuned->best.apply(FastedConfig::paper_defaults())
-                              : FastedConfig::paper_defaults());
-    if (tuned) {
+    FastedEngine engine(schedule
+                            ? schedule->apply(FastedConfig::paper_defaults())
+                            : FastedConfig::paper_defaults());
+    if (schedule) {
       std::printf("self-join on tuned schedule: %s\n",
                   engine.config().describe().c_str());
     }

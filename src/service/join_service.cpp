@@ -10,6 +10,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "core/kernels/demux_sink.hpp"
 #include "core/kernels/merging_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -279,6 +280,90 @@ QueryJoinOutput JoinService::eps_join(const EpsQuery& request,
   return out;
 }
 
+std::vector<QueryJoinOutput> JoinService::eps_join_coalesced(
+    std::span<const EpsQuery> requests) {
+  FASTED_CHECK_MSG(!requests.empty(), "empty coalesced window");
+  const std::size_t dims = corpus_dims();
+  std::size_t total = 0;
+  for (const EpsQuery& r : requests) {
+    FASTED_CHECK_MSG(r.points.rows() > 0, "empty query batch");
+    FASTED_CHECK_MSG(r.points.dims() == dims,
+                     "query/corpus dimensionality mismatch");
+    total += r.points.rows();
+  }
+
+  // Resolve every radius BEFORE admission (the same rule as eps_join: cold
+  // calibration must not hold the serve slot), and build the strip routes —
+  // each request keeps its OWN eps^2, computed with the same float multiply
+  // a standalone join uses, so the demux re-filter is bit-exact.
+  std::vector<kernels::DemuxRoute> routes(requests.size());
+  float eps_max = 0.0f;
+  {
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const float eps = resolve_eps(requests[i]);
+      FASTED_CHECK_MSG(eps >= 0.0f, "coalesced request needs a radius");
+      eps_max = std::max(eps_max, eps);
+      routes[i] = kernels::DemuxRoute{at, requests[i].points.rows(),
+                                      eps * eps};
+      at += requests[i].points.rows();
+    }
+  }
+
+  // Concatenate the window's query rows into one strip.  Equal dims means
+  // equal stride, so each request's rows copy in one block; quantization and
+  // norms are per-row, so preparing the strip is bit-identical to preparing
+  // each request alone.
+  MatrixF32 strip(total, dims);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const MatrixF32& pts = requests[i].points;
+    std::copy_n(pts.row(0), pts.rows() * pts.stride(),
+                strip.row(routes[i].row_begin));
+  }
+
+  std::unique_lock<std::mutex> serve = admit();
+  const CorpusRef ref = corpus_ref();
+  maybe_retune(ref.rows);
+
+  const PreparedDataset queries(strip);
+  kernels::DemuxSink sink(std::move(routes), ref.views.size());
+  sink.filter_tombstones(ref.filter.any() ? &ref.filter : nullptr);
+  obs::PhaseTimer drain(phases_->coalesced_drain);
+  {
+    obs::TraceSpan span("eps_join_coalesced", "service");
+    engine_.query_join_into(
+        queries, std::span<const CorpusShardView>(ref.views), eps_max, sink);
+  }
+  const double drain_seconds = drain.seconds();
+  drain.stop();
+
+  std::vector<QueryJoinOutput> outs(requests.size());
+  std::uint64_t pairs_total = 0;
+  std::uint64_t tomb_total = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    QueryJoinOutput& out = outs[i];
+    out.result = sink.finalize(i);
+    out.pair_count = sink.pairs(i);
+    out.shard_pairs = sink.shard_pairs(i);
+    const std::size_t nq = requests[i].points.rows();
+    out.perf = engine_.estimate_join(nq, ref.rows, dims);
+    out.timing =
+        engine_.model_query_response_time(nq, ref.rows, dims, out.pair_count);
+    out.host_seconds = drain_seconds;  // the shared window drain
+    pairs_total += out.pair_count;
+    tomb_total += sink.tombstone_dropped(i);
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.eps_batches += requests.size();
+  ++stats_.coalesced_windows;
+  stats_.coalesced_requests += requests.size();
+  stats_.queries += total;
+  stats_.pairs += pairs_total;
+  stats_.pairs_tombstoned += tomb_total;
+  return outs;
+}
+
 KnnBatchResult JoinService::knn(const KnnQuery& request,
                                 const KnnOptions& options) {
   FASTED_CHECK_MSG(request.points.rows() > 0, "empty query batch");
@@ -490,6 +575,7 @@ ServiceStats JoinService::stats() const {
       {"admission_wait", &phases_->admission_wait},
       {"calibrate", &phases_->calibrate},
       {"eps_drain", &phases_->eps_drain},
+      {"coalesced_drain", &phases_->coalesced_drain},
       {"stream_deliver", &phases_->stream_deliver},
       {"knn_round", &phases_->knn_round},
       {"knn_brute", &phases_->knn_brute},
@@ -507,7 +593,9 @@ std::string ServiceStats::json() const {
      << ",\"knn_batches\":" << knn_batches << ",\"queries\":" << queries
      << ",\"pairs\":" << pairs << ",\"pairs_tombstoned\":" << pairs_tombstoned
      << ",\"knn_brute_force_queries\":" << knn_brute_force_queries
-     << ",\"schedule_retunes\":" << schedule_retunes;
+     << ",\"schedule_retunes\":" << schedule_retunes
+     << ",\"coalesced_windows\":" << coalesced_windows
+     << ",\"coalesced_requests\":" << coalesced_requests;
   os << ",\"phases\":{";
   for (std::size_t i = 0; i < phase_latencies.size(); ++i) {
     const PhaseLatency& p = phase_latencies[i];

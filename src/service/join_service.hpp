@@ -123,6 +123,13 @@ struct ServiceStats {
   // Automatic schedule re-tunes triggered by corpus-size regime changes
   // (see JoinService::enable_regime_retune).
   std::uint64_t schedule_retunes = 0;
+  // Coalesced serving (eps_join_coalesced / the batch gateway): windows
+  // drained and the requests they carried.  coalesced_requests /
+  // coalesced_windows is the service-side coalescing factor; each coalesced
+  // request also counts once in eps_batches, so sequential and gateway
+  // serving report comparable batch totals.
+  std::uint64_t coalesced_windows = 0;
+  std::uint64_t coalesced_requests = 0;
   // Per-domain drain/steal tile counters and time-in-phase, scoped to THIS
   // service's lifetime (delta since construction against the shared pool's
   // cumulative counters, so two services on one pool don't attribute each
@@ -132,7 +139,8 @@ struct ServiceStats {
   // shards — exactly the signal ShardedCorpus::rebalance() acts on.
   std::vector<DomainLoad> domain_loads;
   // One entry per serve phase with recorded samples (admission_wait,
-  // calibrate, eps_drain, stream_deliver, knn_round, knn_brute).
+  // calibrate, eps_drain, coalesced_drain, stream_deliver, knn_round,
+  // knn_brute).
   std::vector<PhaseLatency> phase_latencies;
 
   // The whole struct as one JSON object (counters, phases, domain loads).
@@ -171,6 +179,20 @@ class JoinService {
   // All callbacks have completed by the time this returns.
   QueryJoinOutput eps_join(const EpsQuery& request,
                            const EpsMatchCallback& callback);
+
+  // Coalesced eps join: the whole window of requests is served by ONE drain
+  // — their query rows are concatenated into a single strip, joined against
+  // one pinned snapshot at the window's widest radius, and demultiplexed
+  // back per request by a kernels::DemuxSink that re-imposes each request's
+  // own radius.  Element i of the returned vector is bit-identical to
+  // eps_join(requests[i]) (the tile kernels compute distances independent
+  // of eps and preparation is per-row — see demux_sink.hpp), but the corpus
+  // traversal is paid once per window instead of once per request.  Radii
+  // are resolved (calibration) before admission, like eps_join; `path` and
+  // `delivery` are ignored (the fast kernel is bit-identical to emulated).
+  // host_seconds on every output is the shared window drain's wall time.
+  std::vector<QueryJoinOutput> eps_join_coalesced(
+      std::span<const EpsQuery> requests);
 
   // Batched k-nearest-neighbor lookup.  Requires 1 <= k <= the ALIVE
   // corpus size (tombstoned rows are never returned as neighbors).
@@ -263,6 +285,7 @@ class JoinService {
     obs::ConcurrentHistogram admission_wait;  // serve-slot queueing
     obs::ConcurrentHistogram calibrate;       // selectivity -> eps resolution
     obs::ConcurrentHistogram eps_drain;       // join execution in eps_join
+    obs::ConcurrentHistogram coalesced_drain;  // shared eps_join_coalesced drain
     obs::ConcurrentHistogram stream_deliver;  // streaming sink finish/flush
     obs::ConcurrentHistogram knn_round;       // one adaptive-radius round
     obs::ConcurrentHistogram knn_brute;       // straggler brute-force sweep

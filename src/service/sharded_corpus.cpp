@@ -343,15 +343,26 @@ float ShardedCorpus::calibrate_over(const Snapshot& snap, double target) {
   // estimated from m_s sample rows x (n - 1) candidates, weighted by its
   // population share n_s / n.  The weighted `frac` quantile of the pooled
   // distances is then the radius whose mean neighbor count hits `target`,
-  // exactly as in data::calibrate_epsilon.  Tombstoned rows stay in the
-  // pool on purpose: the estimate is statistical, refreshed by the next
-  // append or compaction, and keeping blocks delete-independent is what
-  // lets sealed shards cache them forever.
+  // exactly as in data::calibrate_epsilon.
+  //
+  // Deletes: joins filter tombstoned corpus rows, so a radius calibrated
+  // over physical rows OVER-matches on a tombstoned corpus (a target of 64
+  // with half the corpus dead would really land ~32 surviving neighbors).
+  // The cached blocks stay delete-independent — sealed shards cache them
+  // forever and a rebuild per erase would be O(sample x n x d) — so the
+  // correction is applied at pooling time instead: each candidate shard t's
+  // distances keep their full weight in the quantile NORMALIZER (`total`,
+  // physical candidates) but count toward the cumulative sum scaled by t's
+  // alive fraction, making the crossing radius the one whose expected
+  // SURVIVING neighbor count hits `target`.  With no deletes every alive
+  // fraction is 1 and the quantile is bit-identical to the uncorrected one.
   struct Weighted {
     double d2;
-    double w;
+    double w;  // per-distance weight scaled by the candidate shard's
+               // alive fraction (the cumulative-sum side)
   };
   std::vector<Weighted> pool;
+  double total = 0;  // unscaled pool weight (the normalizer side)
   for (const ShardSlot& sslot : snap) {
     const Shard& s = *sslot.shard;
     const double share = static_cast<double>(s.rows()) / static_cast<double>(n);
@@ -360,17 +371,22 @@ float ShardedCorpus::calibrate_over(const Snapshot& snap, double target) {
                  static_cast<double>(n - 1));
     for (const ShardSlot& tslot : snap) {
       const auto block = block_of(s, *tslot.shard);
+      const std::size_t t_rows = tslot.shard->rows();
+      const double alive_frac =
+          t_rows == 0 ? 1.0
+                      : static_cast<double>(t_rows - tslot.dead_count) /
+                            static_cast<double>(t_rows);
+      const double alive_dist = per_dist * alive_frac;
       pool.reserve(pool.size() + block->size());
       for (const double d2 : *block) {
-        pool.push_back(Weighted{d2, per_dist});
+        pool.push_back(Weighted{d2, alive_dist});
       }
+      total += per_dist * static_cast<double>(block->size());
     }
   }
   std::sort(pool.begin(), pool.end(),
             [](const Weighted& a, const Weighted& b) { return a.d2 < b.d2; });
 
-  double total = 0;
-  for (const Weighted& x : pool) total += x.w;
   const double frac =
       std::min(1.0, target / static_cast<double>(n - 1));
   const double cut = frac * total;
@@ -511,7 +527,11 @@ std::size_t ShardedCorpus::erase(std::span<const std::uint32_t> ids) {
     if (fresh[si] != nullptr) next[si].dead = std::move(fresh[si]);
   }
 
-  publish(std::move(next), /*invalidate_calibration=*/false);
+  // Deletes change the alive fractions the calibration quantile is scaled
+  // by, so cached target -> eps entries are stale; the FP64 distance blocks
+  // themselves are delete-independent and survive (calibrate_over re-pools
+  // them under the new fractions — no block rebuilds).
+  publish(std::move(next), /*invalidate_calibration=*/true);
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.erases;
   stats_.rows_erased += newly;

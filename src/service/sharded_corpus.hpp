@@ -250,9 +250,11 @@ class ShardedCorpus {
   // O(affected shards) — only the masks copy, never shard data.  Returns
   // the number of NEWLY dead rows.  Deleting every row is legal: joins
   // then return no matches (compact() however refuses to produce an empty
-  // corpus).  Calibration deliberately keeps serving the physical-row
-  // estimate (refreshed on the next append/compact) — eps targets are
-  // statistical, not exact.
+  // corpus).  Calibration is delete-aware: the cached target -> eps entries
+  // are invalidated (the next eps_for_selectivity re-pools the UNCHANGED
+  // cached distance blocks with per-shard alive fractions scaling the
+  // quantile), so selectivity targets keep meaning surviving neighbors on
+  // a tombstoned corpus.
   std::size_t erase(std::span<const std::uint32_t> ids);
 
   // See CompactOptions.  Serializes with the other mutators; readers keep

@@ -1,11 +1,90 @@
 #include "tune/schedule.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
 
 #include "common/check.hpp"
 
 namespace fasted::tune {
+
+namespace {
+
+const char* policy_name(sim::DispatchPolicy p) {
+  switch (p) {
+    case sim::DispatchPolicy::kSquares:
+      return "squares";
+    case sim::DispatchPolicy::kRowMajor:
+      return "row_major";
+    case sim::DispatchPolicy::kColumnMajor:
+      return "column_major";
+  }
+  return "squares";
+}
+
+const char* steal_name(StealMode s) {
+  switch (s) {
+    case StealMode::kEnv:
+      return "env";
+    case StealMode::kOn:
+      return "on";
+    case StealMode::kOff:
+      return "off";
+  }
+  return "env";
+}
+
+// Returns the raw value token after `"key":` — a bare number or the body
+// of a quoted string.  Tolerates whitespace and field order; a saved file
+// someone hand-edited still loads as long as every field is present.
+std::string json_field(const std::string& text, const std::string& key) {
+  const std::string quoted = "\"" + key + "\"";
+  std::size_t pos = text.find(quoted);
+  FASTED_CHECK_MSG(pos != std::string::npos,
+                   "schedule json: missing field \"" + key + "\"");
+  pos = text.find(':', pos + quoted.size());
+  FASTED_CHECK_MSG(pos != std::string::npos,
+                   "schedule json: no value for \"" + key + "\"");
+  ++pos;
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  FASTED_CHECK_MSG(pos < text.size(),
+                   "schedule json: no value for \"" + key + "\"");
+  if (text[pos] == '"') {
+    const std::size_t end = text.find('"', pos + 1);
+    FASTED_CHECK_MSG(end != std::string::npos,
+                     "schedule json: unterminated string for \"" + key + "\"");
+    return text.substr(pos + 1, end - pos - 1);
+  }
+  std::size_t end = pos;
+  while (end < text.size() && text[end] != ',' && text[end] != '}' &&
+         !std::isspace(static_cast<unsigned char>(text[end]))) {
+    ++end;
+  }
+  FASTED_CHECK_MSG(end > pos, "schedule json: empty value for \"" + key + "\"");
+  return text.substr(pos, end - pos);
+}
+
+long long json_int(const std::string& text, const std::string& key) {
+  const std::string tok = json_field(text, key);
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(tok, &used);
+    FASTED_CHECK_MSG(used == tok.size(),
+                     "schedule json: \"" + key + "\" is not an integer");
+    return v;
+  } catch (const std::invalid_argument&) {
+    check_failed("integer", __FILE__, __LINE__,
+                 "schedule json: \"" + key + "\" is not an integer");
+  } catch (const std::out_of_range&) {
+    check_failed("integer", __FILE__, __LINE__,
+                 "schedule json: \"" + key + "\" is out of range");
+  }
+}
+
+}  // namespace
 
 FastedConfig Schedule::apply(const FastedConfig& base) const {
   FastedConfig cfg = base;
@@ -65,6 +144,50 @@ std::string Schedule::describe() const {
   if (steal == StealMode::kOn) os << ", steal on";
   if (steal == StealMode::kOff) os << ", steal off";
   return os.str();
+}
+
+std::string Schedule::json() const {
+  std::ostringstream os;
+  os << "{\"tile_m\": " << tile_m << ", \"tile_n\": " << tile_n
+     << ", \"policy\": \"" << policy_name(policy) << "\", \"square\": "
+     << square << ", \"shard_capacity\": " << shard_capacity
+     << ", \"steal\": \"" << steal_name(steal) << "\"}";
+  return os.str();
+}
+
+Schedule Schedule::from_json(const std::string& text) {
+  Schedule s;
+  s.tile_m = static_cast<int>(json_int(text, "tile_m"));
+  s.tile_n = static_cast<int>(json_int(text, "tile_n"));
+  s.square = static_cast<int>(json_int(text, "square"));
+  const long long capacity = json_int(text, "shard_capacity");
+  FASTED_CHECK_MSG(capacity >= 0, "schedule json: negative shard_capacity");
+  s.shard_capacity = static_cast<std::size_t>(capacity);
+
+  const std::string policy = json_field(text, "policy");
+  if (policy == "squares") {
+    s.policy = sim::DispatchPolicy::kSquares;
+  } else if (policy == "row_major") {
+    s.policy = sim::DispatchPolicy::kRowMajor;
+  } else if (policy == "column_major") {
+    s.policy = sim::DispatchPolicy::kColumnMajor;
+  } else {
+    check_failed("policy", __FILE__, __LINE__,
+                 "schedule json: unknown policy \"" + policy + "\"");
+  }
+
+  const std::string steal = json_field(text, "steal");
+  if (steal == "env") {
+    s.steal = StealMode::kEnv;
+  } else if (steal == "on") {
+    s.steal = StealMode::kOn;
+  } else if (steal == "off") {
+    s.steal = StealMode::kOff;
+  } else {
+    check_failed("steal", __FILE__, __LINE__,
+                 "schedule json: unknown steal mode \"" + steal + "\"");
+  }
+  return s;
 }
 
 Schedule Schedule::defaults(const FastedConfig& base, std::size_t corpus_rows,

@@ -46,6 +46,16 @@ struct Schedule {
   // e.g. "tile 128x128, squares 8x8, capacity 250000, steal on"
   std::string describe() const;
 
+  // Persistence for tuned schedules (fasted_cli --save-schedule /
+  // --load-schedule): a flat JSON object with every search-key field,
+  //   {"tile_m": 128, ..., "policy": "squares", "steal": "env"}
+  // from_json accepts json()'s output (plus whitespace / reordered fields)
+  // and throws CheckError on a missing field or unknown enum name.  Loaded
+  // schedules still go through valid() before use — persistence does not
+  // bypass validation.
+  std::string json() const;
+  static Schedule from_json(const std::string& text);
+
   // The pre-tuning behavior: paper tile shape and dispatch, one shard per
   // execution domain (`domains` >= 1), stealing left to the environment.
   static Schedule defaults(const FastedConfig& base, std::size_t corpus_rows,

@@ -157,6 +157,49 @@ TEST(ShardedCorpus, CalibrationBlocksAreReusedAcrossAppends) {
   EXPECT_LT(achieved, 32.0 * 2.0);
 }
 
+TEST(ShardedCorpus, CalibrationIsDeleteAwareWithoutBlockRebuilds) {
+  const auto data = data::uniform(600, 8, 77);
+  ShardedCorpusOptions opts;
+  opts.shards = 3;
+  ShardedCorpus corpus{MatrixF32(data), opts};
+  const double target = 24.0;
+
+  const float eps_before = corpus.eps_for_selectivity(target);
+  EXPECT_GT(eps_before, 0.0f);
+  const auto blocks = corpus.stats().calibration_blocks_built;
+  const auto misses = corpus.stats().calibration_misses;
+
+  // Tombstone every even row — half of every shard.  Joins filter those
+  // rows, so a radius tuned for `target` over physical candidates would
+  // really land ~target/2 surviving matches.
+  std::vector<std::uint32_t> dead;
+  for (std::uint32_t i = 0; i < data.rows(); i += 2) dead.push_back(i);
+  ASSERT_EQ(corpus.erase(dead), dead.size());
+
+  // erase() invalidates the cached target -> eps entry, and recalibration
+  // re-pools the UNCHANGED cached distance blocks under the new alive
+  // fractions: a miss, zero block rebuilds.
+  const float eps_after = corpus.eps_for_selectivity(target);
+  EXPECT_EQ(corpus.stats().calibration_misses, misses + 1);
+  EXPECT_EQ(corpus.stats().calibration_blocks_built, blocks);
+
+  // Holding `target` SURVIVING neighbors with half the candidates dead
+  // needs a strictly larger radius...
+  EXPECT_GT(eps_after, eps_before);
+
+  // ...and that radius lands near the target over the surviving rows
+  // alone (same estimate tolerance as the physical-row test above).
+  MatrixF32 survivors(data.rows() / 2, data.dims());
+  for (std::size_t i = 0; i < survivors.rows(); ++i) {
+    for (std::size_t k = 0; k < data.dims(); ++k) {
+      survivors.at(i, k) = data.at(2 * i + 1, k);
+    }
+  }
+  const double achieved = data::exact_selectivity(survivors, eps_after);
+  EXPECT_GT(achieved, target * 0.5);
+  EXPECT_LT(achieved, target * 2.0);
+}
+
 TEST(ShardedCorpus, GridCandidatesCoverTrueNeighborsAcrossShards) {
   const auto corpus_data = data::uniform(400, 8, 75);
   const auto queries = data::uniform(20, 8, 76);
