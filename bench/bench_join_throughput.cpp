@@ -46,6 +46,7 @@
 #include "common/parallel.hpp"
 #include "common/topology.hpp"
 #include "core/fasted.hpp"
+#include "core/kernels/kernel_context.hpp"
 #include "core/kernels/rz_dot.hpp"
 #include "data/calibrate.hpp"
 #include "data/generators.hpp"
@@ -133,7 +134,7 @@ int run_large_tier(int argc, char** argv) {
   bench::header("Large-tier query-join throughput (autotuned vs default)",
                 "million-row resident corpus; schedule search via "
                 "perf-model pruning + measured probes (tune/)");
-  const kernels::RzDotKernel& simd = kernels::rz_dot_dispatch();
+  const kernels::RzDotKernel& simd = kernels::KernelRegistry::global().best();
   ThreadPool& pool = ThreadPool::global();
   const std::size_t domains = pool.domain_count();
   std::printf("corpus %zu x %zu dims, query batch %zu, reps %zu, "
@@ -269,11 +270,12 @@ int main(int argc, char** argv) {
                 "unified execution layer (no paper figure): kernel-family "
                 "speedup on self-join and resident query-join");
 
-  const kernels::RzDotKernel& simd = kernels::rz_dot_dispatch();
+  const kernels::KernelRegistry& registry = kernels::KernelRegistry::global();
+  const kernels::RzDotKernel& simd = registry.best();
   std::printf("corpus %zu x %zu dims, query batch %zu, reps %zu\n", n, d,
               batch, reps);
-  std::printf("dispatched kernel: %s (supported:", simd.name);
-  for (const kernels::RzDotKernel* k : kernels::rz_dot_supported()) {
+  std::printf("best kernel: %s (supported:", simd.name);
+  for (const kernels::RzDotKernel* k : registry.supported()) {
     std::printf(" %s", k->name);
   }
   std::printf(")\n\n");
@@ -299,15 +301,22 @@ int main(int argc, char** argv) {
     return engine.query_join(queries, corpus, eps, count_only).pair_count;
   };
 
-  kernels::set_rz_dot_override(&kernels::rz_dot_scalar());
-  const Measurement self_scalar = measure("scalar", self_evals, reps, run_self);
-  const Measurement query_scalar =
-      measure("scalar", query_evals, reps, run_query);
-  kernels::set_rz_dot_override(&simd);
+  // Kernel pinning goes through config now (no process-global override):
+  // each variant gets its own engine, the default `engine` resolves "auto"
+  // to the per-domain best — the same kernel the old dispatch picked.
+  FastedConfig scalar_cfg = FastedConfig::paper_defaults();
+  scalar_cfg.rz_kernel = "scalar";
+  const FastedEngine scalar_engine(scalar_cfg);
+  const Measurement self_scalar = measure("scalar", self_evals, reps, [&] {
+    return scalar_engine.self_join(corpus, eps, count_only).pair_count;
+  });
+  const Measurement query_scalar = measure("scalar", query_evals, reps, [&] {
+    return scalar_engine.query_join(queries, corpus, eps, count_only)
+        .pair_count;
+  });
   const Measurement self_simd = measure(simd.name, self_evals, reps, run_self);
   const Measurement query_simd =
       measure(simd.name, query_evals, reps, run_query);
-  kernels::set_rz_dot_override(nullptr);
 
   print_row("self_join", self_scalar);
   print_row("self_join", self_simd);
@@ -317,6 +326,34 @@ int main(int argc, char** argv) {
   const double query_speedup = query_scalar.seconds / query_simd.seconds;
   std::printf("\nspeedup (%s over scalar): self-join %.2fx, query-join %.2fx\n",
               simd.name, self_speedup, query_speedup);
+
+  // Per-kernel sweep: every registry variant this host supports, pinned via
+  // config, on the same self-join.  Variants the host cannot run (e.g.
+  // avx512fp16 without the ISA) are skipped loudly rather than silently
+  // thinning the sweep.  These entries are new relative to the checked-in
+  // baseline, so check_bench_regression.py skips them (loudly) until the
+  // baseline regenerates with them present.
+  std::printf("\n");
+  std::vector<std::pair<std::string, Measurement>> kernel_self;
+  for (const char* name : {"scalar", "avx2", "avx512", "avx512fp16"}) {
+    if (registry.find(name) == nullptr) {
+      std::fprintf(stderr,
+                   "kernel %s is not supported on this host; skipping its "
+                   "bench config\n",
+                   name);
+      continue;
+    }
+    FastedConfig kcfg = FastedConfig::paper_defaults();
+    kcfg.rz_kernel = name;
+    const FastedEngine kengine(kcfg);
+    char klabel[32];
+    std::snprintf(klabel, sizeof klabel, "self/%s", name);
+    const Measurement mk = measure(name, self_evals, reps, [&] {
+      return kengine.self_join(corpus, eps, count_only).pair_count;
+    });
+    print_row(klabel, mk);
+    kernel_self.emplace_back(name, mk);
+  }
 
   // Sharded configurations: the same joins through per-shard plan
   // composition (triangular + shard-pair rectangular for self, rectangular
@@ -502,6 +539,11 @@ int main(int argc, char** argv) {
   json_entry(f, "scalar", query_scalar);
   json_entry(f, "simd", query_simd);
   std::fprintf(f, "    \"speedup\": %.3f\n  },\n", query_speedup);
+  std::fprintf(f, "  \"kernel_self_join\": {\n");
+  for (const auto& [kname, km] : kernel_self) {
+    json_entry(f, kname.c_str(), km);
+  }
+  std::fprintf(f, "    \"kernels\": %zu\n  },\n", kernel_self.size());
   std::fprintf(f, "  \"sharded_self_join\": {\n");
   for (std::size_t i = 0; i < sharded_self.size(); ++i) {
     char label[32];

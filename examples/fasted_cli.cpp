@@ -38,6 +38,7 @@
 #include "baselines/ted_join.hpp"
 #include "core/fasted.hpp"
 #include "core/io.hpp"
+#include "core/kernels/kernel_context.hpp"
 #include "data/calibrate.hpp"
 #include "data/generators.hpp"
 #include "data/registry.hpp"
@@ -73,6 +74,8 @@ struct Args {
   bool rebalance = false;         // run a drain/steal-driven rebalance pass
   bool autotune = false;          // perf-model + probe schedule search
   std::size_t probe_rows = 65536; // autotune probe sample size
+  std::string kernel = "auto";    // rz_dot kernel selection (name or
+                                  // comma list; "auto" = per-domain best)
   std::size_t gateway = 0;        // > 0: N concurrent clients through a
                                   // coalescing BatchGateway
   std::string save_schedule;      // write the tuned schedule JSON here
@@ -116,6 +119,12 @@ void usage() {
       "                   predicted-vs-measured table and runs the chosen\n"
       "                   schedule (results are bit-identical to default)\n"
       "  --probe-rows N   autotune probe sample size (default 65536)\n"
+      "  --kernel NAME    rz_dot kernel selection: \"auto\" (default,\n"
+      "                   per-domain best), a registry name (scalar, avx2,\n"
+      "                   avx512, avx512fp16) pinning every domain, or a\n"
+      "                   comma list assigning per execution domain; every\n"
+      "                   selection is bit-identical (FASTED_RZ_KERNEL\n"
+      "                   still force-pins over this flag)\n"
       "  --gateway N      service mode: each batch round is served by N\n"
       "                   concurrent clients submitting through a coalescing\n"
       "                   BatchGateway (one shared drain per admission\n"
@@ -177,6 +186,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.autotune = true;
     } else if (flag == "--probe-rows" && (v = next())) {
       args.probe_rows = std::stoull(v);
+    } else if (flag == "--kernel" && (v = next())) {
+      args.kernel = v;
     } else if (flag == "--gateway" && (v = next())) {
       args.gateway = std::stoull(v);
     } else if (flag == "--save-schedule" && (v = next())) {
@@ -193,6 +204,14 @@ bool parse(int argc, char** argv, Args& args) {
     }
   }
   return true;
+}
+
+// Base engine config for this invocation: paper defaults plus the
+// --kernel selection (validated in main before anything runs).
+FastedConfig base_config(const Args& args) {
+  FastedConfig cfg = FastedConfig::paper_defaults();
+  cfg.rz_kernel = args.kernel;
+  return cfg;
 }
 
 MatrixF32 make_data(const Args& args) {
@@ -275,10 +294,13 @@ void print_shard_table(service::ShardedCorpus& corpus,
 // workers drained vs. tiles other domains had to steal from it, and the
 // wall time spent in each (summed over workers).
 void print_domain_loads(const service::ServiceStats& stats) {
-  std::printf("per-domain load (drain/steal tiles, time):");
+  std::printf("per-domain load (kernel, drain/steal tiles, time):");
   for (std::size_t d = 0; d < stats.domain_loads.size(); ++d) {
     const DomainLoad& l = stats.domain_loads[d];
-    std::printf(" d%zu=%llu/%llu %.1f/%.1fms", d,
+    const char* kernel = d < stats.domain_kernels.size()
+                             ? stats.domain_kernels[d].c_str()
+                             : "?";
+    std::printf(" d%zu[%s]=%llu/%llu %.1f/%.1fms", d, kernel,
                 static_cast<unsigned long long>(l.tiles_drained),
                 static_cast<unsigned long long>(l.tiles_stolen),
                 static_cast<double>(l.drain_ns) * 1e-6,
@@ -380,10 +402,12 @@ int run_service_mode(const Args& args, const MatrixF32& points, float eps,
     copts.placement_domains = args.domains;
     corpus = std::make_shared<service::ShardedCorpus>(
         row_slice(points, 0, initial), copts);
-    svc = std::make_shared<service::JoinService>(corpus);
+    svc = std::make_shared<service::JoinService>(
+        corpus, FastedEngine(base_config(args)));
   } else {
     svc = std::make_shared<service::JoinService>(
-        std::make_shared<service::CorpusSession>(MatrixF32(points)));
+        std::make_shared<service::CorpusSession>(MatrixF32(points)),
+        FastedEngine(base_config(args)));
   }
   const double ingest_s =
       std::chrono::duration<double>(Clock::now() - ingest_start).count();
@@ -598,6 +622,16 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   }
+  if (!kernels::kernel_selection_known(args.kernel)) {
+    std::fprintf(stderr, "unknown --kernel \"%s\"; supported on this CPU:",
+                 args.kernel.c_str());
+    for (const kernels::RzDotKernel* k :
+         kernels::KernelRegistry::global().supported()) {
+      std::fprintf(stderr, " %s", k->name);
+    }
+    std::fprintf(stderr, " (plus \"auto\" and comma lists of these)\n");
+    return 1;
+  }
   if (!args.trace_path.empty()) {
     // Spans flush to the file at exit (same machinery as FASTED_TRACE).
     obs::trace_enable(args.trace_path);
@@ -712,6 +746,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  // A schedule that never chose a kernel ("auto" — saved before the kernel
+  // dimension existed, or tuned over the default space) defers to the
+  // explicit --kernel flag; a schedule that DID pin one keeps its choice.
+  if (schedule && args.kernel != "auto" && schedule->kernel == "auto") {
+    schedule->kernel = args.kernel;
+  }
+
   if (args.gateway > 0 && args.queries == 0) {
     std::fprintf(stderr,
                  "warning: --gateway needs service mode (--queries N); "
@@ -724,9 +765,8 @@ int main(int argc, char** argv) {
 
   const bool all = args.algo == "all";
   if (all || args.algo == "fasted") {
-    FastedEngine engine(schedule
-                            ? schedule->apply(FastedConfig::paper_defaults())
-                            : FastedConfig::paper_defaults());
+    FastedEngine engine(schedule ? schedule->apply(base_config(args))
+                                 : base_config(args));
     if (schedule) {
       std::printf("self-join on tuned schedule: %s\n",
                   engine.config().describe().c_str());

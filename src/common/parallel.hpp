@@ -88,6 +88,14 @@ class ThreadPool {
   std::size_t domain_size(std::size_t domain) const;  // slots in `domain`
   const Topology& topology() const;
 
+  // SIMD features of `domain`'s workers (modulo the domain count): the
+  // intersection of cpuid probes run ON each pinned worker after pinning
+  // (plus the constructing thread for domain 0, whose slot it occupies).
+  // Heterogeneous-ISA machines answer differently per domain; the kernel
+  // registry resolves each domain's rz_dot variant from exactly this.
+  // Probes complete before the constructor returns, so reads are race-free.
+  CpuFeatures domain_features(std::size_t domain) const;
+
   // The execution domain of the calling thread: its group for pool workers,
   // 0 for everything else (the caller participates in domain 0's drains).
   static std::size_t current_domain();

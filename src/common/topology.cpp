@@ -130,6 +130,23 @@ Topology Topology::detect() {
   return topo;
 }
 
+CpuFeatures probe_cpu_features() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+  f.avx512vl = __builtin_cpu_supports("avx512vl");
+#if (defined(__clang_major__) && __clang_major__ >= 14) || \
+    (!defined(__clang__) && defined(__GNUC__) && __GNUC__ >= 12)
+  // The "avx512fp16" probe string itself needs a recent compiler.
+  f.avx512fp16 = __builtin_cpu_supports("avx512fp16");
+#endif
+#endif
+  return f;
+}
+
 bool Topology::pin_current_thread(const ExecutionDomain& domain) {
   if (domain.cpus.empty()) return false;
 #if defined(__linux__)

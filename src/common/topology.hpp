@@ -45,6 +45,40 @@ struct ExecutionDomain {
   int node = -1;          // sysfs NUMA node id; -1 for synthetic/fallback
 };
 
+// SIMD capabilities of one cpu (the subset the rz_dot kernel variants key
+// on).  Probed ON the thread in question — heterogeneous-ISA machines
+// (big.LITTLE, mixed fleets) can report different answers per domain, so
+// the ThreadPool runs the probe on each pinned worker group and intersects
+// (a domain only claims what EVERY one of its workers has).  All-false on
+// non-x86 builds: every consumer degrades to the scalar kernel.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool avx512vl = false;
+  bool avx512fp16 = false;
+
+  CpuFeatures intersect(const CpuFeatures& o) const {
+    CpuFeatures out;
+    out.avx2 = avx2 && o.avx2;
+    out.fma = fma && o.fma;
+    out.avx512f = avx512f && o.avx512f;
+    out.avx512vl = avx512vl && o.avx512vl;
+    out.avx512fp16 = avx512fp16 && o.avx512fp16;
+    return out;
+  }
+
+  static CpuFeatures all() {
+    CpuFeatures f;
+    f.avx2 = f.fma = f.avx512f = f.avx512vl = f.avx512fp16 = true;
+    return f;
+  }
+};
+
+// Probes the CALLING thread's cpu (cpuid via __builtin_cpu_supports).
+// Call after pinning for a domain-accurate answer.
+CpuFeatures probe_cpu_features();
+
 class Topology {
  public:
   // The detection cascade above.  Reads FASTED_TOPOLOGY at call time, so

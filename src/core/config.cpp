@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "core/kernels/kernel_context.hpp"
 
 namespace fasted {
 
@@ -26,6 +27,8 @@ void FastedConfig::validate() const {
       smem_bytes_per_block() * static_cast<std::size_t>(residency()) <=
           device.smem_bytes_per_sm,
       "block tiles exceed the SM shared-memory capacity");
+  FASTED_CHECK_MSG(kernels::kernel_selection_known(rz_kernel),
+                   "unknown rz_dot kernel selection \"" + rz_kernel + "\"");
 }
 
 std::string FastedConfig::describe() const {
@@ -45,6 +48,9 @@ std::string FastedConfig::describe() const {
      << dispatch_square << "x" << dispatch_square << ")";
   if (steal_mode != StealMode::kEnv) {
     os << ", steal " << (steal_mode == StealMode::kOn ? "on" : "off");
+  }
+  if (!rz_kernel.empty() && rz_kernel != "auto") {
+    os << ", kernel " << rz_kernel;
   }
   return os.str();
 }

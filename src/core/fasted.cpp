@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "core/kernels/join_executor.hpp"
+#include "core/kernels/kernel_context.hpp"
 #include "core/kernels/join_plan.hpp"
 #include "core/sums.hpp"
 #include "obs/metrics.hpp"
@@ -34,8 +35,19 @@ void query_row_join(const float* query, float query_norm,
                     const std::vector<float>& corpus_norms, std::size_t begin,
                     std::size_t end, float eps2,
                     std::vector<QueryMatch>& out) {
+  const kernels::KernelRegistry& reg = kernels::KernelRegistry::global();
+  const kernels::RzDotKernel* pin = reg.env_pin();
+  query_row_join(query, query_norm, corpus_values, corpus_norms, begin, end,
+                 eps2, pin != nullptr ? *pin : reg.best(), out);
+}
+
+void query_row_join(const float* query, float query_norm,
+                    const MatrixF32& corpus_values,
+                    const std::vector<float>& corpus_norms, std::size_t begin,
+                    std::size_t end, float eps2,
+                    const kernels::RzDotKernel& kern,
+                    std::vector<QueryMatch>& out) {
   const std::size_t dims = corpus_values.stride();
-  const kernels::RzDotKernel& kern = kernels::rz_dot_dispatch();
   thread_local std::vector<float> panel;
   panel.resize(dims * kernels::kPanelWidth);
   float acc[kernels::kPanelWidth];

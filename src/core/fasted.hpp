@@ -295,4 +295,15 @@ void query_row_join(const float* query, float query_norm,
                     std::size_t end, float eps2,
                     std::vector<QueryMatch>& out);
 
+// Same, with the kernel chosen explicitly (callers that resolved a
+// per-domain KernelContext pass the owning domain's kernel).  The
+// kernel-less overload above uses the process-wide best (or the
+// FASTED_RZ_KERNEL pin) from the immutable registry.
+void query_row_join(const float* query, float query_norm,
+                    const MatrixF32& corpus_values,
+                    const std::vector<float>& corpus_norms, std::size_t begin,
+                    std::size_t end, float eps2,
+                    const kernels::RzDotKernel& kern,
+                    std::vector<QueryMatch>& out);
+
 }  // namespace fasted

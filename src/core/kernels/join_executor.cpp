@@ -70,7 +70,8 @@ float* panel_scratch(ThreadPool& pool, std::size_t floats) {
 std::uint64_t execute_join(const FastedConfig& cfg,
                            std::span<ShardJoin> entries, float eps2,
                            bool emulated, ResultSink& sink,
-                           std::uint64_t* per_entry_hits) {
+                           std::uint64_t* per_entry_hits,
+                           const KernelContext& ctx) {
   FASTED_CHECK_MSG(!entries.empty(), "join executor needs at least one plan");
   for (const ShardJoin& e : entries) {
     FASTED_CHECK_MSG(e.plan != nullptr, "null plan in sharded join");
@@ -112,8 +113,18 @@ std::uint64_t execute_join(const FastedConfig& cfg,
   std::vector<std::atomic<std::uint64_t>> entry_hits(
       per_entry_hits != nullptr ? entries.size() : 0);
 
+  // Tiles-per-kernel counters, resolved once per join (registry lookups
+  // take a mutex): index d holds the counter for the kernel serving domain
+  // d, attributed like the domain loads — to the entry's OWNER.  They flow
+  // into stats_json()'s registry section.
+  const std::size_t dcount = pool.domain_count();
+  std::vector<obs::ConcurrentCounter*> kernel_tiles(dcount);
+  for (std::size_t d = 0; d < dcount; ++d) {
+    kernel_tiles[d] = &obs::Registry::global().counter(
+        std::string("kernel.tiles.") + ctx.kernel(d).name);
+  }
+
   parallel_for(0, pool.size(), [&](std::size_t, std::size_t) {
-    const RzDotKernel& kern = rz_dot_dispatch();
     // Clamped so a confined (flat) drain from a non-zero-domain worker
     // still indexes the single entry list.
     const std::size_t home = ThreadPool::current_domain() % ndom;
@@ -131,7 +142,6 @@ std::uint64_t execute_join(const FastedConfig& cfg,
     // Per-domain drain/steal tile tallies, attributed to the domain OWNING
     // the entry (not the executing worker) and flushed to the pool once per
     // worker — the rebalancing policy's load signal.
-    const std::size_t dcount = pool.domain_count();
     std::vector<std::uint64_t> tiles_drained(dcount, 0);
     std::vector<std::uint64_t> tiles_stolen(dcount, 0);
     std::vector<std::uint64_t> drain_ns(dcount, 0);
@@ -141,6 +151,9 @@ std::uint64_t execute_join(const FastedConfig& cfg,
     // the tail when stealing — and emits its hits.
     const auto drain_entry = [&](std::size_t ei, bool from_tail) {
       const ShardJoin& entry = entries[ei];
+      // The entry's owning domain picks the kernel — per-domain dispatch,
+      // not per-process and not per-executing-worker (see header).
+      const RzDotKernel& kern = ctx.kernel(entry.domain);
       JoinPlan& plan = *entry.plan;
       const MatrixF32& q = *entry.in.q_values;
       const MatrixF32& c = *entry.in.c_values;
@@ -262,6 +275,7 @@ std::uint64_t execute_join(const FastedConfig& cfg,
       if (tiles_drained[d] != 0 || tiles_stolen[d] != 0) {
         pool.add_domain_load(d, tiles_drained[d], tiles_stolen[d], drain_ns[d],
                              steal_ns[d]);
+        kernel_tiles[d]->add(tiles_drained[d] + tiles_stolen[d]);
       }
     }
     total.fetch_add(worker_total, std::memory_order_relaxed);
@@ -273,6 +287,16 @@ std::uint64_t execute_join(const FastedConfig& cfg,
     }
   }
   return total.load();
+}
+
+std::uint64_t execute_join(const FastedConfig& cfg,
+                           std::span<ShardJoin> entries, float eps2,
+                           bool emulated, ResultSink& sink,
+                           std::uint64_t* per_entry_hits) {
+  const KernelContext ctx =
+      KernelContext::resolve(cfg.rz_kernel, ThreadPool::global());
+  return execute_join(cfg, entries, eps2, emulated, sink, per_entry_hits,
+                      ctx);
 }
 
 std::uint64_t execute_join(const FastedConfig& cfg, JoinPlan& plan,

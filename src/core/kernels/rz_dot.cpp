@@ -1,9 +1,6 @@
 #include "core/kernels/rz_dot.hpp"
 
-#include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <string>
 
 #include "common/rounding.hpp"
 
@@ -44,43 +41,8 @@ void dot_panel_scalar(const float* q, std::size_t q_stride, std::size_t nq,
 
 const RzDotKernel kScalar{"scalar", &dot_panel_scalar};
 
-const RzDotKernel* pick_kernel() {
-  if (const char* env = std::getenv("FASTED_RZ_KERNEL")) {
-    const std::string want(env);
-    for (const RzDotKernel* k : rz_dot_supported()) {
-      if (want == k->name) return k;
-    }
-    // Unknown or unsupported name: warn loudly so a pinned run is never
-    // silently attributed to the wrong kernel, then auto-select.
-    std::fprintf(stderr,
-                 "fasted: FASTED_RZ_KERNEL=\"%s\" is not a supported variant "
-                 "on this CPU; falling back to auto selection\n",
-                 env);
-  }
-  if (const RzDotKernel* k = rz_dot_avx512()) return k;
-  if (const RzDotKernel* k = rz_dot_avx2()) return k;
-  return &kScalar;
-}
-
-const RzDotKernel* g_override = nullptr;
-
 }  // namespace
 
 const RzDotKernel& rz_dot_scalar() { return kScalar; }
-
-const RzDotKernel& rz_dot_dispatch() {
-  if (g_override != nullptr) return *g_override;
-  static const RzDotKernel* const best = pick_kernel();
-  return *best;
-}
-
-void set_rz_dot_override(const RzDotKernel* kernel) { g_override = kernel; }
-
-std::vector<const RzDotKernel*> rz_dot_supported() {
-  std::vector<const RzDotKernel*> out{&kScalar};
-  if (const RzDotKernel* k = rz_dot_avx2()) out.push_back(k);
-  if (const RzDotKernel* k = rz_dot_avx512()) out.push_back(k);
-  return out;
-}
 
 }  // namespace fasted::kernels

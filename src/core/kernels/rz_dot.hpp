@@ -28,7 +28,6 @@
 
 #include <cmath>
 #include <cstddef>
-#include <vector>
 
 #include "common/rounding.hpp"
 
@@ -68,7 +67,7 @@ using RzDotPanelFn = void (*)(const float* q, std::size_t q_stride,
                               std::size_t dims, float* acc);
 
 struct RzDotKernel {
-  const char* name;  // "scalar", "avx2", "avx512"
+  const char* name;  // "scalar", "avx2", "avx512", "avx512fp16"
   RzDotPanelFn dot_panel;
 };
 
@@ -83,18 +82,12 @@ void pack_panel(const float* rows, std::size_t row_stride, std::size_t nrows,
 const RzDotKernel& rz_dot_scalar();
 
 // SIMD variants; nullptr when the build or the running CPU lacks support.
+// Which variant actually runs is no longer decided here: the immutable
+// KernelRegistry (core/kernels/kernel_context.hpp) enumerates these, and a
+// per-domain KernelContext is threaded explicitly through the executor —
+// there is no ambient process-global kernel and no mutable override.
 const RzDotKernel* rz_dot_avx2();
 const RzDotKernel* rz_dot_avx512();
-
-// The variant the join executor uses: the widest supported one, unless
-// overridden.  The FASTED_RZ_KERNEL environment variable ("scalar", "avx2",
-// "avx512") pins the choice at first use; set_rz_dot_override() re-pins it
-// programmatically (benchmarks time scalar vs SIMD this way; not
-// thread-safe against concurrent joins).
-const RzDotKernel& rz_dot_dispatch();
-void set_rz_dot_override(const RzDotKernel* kernel);
-
-// Every variant this build + CPU can run (scalar first).
-std::vector<const RzDotKernel*> rz_dot_supported();
+const RzDotKernel* rz_dot_avx512fp16();
 
 }  // namespace fasted::kernels

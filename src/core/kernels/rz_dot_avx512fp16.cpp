@@ -1,0 +1,96 @@
+// AVX-512 FP16 rz_dot variant: native half-precision panel columns.
+//
+// Every value the pipeline feeds this kernel is FP16-exact by construction
+// (paper Step 1 quantizes each coordinate to half), so narrowing a packed
+// panel column to native half (vcvtps2phx) loses nothing, and widening the
+// halves straight to double (vcvtph2pd) makes each half product exact in a
+// single mul_pd.  That restructures the chain step around the half domain:
+// the AVX-512F variant pays a cvtps_pd of the product per QUERY per column,
+// this one pays one half round-trip per COLUMN shared by every query chain
+// in flight, then multiplies in the exact double domain.  The accumulate is
+// the same exact-double add + EVEX embedded round-toward-zero convert as
+// the AVX-512F variant — the double sum is the definition of add_rz
+// (common/rounding.hpp), so the chain stays bit-identical to the scalar
+// reference by construction; the shared property test in
+// tests/core/kernels_test.cpp covers this variant through the registry.
+//
+// Compiled with -mavx512fp16 where the compiler has it (GCC >= 12,
+// clang >= 14; see CMakeLists.txt); elsewhere this is a nullptr stub, and
+// at runtime the registry only offers it when the CPU reports avx512fp16.
+
+#include "core/kernels/rz_dot.hpp"
+
+#if defined(__AVX512FP16__)
+
+#include <immintrin.h>
+
+namespace fasted::kernels {
+namespace {
+
+inline __m256 add_rz8(__m256 acc, __m512d prod) {
+  const __m512d s = _mm512_add_pd(_mm512_cvtps_pd(acc), prod);  // exact
+  return _mm512_cvt_roundpd_ps(s, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+}
+
+// One packed panel column as 8 exact double lanes, via native half: the
+// floats are FP16-exact, so ps -> ph -> pd is lossless.
+inline __m512d load_column_ph(const float* col) {
+  const __m128h h = _mm256_cvtxps_ph(_mm256_loadu_ps(col));
+  return _mm512_cvtph_pd(h);
+}
+
+void dot_panel_avx512fp16(const float* q, std::size_t q_stride, std::size_t nq,
+                          const float* panel, std::size_t dims, float* acc) {
+  if (nq == kQueryBlock) {
+    const float* q0 = q;
+    const float* q1 = q + q_stride;
+    const float* q2 = q + 2 * q_stride;
+    const float* q3 = q + 3 * q_stride;
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps();
+    __m256 a3 = _mm256_setzero_ps();
+    for (std::size_t k = 0; k < dims; ++k) {
+      const __m512d col = load_column_ph(panel + k * kPanelWidth);
+      a0 = add_rz8(a0, _mm512_mul_pd(_mm512_set1_pd(q0[k]), col));
+      a1 = add_rz8(a1, _mm512_mul_pd(_mm512_set1_pd(q1[k]), col));
+      a2 = add_rz8(a2, _mm512_mul_pd(_mm512_set1_pd(q2[k]), col));
+      a3 = add_rz8(a3, _mm512_mul_pd(_mm512_set1_pd(q3[k]), col));
+    }
+    _mm256_storeu_ps(acc, a0);
+    _mm256_storeu_ps(acc + kPanelWidth, a1);
+    _mm256_storeu_ps(acc + 2 * kPanelWidth, a2);
+    _mm256_storeu_ps(acc + 3 * kPanelWidth, a3);
+    return;
+  }
+  for (std::size_t qi = 0; qi < nq; ++qi) {
+    const float* query = q + qi * q_stride;
+    __m256 a = _mm256_setzero_ps();
+    for (std::size_t k = 0; k < dims; ++k) {
+      const __m512d col = load_column_ph(panel + k * kPanelWidth);
+      a = add_rz8(a, _mm512_mul_pd(_mm512_set1_pd(query[k]), col));
+    }
+    _mm256_storeu_ps(acc + qi * kPanelWidth, a);
+  }
+}
+
+const RzDotKernel kAvx512Fp16{"avx512fp16", &dot_panel_avx512fp16};
+
+}  // namespace
+
+const RzDotKernel* rz_dot_avx512fp16() {
+  return __builtin_cpu_supports("avx512fp16") &&
+                 __builtin_cpu_supports("avx512vl")
+             ? &kAvx512Fp16
+             : nullptr;
+}
+
+}  // namespace fasted::kernels
+
+#else  // !__AVX512FP16__
+
+namespace fasted::kernels {
+const RzDotKernel* rz_dot_avx512fp16() { return nullptr; }
+}  // namespace fasted::kernels
+
+#endif

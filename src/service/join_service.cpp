@@ -11,6 +11,7 @@
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "core/kernels/demux_sink.hpp"
+#include "core/kernels/kernel_context.hpp"
 #include "core/kernels/merging_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -112,8 +113,11 @@ void JoinService::maybe_retune(std::size_t rows) {
   {
     // Keep the backend's physical sharding: an inline retune changes only
     // engine knobs.  Capacity changes go through set_schedule(rechunk).
+    // The kernel selection survives too — the model cannot rank kernels,
+    // so a model-only retune must not silently un-pin one.
     std::lock_guard<std::mutex> lock(stats_mutex_);
     chosen.shard_capacity = schedule_.shard_capacity;
+    chosen.kernel = schedule_.kernel;
   }
   engine_ = FastedEngine(chosen.apply(base_config_));
   std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -497,6 +501,11 @@ std::size_t JoinService::knn_fill(const PreparedDataset& queries,
     obs::PhaseTimer brute_timer(phases_->knn_brute);
     obs::TraceSpan brute_span("knn_brute", "service");
     const float inf = std::numeric_limits<float>::infinity();
+    // The sweep runs the same kernel the tiled path would: each shard's
+    // rows go through the kernel of its owning domain, so sweep distances
+    // are bit-identical to tile distances under any kernel selection.
+    const kernels::KernelContext kctx = kernels::KernelContext::resolve(
+        engine_.config().rz_kernel, ThreadPool::global());
     parallel_for(0, active.size(), [&](std::size_t lo, std::size_t hi) {
       for (std::size_t a = lo; a < hi; ++a) {
         const std::size_t i = active[a];
@@ -506,7 +515,8 @@ std::size_t JoinService::knn_fill(const PreparedDataset& queries,
           const std::size_t before = row.size();
           query_row_join(queries.values().row(i), queries.norms()[i],
                          view.prepared->values(), view.prepared->norms(), 0,
-                         view.prepared->rows(), inf, row);
+                         view.prepared->rows(), inf,
+                         kctx.kernel(view.domain), row);
           if (view.base != 0) {
             for (std::size_t r = before; r < row.size(); ++r) {
               row[r].id += static_cast<std::uint32_t>(view.base);
@@ -561,9 +571,14 @@ PhaseLatency phase_latency(const char* name,
 
 ServiceStats JoinService::stats() const {
   ServiceStats out;
+  std::string kernel_selection;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     out = stats_;
+    // schedule_ tracks the engine's live config (defaults / set_schedule /
+    // retune all update it under this lock), so its kernel field is a
+    // race-free view of the current selection.
+    kernel_selection = schedule_.kernel;
   }
   // Snapshot the pool's drain/steal counters outside our lock (they are
   // relaxed atomics with their own discipline), as a delta against the
@@ -571,6 +586,12 @@ ServiceStats JoinService::stats() const {
   // service sharing the pool never shows up here.
   out.domain_loads =
       ThreadPool::global().domain_loads_since(pool_baseline_);
+  const kernels::KernelContext kctx = kernels::KernelContext::resolve(
+      kernel_selection, ThreadPool::global());
+  out.domain_kernels.reserve(out.domain_loads.size());
+  for (std::size_t d = 0; d < out.domain_loads.size(); ++d) {
+    out.domain_kernels.emplace_back(kctx.kernel(d).name);
+  }
   const std::pair<const char*, const obs::ConcurrentHistogram*> phases[] = {
       {"admission_wait", &phases_->admission_wait},
       {"calibrate", &phases_->calibrate},
@@ -609,7 +630,9 @@ std::string ServiceStats::json() const {
   for (std::size_t d = 0; d < domain_loads.size(); ++d) {
     const DomainLoad& l = domain_loads[d];
     if (d != 0) os << ",";
-    os << "{\"domain\":" << d << ",\"tiles_drained\":" << l.tiles_drained
+    os << "{\"domain\":" << d << ",\"kernel\":\""
+       << (d < domain_kernels.size() ? domain_kernels[d] : "") << "\""
+       << ",\"tiles_drained\":" << l.tiles_drained
        << ",\"tiles_stolen\":" << l.tiles_stolen
        << ",\"drain_ns\":" << l.drain_ns << ",\"steal_ns\":" << l.steal_ns
        << "}";

@@ -36,8 +36,8 @@ const char* steal_name(StealMode m) {
   return "?";
 }
 
-// Two schedules share a (tile, order) combo when only capacity/steal —
-// the dimensions the model cannot see — differ.
+// Two schedules share a (tile, order) combo when only capacity, steal, or
+// kernel — the dimensions the model cannot see — differ.
 bool same_combo(const Schedule& a, const Schedule& b) {
   return a.tile_m == b.tile_m && a.tile_n == b.tile_n &&
          a.policy == b.policy && a.square == b.square;
@@ -151,6 +151,7 @@ std::vector<Candidate> AutoTuner::model_rank(const std::vector<Schedule>& space,
   auto add_combo = [&](Schedule s) {
     s.shard_capacity = def.shard_capacity;
     s.steal = StealMode::kEnv;
+    s.kernel = def.kernel;
     for (const Candidate& c : combos) {
       if (same_combo(c.schedule, s)) return;
     }
@@ -236,13 +237,15 @@ TuneReport AutoTuner::tune(const MatrixF32& corpus, std::size_t target_rows,
     }
   }
 
-  // Stage B: refine capacity and steal pinning for the winning combo —
-  // probe every space member sharing its tiles and order.
+  // Stage B: refine capacity, steal pinning, and kernel selection for the
+  // winning combo — probe every space member sharing its tiles and order.
+  // (Kernel candidates only appear when the space enumerates them; the
+  // default space carries a single "auto".)
   Candidate best = survivors[best_ix];
   for (const Schedule& s : space) {
     if (!same_combo(s, best.schedule)) continue;
     if (s.shard_capacity == best.schedule.shard_capacity &&
-        s.steal == best.schedule.steal) {
+        s.steal == best.schedule.steal && s.kernel == best.schedule.kernel) {
       continue;  // already measured in stage A
     }
     Candidate c;
@@ -322,7 +325,7 @@ std::string TuneReport::json() const {
       << ", \"policy\": \"" << policy_name(s.policy)
       << "\", \"square\": " << s.square
       << ", \"shard_capacity\": " << s.shard_capacity << ", \"steal\": \""
-      << steal_name(s.steal) << "\"}";
+      << steal_name(s.steal) << "\", \"kernel\": \"" << s.kernel << "\"}";
     return o.str();
   };
   os << "{\n  \"schedule\": " << schedule_json(best)

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "core/kernels/kernel_context.hpp"
 
 namespace fasted::tune {
 
@@ -67,6 +68,14 @@ std::string json_field(const std::string& text, const std::string& key) {
   return text.substr(pos, end - pos);
 }
 
+// json_field for a field that may legitimately be absent (the kernel
+// dimension postdates saved schedules; missing = `fallback`).
+std::string json_field_or(const std::string& text, const std::string& key,
+                          const std::string& fallback) {
+  if (text.find("\"" + key + "\"") == std::string::npos) return fallback;
+  return json_field(text, key);
+}
+
 long long json_int(const std::string& text, const std::string& key) {
   const std::string tok = json_field(text, key);
   try {
@@ -99,6 +108,7 @@ FastedConfig Schedule::apply(const FastedConfig& base) const {
   cfg.dispatch_override = policy;
   cfg.dispatch_square = square;
   cfg.steal_mode = steal;
+  cfg.rz_kernel = kernel;
   // Large tiles stage more shared memory per block; shed residency before
   // the smem capacity check would reject the schedule outright.
   while (cfg.blocks_per_sm > 1 &&
@@ -112,6 +122,7 @@ FastedConfig Schedule::apply(const FastedConfig& base) const {
 
 bool Schedule::valid(const FastedConfig& base) const {
   if (tile_m <= 0 || tile_n <= 0 || square < 1) return false;
+  if (!kernels::kernel_selection_known(kernel)) return false;
   try {
     apply(base).validate();
   } catch (const CheckError&) {
@@ -123,7 +134,8 @@ bool Schedule::valid(const FastedConfig& base) const {
 bool Schedule::operator==(const Schedule& other) const {
   return tile_m == other.tile_m && tile_n == other.tile_n &&
          policy == other.policy && square == other.square &&
-         shard_capacity == other.shard_capacity && steal == other.steal;
+         shard_capacity == other.shard_capacity && steal == other.steal &&
+         kernel == other.kernel;
 }
 
 std::string Schedule::describe() const {
@@ -143,6 +155,7 @@ std::string Schedule::describe() const {
   if (shard_capacity != 0) os << ", capacity " << shard_capacity;
   if (steal == StealMode::kOn) os << ", steal on";
   if (steal == StealMode::kOff) os << ", steal off";
+  if (!kernel.empty() && kernel != "auto") os << ", kernel " << kernel;
   return os.str();
 }
 
@@ -151,7 +164,8 @@ std::string Schedule::json() const {
   os << "{\"tile_m\": " << tile_m << ", \"tile_n\": " << tile_n
      << ", \"policy\": \"" << policy_name(policy) << "\", \"square\": "
      << square << ", \"shard_capacity\": " << shard_capacity
-     << ", \"steal\": \"" << steal_name(steal) << "\"}";
+     << ", \"steal\": \"" << steal_name(steal) << "\", \"kernel\": \""
+     << kernel << "\"}";
   return os.str();
 }
 
@@ -187,6 +201,11 @@ Schedule Schedule::from_json(const std::string& text) {
     check_failed("steal", __FILE__, __LINE__,
                  "schedule json: unknown steal mode \"" + steal + "\"");
   }
+
+  s.kernel = json_field_or(text, "kernel", "auto");
+  FASTED_CHECK_MSG(kernels::kernel_selection_known(s.kernel),
+                   "schedule json: unknown kernel selection \"" + s.kernel +
+                       "\"");
   return s;
 }
 
@@ -200,6 +219,7 @@ Schedule Schedule::defaults(const FastedConfig& base, std::size_t corpus_rows,
   const std::size_t d = std::max<std::size_t>(1, domains);
   s.shard_capacity = corpus_rows == 0 ? 0 : (corpus_rows + d - 1) / d;
   s.steal = base.steal_mode;
+  s.kernel = base.rz_kernel;
   return s;
 }
 

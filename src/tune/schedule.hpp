@@ -28,6 +28,11 @@ struct Schedule {
   std::size_t shard_capacity = 0;
   // Cross-domain work stealing; kEnv defers to FASTED_STEAL.
   StealMode steal = StealMode::kEnv;
+  // rz_dot kernel selection (FastedConfig::rz_kernel semantics): "auto" =
+  // per-domain best, a name pins every domain, a comma list assigns per
+  // domain.  Execution policy like everything else here — every selection
+  // is bit-identical, so the tuner may rank backends by measured speed.
+  std::string kernel = "auto";
 
   // Rewrites the execution knobs of `base` to this schedule: block tiles,
   // warp tiles re-derived to cover them (64-capped, so the warp-tile grid
@@ -50,9 +55,10 @@ struct Schedule {
   // --load-schedule): a flat JSON object with every search-key field,
   //   {"tile_m": 128, ..., "policy": "squares", "steal": "env"}
   // from_json accepts json()'s output (plus whitespace / reordered fields)
-  // and throws CheckError on a missing field or unknown enum name.  Loaded
-  // schedules still go through valid() before use — persistence does not
-  // bypass validation.
+  // and throws CheckError on a missing field or unknown enum name; the
+  // "kernel" field alone may be absent (files saved before the kernel
+  // dimension existed load as "auto").  Loaded schedules still go through
+  // valid() before use — persistence does not bypass validation.
   std::string json() const;
   static Schedule from_json(const std::string& text);
 

@@ -54,20 +54,26 @@ std::vector<Schedule> ScheduleSpace::enumerate(
     steals = {StealMode::kEnv};
   }
 
+  std::vector<std::string> kernels = opts.kernels;
+  if (kernels.empty()) kernels.push_back("auto");
+
   std::vector<Schedule> out;
   for (const int tm : opts.tile_sides) {
     for (const int tn : opts.tile_sides) {
       for (const auto& [policy, square] : orders) {
         for (const std::size_t cap : caps) {
           for (const StealMode steal : steals) {
-            Schedule s;
-            s.tile_m = tm;
-            s.tile_n = tn;
-            s.policy = policy;
-            s.square = square;
-            s.shard_capacity = cap;
-            s.steal = steal;
-            if (s.valid(base)) out.push_back(s);
+            for (const std::string& kernel : kernels) {
+              Schedule s;
+              s.tile_m = tm;
+              s.tile_n = tn;
+              s.policy = policy;
+              s.square = square;
+              s.shard_capacity = cap;
+              s.steal = steal;
+              s.kernel = kernel;
+              if (s.valid(base)) out.push_back(s);
+            }
           }
         }
       }

@@ -31,6 +31,12 @@ struct ScheduleSpaceOptions {
   // Capacities never shrink below this many rows (tiny shards drown the
   // executor in per-shard plan overhead).
   std::size_t min_shard_capacity = 4096;
+  // Kernel selections tried (Schedule::kernel).  The default single "auto"
+  // keeps the kernel out of the search (per-domain best at run time);
+  // callers ranking backends list names from the KernelRegistry — the
+  // tuner's measured probes then pick by speed, safely, since every
+  // selection is bit-identical.
+  std::vector<std::string> kernels = {"auto"};
 };
 
 class ScheduleSpace {

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/kernels/kernel_context.hpp"
+
 #include <algorithm>
 #include <bit>
 #include <cstdint>
@@ -46,7 +48,7 @@ std::vector<float> fp16_exact_values(Rng& rng, std::size_t count,
 
 TEST(RzDotKernels, AllVariantsMatchScalarChainOnRandomizedShapes) {
   Rng rng(2025);
-  const auto kernels_list = kernels::rz_dot_supported();
+  const auto& kernels_list = kernels::KernelRegistry::global().supported();
   ASSERT_GE(kernels_list.size(), 1u);
 
   for (int trial = 0; trial < 200; ++trial) {
@@ -106,24 +108,37 @@ TEST(RzDotKernels, PackPanelZeroFillsTailLanes) {
   }
 }
 
-TEST(RzDotKernels, DispatchReportsAKnownVariant) {
-  const kernels::RzDotKernel& k = kernels::rz_dot_dispatch();
-  bool found = false;
-  for (const kernels::RzDotKernel* s : kernels::rz_dot_supported()) {
-    if (s == &k) found = true;
+TEST(RzDotKernels, RegistryResolvesKnownVariantsOnly) {
+  const kernels::KernelRegistry& reg = kernels::KernelRegistry::global();
+  // best() is a member of the supported list and every supported name
+  // resolves back to its own kernel through find().
+  bool best_found = false;
+  for (const kernels::RzDotKernel* s : reg.supported()) {
+    EXPECT_EQ(reg.find(s->name), s) << s->name;
+    EXPECT_TRUE(kernels::KernelRegistry::known_name(s->name)) << s->name;
+    if (s == &reg.best()) best_found = true;
   }
-  EXPECT_TRUE(found) << k.name;
+  EXPECT_TRUE(best_found) << reg.best().name;
+  EXPECT_EQ(reg.find("no-such-kernel"), nullptr);
+  EXPECT_FALSE(kernels::KernelRegistry::known_name("no-such-kernel"));
+  // Selection strings: names, "auto", and comma lists of them.
+  EXPECT_TRUE(kernels::kernel_selection_known("auto"));
+  EXPECT_TRUE(kernels::kernel_selection_known("scalar"));
+  EXPECT_TRUE(kernels::kernel_selection_known("scalar,auto"));
+  EXPECT_FALSE(kernels::kernel_selection_known("scalar,bogus"));
 }
 
-TEST(RzDotKernels, ScalarOverrideReproducesDispatchedJoinExactly) {
+TEST(RzDotKernels, ScalarConfigReproducesAutoSelectedJoinExactly) {
   // End-to-end scalar-vs-SIMD equivalence: the whole self-join result set
-  // must be identical whichever variant runs.
+  // must be identical whichever variant runs.  The pin goes through the
+  // config (no ambient override exists anymore).
   const auto data = data::uniform(400, 40, 77);
   FastedEngine engine;
   const auto dispatched = engine.self_join(data, 1.1f);
-  kernels::set_rz_dot_override(&kernels::rz_dot_scalar());
-  const auto scalar = engine.self_join(data, 1.1f);
-  kernels::set_rz_dot_override(nullptr);
+  FastedConfig scalar_cfg = FastedConfig::paper_defaults();
+  scalar_cfg.rz_kernel = "scalar";
+  FastedEngine scalar_engine(scalar_cfg);
+  const auto scalar = scalar_engine.self_join(data, 1.1f);
   ASSERT_EQ(dispatched.pair_count, scalar.pair_count);
   EXPECT_EQ(dispatched.result.offsets(), scalar.result.offsets());
   EXPECT_EQ(dispatched.result.neighbors(), scalar.result.neighbors());
